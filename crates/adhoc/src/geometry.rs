@@ -1,0 +1,114 @@
+//! Plane geometry for the mobility model.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A point in the simulation plane.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; use for radius comparisons).
+    pub fn dist2(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Move `step` towards `target`; lands exactly on `target` if closer
+    /// than `step`. Returns the new point and whether the target was
+    /// reached.
+    pub fn step_towards(self, target: Point, step: f64) -> (Point, bool) {
+        let d = self.dist(target);
+        if d <= step || d == 0.0 {
+            (target, true)
+        } else {
+            let f = step / d;
+            (
+                Point::new(self.x + (target.x - self.x) * f, self.y + (target.y - self.y) * f),
+                false,
+            )
+        }
+    }
+}
+
+/// A rectangular deployment region `[0, w] × [0, h]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Region {
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Region {
+    /// The unit square.
+    pub fn unit() -> Self {
+        Region { w: 1.0, h: 1.0 }
+    }
+
+    /// A uniformly random point inside the region.
+    pub fn sample(&self, rng: &mut StdRng) -> Point {
+        Point::new(rng.random::<f64>() * self.w, rng.random::<f64>() * self.h)
+    }
+
+    /// Whether the point lies inside the region.
+    pub fn contains(&self, p: Point) -> bool {
+        (0.0..=self.w).contains(&p.x) && (0.0..=self.h).contains(&p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist2(b), 25.0);
+    }
+
+    #[test]
+    fn step_towards_reaches_target() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let (p, reached) = a.step_towards(b, 0.4);
+        assert!(!reached);
+        assert!((p.x - 0.4).abs() < 1e-12);
+        let (p, reached) = p.step_towards(b, 10.0);
+        assert!(reached);
+        assert_eq!(p, b);
+        // Zero-distance degenerate case.
+        let (p, reached) = b.step_towards(b, 0.1);
+        assert!(reached);
+        assert_eq!(p, b);
+    }
+
+    #[test]
+    fn region_sampling_stays_inside() {
+        let r = Region { w: 2.0, h: 3.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+        assert!(!r.contains(Point::new(2.5, 1.0)));
+    }
+}

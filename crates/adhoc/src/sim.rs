@@ -1,0 +1,981 @@
+//! The discrete-event beacon simulator.
+//!
+//! Everything in the paper's Section 2 happens here, as events on a seeded
+//! queue:
+//!
+//! * every node broadcasts a beacon every `t_b` (± jitter) carrying its
+//!   current protocol state; beacons arrive after a propagation delay;
+//! * a receiver caches the sender's state, **discovers** unknown senders
+//!   (link creation), and **expires** neighbors not heard from within the
+//!   timeout (link failure);
+//! * at its own beacon instant a node first *acts*: if it has heard from
+//!   every currently-known neighbor since its previous action — the paper's
+//!   definition of a **round** — it evaluates its rules on the cached
+//!   states and adopts the move, which then rides on the outgoing beacon.
+//!
+//! With zero jitter and a static topology this reproduces the abstract
+//! synchronous engine **exactly** (asserted in tests and experiment E8);
+//! with jitter, delays, discovery, expiry and mobility it is the real
+//! protocol stack the paper describes.
+
+use crate::mobility::RandomWaypoint;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selfstab_engine::protocol::{InitialState, Protocol, View};
+use selfstab_graph::{Graph, Node};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in microseconds.
+pub type Micros = u64;
+
+/// Beacon-layer parameters.
+#[derive(Clone, Debug)]
+pub struct BeaconConfig {
+    /// Beacon interval `t_b`.
+    pub beacon_interval: Micros,
+    /// Uniform jitter applied to each beacon interval: the next beacon
+    /// fires after `t_b + U(-jitter, +jitter)`.
+    pub jitter: Micros,
+    /// Propagation + processing delay from send to delivery. Must be less
+    /// than `beacon_interval - jitter` for beacons not to straddle periods.
+    pub delay: Micros,
+    /// A neighbor not heard from for this long is dropped (the paper uses
+    /// one beacon period; a multiple tolerates jitter).
+    pub timeout: Micros,
+    /// Nodes do not act before this time, giving neighbor discovery one
+    /// full exchange (a real deployment boots the same way).
+    pub warmup: Micros,
+    /// Probability that any single beacon delivery is lost (models the
+    /// transient link failures the paper delegates to the link layer; the
+    /// neighbor timeout must tolerate a few consecutive losses).
+    pub loss: f64,
+    /// Optional per-node beacon intervals (heterogeneous hardware); nodes
+    /// without an entry use `beacon_interval`. The paper implicitly assumes
+    /// a common `t_b`; rounds still emerge as long as every node's interval
+    /// is finite.
+    pub per_node_interval: Vec<(u32, Micros)>,
+    /// Width of the slotted-medium collision window: two beacons arriving
+    /// at the same receiver within this window destroy each other (`0`
+    /// disables the model). The paper assumes the link layer resolves
+    /// contention; enabling this *implements* that concern instead, and the
+    /// contention experiment shows jitter is what resolves it.
+    pub collision_window: Micros,
+    /// RNG seed (jitter and losses).
+    pub seed: u64,
+    /// Record, once per beacon period, whether the protocol's global
+    /// predicate currently holds on the ground-truth topology.
+    pub sample_legitimacy: bool,
+}
+
+impl Default for BeaconConfig {
+    fn default() -> Self {
+        BeaconConfig {
+            beacon_interval: 100_000, // 100 ms — a typical hello interval
+            jitter: 0,
+            delay: 5_000,
+            timeout: 250_000,
+            warmup: 100_000,
+            loss: 0.0,
+            per_node_interval: Vec::new(),
+            collision_window: 0,
+            seed: 0,
+            sample_legitimacy: false,
+        }
+    }
+}
+
+impl BeaconConfig {
+    /// A config with jitter, expressed as a fraction of the beacon interval
+    /// (e.g. `0.05` for ±5%).
+    pub fn with_jitter(mut self, fraction: f64) -> Self {
+        self.jitter = (self.beacon_interval as f64 * fraction) as Micros;
+        self
+    }
+
+    /// A config with per-delivery beacon loss probability; widens the
+    /// neighbor timeout to tolerate a few consecutive losses.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss));
+        self.loss = loss;
+        self.timeout = self.timeout.max(5 * self.beacon_interval);
+        self
+    }
+
+    /// A config enabling the slotted-medium collision model; widens the
+    /// timeout since collided beacons behave like losses.
+    pub fn with_collisions(mut self, window: Micros) -> Self {
+        self.collision_window = window;
+        self.timeout = self.timeout.max(5 * self.beacon_interval);
+        self
+    }
+
+    /// The beacon interval of a specific node.
+    fn interval_of(&self, node: Node) -> Micros {
+        self.per_node_interval
+            .iter()
+            .find(|&&(v, _)| v == node.0)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.beacon_interval)
+    }
+}
+
+/// The ground-truth connectivity the radio layer sees.
+// A simulation owns exactly one Topology, so the size skew between the
+// variants is irrelevant; boxing the mobility model would only add noise.
+#[allow(clippy::large_enum_variant)]
+pub enum Topology {
+    /// A fixed graph (links can still be edited mid-run via
+    /// [`BeaconSim::set_link`]).
+    Static(Graph),
+    /// Hosts moving under random waypoint; connectivity is the unit-disk
+    /// graph of current positions.
+    Mobile {
+        /// The mobility model.
+        model: RandomWaypoint,
+        /// How often positions advance.
+        tick: Micros,
+    },
+}
+
+impl Topology {
+    fn n(&self) -> usize {
+        match self {
+            Topology::Static(g) => g.n(),
+            Topology::Mobile { model, .. } => model.positions().len(),
+        }
+    }
+
+    /// Current ground-truth graph.
+    pub fn graph(&self) -> Graph {
+        match self {
+            Topology::Static(g) => g.clone(),
+            Topology::Mobile { model, .. } => model.graph(),
+        }
+    }
+
+    fn receivers(&self, src: Node) -> Vec<Node> {
+        match self {
+            Topology::Static(g) => g.neighbors(src).to_vec(),
+            Topology::Mobile { model, .. } => {
+                let pos = model.positions();
+                let r2 = model.radius() * model.radius();
+                let me = pos[src.index()];
+                (0..pos.len())
+                    .filter(|&i| i != src.index() && pos[i].dist2(me) <= r2)
+                    .map(Node::from)
+                    .collect()
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EventKind<S> {
+    Beacon(Node),
+    Deliver { dst: Node, src: Node, state: S },
+    MobilityTick,
+    Sample,
+}
+
+/// Per-receiver soft state about one neighbor.
+#[derive(Clone, Debug)]
+struct NeighborEntry<S> {
+    state: S,
+    last_heard: Micros,
+    heard_since_action: bool,
+}
+
+/// What happened during a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport<S> {
+    /// Protocol states at the end of the run.
+    pub final_states: Vec<S>,
+    /// Beacons broadcast.
+    pub beacons_sent: u64,
+    /// Beacon deliveries (one per receiver in range).
+    pub deliveries: u64,
+    /// Beacon transmissions lost to the channel (per receiver).
+    pub losses: u64,
+    /// Beacon frames destroyed by medium contention (collision model).
+    pub collisions: u64,
+    /// Rule evaluations that were permitted (heard-from-all rounds).
+    pub evaluations: u64,
+    /// Evaluations that changed the node's state, per rule.
+    pub moves_per_rule: Vec<u64>,
+    /// Time of the last state change (0 if none).
+    pub last_change: Micros,
+    /// Time the simulation stopped.
+    pub end_time: Micros,
+    /// Whether the run ended because the system went quiet (no state change
+    /// for the configured number of beacon periods).
+    pub quiesced: bool,
+    /// Stabilization time in beacon periods (last state change / `t_b`),
+    /// meaningful when `quiesced`.
+    pub stabilization_periods: f64,
+    /// Per-period legitimacy samples (if enabled): did the global predicate
+    /// hold on the ground-truth topology at each period boundary?
+    pub legitimacy_samples: Vec<bool>,
+    /// Rule evaluations per node (how many "rounds" each node completed).
+    pub per_node_evaluations: Vec<u64>,
+    /// State changes per node (a proxy for per-node energy spent on
+    /// repairs; stabilization means these counters stop growing).
+    pub per_node_moves: Vec<u64>,
+    /// Ground-truth graph at the end of the run.
+    pub final_graph: Graph,
+}
+
+impl<S> SimReport<S> {
+    /// Fraction of sampled periods in which the global predicate held.
+    pub fn legitimacy_fraction(&self) -> f64 {
+        if self.legitimacy_samples.is_empty() {
+            return f64::NAN;
+        }
+        self.legitimacy_samples.iter().filter(|&&b| b).count() as f64
+            / self.legitimacy_samples.len() as f64
+    }
+}
+
+/// The beacon-driven protocol runtime.
+pub struct BeaconSim<'a, P: Protocol> {
+    proto: &'a P,
+    config: BeaconConfig,
+    topology: Topology,
+    states: Vec<P::State>,
+    neighbors: Vec<Vec<(Node, NeighborEntry<P::State>)>>,
+    scratch: Vec<P::State>,
+    events: BinaryHeap<Reverse<(Micros, u64, usize)>>,
+    payloads: Vec<Option<EventKind<P::State>>>,
+    free_slots: Vec<usize>,
+    seq: u64,
+    rng: StdRng,
+    now: Micros,
+    beacons_sent: u64,
+    deliveries: u64,
+    losses: u64,
+    evaluations: u64,
+    moves_per_rule: Vec<u64>,
+    last_change: Micros,
+    legitimacy_samples: Vec<bool>,
+    per_node_evaluations: Vec<u64>,
+    per_node_moves: Vec<u64>,
+    last_arrival: Vec<Micros>,
+    collisions: u64,
+}
+
+impl<'a, P: Protocol> BeaconSim<'a, P> {
+    /// Build a simulator. Nodes start with **no** neighbor knowledge
+    /// (discovery fills it in) and the given initial protocol states.
+    pub fn new(
+        proto: &'a P,
+        topology: Topology,
+        init: InitialState<P::State>,
+        config: BeaconConfig,
+    ) -> Self {
+        assert!(config.delay > 0, "zero delay would deliver within the send instant");
+        assert!(
+            config.delay + config.jitter < config.beacon_interval,
+            "delay + jitter must fit within one beacon period"
+        );
+        let n = topology.n();
+        let graph_now = topology.graph();
+        let states = init.materialize(&graph_now, proto);
+        let scratch = vec![proto.default_state(); n];
+        let mut sim = BeaconSim {
+            proto,
+            config: config.clone(),
+            topology,
+            states,
+            neighbors: vec![Vec::new(); n],
+            scratch,
+            events: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0,
+            beacons_sent: 0,
+            deliveries: 0,
+            losses: 0,
+            evaluations: 0,
+            moves_per_rule: vec![0; proto.rule_names().len()],
+            last_change: 0,
+            legitimacy_samples: Vec::new(),
+            per_node_evaluations: vec![0; n],
+            per_node_moves: vec![0; n],
+            last_arrival: vec![Micros::MAX; n],
+            collisions: 0,
+        };
+        for i in 0..n {
+            sim.schedule(0, EventKind::Beacon(Node::from(i)));
+        }
+        if let Topology::Mobile { tick, .. } = sim.topology {
+            sim.schedule(tick, EventKind::MobilityTick);
+        }
+        if sim.config.sample_legitimacy {
+            sim.schedule(sim.config.beacon_interval, EventKind::Sample);
+        }
+        sim
+    }
+
+    fn schedule(&mut self, at: Micros, kind: EventKind<P::State>) {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.payloads[s] = Some(kind);
+                s
+            }
+            None => {
+                self.payloads.push(Some(kind));
+                self.payloads.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, slot)));
+    }
+
+    /// Edit a link of a static topology mid-run (models an abrupt radio
+    /// obstruction or a new line of sight). Panics on mobile topologies.
+    pub fn set_link(&mut self, u: Node, v: Node, up: bool) {
+        match &mut self.topology {
+            Topology::Static(g) => {
+                if up {
+                    g.add_edge(u, v);
+                } else {
+                    g.remove_edge(u, v);
+                }
+            }
+            Topology::Mobile { .. } => panic!("links of a mobile topology follow positions"),
+        }
+    }
+
+    /// Current protocol states (node-indexed).
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// A node acts at its beacon instant if it has heard from all known
+    /// neighbors since its last action (the paper's round condition).
+    fn try_act(&mut self, me: Node) {
+        if self.now < self.config.warmup {
+            return;
+        }
+        // Expire silent neighbors first (link-failure detection).
+        let deadline = self.now.saturating_sub(self.config.timeout);
+        self.neighbors[me.index()].retain(|(_, e)| e.last_heard >= deadline);
+        if !self.neighbors[me.index()]
+            .iter()
+            .all(|(_, e)| e.heard_since_action)
+        {
+            return;
+        }
+        // Build the local view from cached neighbor states.
+        let list = &self.neighbors[me.index()];
+        let mut nbr_list: Vec<Node> = list.iter().map(|&(v, _)| v).collect();
+        nbr_list.sort_unstable();
+        for (v, e) in list {
+            self.scratch[v.index()] = e.state.clone();
+        }
+        self.scratch[me.index()] = self.states[me.index()].clone();
+        let view = View::new(me, &nbr_list, &self.scratch);
+        self.evaluations += 1;
+        self.per_node_evaluations[me.index()] += 1;
+        let mv = self.proto.step(view);
+        for (_, e) in &mut self.neighbors[me.index()] {
+            e.heard_since_action = false;
+        }
+        if let Some(mv) = mv {
+            self.moves_per_rule[mv.rule] += 1;
+            self.per_node_moves[me.index()] += 1;
+            self.states[me.index()] = mv.next;
+            self.last_change = self.now;
+        }
+    }
+
+    fn handle_beacon(&mut self, me: Node) {
+        self.try_act(me);
+        // Broadcast the (possibly updated) state to everyone in range.
+        let receivers = self.topology.receivers(me);
+        self.beacons_sent += 1;
+        for dst in receivers {
+            if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
+                self.losses += 1;
+                continue;
+            }
+            self.schedule(
+                self.now + self.config.delay,
+                EventKind::Deliver {
+                    dst,
+                    src: me,
+                    state: self.states[me.index()].clone(),
+                },
+            );
+        }
+        let jitter = if self.config.jitter == 0 {
+            0i64
+        } else {
+            self.rng
+                .random_range(-(self.config.jitter as i64)..=self.config.jitter as i64)
+        };
+        let base = self.config.interval_of(me);
+        let next = self.now + (base as i64 + jitter) as Micros;
+        self.schedule(next, EventKind::Beacon(me));
+    }
+
+    fn handle_deliver(&mut self, dst: Node, src: Node, state: P::State) {
+        if self.config.collision_window > 0 {
+            let last = self.last_arrival[dst.index()];
+            self.last_arrival[dst.index()] = self.now;
+            if last != Micros::MAX && self.now.saturating_sub(last) < self.config.collision_window {
+                // Slotted-medium collision: the overlapping frame is lost
+                // (capture model: the earlier frame survives).
+                self.collisions += 1;
+                return;
+            }
+        }
+        self.deliveries += 1;
+        let list = &mut self.neighbors[dst.index()];
+        match list.iter_mut().find(|(v, _)| *v == src) {
+            Some((_, e)) => {
+                e.state = state;
+                e.last_heard = self.now;
+                e.heard_since_action = true;
+            }
+            None => {
+                // Neighbor discovery: unknown sender => the link (dst, src)
+                // is established.
+                list.push((
+                    src,
+                    NeighborEntry {
+                        state,
+                        last_heard: self.now,
+                        heard_since_action: true,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Run until the system has been quiet (no state change) for
+    /// `quiet_periods` beacon periods after warmup, or until `max_time`.
+    pub fn run(mut self, quiet_periods: u64, max_time: Micros) -> SimReport<P::State> {
+        let quiet = quiet_periods * self.config.beacon_interval;
+        let mut quiesced = false;
+        while let Some(Reverse((t, _, slot))) = self.events.pop() {
+            if t > max_time {
+                break;
+            }
+            self.now = t;
+            let low_water = self.last_change.max(self.config.warmup);
+            if self.now > low_water + quiet {
+                quiesced = true;
+                break;
+            }
+            let kind = self.payloads[slot].take().expect("event payload present");
+            self.free_slots.push(slot);
+            match kind {
+                EventKind::Beacon(me) => self.handle_beacon(me),
+                EventKind::Deliver { dst, src, state } => self.handle_deliver(dst, src, state),
+                EventKind::MobilityTick => {
+                    if let Topology::Mobile { model, tick } = &mut self.topology {
+                        let dt = *tick as f64 / 1_000_000.0;
+                        model.step(dt);
+                        let tick = *tick;
+                        self.schedule(self.now + tick, EventKind::MobilityTick);
+                    }
+                }
+                EventKind::Sample => {
+                    let g = self.topology.graph();
+                    self.legitimacy_samples
+                        .push(self.proto.is_legitimate(&g, &self.states));
+                    self.schedule(
+                        self.now + self.config.beacon_interval,
+                        EventKind::Sample,
+                    );
+                }
+            }
+        }
+        let stabilization_periods =
+            self.last_change as f64 / self.config.beacon_interval as f64;
+        SimReport {
+            final_states: self.states,
+            beacons_sent: self.beacons_sent,
+            deliveries: self.deliveries,
+            losses: self.losses,
+            collisions: self.collisions,
+            evaluations: self.evaluations,
+            moves_per_rule: self.moves_per_rule,
+            last_change: self.last_change,
+            end_time: self.now,
+            quiesced,
+            stabilization_periods,
+            legitimacy_samples: self.legitimacy_samples,
+            per_node_evaluations: self.per_node_evaluations,
+            per_node_moves: self.per_node_moves,
+            final_graph: self.topology.graph(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Region;
+    use selfstab_core::smm::Smm;
+    use selfstab_core::Smi;
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::predicates::{is_maximal_independent_set, is_maximal_matching};
+    use selfstab_graph::{generators, Ids};
+
+    const MS: Micros = 1_000;
+
+    fn cfg() -> BeaconConfig {
+        BeaconConfig {
+            beacon_interval: 100 * MS,
+            jitter: 0,
+            delay: 5 * MS,
+            timeout: 250 * MS,
+            warmup: 100 * MS,
+            loss: 0.0,
+            per_node_interval: Vec::new(),
+            collision_window: 0,
+            seed: 1,
+            sample_legitimacy: false,
+        }
+    }
+
+    #[test]
+    fn zero_jitter_matches_synchronous_engine_exactly() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(12);
+            let n = g.n();
+            let smm = Smm::paper(Ids::identity(n));
+            for seed in 0..5 {
+                let sync = SyncExecutor::new(&g, &smm)
+                    .run(InitialState::Random { seed }, n + 1);
+                assert!(sync.stabilized());
+                let sim = BeaconSim::new(
+                    &smm,
+                    Topology::Static(g.clone()),
+                    InitialState::Random { seed },
+                    cfg(),
+                );
+                let report = sim.run(5, 60_000 * MS);
+                assert!(report.quiesced, "{}", fam.name());
+                assert_eq!(
+                    report.final_states, sync.final_states,
+                    "beacon sim must equal sync engine on {}",
+                    fam.name()
+                );
+                // Beacon periods == synchronous rounds (warmup consumes the
+                // discovery period; evaluation k happens at period k).
+                assert_eq!(
+                    report.stabilization_periods as usize,
+                    sync.rounds(),
+                    "{} seed {seed}",
+                    fam.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_beacons_still_stabilize_smm() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let sim = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 3 },
+            cfg().with_jitter(0.05),
+        );
+        let report = sim.run(5, 600_000 * MS);
+        assert!(report.quiesced);
+        let m = Smm::matched_edges(&g, &report.final_states);
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn jittered_beacons_still_stabilize_smi() {
+        let g = generators::cycle(15);
+        let smi = Smi::new(Ids::identity(15));
+        let sim = BeaconSim::new(
+            &smi,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 9 },
+            cfg().with_jitter(0.08),
+        );
+        let report = sim.run(5, 600_000 * MS);
+        assert!(report.quiesced);
+        assert!(is_maximal_independent_set(&g, &report.final_states));
+    }
+
+    #[test]
+    fn link_failure_is_detected_and_repaired() {
+        // Stabilize on a path, then cut the link inside a matched pair; the
+        // two endpoints must time the neighbor out, reset their dangling
+        // pointers (R0), and rematch with others where possible.
+        let g = generators::path(4);
+        let smm = Smm::paper(Ids::identity(4));
+        let sync = SyncExecutor::new(&g, &smm).run(InitialState::Default, 5);
+        assert!(sync.stabilized());
+        let m = Smm::matched_edges(&g, &sync.final_states);
+        assert_eq!(m.len(), 2, "P4 from all-null matches 0-1 and 2-3");
+
+        let mut sim = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Explicit(sync.final_states.clone()),
+            cfg(),
+        );
+        sim.set_link(Node(0), Node(1), false); // cut the matched pair 0-1
+        let report = sim.run(8, 600_000 * MS);
+        assert!(report.quiesced);
+        let mut surviving = g.clone();
+        surviving.remove_edge(Node(0), Node(1));
+        let m = Smm::matched_edges(&surviving, &report.final_states);
+        assert!(
+            is_maximal_matching(&surviving, &m),
+            "post-failure matching {m:?} not maximal on the surviving graph"
+        );
+        // The 2↔3 pair is undisturbed; 0 is isolated and 1's only neighbor
+        // is taken, so both must have reset their dangling pointers (R0).
+        assert_eq!(m, vec![selfstab_graph::Edge::new(Node(2), Node(3))]);
+        assert!(report.final_states[0].is_null(), "R0 cleared node 0");
+        assert!(report.final_states[1].is_null(), "R0 cleared node 1");
+        assert!(report.moves_per_rule[selfstab_core::smm::rule::RESET] >= 2);
+    }
+
+    #[test]
+    fn link_failure_allows_rematch() {
+        // Path of 3: stabilize (1↔2 or 0↔1 depending on IDs), cut the
+        // matched edge, and check the freed endpoint rematches with the
+        // remaining neighbor.
+        let g = generators::path(3);
+        let smm = Smm::paper(Ids::identity(3));
+        let sync = SyncExecutor::new(&g, &smm).run(InitialState::Default, 4);
+        assert!(sync.stabilized());
+        let m0 = Smm::matched_edges(&g, &sync.final_states);
+        assert_eq!(m0, vec![selfstab_graph::Edge::new(Node(0), Node(1))]);
+
+        let mut sim = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Explicit(sync.final_states.clone()),
+            cfg(),
+        );
+        sim.set_link(Node(0), Node(1), false);
+        let report = sim.run(8, 600_000 * MS);
+        assert!(report.quiesced);
+        let mut surviving = g.clone();
+        surviving.remove_edge(Node(0), Node(1));
+        let m = Smm::matched_edges(&surviving, &report.final_states);
+        assert_eq!(
+            m,
+            vec![selfstab_graph::Edge::new(Node(1), Node(2))],
+            "node 1 must rematch with node 2 after losing node 0"
+        );
+    }
+
+    #[test]
+    fn neighbor_discovery_from_cold_start() {
+        // All nodes boot with empty neighbor lists; discovery must converge
+        // and SMI must still produce an MIS.
+        let g = generators::star(8);
+        let smi = Smi::new(Ids::reversed(8));
+        let sim = BeaconSim::new(
+            &smi,
+            Topology::Static(g.clone()),
+            InitialState::Default,
+            cfg(),
+        );
+        let report = sim.run(5, 600_000 * MS);
+        assert!(report.quiesced);
+        assert!(is_maximal_independent_set(&g, &report.final_states));
+        // Center has the largest ID (reversed), so it alone is in the set.
+        assert!(report.final_states[0]);
+        assert_eq!(report.final_states.iter().filter(|&&x| x).count(), 1);
+    }
+
+    #[test]
+    fn mobility_run_repairs_continuously() {
+        let model = RandomWaypoint::new(16, Region::unit(), 0.45, 0.02, 4);
+        let smi = Smi::new(Ids::identity(16));
+        let mut config = cfg();
+        config.sample_legitimacy = true;
+        let sim = BeaconSim::new(
+            &smi,
+            Topology::Mobile {
+                model,
+                tick: 100 * MS,
+            },
+            InitialState::Default,
+            config,
+        );
+        // Mobility never quiesces; run for a fixed horizon.
+        let report = sim.run(u64::MAX / (200 * MS), 30_000 * MS);
+        assert!(!report.legitimacy_samples.is_empty());
+        // The predicate should hold most of the time despite churn.
+        assert!(
+            report.legitimacy_fraction() > 0.5,
+            "predicate held only {:.0}% of periods",
+            100.0 * report.legitimacy_fraction()
+        );
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let g = generators::cycle(6);
+        let smm = Smm::paper(Ids::identity(6));
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g),
+            InitialState::Default,
+            cfg(),
+        )
+        .run(3, 600_000 * MS);
+        assert!(report.beacons_sent >= 6);
+        assert!(report.deliveries > report.beacons_sent, "degree-2 nodes double deliveries");
+        assert!(report.evaluations > 0);
+        assert!(report.moves_per_rule.iter().sum::<u64>() > 0);
+        assert!(report.end_time >= report.last_change);
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+    use selfstab_core::smm::Smm;
+    use selfstab_core::Smi;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_graph::predicates::{is_maximal_independent_set, is_maximal_matching};
+    use selfstab_graph::{generators, Ids};
+
+    const MS: Micros = 1_000;
+
+    #[test]
+    fn smm_stabilizes_despite_20_percent_loss() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let cfg = BeaconConfig {
+            seed: 3,
+            ..BeaconConfig::default()
+        }
+        .with_loss(0.2);
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 4 },
+            cfg,
+        )
+        .run(8, 3_600_000 * MS);
+        assert!(report.quiesced);
+        assert!(report.losses > 0, "the channel must actually drop beacons");
+        let m = Smm::matched_edges(&g, &report.final_states);
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn smi_stabilizes_despite_heavy_loss() {
+        let g = generators::cycle(10);
+        let smi = Smi::new(Ids::identity(10));
+        let cfg = BeaconConfig {
+            seed: 5,
+            ..BeaconConfig::default()
+        }
+        .with_loss(0.4);
+        let report = BeaconSim::new(
+            &smi,
+            Topology::Static(g.clone()),
+            InitialState::Default,
+            cfg,
+        )
+        .run(10, 3_600_000 * MS);
+        assert!(report.quiesced);
+        assert!(is_maximal_independent_set(&g, &report.final_states));
+    }
+
+    #[test]
+    fn loss_slows_but_does_not_break_convergence() {
+        let g = generators::path(8);
+        let smm = Smm::paper(Ids::identity(8));
+        let mut periods = Vec::new();
+        for loss in [0.0, 0.3] {
+            let mut cfg = BeaconConfig {
+                seed: 9,
+                ..BeaconConfig::default()
+            };
+            if loss > 0.0 {
+                cfg = cfg.with_loss(loss);
+            }
+            let report = BeaconSim::new(
+                &smm,
+                Topology::Static(g.clone()),
+                InitialState::Random { seed: 1 },
+                cfg,
+            )
+            .run(8, 3_600_000 * MS);
+            assert!(report.quiesced, "loss={loss}");
+            assert!(smm.is_legitimate(&g, &report.final_states));
+            periods.push(report.stabilization_periods);
+        }
+        assert!(
+            periods[1] >= periods[0],
+            "lossy channel should not beat the lossless one: {periods:?}"
+        );
+    }
+
+    #[test]
+    fn loss_counter_statistics_are_plausible() {
+        let g = generators::complete(6);
+        let smi = Smi::new(Ids::identity(6));
+        let cfg = BeaconConfig {
+            seed: 11,
+            ..BeaconConfig::default()
+        }
+        .with_loss(0.25);
+        let report = BeaconSim::new(
+            &smi,
+            Topology::Static(g),
+            InitialState::Default,
+            cfg,
+        )
+        .run(10, 3_600_000 * MS);
+        let total = (report.deliveries + report.losses) as f64;
+        let rate = report.losses as f64 / total;
+        assert!((0.1..0.4).contains(&rate), "observed loss rate {rate}");
+    }
+}
+
+#[cfg(test)]
+mod accounting_tests {
+    use super::*;
+    use selfstab_core::smm::Smm;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_graph::{generators, Ids};
+
+    #[test]
+    fn per_node_counters_sum_to_totals() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g),
+            InitialState::Random { seed: 6 },
+            BeaconConfig::default(),
+        )
+        .run(5, 3_600_000_000);
+        assert!(report.quiesced);
+        assert_eq!(
+            report.per_node_evaluations.iter().sum::<u64>(),
+            report.evaluations
+        );
+        assert_eq!(
+            report.per_node_moves.iter().sum::<u64>(),
+            report.moves_per_rule.iter().sum::<u64>()
+        );
+        // Every node completes at least one round before quiescing.
+        assert!(report.per_node_evaluations.iter().all(|&e| e >= 1));
+    }
+
+    #[test]
+    fn quiescent_start_moves_nothing() {
+        // A stabilized state stays silent: per-node moves all zero.
+        use selfstab_engine::sync::SyncExecutor;
+        let g = generators::cycle(8);
+        let smm = Smm::paper(Ids::identity(8));
+        let stable = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed: 2 }, 9);
+        assert!(stable.stabilized());
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g),
+            InitialState::Explicit(stable.final_states),
+            BeaconConfig::default(),
+        )
+        .run(5, 3_600_000_000);
+        assert!(report.quiesced);
+        assert_eq!(report.per_node_moves.iter().sum::<u64>(), 0);
+        assert_eq!(report.last_change, 0);
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use selfstab_core::smm::Smm;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_graph::predicates::is_maximal_matching;
+    use selfstab_graph::{generators, Ids};
+
+    #[test]
+    fn aligned_beacons_collide_jitter_rescues() {
+        let g = generators::complete(6);
+        let smm = Smm::paper(Ids::identity(6));
+        // Zero jitter + collision model: every beacon period all frames at
+        // each receiver overlap — nothing gets through after the first.
+        let aligned = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Default,
+            BeaconConfig::default().with_collisions(2_000),
+        )
+        .run(10, 20_000_000);
+        assert!(aligned.collisions > 0, "aligned beacons must collide");
+        // With jitter, frames spread over the period and mostly survive.
+        let jittered = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Default,
+            BeaconConfig::default().with_collisions(2_000).with_jitter(0.2),
+        )
+        .run(10, 60_000_000);
+        assert!(jittered.quiesced);
+        let m = Smm::matched_edges(&g, &jittered.final_states);
+        assert!(is_maximal_matching(&g, &m), "jitter resolves contention");
+        let aligned_rate =
+            aligned.collisions as f64 / (aligned.collisions + aligned.deliveries) as f64;
+        let jittered_rate =
+            jittered.collisions as f64 / (jittered.collisions + jittered.deliveries) as f64;
+        assert!(
+            jittered_rate < aligned_rate,
+            "jitter must reduce the collision rate: {jittered_rate} vs {aligned_rate}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_intervals_still_stabilize() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let config = BeaconConfig {
+            // Half the fleet beacons at 100 ms, half at 170 ms.
+            per_node_interval: (0..8u32).map(|v| (2 * v, 170_000)).collect(),
+            timeout: 600_000,
+            ..BeaconConfig::default()
+        }
+        .with_jitter(0.05);
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 5 },
+            config,
+        )
+        .run(10, 600_000_000);
+        assert!(report.quiesced);
+        let m = Smm::matched_edges(&g, &report.final_states);
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn interval_lookup() {
+        let c = BeaconConfig {
+            per_node_interval: vec![(3, 50_000)],
+            ..Default::default()
+        };
+        assert_eq!(c.interval_of(Node(3)), 50_000);
+        assert_eq!(c.interval_of(Node(4)), c.beacon_interval);
+    }
+}

@@ -1,0 +1,116 @@
+//! Integer histograms for experiment reporting (degree distributions,
+//! rounds distributions, repair-size distributions).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense histogram over small non-negative integers.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Build from samples.
+    pub fn of(samples: impl IntoIterator<Item = usize>) -> Self {
+        let mut h = Histogram::new();
+        for s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Record one sample.
+    pub fn add(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count at `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest value with a non-zero count, if any.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// The mode (smallest in case of ties), if any samples exist.
+    pub fn mode(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let best = self.counts.iter().max().copied().unwrap_or(0);
+        self.counts.iter().position(|&c| c == best)
+    }
+
+    /// Empirical cumulative distribution at `value` (fraction of samples
+    /// `<= value`); NaN when empty.
+    pub fn cdf(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let below: u64 = self.counts.iter().take(value + 1).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// A compact sparkline-ish text rendering, e.g. `0:3 1:10 2:4`.
+    pub fn render(&self) -> String {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, c)| format!("{v}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let h = Histogram::of([1, 2, 2, 5]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.max_value(), Some(5));
+        assert_eq!(h.mode(), Some(2));
+        assert_eq!(h.render(), "1:1 2:2 5:1");
+    }
+
+    #[test]
+    fn cdf() {
+        let h = Histogram::of([0, 1, 2, 3]);
+        assert_eq!(h.cdf(0), 0.25);
+        assert_eq!(h.cdf(3), 1.0);
+        assert_eq!(h.cdf(100), 1.0);
+        assert!(Histogram::new().cdf(1).is_nan());
+    }
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.render(), "");
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment support for the `selfstab` workspace.
+//!
+//! Small, dependency-light building blocks the harness and benches share:
+//! descriptive [`stats`], ordinary least squares in [`regression`] (used to
+//! check the *shape* of round-complexity claims, e.g. SMI's `O(n)`),
+//! [`table`] rendering for EXPERIMENTS.md, and deterministic [`seeds`]
+//! spreading so every experiment cell is reproducible in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod regression;
+pub mod seeds;
+pub mod stats;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use regression::linear_fit;
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,93 @@
+//! Ordinary least squares for complexity-shape checks.
+//!
+//! The paper's bounds are asymptotic (`n + 1` rounds, `O(n)` rounds); the
+//! experiment harness fits `rounds = a·n + b` to the measured worst cases
+//! and reports slope and `R²` so EXPERIMENTS.md can state "the growth is
+//! linear with slope ≈ …" instead of eyeballing.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a univariate least-squares fit `y = slope · x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit; NaN when `y` is
+    /// constant).
+    pub r2: f64,
+}
+
+/// Fit `y = a·x + b` by ordinary least squares. Panics if fewer than two
+/// points or all `x` identical.
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let (mx, my) = (sx / n, sy / n);
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    LinearFit {
+        slope,
+        intercept,
+        r2: 1.0 - ss_res / ss_tot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let fit = linear_fit(&pts);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn anti_correlation() {
+        let fit = linear_fit(&[(0.0, 10.0), (1.0, 8.0), (2.0, 6.0)]);
+        assert!((fit.slope + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn rejects_vertical_line() {
+        linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

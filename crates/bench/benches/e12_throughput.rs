@@ -1,0 +1,42 @@
+//! E12 bench — engine throughput: serial vs chunked-parallel synchronous
+//! executor at large n (results are bit-identical; this measures speed
+//! only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use selfstab_core::Smi;
+use selfstab_engine::par::ParSyncExecutor;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_throughput");
+    group.sample_size(10);
+    for side in [64usize, 256] {
+        let g = generators::grid(side, side);
+        let n = g.n();
+        let smi = Smi::new(Ids::identity(n));
+        group.throughput(Throughput::Elements(n as u64));
+        let serial = SyncExecutor::new(&g, &smi);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = serial.run(InitialState::Random { seed: 7 }, n + 2);
+                assert!(run.stabilized());
+                black_box(run.rounds())
+            });
+        });
+        let par = ParSyncExecutor::new(&g, &smi);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = par.run(InitialState::Random { seed: 7 }, n + 2);
+                assert!(run.stabilized());
+                black_box(run.rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

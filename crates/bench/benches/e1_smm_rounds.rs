@@ -1,0 +1,42 @@
+//! E1 bench — wall-clock cost of stabilizing SMM from a random state, per
+//! topology and size (the code path behind the Theorem 1 table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_bench::Suite;
+use selfstab_core::smm::Smm;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::default();
+    let mut group = c.benchmark_group("e1_smm_stabilize");
+    for n in [64usize, 256, 1024] {
+        for inst in suite.instances(n) {
+            // Two representative topologies per size keep the bench short;
+            // the harness covers the full grid.
+            if inst.label != "path" && inst.label != "unit-disk" {
+                continue;
+            }
+            let smm = Smm::paper(inst.ids.clone());
+            let exec = SyncExecutor::new(&inst.graph, &smm);
+            group.bench_with_input(
+                BenchmarkId::new(inst.label.clone(), inst.graph.n()),
+                &inst.graph.n(),
+                |b, &n_actual| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let run = exec.run(InitialState::Random { seed }, n_actual + 1);
+                        assert!(run.stabilized());
+                        black_box(run.rounds())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2 bench — wall-clock cost of stabilizing SMI, including the adversarial
+//! increasing-ID path (the Theorem 2 worst case).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_bench::Suite;
+use selfstab_core::Smi;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let suite = Suite::default();
+    let mut group = c.benchmark_group("e2_smi_stabilize");
+    for n in [64usize, 256, 1024] {
+        for inst in suite.instances(n) {
+            if inst.label != "cycle" && inst.label != "gnp" {
+                continue;
+            }
+            let smi = Smi::new(inst.ids.clone());
+            let exec = SyncExecutor::new(&inst.graph, &smi);
+            group.bench_with_input(
+                BenchmarkId::new(inst.label.clone(), inst.graph.n()),
+                &inst.graph.n(),
+                |b, &n_actual| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let run = exec.run(InitialState::Random { seed }, n_actual + 2);
+                        assert!(run.stabilized());
+                        black_box(run.rounds())
+                    });
+                },
+            );
+        }
+        // Adversarial cascade: path with increasing IDs from all-out.
+        let g = generators::path(n);
+        let smi = Smi::new(Ids::identity(n));
+        let exec = SyncExecutor::new(&g, &smi);
+        group.bench_with_input(BenchmarkId::new("path-worstcase", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = exec.run(InitialState::Default, n + 2);
+                assert!(run.stabilized());
+                black_box(run.rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

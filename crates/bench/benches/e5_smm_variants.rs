@@ -1,0 +1,47 @@
+//! E5 bench — ablation of the R2 selection policy: cost of stabilization
+//! under min-ID vs the alternatives (the oscillating clockwise policy is
+//! timed over a fixed 64-round window since it never finishes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::smm::{SelectPolicy, Smm};
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_policy_ablation");
+    let n = 256;
+    let g = generators::cycle(n);
+    for (name, policy) in [
+        ("min-id", SelectPolicy::MinId),
+        ("max-id", SelectPolicy::MaxId),
+        ("first-index", SelectPolicy::FirstIndex),
+        ("hashed", SelectPolicy::Hashed),
+    ] {
+        let smm = Smm::with_policies(Ids::identity(n), SelectPolicy::MinId, policy);
+        let exec = SyncExecutor::new(&g, &smm);
+        group.bench_function(BenchmarkId::new("stabilize", name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let run = exec.run(InitialState::Random { seed }, n + 1);
+                assert!(run.stabilized());
+                black_box(run.rounds())
+            });
+        });
+    }
+    // The counterexample policy: time a fixed 64-round oscillation window.
+    let smm = Smm::with_policies(Ids::identity(n), SelectPolicy::MinId, SelectPolicy::Clockwise);
+    let exec = SyncExecutor::new(&g, &smm);
+    group.bench_function(BenchmarkId::new("oscillate-64-rounds", "clockwise"), |b| {
+        b.iter(|| {
+            let run = exec.run(InitialState::Default, 64);
+            black_box(run.rounds())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

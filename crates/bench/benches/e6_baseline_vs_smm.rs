@@ -1,0 +1,73 @@
+//! E6 bench — native SMM vs the synchronized Hsu–Huang baseline on the same
+//! inputs (the "not as fast" claim, in wall-clock form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::hsu_huang::HsuHuang;
+use selfstab_core::smm::Smm;
+use selfstab_core::transformer::{run_synchronized, Refinement};
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_baseline_vs_smm");
+    for n in [64usize, 256] {
+        let g = generators::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize);
+        let n_actual = g.n();
+        let smm = Smm::paper(Ids::identity(n_actual));
+        let exec = SyncExecutor::new(&g, &smm);
+        group.bench_with_input(BenchmarkId::new("smm", n_actual), &n_actual, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let run = exec.run(InitialState::Random { seed }, n + 1);
+                assert!(run.stabilized());
+                black_box(run.rounds())
+            });
+        });
+        let hh = HsuHuang::classic(n_actual);
+        group.bench_with_input(
+            BenchmarkId::new("hh-rand-priority", n_actual),
+            &n_actual,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let run = run_synchronized(
+                        &g,
+                        &hh,
+                        InitialState::Random { seed },
+                        Refinement::RandomizedPriority { seed },
+                        100 * n,
+                    );
+                    assert!(run.stabilized());
+                    black_box(run.rounds())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hh-det-mutex", n_actual),
+            &n_actual,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let run = run_synchronized(
+                        &g,
+                        &hh,
+                        InitialState::Random { seed },
+                        Refinement::DeterministicLocalMutex,
+                        100 * n,
+                    );
+                    assert!(run.stabilized());
+                    black_box(run.rounds())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E7 bench — recovery cost: re-stabilizing after a small fault burst vs
+//! stabilizing from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::smm::Smm;
+use selfstab_engine::faults::corrupt_and_recover;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_restabilize");
+    let g = generators::grid(16, 16);
+    let n = g.n();
+    let smm = Smm::paper(Ids::identity(n));
+    let exec = SyncExecutor::new(&g, &smm);
+
+    group.bench_function("from-scratch", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let run = exec.run(InitialState::Random { seed }, n + 1);
+            assert!(run.stabilized());
+            black_box(run.rounds())
+        });
+    });
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("corrupt-and-recover", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let (_, recovery) = corrupt_and_recover(&g, &smm, k, seed, n + 1);
+                assert!(recovery.run.stabilized());
+                black_box(recovery.run.rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 bench — discrete-event beacon simulation throughput (events, timers,
+//! discovery) until SMM quiesces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_adhoc::{BeaconConfig, BeaconSim, Topology};
+use selfstab_core::smm::Smm;
+use selfstab_engine::protocol::InitialState;
+use selfstab_graph::{generators, Ids};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_beacon_sim");
+    group.sample_size(20);
+    for n in [16usize, 64, 144] {
+        let side = (n as f64).sqrt() as usize;
+        let g = generators::grid(side, side);
+        let n_actual = g.n();
+        let smm = Smm::paper(Ids::identity(n_actual));
+        group.bench_with_input(BenchmarkId::new("grid", n_actual), &n_actual, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = BeaconConfig {
+                    seed,
+                    ..BeaconConfig::default()
+                }
+                .with_jitter(0.05);
+                let report = BeaconSim::new(
+                    &smm,
+                    Topology::Static(g.clone()),
+                    InitialState::Random { seed },
+                    cfg,
+                )
+                .run(5, 3_600_000_000);
+                assert!(report.quiesced);
+                black_box(report.deliveries)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

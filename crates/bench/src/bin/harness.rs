@@ -1,0 +1,121 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! harness [--quick] [e1 e2 … e11 | all]
+//! ```
+//!
+//! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
+//! sizes match the committed EXPERIMENTS.md. Output is Markdown on stdout.
+
+use selfstab_bench::experiments::{
+    e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample,
+    e06_baseline, e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality,
+    e13_coloring, e14_anonymous, e15_bfs_tree, e16_contention, Report,
+};
+use std::io::Write;
+
+struct Config {
+    quick: bool,
+}
+
+fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
+    let q = cfg.quick;
+    Some(match id {
+        "e1" => e01_smm_rounds::run(
+            if q { &[16, 64] } else { &[16, 32, 64, 128, 256, 512] },
+            if q { 5 } else { 25 },
+        ),
+        "e2" => e02_smi_rounds::run(
+            if q { &[16, 64] } else { &[16, 32, 64, 128, 256, 512] },
+            if q { 5 } else { 25 },
+        ),
+        "e3" => e03_transitions::run(if q { &[12] } else { &[16, 48] }, if q { 5 } else { 40 }),
+        "e4" => e04_growth::run(if q { &[16] } else { &[24, 64] }, if q { 5 } else { 25 }),
+        "e5" => e05_counterexample::run(if q { 20 } else { 200 }),
+        "e6" => e06_baseline::run(if q { &[16] } else { &[16, 32, 64, 128] }, if q { 3 } else { 15 }),
+        "e7" => e07_faults::run(
+            if q { 16 } else { 64 },
+            if q { &[1, 4] } else { &[1, 2, 4, 8, 16] },
+            if q { 3 } else { 15 },
+        ),
+        "e8" => e08_adhoc::run(if q { 12 } else { 24 }, if q { 2 } else { 5 }),
+        "e9" => e09_mobility::run(
+            if q { 12 } else { 24 },
+            if q { &[0.005, 0.05] } else { &[0.002, 0.01, 0.05, 0.1, 0.2] },
+            if q { 1 } else { 3 },
+            if q { 120 } else { 600 },
+        ),
+        "e10" => {
+            if q {
+                e10_exhaustive::run(4, 5)
+            } else {
+                e10_exhaustive::run(5, 6)
+            }
+        }
+        "e11" => e11_quality::run(if q { 14 } else { 18 }, if q { 3 } else { 15 }),
+        "e13" => e13_coloring::run(
+            if q { &[16, 64] } else { &[16, 32, 64, 128, 256] },
+            if q { 5 } else { 25 },
+        ),
+        "e14" => e14_anonymous::run(
+            if q { &[16] } else { &[16, 64, 256] },
+            if q { 5 } else { 15 },
+        ),
+        "e15" => e15_bfs_tree::run(
+            if q { &[16] } else { &[16, 64, 128] },
+            if q { 3 } else { 10 },
+        ),
+        "e16" => e16_contention::run(
+            if q { 16 } else { 36 },
+            if q { &[0.0, 0.2] } else { &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4] },
+            if q { 3 } else { 10 },
+        ),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = (1..=11).map(|i| format!("e{i}")).collect();
+        ids.push("e13".to_string());
+        ids.push("e14".to_string());
+        ids.push("e15".to_string());
+        ids.push("e16".to_string());
+    }
+    let cfg = Config { quick };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(
+        out,
+        "# selfstab experiment harness ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    )
+    .unwrap();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id, &cfg) {
+            Some(report) => {
+                writeln!(out, "{}", report.to_markdown()).unwrap();
+                writeln!(
+                    out,
+                    "_({} completed in {:.1?})_\n",
+                    report.id,
+                    start.elapsed()
+                )
+                .unwrap();
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (expected e1..e11 or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! E1 — Theorem 1: SMM stabilizes in at most `n + 1` rounds.
+//!
+//! Sweep: the nine-suite topologies × sizes × random initial states and ID
+//! orders; report mean/max rounds against the `n + 1` bound. The *shape*
+//! claim being reproduced: the bound holds everywhere, and the worst
+//! observed case grows linearly only on adversarial inputs (paths/cycles),
+//! staying far below the bound on dense or random topologies.
+
+use super::Report;
+use crate::suite::Suite;
+use selfstab_analysis::{Summary, Table};
+use selfstab_core::smm::Smm;
+use selfstab_engine::protocol::{InitialState, Protocol};
+use selfstab_engine::sync::SyncExecutor;
+
+/// Run E1. `sizes` and `reps` control the sweep.
+pub fn run(sizes: &[usize], reps: u64) -> Report {
+    let suite = Suite::default();
+    let mut table = Table::new(&[
+        "topology", "n", "m", "rounds mean±std", "rounds max", "bound n+1", "within bound",
+    ]);
+    let mut all_ok = true;
+    for &n in sizes {
+        for inst in suite.instances(n) {
+            let n_actual = inst.graph.n();
+            let smm = Smm::paper(inst.ids.clone());
+            let exec = SyncExecutor::new(&inst.graph, &smm);
+            let mut rounds = Vec::new();
+            let mut ok = true;
+            for rep in 0..reps {
+                let seed = suite.rep_seed(&inst.label, n_actual, rep);
+                let run = exec.run(InitialState::Random { seed }, n_actual + 1);
+                ok &= run.stabilized() && smm.is_legitimate(&inst.graph, &run.final_states);
+                rounds.push(run.rounds());
+            }
+            all_ok &= ok;
+            let s = Summary::of_usize(rounds.iter().copied());
+            table.row_strings(vec![
+                inst.label.clone(),
+                n_actual.to_string(),
+                inst.graph.m().to_string(),
+                s.mean_pm_std(),
+                format!("{}", s.max as usize),
+                (n_actual + 1).to_string(),
+                if ok { "yes".into() } else { "**VIOLATED**".into() },
+            ]);
+        }
+    }
+    let body = format!(
+        "Every cell ran {reps} random initial states (random ID orders).\n\
+         All runs {} within the Theorem 1 bound and ended in a maximal matching\n\
+         with all unmatched nodes aloof (Lemma 8).\n\n{}",
+        if all_ok { "stabilized" } else { "DID NOT all stabilize" },
+        table.to_markdown()
+    );
+    Report {
+        id: "E1",
+        title: "SMM stabilizes within n + 1 rounds (Theorem 1)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e1_small_sweep_is_clean() {
+        let r = super::run(&[8, 16], 5);
+        assert!(!r.body.contains("VIOLATED"));
+        assert!(r.body.contains("| path | "));
+        assert!(r.to_markdown().starts_with("## E1"));
+    }
+}

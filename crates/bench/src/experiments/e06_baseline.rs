@@ -1,0 +1,123 @@
+//! E6 — Section 3: the synchronized central-daemon baseline is "not as
+//! fast" as SMM.
+//!
+//! For each suite instance we measure, from the same random initial states:
+//!
+//! * SMM rounds (native synchronous protocol, Theorem 1),
+//! * rounds of Hsu–Huang converted with the deterministic local-mutex
+//!   refinement,
+//! * rounds of Hsu–Huang converted with the randomized-priority refinement,
+//! * Hsu–Huang central-daemon *moves* (its native complexity measure), for
+//!   reference.
+//!
+//! The reproduced claim is the *ordering*: converted baselines cost more
+//! rounds than SMM, typically by a constant-to-logarithmic factor.
+
+use super::Report;
+use crate::suite::Suite;
+use selfstab_analysis::{Summary, Table};
+use selfstab_core::hsu_huang::HsuHuang;
+use selfstab_core::smm::Smm;
+use selfstab_core::transformer::{run_synchronized, Refinement};
+use selfstab_engine::central::{CentralExecutor, Scheduler};
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+
+/// Run E6.
+pub fn run(sizes: &[usize], reps: u64) -> Report {
+    let suite = Suite::default();
+    let mut table = Table::new(&[
+        "topology",
+        "n",
+        "SMM rounds",
+        "HH det-mutex rounds",
+        "HH rand-priority rounds",
+        "HH central moves",
+        "slowdown (rand/SMM)",
+    ]);
+    let mut won = 0u64;
+    let mut cells = 0u64;
+    for &n in sizes {
+        for inst in suite.instances(n) {
+            let n_actual = inst.graph.n();
+            let smm = Smm::paper(inst.ids.clone());
+            let hh = HsuHuang::classic(n_actual);
+            let (mut rs, mut rd, mut rr, mut mv) = (vec![], vec![], vec![], vec![]);
+            for rep in 0..reps {
+                let seed = suite.rep_seed(&inst.label, n_actual, rep ^ 0xe6);
+                let init = InitialState::Random { seed };
+                let a = SyncExecutor::new(&inst.graph, &smm).run(init.clone(), n_actual + 1);
+                assert!(a.stabilized());
+                rs.push(a.rounds());
+                let b = run_synchronized(
+                    &inst.graph,
+                    &hh,
+                    init.clone(),
+                    Refinement::DeterministicLocalMutex,
+                    100 * n_actual + 1000,
+                );
+                assert!(b.stabilized(), "det mutex must stabilize");
+                rd.push(b.rounds());
+                let c = run_synchronized(
+                    &inst.graph,
+                    &hh,
+                    init.clone(),
+                    Refinement::RandomizedPriority { seed },
+                    100 * n_actual + 1000,
+                );
+                assert!(c.stabilized(), "rand priority must stabilize");
+                rr.push(c.rounds());
+                let d = CentralExecutor::new(&inst.graph, &hh).run(
+                    init,
+                    &mut Scheduler::random(seed),
+                    1_000_000,
+                );
+                assert!(d.stabilized);
+                mv.push(d.moves as usize);
+            }
+            let (ss, sd, sr, sm) = (
+                Summary::of_usize(rs.iter().copied()),
+                Summary::of_usize(rd.iter().copied()),
+                Summary::of_usize(rr.iter().copied()),
+                Summary::of_usize(mv.iter().copied()),
+            );
+            cells += 1;
+            if sr.mean >= ss.mean {
+                won += 1;
+            }
+            table.row_strings(vec![
+                inst.label.clone(),
+                n_actual.to_string(),
+                ss.mean_pm_std(),
+                sd.mean_pm_std(),
+                sr.mean_pm_std(),
+                sm.mean_pm_std(),
+                format!("{:.2}×", sr.mean / ss.mean.max(1e-9)),
+            ]);
+        }
+    }
+    let body = format!(
+        "Same initial states for all four executions. SMM was at least as fast as the\n\
+         randomized-refinement baseline in {won}/{cells} cells (mean rounds).\n\n{}",
+        table.to_markdown()
+    );
+    Report {
+        id: "E6",
+        title: "Native SMM vs synchronized Hsu–Huang (Section 3: \"not as fast\")",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_smm_wins_most_cells() {
+        let r = super::run(&[16], 3);
+        // Extract "won/cells" claim: SMM should win in a clear majority.
+        let line = r.body.lines().find(|l| l.contains("cells (mean rounds)")).unwrap();
+        let frac = line.split("in ").nth(1).unwrap().split(' ').next().unwrap();
+        let (w, c) = frac.split_once('/').unwrap();
+        let (w, c): (u64, u64) = (w.parse().unwrap(), c.parse().unwrap());
+        assert!(w * 3 >= c * 2, "SMM should win >= 2/3 of cells: {frac}");
+    }
+}

@@ -1,0 +1,117 @@
+//! E7 — fault tolerance: re-stabilization after transient faults.
+//!
+//! The abstract promises the algorithms "detect occasional link failures
+//! and/or new link creations … and readjust". We stabilize, inject
+//! (a) state corruption at `k` random nodes and (b) `k`
+//! connectivity-preserving link flips, then measure re-stabilization rounds
+//! and how many nodes end up with a different state (containment). The
+//! reproduced shape: recovery cost grows with the fault burst size and is
+//! far below stabilizing from scratch for small `k`.
+
+use super::Report;
+use crate::suite::Suite;
+use selfstab_analysis::{Summary, Table};
+use selfstab_core::smm::Smm;
+use selfstab_core::Smi;
+use selfstab_engine::faults::{churn_and_recover, corrupt_and_recover};
+use selfstab_engine::protocol::Protocol;
+
+fn sweep<P: Protocol + Clone>(
+    make: impl Fn(&crate::suite::Instance) -> P,
+    n: usize,
+    ks: &[usize],
+    reps: u64,
+    suite: &Suite,
+    churn: bool,
+) -> Table {
+    let mut table = Table::new(&[
+        "topology",
+        "fault burst k",
+        "recovery rounds mean±std",
+        "recovery rounds max",
+        "perturbed nodes mean",
+        "from-scratch rounds mean",
+    ]);
+    for inst in suite.instances(n) {
+        let proto = make(&inst);
+        for &k in ks {
+            let (mut rec_rounds, mut perturbed, mut scratch) = (vec![], vec![], vec![]);
+            for rep in 0..reps {
+                let seed = suite.rep_seed(&inst.label, inst.graph.n(), rep ^ 0xe7 ^ (k as u64) << 8);
+                let max_rounds = 4 * inst.graph.n() + 16;
+                if churn {
+                    let (_, _, initial, recovery) =
+                        churn_and_recover(&inst.graph, &proto, k, seed, max_rounds);
+                    rec_rounds.push(recovery.run.rounds());
+                    perturbed.push(recovery.perturbed_nodes);
+                    scratch.push(initial.rounds());
+                } else {
+                    let (initial, recovery) =
+                        corrupt_and_recover(&inst.graph, &proto, k, seed, max_rounds);
+                    rec_rounds.push(recovery.run.rounds());
+                    perturbed.push(recovery.perturbed_nodes);
+                    scratch.push(initial.rounds());
+                }
+            }
+            let r = Summary::of_usize(rec_rounds.iter().copied());
+            let p = Summary::of_usize(perturbed.iter().copied());
+            let s = Summary::of_usize(scratch.iter().copied());
+            table.row_strings(vec![
+                inst.label.clone(),
+                k.to_string(),
+                r.mean_pm_std(),
+                format!("{}", r.max as usize),
+                format!("{:.2}", p.mean),
+                format!("{:.2}", s.mean),
+            ]);
+        }
+    }
+    table
+}
+
+/// Run E7.
+pub fn run(n: usize, ks: &[usize], reps: u64) -> Report {
+    let suite = Suite::default();
+    let smm_corrupt = sweep(
+        |inst| Smm::paper(inst.ids.clone()),
+        n,
+        ks,
+        reps,
+        &suite,
+        false,
+    );
+    let smm_churn = sweep(
+        |inst| Smm::paper(inst.ids.clone()),
+        n,
+        ks,
+        reps,
+        &suite,
+        true,
+    );
+    let smi_corrupt = sweep(|inst| Smi::new(inst.ids.clone()), n, ks, reps, &suite, false);
+    let smi_churn = sweep(|inst| Smi::new(inst.ids.clone()), n, ks, reps, &suite, true);
+    let body = format!(
+        "SMM, state corruption at k random nodes:\n\n{}\n\
+         SMM, k connectivity-preserving link flips (mobility):\n\n{}\n\
+         SMI, state corruption:\n\n{}\n\
+         SMI, link flips:\n\n{}",
+        smm_corrupt.to_markdown(),
+        smm_churn.to_markdown(),
+        smi_corrupt.to_markdown(),
+        smi_churn.to_markdown()
+    );
+    Report {
+        id: "E7",
+        title: "Re-stabilization after faults (link failures/creations, corruption)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_produces_all_four_tables() {
+        let r = super::run(16, &[1, 4], 3);
+        assert_eq!(r.body.matches("| topology |").count(), 4);
+    }
+}

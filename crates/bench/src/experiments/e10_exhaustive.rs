@@ -1,0 +1,109 @@
+//! E10 — machine-checking Theorems 1–2 exhaustively on small instances.
+//!
+//! For every labelled connected graph on up to `max_n` nodes and **every**
+//! initial state, run the protocol and assert the round bound and the
+//! legitimacy of the fixpoint. This is a proof-by-exhaustion for the small
+//! cases, far stronger than sampling: SMM's state space is
+//! `∏(deg(i)+1)`, SMI's is `2^n`.
+
+use super::Report;
+use selfstab_analysis::Table;
+use selfstab_core::smm::Smm;
+use selfstab_core::Smi;
+use selfstab_engine::exhaustive::{
+    all_connected_graphs, state_space_size, verify_all_initial_states,
+};
+use selfstab_graph::predicates::{is_maximal_independent_set, is_maximal_matching};
+use selfstab_graph::Ids;
+
+/// Run E10: SMM over all connected graphs up to `smm_max_n` nodes, SMI up
+/// to `smi_max_n`.
+pub fn run(smm_max_n: usize, smi_max_n: usize) -> Report {
+    let mut table = Table::new(&[
+        "protocol",
+        "n",
+        "connected graphs",
+        "initial states checked",
+        "max rounds observed",
+        "bound",
+        "all verified",
+    ]);
+    let mut all_ok = true;
+    for n in 2..=smm_max_n {
+        let mut graphs = 0u64;
+        let mut states = 0u64;
+        let mut max_rounds = 0usize;
+        let mut ok = true;
+        for g in all_connected_graphs(n) {
+            graphs += 1;
+            let smm = Smm::paper(Ids::identity(n));
+            states += state_space_size(&g, &smm) as u64;
+            let report = verify_all_initial_states(&g, &smm, n + 1, |g, states| {
+                is_maximal_matching(g, &Smm::matched_edges(g, states))
+            });
+            ok &= report.all_ok();
+            max_rounds = max_rounds.max(report.max_rounds);
+        }
+        all_ok &= ok;
+        table.row_strings(vec![
+            "SMM".into(),
+            n.to_string(),
+            graphs.to_string(),
+            states.to_string(),
+            max_rounds.to_string(),
+            format!("n+1 = {}", n + 1),
+            if ok { "yes".into() } else { "**NO**".into() },
+        ]);
+    }
+    for n in 2..=smi_max_n {
+        let mut graphs = 0u64;
+        let mut states = 0u64;
+        let mut max_rounds = 0usize;
+        let mut ok = true;
+        for g in all_connected_graphs(n) {
+            graphs += 1;
+            let smi = Smi::new(Ids::identity(n));
+            states += state_space_size(&g, &smi) as u64;
+            let report = verify_all_initial_states(&g, &smi, n + 2, |g, states| {
+                is_maximal_independent_set(g, states)
+            });
+            ok &= report.all_ok();
+            max_rounds = max_rounds.max(report.max_rounds);
+        }
+        all_ok &= ok;
+        table.row_strings(vec![
+            "SMI".into(),
+            n.to_string(),
+            graphs.to_string(),
+            states.to_string(),
+            max_rounds.to_string(),
+            format!("n+2 = {}", n + 2),
+            if ok { "yes".into() } else { "**NO**".into() },
+        ]);
+    }
+    let body = format!(
+        "Every labelled connected graph × every initial state, executed to fixpoint:\n\
+         {}\n\n{}",
+        if all_ok {
+            "all runs stabilized within the bound and produced the correct structure."
+        } else {
+            "**SOME RUNS FAILED** — see table."
+        },
+        table.to_markdown()
+    );
+    Report {
+        id: "E10",
+        title: "Exhaustive verification of Theorems 1–2 on all small instances",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_exhaustive_small() {
+        let r = super::run(4, 4);
+        assert!(!r.body.contains("**NO**"), "{}", r.body);
+        assert!(r.body.contains("| SMM | 4 | 38 |"));
+    }
+}

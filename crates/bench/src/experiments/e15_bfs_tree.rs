@@ -1,0 +1,117 @@
+//! E15 (extension) — the multicast-tree substrate of the introduction.
+//!
+//! The self-stabilizing BFS tree: rounds to build from arbitrary states
+//! (including the all-ghost `dist = 0` corruption), and the locality of
+//! re-convergence after single link events — the "readjust the multicast
+//! tree" behaviour the paper's introduction promises.
+
+use super::Report;
+use crate::suite::Suite;
+use selfstab_analysis::{Summary, Table};
+use selfstab_core::bfs_tree::{BfsTree, TreeState};
+use selfstab_engine::protocol::{InitialState, Protocol};
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::mutate::Churn;
+use selfstab_graph::Node;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run E15.
+pub fn run(sizes: &[usize], reps: u64) -> Report {
+    let suite = Suite::default();
+    let mut table = Table::new(&[
+        "topology",
+        "n",
+        "build rounds mean±std",
+        "ghost-flush rounds",
+        "post-event rounds mean",
+        "post-event changed mean",
+        "all legitimate",
+    ]);
+    let mut all_ok = true;
+    for &n in sizes {
+        for inst in suite.instances(n) {
+            let n_actual = inst.graph.n();
+            let proto = BfsTree::new(Node(0), inst.ids.clone());
+            let exec = SyncExecutor::new(&inst.graph, &proto);
+            let mut build = vec![];
+            let mut ok = true;
+            for rep in 0..reps {
+                let seed = suite.rep_seed(&inst.label, n_actual, rep ^ 0xe15);
+                let run = exec.run(InitialState::Random { seed }, 2 * n_actual + 2);
+                ok &= run.stabilized() && proto.is_legitimate(&inst.graph, &run.final_states);
+                build.push(run.rounds());
+            }
+            // Ghost flush: everyone claims distance 0.
+            let ghosts = vec![
+                TreeState {
+                    dist: 0,
+                    parent: None
+                };
+                n_actual
+            ];
+            let ghost_run = exec.run(InitialState::Explicit(ghosts), 2 * n_actual + 2);
+            ok &= ghost_run.stabilized()
+                && proto.is_legitimate(&inst.graph, &ghost_run.final_states);
+            // Event locality: stabilize, flip one link, re-stabilize.
+            let mut post_rounds = vec![];
+            let mut post_changed = vec![];
+            for rep in 0..reps {
+                let seed = suite.rep_seed(&inst.label, n_actual, rep ^ 0xbe15);
+                let stable = exec.run(InitialState::Random { seed }, 2 * n_actual + 2);
+                let mut g2 = inst.graph.clone();
+                let mut rng = StdRng::seed_from_u64(seed);
+                if Churn::default().apply_one(&mut g2, &mut rng).is_none() {
+                    continue;
+                }
+                let exec2 = SyncExecutor::new(&g2, &proto);
+                let rerun =
+                    exec2.run(InitialState::Explicit(stable.final_states.clone()), 2 * n_actual + 2);
+                ok &= rerun.stabilized() && proto.is_legitimate(&g2, &rerun.final_states);
+                post_rounds.push(rerun.rounds());
+                post_changed.push(
+                    rerun
+                        .final_states
+                        .iter()
+                        .zip(&stable.final_states)
+                        .filter(|(a, b)| a != b)
+                        .count(),
+                );
+            }
+            all_ok &= ok;
+            let b = Summary::of_usize(build.iter().copied());
+            let pr = Summary::of_usize(post_rounds.iter().copied());
+            let pc = Summary::of_usize(post_changed.iter().copied());
+            table.row_strings(vec![
+                inst.label.clone(),
+                n_actual.to_string(),
+                b.mean_pm_std(),
+                ghost_run.rounds().to_string(),
+                format!("{:.2}", pr.mean),
+                format!("{:.2}", pc.mean),
+                if ok { "yes".into() } else { "**NO**".into() },
+            ]);
+        }
+    }
+    let body = format!(
+        "Budget 2n+2 rounds everywhere; {} cells within budget with exact BFS distances\n\
+         and min-ID parents. Single link events re-converge in a handful of rounds\n\
+         touching few hosts — the multicast-tree readjustment of the introduction.\n\n{}",
+        if all_ok { "all" } else { "NOT all" },
+        table.to_markdown()
+    );
+    Report {
+        id: "E15",
+        title: "Extension: self-stabilizing multicast (BFS) tree maintenance",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e15_clean() {
+        let r = super::run(&[16], 3);
+        assert!(!r.body.contains("**NO**"), "{}", r.body);
+    }
+}

@@ -1,0 +1,93 @@
+//! E16 (extension) — medium contention: implementing the link-layer
+//! assumption.
+//!
+//! Section 2 *assumes* "a link-layer protocol … resolves any contention for
+//! the shared medium". This experiment turns the assumption into a model:
+//! beacons arriving at a receiver within a collision window destroy each
+//! other. With perfectly aligned beacons the medium is useless; increasing
+//! desynchronization (jitter) restores goodput and lets SMM stabilize —
+//! quantifying exactly how much the paper's assumption is doing.
+
+use super::Report;
+use selfstab_adhoc::{BeaconConfig, BeaconSim, Topology};
+use selfstab_analysis::Table;
+use selfstab_core::smm::Smm;
+use selfstab_engine::protocol::{InitialState, Protocol};
+use selfstab_graph::{generators, Ids};
+
+/// Run E16.
+pub fn run(n: usize, jitters: &[f64], reps: u64) -> Report {
+    let g = generators::Family::Grid.build(n);
+    let n_actual = g.n();
+    let smm = Smm::paper(Ids::identity(n_actual));
+    let mut table = Table::new(&[
+        "jitter (frac of t_b)",
+        "collision rate",
+        "stabilized runs",
+        "mean periods to stabilize",
+    ]);
+    for &jitter in jitters {
+        let mut collided = 0u64;
+        let mut delivered = 0u64;
+        let mut stabilized = 0u64;
+        let mut periods = 0.0;
+        for rep in 0..reps {
+            let mut config = BeaconConfig {
+                seed: 0xe16 ^ rep,
+                ..BeaconConfig::default()
+            }
+            .with_collisions(2_000);
+            if jitter > 0.0 {
+                config = config.with_jitter(jitter);
+            }
+            let report = BeaconSim::new(
+                &smm,
+                Topology::Static(g.clone()),
+                InitialState::Random { seed: rep },
+                config,
+            )
+            .run(10, 120_000_000);
+            collided += report.collisions;
+            delivered += report.deliveries;
+            let ok = report.quiesced && smm.is_legitimate(&g, &report.final_states);
+            if ok {
+                stabilized += 1;
+                periods += report.stabilization_periods;
+            }
+        }
+        let rate = collided as f64 / (collided + delivered).max(1) as f64;
+        table.row_strings(vec![
+            format!("{jitter}"),
+            format!("{:.1}%", 100.0 * rate),
+            format!("{stabilized}/{reps}"),
+            if stabilized > 0 {
+                format!("{:.1}", periods / stabilized as f64)
+            } else {
+                "—".into()
+            },
+        ]);
+    }
+    let body = format!(
+        "Grid of {n_actual} nodes, collision window 2 ms, beacon interval 100 ms,\n\
+         {reps} runs per point. Aligned beacons (jitter 0) collide at every receiver with\n\
+         more than one neighbor; desynchronization restores the channel — the contention\n\
+         resolution Section 2 attributes to the link layer.\n\n{}",
+        table.to_markdown()
+    );
+    Report {
+        id: "E16",
+        title: "Extension: medium contention and why beacon jitter matters (Section 2 assumption)",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e16_jitter_beats_aligned() {
+        let r = super::run(16, &[0.0, 0.2], 3);
+        // The jittered row must stabilize in all runs.
+        let jit_row = r.body.lines().find(|l| l.starts_with("| 0.2 |")).unwrap();
+        assert!(jit_row.contains("3/3"), "{jit_row}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The shared topology/ID/seed sweep grid.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_analysis::seeds;
+use selfstab_graph::{generators, Graph, Ids};
+
+/// One experiment instance: a topology with an ID assignment.
+pub struct Instance {
+    /// Short label, e.g. `path`, `unit-disk`.
+    pub label: String,
+    /// The topology.
+    pub graph: Graph,
+    /// The protocol ID assignment.
+    pub ids: Ids,
+}
+
+/// The standard sweep: structured families plus the two random ad hoc
+/// models, at a given size.
+pub struct Suite {
+    /// Master seed (spread per cell with SplitMix64).
+    pub master_seed: u64,
+}
+
+impl Default for Suite {
+    fn default() -> Self {
+        Suite { master_seed: 0x5e1f_57ab }
+    }
+}
+
+impl Suite {
+    /// The seven structured families plus `unit-disk` and `gnp`, each at
+    /// roughly `n` nodes, with random ID assignments.
+    pub fn instances(&self, n: usize) -> Vec<Instance> {
+        let mut out = Vec::new();
+        for (fi, fam) in generators::Family::ALL.iter().enumerate() {
+            let graph = fam.build(n);
+            let mut rng =
+                StdRng::seed_from_u64(seeds::derive(self.master_seed, &[fi as u64, n as u64, 0]));
+            let ids = Ids::random(graph.n(), &mut rng);
+            out.push(Instance {
+                label: fam.name().to_string(),
+                graph,
+                ids,
+            });
+        }
+        let mut rng =
+            StdRng::seed_from_u64(seeds::derive(self.master_seed, &[100, n as u64, 0]));
+        // Radius chosen to keep random geometric graphs connected with few
+        // rejections across the sweep sizes.
+        let radius = (2.2 * (n as f64).ln() / n as f64).sqrt().min(1.0);
+        let graph = generators::random_geometric_connected(n, radius, &mut rng);
+        let ids = Ids::random(graph.n(), &mut rng);
+        out.push(Instance {
+            label: "unit-disk".into(),
+            graph,
+            ids,
+        });
+        let mut rng =
+            StdRng::seed_from_u64(seeds::derive(self.master_seed, &[101, n as u64, 0]));
+        let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+        let graph = generators::erdos_renyi_connected(n, p, &mut rng);
+        let ids = Ids::random(graph.n(), &mut rng);
+        out.push(Instance {
+            label: "gnp".into(),
+            graph,
+            ids,
+        });
+        out
+    }
+
+    /// Per-cell seed for repetition `rep` of instance `label` at size `n`.
+    pub fn rep_seed(&self, label: &str, n: usize, rep: u64) -> u64 {
+        let h = label.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+        seeds::derive(self.master_seed, &[h, n as u64, rep])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::traversal::is_connected;
+
+    #[test]
+    fn suite_instances_are_connected_and_sized() {
+        let suite = Suite::default();
+        let instances = suite.instances(32);
+        assert_eq!(instances.len(), 9);
+        for inst in &instances {
+            assert!(is_connected(&inst.graph), "{}", inst.label);
+            assert!(inst.graph.n() >= 16, "{}: {}", inst.label, inst.graph.n());
+            assert_eq!(inst.ids.len(), inst.graph.n());
+        }
+    }
+
+    #[test]
+    fn rep_seeds_differ() {
+        let suite = Suite::default();
+        assert_ne!(suite.rep_seed("path", 8, 0), suite.rep_seed("path", 8, 1));
+        assert_ne!(suite.rep_seed("path", 8, 0), suite.rep_seed("cycle", 8, 0));
+    }
+}

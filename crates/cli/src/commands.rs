@@ -1,0 +1,529 @@
+//! The `run`, `sim`, and `verify` subcommands.
+
+use crate::args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_adhoc::{BeaconConfig, BeaconSim, Topology};
+use selfstab_core::coloring::Coloring;
+use selfstab_core::smm::Smm;
+use selfstab_core::Smi;
+use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
+use selfstab_engine::protocol::{InitialState, Protocol};
+use selfstab_engine::sync::{Outcome, SyncExecutor};
+use selfstab_graph::{dot, generators, Graph, Ids};
+use serde::Serialize;
+
+/// Usage text shown by `help` and on errors.
+pub const USAGE: &str = "\
+selfstab — self-stabilizing maximal matching / MIS / coloring (IPDPS 2003 reproduction)
+
+USAGE:
+  selfstab run    --protocol smm|smi|coloring (--topology <name> --n <N> | --graph6 <str>)
+                  [--ids identity|reversed|random] [--init default|random]
+                  [--seed <u64>] [--max-rounds <N>] [--format text|json|dot]
+  selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
+                  [--jitter <frac>] [--loss <prob>] [--mobility <speed>]
+                  [--seconds <N>] [--seed <u64>]
+  selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
+  selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
+
+topologies: path cycle star complete grid binary-tree hypercube
+            unit-disk gnp tree petersen";
+
+fn build_topology(name: &str, n: usize, rng: &mut StdRng) -> Result<Graph, String> {
+    Ok(match name {
+        "path" => generators::path(n),
+        "cycle" => generators::cycle(n.max(3)),
+        "star" => generators::star(n),
+        "complete" => generators::complete(n),
+        "grid" => generators::Family::Grid.build(n),
+        "binary-tree" => generators::binary_tree(n),
+        "hypercube" => generators::Family::Hypercube.build(n.max(2)),
+        "unit-disk" => {
+            let r = (2.2 * (n as f64).ln() / n as f64).sqrt().min(1.0);
+            generators::random_geometric_connected(n, r, rng)
+        }
+        "gnp" => {
+            let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
+            generators::erdos_renyi_connected(n, p, rng)
+        }
+        "tree" => generators::random_tree(n, rng),
+        "petersen" => generators::petersen(),
+        other => return Err(format!("unknown topology '{other}'")),
+    })
+}
+
+fn build_ids(kind: &str, n: usize, rng: &mut StdRng) -> Result<Ids, String> {
+    Ok(match kind {
+        "identity" => Ids::identity(n),
+        "reversed" => Ids::reversed(n),
+        "random" => Ids::random(n, rng),
+        other => return Err(format!("unknown id assignment '{other}'")),
+    })
+}
+
+#[derive(Serialize)]
+struct RunReport {
+    protocol: String,
+    topology: String,
+    n: usize,
+    m: usize,
+    rounds: usize,
+    outcome: String,
+    moves_per_rule: Vec<(String, u64)>,
+    legitimate: bool,
+    result_summary: String,
+    states: Vec<String>,
+}
+
+// The renderer callbacks are what make the argument list long; bundling
+// them into a struct would not make the three call sites clearer.
+#[allow(clippy::too_many_arguments)]
+fn execute<P: Protocol>(
+    proto: &P,
+    g: &Graph,
+    args: &Args,
+    protocol_name: &str,
+    topology_name: &str,
+    summarize: impl Fn(&Graph, &[P::State]) -> String,
+    render_state: impl Fn(&P::State) -> String,
+    highlight: impl Fn(&Graph, &[P::State]) -> (Vec<selfstab_graph::Edge>, Vec<bool>),
+) -> Result<String, String> {
+    let n = g.n();
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let max_rounds: usize = args.parse_or("max-rounds", 4 * n + 16)?;
+    let init = match args.str_or("init", "random") {
+        "default" => InitialState::Default,
+        "random" => InitialState::Random { seed },
+        other => return Err(format!("unknown init '{other}'")),
+    };
+    let exec = SyncExecutor::new(g, proto).with_cycle_detection();
+    let run = exec.run(init, max_rounds);
+    let outcome = match run.outcome {
+        Outcome::Stabilized => "stabilized".to_string(),
+        Outcome::Cycle { period, .. } => format!("oscillates (period {period})"),
+        Outcome::RoundLimit => "round limit hit".to_string(),
+    };
+    let legitimate = run.stabilized() && proto.is_legitimate(g, &run.final_states);
+    match args.str_or("format", "text") {
+        "text" => Ok(format!(
+            "protocol {protocol_name} on {topology_name} (n={n}, m={})\n\
+             outcome:   {outcome} after {} rounds (bound-style budget {max_rounds})\n\
+             legitimate: {legitimate}\n\
+             {}\n\
+             moves: {}",
+            g.m(),
+            run.rounds(),
+            summarize(g, &run.final_states),
+            proto
+                .rule_names()
+                .iter()
+                .zip(&run.moves_per_rule)
+                .map(|(name, k)| format!("{name}={k}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )),
+        "json" => {
+            let report = RunReport {
+                protocol: protocol_name.into(),
+                topology: topology_name.into(),
+                n,
+                m: g.m(),
+                rounds: run.rounds(),
+                outcome,
+                moves_per_rule: proto
+                    .rule_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .zip(run.moves_per_rule.iter().copied())
+                    .collect(),
+                legitimate,
+                result_summary: summarize(g, &run.final_states),
+                states: run.final_states.iter().map(&render_state).collect(),
+            };
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+        }
+        "dot" => {
+            let (edges, nodes) = highlight(g, &run.final_states);
+            Ok(dot::to_dot(g, None, &edges, &nodes))
+        }
+        other => Err(format!("unknown format '{other}'")),
+    }
+}
+
+/// `selfstab run …`
+pub fn run(args: &Args) -> Result<String, String> {
+    let protocol = args.required("protocol")?.to_string();
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc11);
+    let (g, topology) = if let Some(g6) = args.get("graph6") {
+        let g = selfstab_graph::graph6::parse(g6).map_err(|e| format!("--graph6: {e}"))?;
+        (g, "graph6 input".to_string())
+    } else {
+        let topology = args.required("topology")?.to_string();
+        let n: usize = args.parse_or("n", 16)?;
+        (build_topology(&topology, n, &mut rng)?, topology)
+    };
+    let ids = build_ids(args.str_or("ids", "identity"), g.n(), &mut rng)?;
+    match protocol.as_str() {
+        "smm" => {
+            let proto = Smm::paper(ids);
+            execute(
+                &proto,
+                &g,
+                args,
+                "SMM",
+                &topology,
+                |g, s| {
+                    let m = Smm::matched_edges(g, s);
+                    format!("maximal matching with {} edges: {m:?}", m.len())
+                },
+                |s| format!("{s:?}"),
+                |g, s| (Smm::matched_edges(g, s), Smm::matched_nodes(g, s)),
+            )
+        }
+        "smi" => {
+            let proto = Smi::new(ids);
+            execute(
+                &proto,
+                &g,
+                args,
+                "SMI",
+                &topology,
+                |_, s| {
+                    let members = Smi::members(s);
+                    format!("maximal independent set with {} members: {members:?}", members.len())
+                },
+                |s| if *s { "1".into() } else { "0".into() },
+                |_, s| (Vec::new(), s.to_vec()),
+            )
+        }
+        "coloring" => {
+            let proto = Coloring::new(ids);
+            execute(
+                &proto,
+                &g,
+                args,
+                "SC",
+                &topology,
+                |_, s| {
+                    format!(
+                        "proper coloring with {} colors: {s:?}",
+                        Coloring::palette_size(s)
+                    )
+                },
+                |s| s.to_string(),
+                |_, s| (Vec::new(), s.iter().map(|&c| c == 0).collect()),
+            )
+        }
+        other => Err(format!("unknown protocol '{other}'")),
+    }
+}
+
+/// `selfstab sim …`
+pub fn sim(args: &Args) -> Result<String, String> {
+    let protocol = args.required("protocol")?.to_string();
+    let topology_name = args.required("topology")?.to_string();
+    let n: usize = args.parse_or("n", 16)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let jitter: f64 = args.parse_or("jitter", 0.05)?;
+    let loss: f64 = args.parse_or("loss", 0.0)?;
+    let mobility: f64 = args.parse_or("mobility", 0.0)?;
+    let seconds: u64 = args.parse_or("seconds", 60)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51b);
+
+    let mut config = BeaconConfig {
+        seed,
+        sample_legitimacy: true,
+        ..BeaconConfig::default()
+    }
+    .with_jitter(jitter);
+    if loss > 0.0 {
+        config = config.with_loss(loss);
+    }
+    let (topology, static_graph) = if mobility > 0.0 {
+        let model = selfstab_adhoc::mobility::RandomWaypoint::new(
+            n,
+            selfstab_adhoc::geometry::Region::unit(),
+            0.45,
+            mobility,
+            seed,
+        );
+        (
+            Topology::Mobile {
+                model,
+                tick: config.beacon_interval,
+            },
+            None,
+        )
+    } else {
+        let g = build_topology(&topology_name, n, &mut rng)?;
+        (Topology::Static(g.clone()), Some(g))
+    };
+    let ids = build_ids(args.str_or("ids", "identity"), n, &mut rng)?;
+    let horizon = seconds * 1_000_000;
+    let quiet = if mobility > 0.0 { u64::MAX / 1_000_000 } else { 10 };
+
+    fn report_text<S>(
+        label: &str,
+        r: &selfstab_adhoc::SimReport<S>,
+        legitimate: bool,
+    ) -> String {
+        format!(
+            "beacon simulation of {label}\n\
+             quiesced: {} (stabilization ≈ {:.1} beacon periods)\n\
+             beacons {}  deliveries {}  losses {}  evaluations {}\n\
+             predicate held in {:.1}% of sampled periods; final state legitimate: {}",
+            r.quiesced,
+            r.stabilization_periods,
+            r.beacons_sent,
+            r.deliveries,
+            r.losses,
+            r.evaluations,
+            100.0 * r.legitimacy_fraction(),
+            legitimate
+        )
+    }
+
+    macro_rules! simulate {
+        ($proto:expr, $label:expr) => {{
+            let proto = $proto;
+            let sim = BeaconSim::new(&proto, topology, InitialState::Default, config);
+            let r = sim.run(quiet, horizon);
+            let check_graph = static_graph.unwrap_or_else(|| r.final_graph.clone());
+            let legit = proto.is_legitimate(&check_graph, &r.final_states);
+            Ok(report_text($label, &r, legit))
+        }};
+    }
+    match protocol.as_str() {
+        "smm" => simulate!(Smm::paper(ids), "SMM"),
+        "smi" => simulate!(Smi::new(ids), "SMI"),
+        "coloring" => simulate!(Coloring::new(ids), "SC (coloring)"),
+        other => Err(format!("unknown protocol '{other}'")),
+    }
+}
+
+/// `selfstab topology …`: inspect a generated topology.
+pub fn topology(args: &Args) -> Result<String, String> {
+    let name = args.required("topology")?.to_string();
+    let n: usize = args.parse_or("n", 16)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x109);
+    let g = build_topology(&name, n, &mut rng)?;
+    match args.str_or("format", "text") {
+        "text" => {
+            let degrees = selfstab_analysis::Histogram::of(g.nodes().map(|v| g.degree(v)));
+            Ok(format!(
+                "topology {name}: n={}, m={}, max degree {}, diameter {:?}\ndegree histogram: {}\ngraph6: {}",
+                g.n(),
+                g.m(),
+                g.max_degree(),
+                selfstab_graph::traversal::diameter(&g),
+                degrees.render(),
+                selfstab_graph::graph6::to_graph6(&g)
+            ))
+        }
+        "graph6" => Ok(selfstab_graph::graph6::to_graph6(&g)),
+        "dot" => Ok(dot::to_dot(&g, None, &[], &[])),
+        other => Err(format!("unknown format '{other}'")),
+    }
+}
+
+/// `selfstab verify …`
+pub fn verify(args: &Args) -> Result<String, String> {
+    let protocol = args.required("protocol")?.to_string();
+    let max_n: usize = args.parse_or("max-n", 4)?;
+    if max_n > 5 {
+        return Err("--max-n above 5 is impractical (state-space explosion)".into());
+    }
+    let mut out = String::new();
+    for n in 2..=max_n {
+        let mut graphs = 0u64;
+        let mut states = 0u64;
+        let mut max_rounds = 0usize;
+        for g in all_connected_graphs(n) {
+            graphs += 1;
+            let (ok, rounds, checked) = match protocol.as_str() {
+                "smm" => {
+                    let p = Smm::paper(Ids::identity(n));
+                    let r = verify_all_initial_states(&g, &p, n + 1, |_, _| true);
+                    (r.all_ok(), r.max_rounds, r.states_checked)
+                }
+                "smi" => {
+                    let p = Smi::new(Ids::identity(n));
+                    let r = verify_all_initial_states(&g, &p, n + 2, |_, _| true);
+                    (r.all_ok(), r.max_rounds, r.states_checked)
+                }
+                "coloring" => {
+                    let p = Coloring::new(Ids::identity(n));
+                    let r = verify_all_initial_states(&g, &p, n + 2, |_, _| true);
+                    (r.all_ok(), r.max_rounds, r.states_checked)
+                }
+                other => return Err(format!("unknown protocol '{other}'")),
+            };
+            if !ok {
+                return Err(format!("verification FAILED on a graph with n={n}"));
+            }
+            states += checked;
+            max_rounds = max_rounds.max(rounds);
+        }
+        out.push_str(&format!(
+            "n={n}: {graphs} connected graphs, {states} initial states, max rounds {max_rounds} — all stabilized legitimately\n"
+        ));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn run_smm_text() {
+        let out = run(&args(&["--protocol", "smm", "--topology", "grid", "--n", "16"])).unwrap();
+        assert!(out.contains("stabilized"));
+        assert!(out.contains("legitimate: true"));
+        assert!(out.contains("maximal matching"));
+    }
+
+    #[test]
+    fn run_smi_json() {
+        let out = run(&args(&[
+            "--protocol", "smi", "--topology", "cycle", "--n", "9", "--format", "json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["protocol"], "SMI");
+        assert_eq!(v["legitimate"], true);
+        assert_eq!(v["states"].as_array().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn run_coloring_dot_and_defaults() {
+        let out = run(&args(&[
+            "--protocol", "coloring", "--topology", "petersen", "--n", "10", "--format", "dot",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("graph selfstab"));
+        let out = run(&args(&["--protocol", "coloring", "--topology", "path", "--n", "5"])).unwrap();
+        assert!(out.contains("proper coloring"));
+    }
+
+    #[test]
+    fn run_rejects_unknowns() {
+        assert!(run(&args(&["--protocol", "xyz", "--topology", "path"])).is_err());
+        assert!(run(&args(&["--protocol", "smm", "--topology", "xyz"])).is_err());
+        assert!(run(&args(&["--topology", "path"])).is_err());
+        assert!(run(&args(&[
+            "--protocol", "smm", "--topology", "path", "--format", "xyz"
+        ]))
+        .is_err());
+        assert!(run(&args(&[
+            "--protocol", "smm", "--topology", "path", "--init", "xyz"
+        ]))
+        .is_err());
+        assert!(run(&args(&[
+            "--protocol", "smm", "--topology", "path", "--ids", "xyz"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn sim_static_and_lossy() {
+        let out = sim(&args(&[
+            "--protocol", "smm", "--topology", "grid", "--n", "16", "--loss", "0.1",
+        ]))
+        .unwrap();
+        assert!(out.contains("quiesced: true"));
+        assert!(out.contains("legitimate: true"));
+    }
+
+    #[test]
+    fn sim_mobile() {
+        let out = sim(&args(&[
+            "--protocol", "smi", "--topology", "unit-disk", "--n", "12", "--mobility", "0.02",
+            "--seconds", "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("predicate held"));
+    }
+
+    #[test]
+    fn verify_small() {
+        let out = verify(&args(&["--protocol", "smi", "--max-n", "3"])).unwrap();
+        assert!(out.contains("n=3: 4 connected graphs"));
+        assert!(verify(&args(&["--protocol", "smm", "--max-n", "9"])).is_err());
+    }
+
+    #[test]
+    fn cli_dispatch() {
+        let mut buf = Vec::new();
+        let code = crate::main_with(
+            &["help".to_string()],
+            &mut buf,
+        );
+        assert_eq!(code, 0);
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+        let mut buf = Vec::new();
+        let code = crate::main_with(&["bogus".to_string()], &mut buf);
+        assert_eq!(code, 2);
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn topology_text_and_graph6() {
+        let out = topology(&args(&["--topology", "cycle", "--n", "5"])).unwrap();
+        assert!(out.contains("n=5, m=5"));
+        assert!(out.contains("degree histogram: 2:5"));
+        let g6 = topology(&args(&["--topology", "cycle", "--n", "5", "--format", "graph6"]))
+            .unwrap();
+        let parsed = selfstab_graph::graph6::parse(&g6).unwrap();
+        assert_eq!(parsed.n(), 5);
+        assert_eq!(parsed.m(), 5);
+    }
+
+    #[test]
+    fn topology_dot_and_errors() {
+        let out =
+            topology(&args(&["--topology", "star", "--n", "4", "--format", "dot"])).unwrap();
+        assert!(out.starts_with("graph selfstab"));
+        assert!(topology(&args(&["--topology", "nope", "--n", "4"])).is_err());
+        assert!(topology(&args(&["--topology", "star", "--n", "4", "--format", "nope"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod graph6_input_tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn run_on_user_supplied_graph6() {
+        // Bw = the triangle K3.
+        let out = run(&args(&["--protocol", "smm", "--graph6", "Bw"])).unwrap();
+        assert!(out.contains("n=3, m=3"));
+        assert!(out.contains("legitimate: true"));
+        assert!(out.contains("graph6 input"));
+    }
+
+    #[test]
+    fn bad_graph6_is_reported() {
+        let err = run(&args(&["--protocol", "smm", "--graph6", "\u{1}"])).unwrap_err();
+        assert!(err.contains("--graph6"));
+    }
+}

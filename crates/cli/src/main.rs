@@ -1,0 +1,5 @@
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(selfstab_cli::main_with(&argv, &mut stdout));
+}

@@ -1,0 +1,305 @@
+//! Self-stabilizing BFS (multicast) tree maintenance.
+//!
+//! The paper's introduction motivates the whole enterprise with multicast:
+//! *"a minimal spanning tree must be maintained to minimize latency and
+//! bandwidth requirements of multicast/broadcast messages"*, citing the
+//! Dolev–Pradhan–Welch and Gupta–Srimani tree protocols (refs. 1, 13, 14).
+//! This module provides that substrate in the same synchronous beacon
+//! model: a shortest-path (BFS) tree rooted at the multicast source,
+//! maintained self-stabilizingly.
+//!
+//! Per-node state is `(dist, parent)`. With `CAP = n` acting as ∞:
+//!
+//! * **R0 (root):** the source holds `(0, ⊥)` — reset if corrupted.
+//! * **R1 (relax):** a non-source node recomputes
+//!   `d* = min(min_j dist(j) + 1, CAP)` from its neighbors' beacons and
+//!   points at the **minimum-ID** neighbor achieving `d* − 1` (the same
+//!   tie-break discipline as SMM's R2); it moves whenever its `(dist,
+//!   parent)` differs from the recomputed pair — including when its parent
+//!   pointer dangles after a link failure.
+//!
+//! Convergence in the synchronous model: any value not anchored at the
+//! source exceeds `t` plus the minimum initial value after `t` rounds
+//! (min-plus dynamics add one per round), so ghost distances flush to `CAP`
+//! within `n` rounds, true distances propagate within `ecc(source)` rounds,
+//! and parents settle one round later — `O(n)` rounds overall, which the
+//! tests bound by `2n + 2` and the exhaustive checker verifies exactly on
+//! small instances.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use selfstab_engine::protocol::{Move, Protocol, View};
+use serde::{Deserialize, Serialize};
+use selfstab_graph::traversal::bfs_distances;
+use selfstab_graph::{Graph, Ids, Node};
+
+/// Per-node state: distance estimate and parent pointer.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TreeState {
+    /// Distance estimate to the source (`cap` = unreachable/∞).
+    pub dist: u32,
+    /// Parent in the tree (`None` for the source or while unreachable).
+    pub parent: Option<Node>,
+}
+
+/// Self-stabilizing BFS tree rooted at a multicast source.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    root: Node,
+    ids: Ids,
+    cap: u32,
+}
+
+/// Rule indices into [`BfsTree::rule_names`].
+pub mod rule {
+    /// R1: relax distance / reparent.
+    pub const RELAX: usize = 0;
+    /// R0: reset the corrupted source.
+    pub const ROOT_RESET: usize = 1;
+}
+
+impl BfsTree {
+    /// Protocol for a network of `n` nodes rooted at `root`.
+    pub fn new(root: Node, ids: Ids) -> Self {
+        let cap = ids.len() as u32;
+        BfsTree { root, ids, cap }
+    }
+
+    /// The multicast source.
+    pub fn root(&self) -> Node {
+        self.root
+    }
+
+    /// The `∞` sentinel (= n).
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// The desired `(dist, parent)` for a non-root node given its view.
+    fn desired(&self, view: &View<'_, TreeState>) -> TreeState {
+        let best = view
+            .neighbor_states()
+            .map(|(_, s)| s.dist.min(self.cap))
+            .min()
+            .map_or(self.cap, |d| (d + 1).min(self.cap));
+        if best >= self.cap {
+            return TreeState {
+                dist: self.cap,
+                parent: None,
+            };
+        }
+        let parent = self.ids.min_by_id(
+            view.neighbor_states()
+                .filter(|(_, s)| s.dist.min(self.cap) == best - 1)
+                .map(|(j, _)| j),
+        );
+        TreeState {
+            dist: best,
+            parent,
+        }
+    }
+
+    /// The tree edges (child, parent) of a global state.
+    pub fn tree_edges(states: &[TreeState]) -> Vec<(Node, Node)> {
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.parent.map(|p| (Node::from(i), p)))
+            .collect()
+    }
+}
+
+impl Protocol for BfsTree {
+    type State = TreeState;
+
+    fn rule_names(&self) -> &'static [&'static str] {
+        &["R1:relax", "R0:root-reset"]
+    }
+
+    fn default_state(&self) -> TreeState {
+        TreeState {
+            dist: self.cap,
+            parent: None,
+        }
+    }
+
+    fn arbitrary_state(&self, _node: Node, neighbors: &[Node], rng: &mut StdRng) -> TreeState {
+        let dist = rng.random_range(0..=self.cap);
+        let parent = if neighbors.is_empty() || rng.random_bool(0.3) {
+            None
+        } else {
+            Some(neighbors[rng.random_range(0..neighbors.len())])
+        };
+        TreeState { dist, parent }
+    }
+
+    fn enumerate_states(&self, _node: Node, neighbors: &[Node]) -> Vec<TreeState> {
+        let mut out = Vec::new();
+        for dist in 0..=self.cap {
+            out.push(TreeState { dist, parent: None });
+            for &p in neighbors {
+                out.push(TreeState {
+                    dist,
+                    parent: Some(p),
+                });
+            }
+        }
+        out
+    }
+
+    fn step(&self, view: View<'_, TreeState>) -> Option<Move<TreeState>> {
+        if view.node() == self.root {
+            let want = TreeState {
+                dist: 0,
+                parent: None,
+            };
+            return (*view.own() != want).then_some(Move {
+                rule: rule::ROOT_RESET,
+                next: want,
+            });
+        }
+        let want = self.desired(&view);
+        (*view.own() != want).then_some(Move {
+            rule: rule::RELAX,
+            next: want,
+        })
+    }
+
+    /// Legitimate iff every distance is the true BFS distance from the
+    /// source and every parent is the min-ID neighbor one step closer.
+    fn is_legitimate(&self, graph: &Graph, states: &[TreeState]) -> bool {
+        let truth = bfs_distances(graph, self.root);
+        graph.nodes().all(|v| {
+            let s = states[v.index()];
+            let true_d = truth[v.index()].min(self.cap as usize) as u32;
+            if s.dist != true_d {
+                return false;
+            }
+            if v == self.root || true_d >= self.cap {
+                return s.parent.is_none();
+            }
+            let expected = self.ids.min_by_id(
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| truth[u.index()].min(self.cap as usize) as u32 == true_d - 1),
+            );
+            s.parent == expected
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn stabilizes_to_true_bfs_tree_on_suite() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(24);
+            let n = g.n();
+            for root in [Node(0), Node((n - 1) as u32)] {
+                let proto = BfsTree::new(root, Ids::identity(n));
+                let exec = SyncExecutor::new(&g, &proto);
+                for seed in 0..8 {
+                    let run = exec.run(InitialState::Random { seed }, 2 * n + 2);
+                    assert!(run.stabilized(), "{} root {root}", fam.name());
+                    assert!(
+                        proto.is_legitimate(&g, &run.final_states),
+                        "{} root {root} seed {seed}",
+                        fam.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edges_form_spanning_tree() {
+        let g = generators::grid(5, 5);
+        let proto = BfsTree::new(Node(12), Ids::reversed(25));
+        let run = SyncExecutor::new(&g, &proto).run(InitialState::Random { seed: 3 }, 60);
+        assert!(run.stabilized());
+        let edges = BfsTree::tree_edges(&run.final_states);
+        assert_eq!(edges.len(), 24, "spanning tree has n-1 edges");
+        // Every edge is a real graph edge pointing one level up.
+        for (child, parent) in edges {
+            assert!(g.has_edge(child, parent));
+            assert_eq!(
+                run.final_states[child.index()].dist,
+                run.final_states[parent.index()].dist + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ghost_distances_flush() {
+        // Everyone claims distance 0 initially — the classic corrupted
+        // state. The protocol must not believe the ghosts.
+        let g = generators::path(12);
+        let proto = BfsTree::new(Node(0), Ids::identity(12));
+        let init = vec![
+            TreeState {
+                dist: 0,
+                parent: None
+            };
+            12
+        ];
+        let run = SyncExecutor::new(&g, &proto).run(InitialState::Explicit(init), 26);
+        assert!(run.stabilized());
+        assert!(proto.is_legitimate(&g, &run.final_states));
+        assert_eq!(run.final_states[11].dist, 11);
+    }
+
+    #[test]
+    fn exhaustive_small_instances() {
+        // Full product state space is large (dist × parent per node); keep
+        // to n <= 3 for the exact check, sampled sweeps cover the rest.
+        for n in 2..=3 {
+            for g in all_connected_graphs(n) {
+                let proto = BfsTree::new(Node(0), Ids::identity(n));
+                let report = verify_all_initial_states(&g, &proto, 2 * n + 2, |_, _| true);
+                assert!(report.all_ok(), "n={n}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes_the_tree() {
+        // Cut the tree edge 0-1 on a cycle: node 1 must reroute the long
+        // way around, and distances must re-settle on the new topology.
+        let mut g = generators::cycle(8);
+        let proto = BfsTree::new(Node(0), Ids::identity(8));
+        let run = SyncExecutor::new(&g, &proto).run(InitialState::Default, 20);
+        assert!(run.stabilized());
+        assert_eq!(run.final_states[1].dist, 1);
+        g.remove_edge(Node(0), Node(1));
+        let exec = SyncExecutor::new(&g, &proto);
+        let rerun = exec.run(InitialState::Explicit(run.final_states), 40);
+        assert!(rerun.stabilized());
+        assert!(proto.is_legitimate(&g, &rerun.final_states));
+        assert_eq!(rerun.final_states[1].dist, 7, "around the long way");
+        assert_eq!(rerun.final_states[1].parent, Some(Node(2)));
+    }
+
+    #[test]
+    fn parent_ties_break_by_min_id() {
+        // Node 3 of K4 rooted at 0... take C4 instead: node 2 has two
+        // neighbors at distance 1 (nodes 1 and 3); min-ID wins.
+        let g = generators::cycle(4);
+        let proto = BfsTree::new(Node(0), Ids::identity(4));
+        let run = SyncExecutor::new(&g, &proto).run(InitialState::Default, 12);
+        assert!(run.stabilized());
+        assert_eq!(run.final_states[2].parent, Some(Node(1)));
+        // With reversed IDs node 3 has the smaller protocol ID.
+        let proto = BfsTree::new(Node(0), Ids::reversed(4));
+        let run = SyncExecutor::new(&g, &proto).run(InitialState::Default, 12);
+        assert!(run.stabilized());
+        assert_eq!(run.final_states[2].parent, Some(Node(3)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Cluster-head election — the application the paper's introduction
+//! motivates for maximal independent sets.
+//!
+//! In ad hoc networks an MIS gives a set of *cluster heads*: no two heads
+//! interfere (independence) and every host hears at least one head
+//! (domination). An MIS is automatically a **minimal dominating set** —
+//! remove any head and it is no longer dominated by the others, since none
+//! of its neighbors is a head. This module derives the clustering from a
+//! stabilized SMI state and verifies those properties on the live topology.
+
+use crate::smi::Smi;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::predicates::{is_maximal_independent_set, is_minimal_dominating_set};
+use selfstab_graph::{Graph, Ids, Node};
+
+/// A clustering of the network derived from an MIS.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// `head[v]` — whether `v` is a cluster head.
+    pub head: Vec<bool>,
+    /// `assignment[v]` — the head serving `v` (itself if `v` is a head;
+    /// otherwise the neighboring head with the largest ID, a deterministic
+    /// choice every member can make locally).
+    pub assignment: Vec<Node>,
+}
+
+impl Clustering {
+    /// Derive a clustering from an MIS membership vector.
+    ///
+    /// Panics if `mis` is not a maximal independent set of `g` (callers
+    /// should only pass stabilized states).
+    pub fn from_mis(g: &Graph, ids: &Ids, mis: &[bool]) -> Self {
+        assert!(
+            is_maximal_independent_set(g, mis),
+            "clustering requires a maximal independent set"
+        );
+        let assignment = g
+            .nodes()
+            .map(|v| {
+                if mis[v.index()] {
+                    v
+                } else {
+                    ids.max_by_id(
+                        g.neighbors(v)
+                            .iter()
+                            .copied()
+                            .filter(|&u| mis[u.index()]),
+                    )
+                    .expect("MIS dominates every node")
+                }
+            })
+            .collect();
+        Clustering {
+            head: mis.to_vec(),
+            assignment,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.head.iter().filter(|&&h| h).count()
+    }
+
+    /// The members of each cluster, keyed by head.
+    pub fn clusters(&self) -> Vec<(Node, Vec<Node>)> {
+        let mut out: Vec<(Node, Vec<Node>)> = self
+            .head
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &h)| h).map(|(i, &_h)| (Node::from(i), Vec::new()))
+            .collect();
+        for (i, &h) in self.assignment.iter().enumerate() {
+            let slot = out
+                .iter_mut()
+                .find(|(head, _)| *head == h)
+                .expect("assignment targets a head");
+            slot.1.push(Node::from(i));
+        }
+        out
+    }
+}
+
+/// Run SMI to stabilization and derive the clustering. Returns `None` if
+/// SMI fails to stabilize within `max_rounds` (cannot happen for sane
+/// bounds; see Theorem 2).
+pub fn elect_cluster_heads(
+    g: &Graph,
+    ids: Ids,
+    init: InitialState<bool>,
+    max_rounds: usize,
+) -> Option<(Clustering, usize)> {
+    let smi = Smi::new(ids.clone());
+    let run = SyncExecutor::new(g, &smi).run(init, max_rounds);
+    if !run.stabilized() {
+        return None;
+    }
+    let clustering = Clustering::from_mis(g, &ids, &run.final_states);
+    debug_assert!(is_minimal_dominating_set(g, &clustering.head));
+    Some((clustering, run.rounds()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn clustering_covers_every_node_exactly_once() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(24);
+            let n = g.n();
+            let (clustering, rounds) =
+                elect_cluster_heads(&g, Ids::identity(n), InitialState::Random { seed: 5 }, n + 2)
+                    .expect("stabilizes");
+            assert!(rounds <= n + 2);
+            let total: usize = clustering.clusters().iter().map(|(_, m)| m.len()).sum();
+            assert_eq!(total, n, "{}", fam.name());
+            // Every member is its head or adjacent to it.
+            for (head, members) in clustering.clusters() {
+                for m in members {
+                    assert!(m == head || g.has_edge(m, head));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heads_form_minimal_dominating_set() {
+        let g = generators::grid(6, 6);
+        let (clustering, _) =
+            elect_cluster_heads(&g, Ids::reversed(36), InitialState::Default, 40).expect("stab");
+        assert!(is_minimal_dominating_set(&g, &clustering.head));
+        assert!(clustering.cluster_count() >= 36 / 5, "grid needs many heads");
+    }
+
+    #[test]
+    fn members_pick_largest_id_head() {
+        // Path 0-1-2 with identity IDs: MIS from all-out is {2, 0}.
+        let g = generators::path(3);
+        let (clustering, _) =
+            elect_cluster_heads(&g, Ids::identity(3), InitialState::Default, 10).expect("stab");
+        assert_eq!(clustering.head, vec![true, false, true]);
+        assert_eq!(clustering.assignment[1], Node(2), "1 prefers head 2 over head 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "maximal independent set")]
+    fn rejects_non_mis_input() {
+        let g = generators::path(3);
+        Clustering::from_mis(&g, &Ids::identity(3), &[true, true, false]);
+    }
+}

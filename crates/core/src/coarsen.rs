@@ -1,0 +1,130 @@
+//! Matching-based graph coarsening — the classic downstream use of a
+//! maximal matching (multilevel partitioning / multigrid coarsening).
+//!
+//! Contract every matched pair into a single coarse node; unmatched nodes
+//! survive as singletons. Because the matching is *maximal*, no two
+//! surviving singletons are adjacent in the original graph, so every edge of
+//! the coarse graph touches a contracted pair, the coarse graph has exactly
+//! `n - |M|` nodes, and coarsening strictly shrinks any graph with at least
+//! one edge. The stabilized SMM state is exactly the input this
+//! transformation wants, computed *in the network itself*.
+
+use crate::smm::{Pointer, Smm};
+use selfstab_graph::{Graph, Node};
+
+/// The result of one coarsening level.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The coarse graph.
+    pub coarse: Graph,
+    /// `fine_to_coarse[v]` — the coarse node containing fine node `v`.
+    pub fine_to_coarse: Vec<Node>,
+    /// For each coarse node, its fine members (1 or 2 of them).
+    pub members: Vec<Vec<Node>>,
+}
+
+/// Contract the matched pairs of a stabilized SMM state.
+pub fn coarsen_by_matching(g: &Graph, states: &[Pointer]) -> Coarsening {
+    let matching = Smm::matched_edges(g, states);
+    let mut fine_to_coarse = vec![usize::MAX; g.n()];
+    let mut members: Vec<Vec<Node>> = Vec::new();
+    for e in &matching {
+        let c = members.len();
+        members.push(vec![e.a, e.b]);
+        fine_to_coarse[e.a.index()] = c;
+        fine_to_coarse[e.b.index()] = c;
+    }
+    for v in g.nodes() {
+        if fine_to_coarse[v.index()] == usize::MAX {
+            let c = members.len();
+            members.push(vec![v]);
+            fine_to_coarse[v.index()] = c;
+        }
+    }
+    let mut coarse = Graph::empty(members.len());
+    for e in g.edges() {
+        let (ca, cb) = (fine_to_coarse[e.a.index()], fine_to_coarse[e.b.index()]);
+        if ca != cb {
+            coarse.add_edge(Node::from(ca), Node::from(cb));
+        }
+    }
+    Coarsening {
+        coarse,
+        fine_to_coarse: fine_to_coarse.into_iter().map(Node::from).collect(),
+        members,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_engine::protocol::{InitialState, Protocol};
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::traversal::is_connected;
+    use selfstab_graph::{generators, Ids};
+
+    fn stabilize(g: &Graph, seed: u64) -> Vec<Pointer> {
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let run = SyncExecutor::new(g, &smm).run(InitialState::Random { seed }, g.n() + 1);
+        assert!(run.stabilized());
+        assert!(smm.is_legitimate(g, &run.final_states));
+        run.final_states
+    }
+
+    #[test]
+    fn coarsening_partitions_nodes() {
+        let g = generators::grid(6, 6);
+        let c = coarsen_by_matching(&g, &stabilize(&g, 3));
+        let mut count = vec![0usize; c.coarse.n()];
+        for v in g.nodes() {
+            count[c.fine_to_coarse[v.index()].index()] += 1;
+        }
+        for (i, members) in c.members.iter().enumerate() {
+            assert_eq!(count[i], members.len());
+            assert!(members.len() == 1 || members.len() == 2);
+            if members.len() == 2 {
+                assert!(g.has_edge(members[0], members[1]), "pairs are edges");
+            }
+        }
+        assert_eq!(count.iter().sum::<usize>(), g.n());
+    }
+
+    #[test]
+    fn coarsening_preserves_connectivity() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(30);
+            let c = coarsen_by_matching(&g, &stabilize(&g, 1));
+            assert!(is_connected(&c.coarse), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn maximal_matching_shrinks_fast() {
+        // A maximal matching on a connected graph with n >= 2 matches at
+        // least one pair, and on dense graphs near n/2 pairs; assert the
+        // coarse graph is strictly smaller and at least (n - m_count).
+        let g = generators::complete(12);
+        let states = stabilize(&g, 9);
+        let matched = Smm::matched_edges(&g, &states).len();
+        let c = coarsen_by_matching(&g, &states);
+        assert_eq!(c.coarse.n(), 12 - matched);
+        assert_eq!(matched, 6, "K12 matches perfectly");
+        assert!(c.coarse.n() < g.n());
+    }
+
+    #[test]
+    fn repeated_coarsening_reaches_single_node() {
+        // Multilevel pipeline: repeatedly run SMM on the coarse graph.
+        let mut g = generators::cycle(32);
+        let mut levels = 0;
+        while g.n() > 1 && levels < 20 {
+            let states = stabilize(&g, levels as u64);
+            let c = coarsen_by_matching(&g, &states);
+            assert!(c.coarse.n() < g.n(), "must strictly shrink");
+            g = c.coarse;
+            levels += 1;
+        }
+        assert_eq!(g.n(), 1, "cycle should collapse within {levels} levels");
+        assert!(levels <= 10, "halving-ish per level");
+    }
+}

@@ -1,0 +1,246 @@
+//! **Algorithm SC** — synchronous self-stabilizing (Δ+1)-coloring.
+//!
+//! The paper cites, as the same program of work, "Fault tolerant distributed
+//! coloring algorithms that stabilize in linear time" (Hedetniemi, Jacobs,
+//! Srimani — IPDPS 2002 workshops, ref.\[7\]). This module implements the
+//! synchronous-model variant in the exact style of SMI, with ID symmetry
+//! breaking:
+//!
+//! * **R0 (range-reset):** my color exceeds my degree (possible only in a
+//!   corrupted state) — adopt the minimum color not used by any neighbor.
+//! * **R1 (recolor):** some **bigger-ID** neighbor has my color — adopt the
+//!   minimum color not used by any neighbor (in the beacon snapshot).
+//!
+//! A node with a color conflict only yields to *bigger* conflicting
+//! neighbors, mirroring SMI's R2, which is what makes the synchronous
+//! execution converge:
+//!
+//! 1. after one round every color is in `0..=deg` (R0 fires at most once
+//!    per node, and every recolor lands in range);
+//! 2. the maximum-ID node then never moves again;
+//! 3. inductively, once every node bigger than `x` has stopped moving, `x`
+//!    moves at most once more — its recolor excludes all (now fixed) bigger
+//!    neighbors' colors, and afterwards only *smaller* nodes can conflict
+//!    with `x`, which never enables `x`'s rules again.
+//!
+//! Hence stabilization within `n + 2` rounds, to a proper coloring using at
+//! most Δ+1 colors (the min-free color is at most the degree). Both bounds
+//! are exercised by the tests and by experiment E12c.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use selfstab_engine::protocol::{Move, Protocol, View};
+use selfstab_graph::{Graph, Ids, Node};
+
+/// A color, densely numbered from 0.
+pub type Color = u32;
+
+/// Algorithm SC. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Coloring {
+    ids: Ids,
+}
+
+/// Rule indices into [`Coloring::rule_names`].
+pub mod rule {
+    /// R1: adopt the minimum free color after a conflict with a bigger node.
+    pub const RECOLOR: usize = 0;
+    /// R0: reset an out-of-range (corrupted) color.
+    pub const RESET: usize = 1;
+}
+
+impl Coloring {
+    /// SC with the given ID assignment.
+    pub fn new(ids: Ids) -> Self {
+        Coloring { ids }
+    }
+
+    /// The ID assignment this instance runs with.
+    pub fn ids(&self) -> &Ids {
+        &self.ids
+    }
+
+    /// The minimum color not present among `used` (which need not be
+    /// sorted).
+    pub fn min_free_color(used: &[Color]) -> Color {
+        let mut present = vec![false; used.len() + 1];
+        for &c in used {
+            if (c as usize) < present.len() {
+                present[c as usize] = true;
+            }
+        }
+        present
+            .iter()
+            .position(|&p| !p)
+            .expect("a free slot exists among deg+1 slots") as Color
+    }
+
+    /// Is `colors` a proper coloring of `g`?
+    pub fn is_proper(g: &Graph, colors: &[Color]) -> bool {
+        g.edges().all(|e| colors[e.a.index()] != colors[e.b.index()])
+    }
+
+    /// Number of distinct colors used.
+    pub fn palette_size(colors: &[Color]) -> usize {
+        let mut sorted = colors.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+}
+
+impl Protocol for Coloring {
+    type State = Color;
+
+    fn rule_names(&self) -> &'static [&'static str] {
+        &["R1:recolor", "R0:range-reset"]
+    }
+
+    fn default_state(&self) -> Color {
+        0
+    }
+
+    fn arbitrary_state(&self, _node: Node, neighbors: &[Node], rng: &mut StdRng) -> Color {
+        // Any color in 0..=deg is reachable by the protocol itself; allow a
+        // slightly larger range so corrupted states exceed the legal
+        // palette.
+        rng.random_range(0..=(neighbors.len() as Color + 1))
+    }
+
+    fn enumerate_states(&self, _node: Node, neighbors: &[Node]) -> Vec<Color> {
+        (0..=(neighbors.len() as Color + 1)).collect()
+    }
+
+    fn step(&self, view: View<'_, Color>) -> Option<Move<Color>> {
+        let i = view.node();
+        let mine = *view.own();
+        if mine as usize > view.neighbors().len() {
+            // R0: out-of-range color (corruption or lost links).
+            let used: Vec<Color> = view.neighbor_states().map(|(_, &c)| c).collect();
+            return Some(Move {
+                rule: rule::RESET,
+                next: Self::min_free_color(&used),
+            });
+        }
+        let my_id = self.ids.id(i);
+        let conflict_with_bigger = view
+            .neighbor_states()
+            .any(|(j, &c)| c == mine && self.ids.id(j) > my_id);
+        if !conflict_with_bigger {
+            return None;
+        }
+        let used: Vec<Color> = view.neighbor_states().map(|(_, &c)| c).collect();
+        let free = Self::min_free_color(&used);
+        debug_assert_ne!(free, mine, "a conflicted node always has a different free color");
+        Some(Move {
+            rule: rule::RECOLOR,
+            next: free,
+        })
+    }
+
+    /// Legitimate iff the coloring is proper and uses only colors
+    /// `0..=deg(i)` at each node (so at most Δ+1 overall).
+    fn is_legitimate(&self, graph: &Graph, states: &[Color]) -> bool {
+        Self::is_proper(graph, states)
+            && graph
+                .nodes()
+                .all(|v| states[v.index()] as usize <= graph.degree(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn min_free_color_basics() {
+        assert_eq!(Coloring::min_free_color(&[]), 0);
+        assert_eq!(Coloring::min_free_color(&[0]), 1);
+        assert_eq!(Coloring::min_free_color(&[1]), 0);
+        assert_eq!(Coloring::min_free_color(&[0, 1, 2]), 3);
+        assert_eq!(Coloring::min_free_color(&[2, 0, 5, 1]), 3);
+        assert_eq!(Coloring::min_free_color(&[7, 9]), 0);
+    }
+
+    #[test]
+    fn rule_only_yields_to_bigger() {
+        let g = generators::path(3);
+        let sc = Coloring::new(Ids::identity(3));
+        // 0 and 1 share color 0: node 0 must move (bigger neighbor), node 1
+        // must not (its conflicting neighbor is smaller).
+        let states = vec![0, 0, 1];
+        let mv = sc
+            .step(View::new(Node(0), g.neighbors(Node(0)), &states))
+            .expect("conflicted with bigger");
+        assert_eq!(mv.rule, rule::RECOLOR);
+        assert_eq!(mv.next, 1, "min free color given neighbor colors {{0}}");
+        assert!(sc.step(View::new(Node(1), g.neighbors(Node(1)), &states)).is_none());
+        assert!(sc.step(View::new(Node(2), g.neighbors(Node(2)), &states)).is_none());
+    }
+
+    #[test]
+    fn stabilizes_within_n_plus_2_rounds_and_delta_plus_1_colors() {
+        for fam in generators::Family::ALL {
+            for n in [4usize, 12, 27] {
+                let g = fam.build(n);
+                let n_actual = g.n();
+                let sc = Coloring::new(Ids::identity(n_actual));
+                let exec = SyncExecutor::new(&g, &sc);
+                for seed in 0..10 {
+                    let run = exec.run(InitialState::Random { seed }, n_actual + 2);
+                    assert!(run.stabilized(), "{} n={n_actual}", fam.name());
+                    assert!(Coloring::is_proper(&g, &run.final_states));
+                    assert!(
+                        Coloring::palette_size(&run.final_states) <= g.max_degree() + 1,
+                        "{}: palette exceeds Δ+1",
+                        fam.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_default_start_needs_work() {
+        // All-zero start on a clique: everyone conflicts; colors must fan
+        // out to 0..n-1.
+        let g = generators::complete(6);
+        let sc = Coloring::new(Ids::identity(6));
+        let run = SyncExecutor::new(&g, &sc).run(InitialState::Default, 7);
+        assert!(run.stabilized());
+        let mut colors = run.final_states.clone();
+        colors.sort_unstable();
+        assert_eq!(colors, vec![0, 1, 2, 3, 4, 5], "K6 forces 6 colors");
+    }
+
+    #[test]
+    fn exhaustive_on_small_graphs() {
+        for n in 2..=4 {
+            for g in all_connected_graphs(n) {
+                let sc = Coloring::new(Ids::identity(n));
+                let report = verify_all_initial_states(&g, &sc, n + 2, |g, states| {
+                    Coloring::is_proper(g, states)
+                });
+                assert!(report.all_ok(), "n={n}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_graphs_get_two_colors_with_good_ids() {
+        // On a path with identity IDs from the all-zero state the coloring
+        // alternates at most 0/1 — never needs a third color... actually the
+        // cascade can transiently use color 2 on interior nodes; the final
+        // palette just has to be proper and ≤ Δ+1 = 3. Assert the stronger
+        // property only where it is guaranteed: stars.
+        let g = generators::star(9);
+        let sc = Coloring::new(Ids::identity(9));
+        let run = SyncExecutor::new(&g, &sc).run(InitialState::Default, 10);
+        assert!(run.stabilized());
+        assert!(Coloring::palette_size(&run.final_states) <= 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The Hsu–Huang self-stabilizing maximal matching (Inform. Process. Lett.
+//! 43:77–81, 1992) — the central-daemon baseline of Section 3.
+//!
+//! Hsu–Huang uses the *same* pointer variable and the same three rule
+//! shapes as SMM, but:
+//!
+//! * it is proved correct only under a **central daemon** (one privileged
+//!   node moves at a time), and
+//! * R1/R2 make **arbitrary** choices — no minimum-ID requirement, no IDs at
+//!   all (the protocol is anonymous).
+//!
+//! Run synchronously, the arbitrary R2 choice can oscillate (the paper's C₄
+//! counterexample is exactly Hsu–Huang under the synchronous daemon); run
+//! under a central daemon it stabilizes but costs `O(m)` *moves*, and its
+//! synchronous conversion via daemon refinement (see [`crate::transformer`])
+//! is "not as fast" as SMM — experiment E6 quantifies the gap.
+//!
+//! Implementation note: a deterministic [`Protocol`] instance must fix the
+//! "arbitrary" choices; we expose the same [`SelectPolicy`] knob as SMM and
+//! default to first-in-neighbor-list, which is ID-oblivious. Rule R0 (reset
+//! dangling pointers) is added exactly as for SMM.
+
+use crate::smm::{Pointer, SelectPolicy, Smm};
+use rand::rngs::StdRng;
+use selfstab_engine::protocol::{Move, Protocol, View};
+use selfstab_graph::{Graph, Ids, Node};
+
+/// The Hsu–Huang maximal-matching protocol.
+///
+/// Internally this delegates to [`Smm`] with non-ID selection policies: the
+/// rule *guards* are literally identical (compare Fig. 1 of the paper with
+/// rules M1–M3 of Hsu–Huang); only the selection inside R1/R2 differs.
+#[derive(Clone, Debug)]
+pub struct HsuHuang {
+    inner: Smm,
+}
+
+impl HsuHuang {
+    /// The classic protocol with a fixed arbitrary choice (first neighbor in
+    /// index order). `n` is the node count (IDs are irrelevant to the
+    /// policies used but required by the shared machinery).
+    pub fn classic(n: usize) -> Self {
+        HsuHuang {
+            inner: Smm::with_policies(
+                Ids::identity(n),
+                SelectPolicy::FirstIndex,
+                SelectPolicy::FirstIndex,
+            ),
+        }
+    }
+
+    /// The protocol with an explicit "arbitrary" choice policy (used by the
+    /// E5/E6 ablations, e.g. [`SelectPolicy::Clockwise`] on a cycle).
+    pub fn with_policy(n: usize, policy: SelectPolicy) -> Self {
+        HsuHuang {
+            inner: Smm::with_policies(Ids::identity(n), policy, policy),
+        }
+    }
+
+    /// The matched pairs of a global state (same notion as SMM).
+    pub fn matched_edges(
+        graph: &Graph,
+        states: &[Pointer],
+    ) -> Vec<selfstab_graph::Edge> {
+        Smm::matched_edges(graph, states)
+    }
+}
+
+impl Protocol for HsuHuang {
+    type State = Pointer;
+
+    fn rule_names(&self) -> &'static [&'static str] {
+        &["M1:marriage", "M2:seduction", "M3:abandonment", "M0:reset"]
+    }
+
+    fn default_state(&self) -> Pointer {
+        Pointer::NULL
+    }
+
+    fn arbitrary_state(&self, node: Node, neighbors: &[Node], rng: &mut StdRng) -> Pointer {
+        self.inner.arbitrary_state(node, neighbors, rng)
+    }
+
+    fn enumerate_states(&self, node: Node, neighbors: &[Node]) -> Vec<Pointer> {
+        self.inner.enumerate_states(node, neighbors)
+    }
+
+    fn step(&self, view: View<'_, Pointer>) -> Option<Move<Pointer>> {
+        self.inner.step(view)
+    }
+
+    fn is_legitimate(&self, graph: &Graph, states: &[Pointer]) -> bool {
+        self.inner.is_legitimate(graph, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_engine::central::{CentralExecutor, Scheduler};
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_engine::sync::{Outcome, SyncExecutor};
+    use selfstab_graph::generators;
+
+    #[test]
+    fn stabilizes_under_central_daemon_all_schedulers() {
+        let g = generators::grid(4, 5);
+        let hh = HsuHuang::classic(20);
+        let exec = CentralExecutor::new(&g, &hh);
+        let mut scheds = [
+            Scheduler::First,
+            Scheduler::Last,
+            Scheduler::random(3),
+            Scheduler::RoundRobin { cursor: 0 },
+        ];
+        for sched in &mut scheds {
+            for seed in 0..5 {
+                let run = exec.run(InitialState::Random { seed }, sched, 100_000);
+                assert!(run.stabilized);
+                assert!(hh.is_legitimate(&g, &run.final_states));
+            }
+        }
+    }
+
+    #[test]
+    fn central_daemon_moves_are_bounded_by_2m_plus_n() {
+        // Known bound for Hsu–Huang-style matching: O(m) moves. Use the
+        // generous 2m + 2n envelope as a smoke bound.
+        use rand::SeedableRng;
+        let g = generators::erdos_renyi_connected(
+            30,
+            0.2,
+            &mut rand::rngs::StdRng::seed_from_u64(4),
+        );
+        let hh = HsuHuang::classic(30);
+        let exec = CentralExecutor::new(&g, &hh);
+        for seed in 0..20 {
+            let run = exec.run(
+                InitialState::Random { seed },
+                &mut Scheduler::random(seed),
+                1_000_000,
+            );
+            assert!(run.stabilized);
+            assert!(
+                run.moves <= (2 * g.m() + 2 * g.n()) as u64,
+                "moves {} exceed 2m+2n on m={}",
+                run.moves,
+                g.m()
+            );
+        }
+    }
+
+    #[test]
+    fn clockwise_c4_oscillates_synchronously() {
+        // The paper's counterexample: on a 4-cycle with all pointers null,
+        // everyone repeatedly proposes clockwise and then backs off.
+        let g = generators::cycle(4);
+        let hh = HsuHuang::with_policy(4, SelectPolicy::Clockwise);
+        let exec = SyncExecutor::new(&g, &hh).with_cycle_detection();
+        let run = exec.run(InitialState::Default, 10_000);
+        assert!(
+            matches!(run.outcome, Outcome::Cycle { .. }),
+            "expected oscillation, got {:?}",
+            run.outcome
+        );
+    }
+
+    #[test]
+    fn clockwise_c4_stabilizes_under_central_daemon() {
+        // The same protocol instance is fine when moves are serialized.
+        let g = generators::cycle(4);
+        let hh = HsuHuang::with_policy(4, SelectPolicy::Clockwise);
+        let exec = CentralExecutor::new(&g, &hh);
+        let run = exec.run(InitialState::Default, &mut Scheduler::First, 1_000);
+        assert!(run.stabilized);
+        assert!(hh.is_legitimate(&g, &run.final_states));
+    }
+}

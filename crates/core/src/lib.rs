@@ -1,0 +1,43 @@
+//! The protocols of *"Self-Stabilizing Protocols for Maximal Matching and
+//! Maximal Independent Sets for Ad Hoc Networks"* (Goddard, Hedetniemi,
+//! Jacobs, Srimani — IPDPS 2003), plus the baselines and ablations the paper
+//! compares against.
+//!
+//! * [`smm`] — **Algorithm SMM** (Fig. 1 of the paper): synchronous
+//!   self-stabilizing maximal matching via a single pointer per node and
+//!   rules R1 *accept* / R2 *propose* / R3 *back-off*. Stabilizes in at most
+//!   `n + 1` rounds (Theorem 1). [`smm::types`] implements the node-type
+//!   partition of Fig. 2 and the transition diagram of Fig. 3.
+//! * [`smi`] — **Algorithm SMI** (Fig. 4): synchronous self-stabilizing
+//!   maximal independent set with ID symmetry breaking; `O(n)` rounds
+//!   (Theorem 2).
+//! * [`hsu_huang`] — the Hsu–Huang (1992) central-daemon maximal matching,
+//!   the baseline Section 3 refers to.
+//! * [`transformer`] — daemon refinement: running a central-daemon protocol
+//!   in the synchronous model (the conversion the paper notes is possible
+//!   "using the techniques of [1, 16]" but "not as fast").
+//! * [`oracle`] — sequential greedy reference constructions for solution
+//!   quality comparisons.
+//! * [`cluster`], [`coarsen`] — derived applications: MIS-based cluster-head
+//!   election (an MIS is an independent *minimal dominating set*) and
+//!   matching-based graph coarsening.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymous;
+pub mod bfs_tree;
+pub mod cluster;
+pub mod coarsen;
+pub mod coloring;
+pub mod hsu_huang;
+pub mod oracle;
+pub mod smi;
+pub mod smm;
+pub mod transformer;
+
+pub use anonymous::AnonMis;
+pub use bfs_tree::BfsTree;
+pub use coloring::Coloring;
+pub use smi::Smi;
+pub use smm::{Pointer, Smm};

@@ -1,0 +1,142 @@
+//! Sequential greedy reference constructions ("oracles").
+//!
+//! These are *not* distributed protocols: they are the straightforward
+//! centralized algorithms the experiment suite compares solution quality
+//! against (experiment E11), and in SMI's case the exact characterization of
+//! the stabilized set.
+
+use selfstab_graph::{Edge, Graph, Ids, Node};
+
+/// Greedy maximal matching: scan edges in the given order, keep every edge
+/// whose endpoints are both free.
+pub fn greedy_maximal_matching(g: &Graph, order: impl IntoIterator<Item = Edge>) -> Vec<Edge> {
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    for e in order {
+        debug_assert!(g.has_edge(e.a, e.b));
+        if !used[e.a.index()] && !used[e.b.index()] {
+            used[e.a.index()] = true;
+            used[e.b.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// Greedy maximal matching in lexicographic edge order.
+pub fn greedy_maximal_matching_lex(g: &Graph) -> Vec<Edge> {
+    greedy_maximal_matching(g, g.edges())
+}
+
+/// Greedy MIS scanning nodes in the given order.
+pub fn greedy_mis(g: &Graph, order: impl IntoIterator<Item = Node>) -> Vec<bool> {
+    let mut in_set = vec![false; g.n()];
+    let mut blocked = vec![false; g.n()];
+    for v in order {
+        if !blocked[v.index()] {
+            in_set[v.index()] = true;
+            blocked[v.index()] = true;
+            for &u in g.neighbors(v) {
+                blocked[u.index()] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy MIS by **descending protocol ID** — exactly the set Algorithm SMI
+/// stabilizes to from the all-out state (the largest node enters first,
+/// then the largest remaining non-dominated node, and so on).
+pub fn greedy_mis_by_id_desc(g: &Graph, ids: &Ids) -> Vec<bool> {
+    let mut order: Vec<Node> = g.nodes().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(ids.id(v)));
+    greedy_mis(g, order)
+}
+
+/// Size of a maximum matching, by exhaustive search (exponential — only for
+/// cross-checking small instances; any maximal matching is at least half
+/// this size).
+pub fn maximum_matching_size_bruteforce(g: &Graph) -> usize {
+    fn rec(edges: &[Edge], used: &mut Vec<bool>, k: usize, best: &mut usize) {
+        *best = (*best).max(k);
+        // Prune: even matching every remaining edge cannot beat best.
+        if k + edges.len() <= *best {
+            return;
+        }
+        for (i, e) in edges.iter().enumerate() {
+            if !used[e.a.index()] && !used[e.b.index()] {
+                used[e.a.index()] = true;
+                used[e.b.index()] = true;
+                rec(&edges[i + 1..], used, k + 1, best);
+                used[e.a.index()] = false;
+                used[e.b.index()] = false;
+            }
+        }
+    }
+    let edges: Vec<Edge> = g.edges().collect();
+    let mut used = vec![false; g.n()];
+    let mut best = 0;
+    rec(&edges, &mut used, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::generators;
+    use selfstab_graph::predicates::{is_maximal_independent_set, is_maximal_matching};
+
+    #[test]
+    fn greedy_matching_is_maximal() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(20);
+            let m = greedy_maximal_matching_lex(&g);
+            assert!(is_maximal_matching(&g, &m), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn greedy_mis_is_maximal() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(20);
+            let s = greedy_mis(&g, g.nodes());
+            assert!(is_maximal_independent_set(&g, &s), "{}", fam.name());
+            let s2 = greedy_mis_by_id_desc(&g, &Ids::reversed(g.n()));
+            assert!(is_maximal_independent_set(&g, &s2), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn id_desc_order_matters() {
+        // Star: center index 0. With identity IDs descending order starts
+        // at a leaf, so all leaves enter; reversed IDs make the center
+        // largest, so only the center enters.
+        let g = generators::star(6);
+        let leaves_first = greedy_mis_by_id_desc(&g, &Ids::identity(6));
+        assert_eq!(leaves_first.iter().filter(|&&b| b).count(), 5);
+        let center_first = greedy_mis_by_id_desc(&g, &Ids::reversed(6));
+        assert_eq!(center_first.iter().filter(|&&b| b).count(), 1);
+        assert!(center_first[0]);
+    }
+
+    #[test]
+    fn maximum_matching_bruteforce_known_values() {
+        assert_eq!(maximum_matching_size_bruteforce(&generators::path(5)), 2);
+        assert_eq!(maximum_matching_size_bruteforce(&generators::path(6)), 3);
+        assert_eq!(maximum_matching_size_bruteforce(&generators::cycle(7)), 3);
+        assert_eq!(maximum_matching_size_bruteforce(&generators::complete(6)), 3);
+        assert_eq!(maximum_matching_size_bruteforce(&generators::petersen()), 5);
+        assert_eq!(maximum_matching_size_bruteforce(&generators::star(9)), 1);
+    }
+
+    #[test]
+    fn maximal_matching_is_half_approximation() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(12);
+            let maximal = greedy_maximal_matching_lex(&g).len();
+            let maximum = maximum_matching_size_bruteforce(&g);
+            assert!(2 * maximal >= maximum, "{}", fam.name());
+            assert!(maximal <= maximum);
+        }
+    }
+}

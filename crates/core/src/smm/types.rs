@@ -1,0 +1,416 @@
+//! The node-type partition (Fig. 2) and transition diagram (Fig. 3).
+//!
+//! For a global SMM state the paper classifies each node as
+//!
+//! * `M`  — matched: `i ↔ j`,
+//! * `A⁰` — aloof with no in-pointers: `i → ⊥` and nobody points at `i`,
+//! * `A¹` — aloof with in-pointers: `i → ⊥` and some neighbor points at `i`,
+//! * `P_A` — pointing at an aloof node: `i → j`, `j ↛ i`, `j → ⊥`,
+//! * `P_M` — pointing at a matched node,
+//! * `P_P` — pointing at a pointing node,
+//!
+//! and proves (Lemmas 1–7) that the only possible round-to-round transitions
+//! are the arrows of Fig. 3 — in particular `M` is absorbing and `A¹`/`P_A`
+//! are empty from time 1 onwards. [`check_trace`] verifies an executed trace
+//! against exactly that diagram and accumulates the empirical transition
+//! matrix reported in experiment E3.
+
+use super::{Pointer, Smm};
+use selfstab_graph::{Graph, Node};
+use std::fmt;
+
+/// The Fig. 2 node types, plus `Dangling` for the fault-induced situation
+/// (pointer to a vanished neighbor) that the paper's clean-execution lemmas
+/// do not cover.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeType {
+    /// Matched (`i ↔ j`).
+    M,
+    /// Aloof, no in-pointers.
+    A0,
+    /// Aloof, at least one in-pointer.
+    A1,
+    /// Pointing at an aloof node.
+    Pa,
+    /// Pointing at a matched node.
+    Pm,
+    /// Pointing at a pointing node.
+    Pp,
+    /// Pointing at a non-neighbor (only after a fault).
+    Dangling,
+}
+
+impl NodeType {
+    /// All seven types, in matrix order.
+    pub const ALL: [NodeType; 7] = [
+        NodeType::M,
+        NodeType::A0,
+        NodeType::A1,
+        NodeType::Pa,
+        NodeType::Pm,
+        NodeType::Pp,
+        NodeType::Dangling,
+    ];
+
+    /// Index into [`NodeType::ALL`].
+    pub fn idx(self) -> usize {
+        match self {
+            NodeType::M => 0,
+            NodeType::A0 => 1,
+            NodeType::A1 => 2,
+            NodeType::Pa => 3,
+            NodeType::Pm => 4,
+            NodeType::Pp => 5,
+            NodeType::Dangling => 6,
+        }
+    }
+
+    /// The paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeType::M => "M",
+            NodeType::A0 => "A0",
+            NodeType::A1 => "A1",
+            NodeType::Pa => "PA",
+            NodeType::Pm => "PM",
+            NodeType::Pp => "PP",
+            NodeType::Dangling => "DANGLING",
+        }
+    }
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classify every node of a global state per Fig. 2.
+pub fn classify(graph: &Graph, states: &[Pointer]) -> Vec<NodeType> {
+    assert_eq!(states.len(), graph.n());
+    let matched = Smm::matched_nodes(graph, states);
+    graph
+        .nodes()
+        .map(|i| match states[i.index()].0 {
+            None => {
+                let pointed_at = graph
+                    .neighbors(i)
+                    .iter()
+                    .any(|&j| states[j.index()].0 == Some(i));
+                if pointed_at {
+                    NodeType::A1
+                } else {
+                    NodeType::A0
+                }
+            }
+            Some(j) => {
+                if !graph.has_edge(i, j) {
+                    NodeType::Dangling
+                } else if matched[i.index()] {
+                    NodeType::M
+                } else if states[j.index()].is_null() {
+                    NodeType::Pa
+                } else if matched[j.index()] {
+                    NodeType::Pm
+                } else {
+                    NodeType::Pp
+                }
+            }
+        })
+        .collect()
+}
+
+/// The arrows of Fig. 3: is `from → to` a permitted one-round transition in
+/// a clean (fault-free) synchronous execution?
+///
+/// Derived from Lemmas 1–6: `M → M`; `A¹ → M` (Lemma 5); `P_A → {M, P_M}`
+/// (Lemma 4); `P_M → A` and `P_P → A` (Lemmas 2–3, and the in-pointer
+/// argument pins the landing spot to `A⁰`); `A⁰ → {A⁰, M, P_M, P_P}`
+/// (Lemma 6 — `P_A` is excluded because a proposed-to aloof node always
+/// answers in the same round).
+pub fn allowed_transition(from: NodeType, to: NodeType) -> bool {
+    use NodeType::*;
+    matches!(
+        (from, to),
+        (M, M)
+            | (A1, M)
+            | (Pa, M)
+            | (Pa, Pm)
+            | (Pm, A0)
+            | (Pp, A0)
+            | (A0, A0)
+            | (A0, M)
+            | (A0, Pm)
+            | (A0, Pp)
+    )
+}
+
+/// A 7×7 empirical transition-count matrix.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionMatrix {
+    counts: [[u64; 7]; 7],
+}
+
+impl TransitionMatrix {
+    /// Count of `from → to` transitions observed.
+    pub fn count(&self, from: NodeType, to: NodeType) -> u64 {
+        self.counts[from.idx()][to.idx()]
+    }
+
+    /// Record one transition.
+    pub fn record(&mut self, from: NodeType, to: NodeType) {
+        self.counts[from.idx()][to.idx()] += 1;
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &TransitionMatrix) {
+        for f in 0..7 {
+            for t in 0..7 {
+                self.counts[f][t] += other.counts[f][t];
+            }
+        }
+    }
+
+    /// Total transitions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Render as a Markdown table (rows = from, columns = to).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| from\\to |");
+        for t in NodeType::ALL {
+            out.push_str(&format!(" {} |", t.name()));
+        }
+        out.push('\n');
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for f in NodeType::ALL {
+            out.push_str(&format!("| **{}** |", f.name()));
+            for t in NodeType::ALL {
+                out.push_str(&format!(" {} |", self.count(f, t)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A transition outside the Fig. 3 diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Round index `t` of the offending `t → t+1` step.
+    pub round: usize,
+    /// The offending node.
+    pub node: Node,
+    /// Its type at `t`.
+    pub from: NodeType,
+    /// Its type at `t + 1`.
+    pub to: NodeType,
+}
+
+/// Verify a recorded trace against Fig. 3 (and Lemma 7), accumulating the
+/// empirical transition matrix.
+///
+/// Transitions **out of round 0** are exempt from the `A¹`/`P_A`-emptiness
+/// arrows' *implications* only in the sense the paper states: `A¹` and `P_A`
+/// may be non-empty *at* t = 0 but their outgoing arrows (to `M`/`P_M`)
+/// still apply; from t ≥ 1 those classes must be empty, which we check
+/// directly.
+pub fn check_trace(graph: &Graph, trace: &[Vec<Pointer>]) -> Result<TransitionMatrix, Violation> {
+    let mut matrix = TransitionMatrix::default();
+    let mut prev: Option<Vec<NodeType>> = None;
+    for (t, states) in trace.iter().enumerate() {
+        let types = classify(graph, states);
+        if t >= 1 {
+            for &ty in &types {
+                if ty == NodeType::A1 || ty == NodeType::Pa {
+                    // Lemma 7 violated; report against the producing round.
+                    let node = types
+                        .iter()
+                        .position(|&x| x == ty)
+                        .map(Node::from)
+                        .expect("type present");
+                    return Err(Violation {
+                        round: t - 1,
+                        node,
+                        from: prev.as_ref().map(|p| p[node.index()]).unwrap_or(ty),
+                        to: ty,
+                    });
+                }
+            }
+        }
+        if let Some(prev_types) = &prev {
+            for i in 0..types.len() {
+                let (from, to) = (prev_types[i], types[i]);
+                if !allowed_transition(from, to) {
+                    return Err(Violation {
+                        round: t - 1,
+                        node: Node::from(i),
+                        from,
+                        to,
+                    });
+                }
+                matrix.record(from, to);
+            }
+        }
+        prev = Some(types);
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::{generators, Ids};
+
+    fn ptr(v: u32) -> Pointer {
+        Pointer(Some(Node(v)))
+    }
+
+    #[test]
+    fn classification_matches_figure_2() {
+        // Path 0-1-2-3-4-5:
+        // 0 ↔ 1 matched; 2 → 1 (matched) = PM; 3 → 2 (pointing) = PP;
+        // 4 → ⊥ with 3?  3 points at 2, so 4 has no in-pointer... craft
+        // carefully: 5 → 4 and 4 → ⊥  gives 4 ∈ A1, 5 ∈ PA.
+        let g = generators::path(6);
+        let states = vec![ptr(1), ptr(0), ptr(1), ptr(2), Pointer::NULL, ptr(4)];
+        let types = classify(&g, &states);
+        assert_eq!(
+            types,
+            vec![
+                NodeType::M,
+                NodeType::M,
+                NodeType::Pm,
+                NodeType::Pp,
+                NodeType::A1,
+                NodeType::Pa
+            ]
+        );
+    }
+
+    #[test]
+    fn a0_and_dangling() {
+        let mut g = generators::path(3);
+        let states = vec![Pointer::NULL, ptr(2), ptr(1)];
+        let types = classify(&g, &states);
+        assert_eq!(types[0], NodeType::A0);
+        assert_eq!(types[1], NodeType::M);
+        g.remove_edge(Node(1), Node(2));
+        let types = classify(&g, &states);
+        assert_eq!(types[1], NodeType::Dangling);
+        assert_eq!(types[2], NodeType::Dangling);
+    }
+
+    #[test]
+    fn figure_3_arrow_set_is_exactly_ten() {
+        let mut count = 0;
+        for f in NodeType::ALL {
+            for t in NodeType::ALL {
+                if allowed_transition(f, t) {
+                    count += 1;
+                    assert!(f != NodeType::Dangling && t != NodeType::Dangling);
+                }
+            }
+        }
+        assert_eq!(count, 10);
+        // No incoming arrows into A1 or PA (the Lemma 7 argument).
+        for f in NodeType::ALL {
+            assert!(!allowed_transition(f, NodeType::A1));
+            assert!(!allowed_transition(f, NodeType::Pa));
+        }
+    }
+
+    #[test]
+    fn traces_respect_figure_3() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(12);
+            let n = g.n();
+            let smm = Smm::paper(Ids::identity(n));
+            let exec = SyncExecutor::new(&g, &smm).with_trace();
+            for seed in 0..25 {
+                let run = exec.run(InitialState::Random { seed }, n + 1);
+                assert!(run.stabilized());
+                let trace = run.trace.as_ref().expect("traced");
+                let matrix =
+                    check_trace(&g, trace).unwrap_or_else(|v| panic!("{}: {v:?}", fam.name()));
+                assert_eq!(matrix.total() as usize, (trace.len() - 1) * n);
+            }
+        }
+    }
+
+    #[test]
+    fn m_is_absorbing_along_traces() {
+        let g = generators::cycle(9);
+        let smm = Smm::paper(Ids::reversed(9));
+        let exec = SyncExecutor::new(&g, &smm).with_trace();
+        let run = exec.run(InitialState::Random { seed: 3 }, 10);
+        let trace = run.trace.as_ref().expect("traced");
+        let mut matched_prev: Vec<bool> = vec![false; 9];
+        for states in trace {
+            let matched = Smm::matched_nodes(&g, states);
+            for i in 0..9 {
+                assert!(!matched_prev[i] || matched[i], "Lemma 1 violated at node {i}");
+            }
+            matched_prev = matched;
+        }
+    }
+
+    #[test]
+    fn lemma_9_matching_grows_by_two_every_two_rounds() {
+        let g = generators::grid(5, 5);
+        let smm = Smm::paper(Ids::identity(25));
+        let exec = SyncExecutor::new(&g, &smm).with_trace();
+        for seed in 0..10 {
+            let run = exec.run(InitialState::Random { seed }, 26);
+            let trace = run.trace.as_ref().expect("traced");
+            let sizes: Vec<usize> = trace
+                .iter()
+                .map(|s| Smm::matched_edges(&g, s).len())
+                .collect();
+            // Lemma 10: from t >= 1, if a move happens at t+1 then
+            // |M_{t+2}| >= |M_t| + 2 i.e. cardinality (in edges) grows by
+            // at least 1 per 2 rounds until quiescence.
+            for t in 1..sizes.len().saturating_sub(2) {
+                assert!(
+                    sizes[t + 2] > sizes[t],
+                    "no growth between rounds {t} and {}: {sizes:?}",
+                    t + 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_matrix_markdown() {
+        let mut m = TransitionMatrix::default();
+        m.record(NodeType::M, NodeType::M);
+        m.record(NodeType::A0, NodeType::Pp);
+        let md = m.to_markdown();
+        assert!(md.contains("| **M** | 1 |"));
+        assert!(md.lines().count() == 9);
+        let mut m2 = TransitionMatrix::default();
+        m2.record(NodeType::M, NodeType::M);
+        m.merge(&m2);
+        assert_eq!(m.count(NodeType::M, NodeType::M), 2);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn smm_fixpoints_classify_as_m_and_a0_only() {
+        use rand::SeedableRng;
+        let g = generators::random_geometric_connected(
+            30,
+            0.35,
+            &mut rand::rngs::StdRng::seed_from_u64(8),
+        );
+        let smm = Smm::paper(Ids::identity(30));
+        let run = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed: 1 }, 31);
+        assert!(run.stabilized());
+        for ty in classify(&g, &run.final_states) {
+            assert!(ty == NodeType::M || ty == NodeType::A0, "unexpected {ty}");
+        }
+    }
+}

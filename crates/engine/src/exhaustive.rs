@@ -1,0 +1,232 @@
+//! Brute-force verification of stabilization theorems on small instances.
+//!
+//! Sampling random initial states can miss adversarial corners; on small
+//! graphs we can do better and check **every** initial state — and every
+//! labelled connected topology — mechanically. This is how the test suite
+//! verifies Theorem 1 (SMM stabilizes within n + 1 rounds) and Theorem 2
+//! (SMI within O(n) rounds) exactly rather than statistically.
+
+use crate::protocol::{InitialState, Protocol};
+use crate::sync::SyncExecutor;
+use selfstab_graph::traversal::is_connected;
+use selfstab_graph::{Graph, Node};
+
+/// Outcome of exhaustively checking all initial states on one graph.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveReport<S> {
+    /// Number of initial states checked.
+    pub states_checked: u64,
+    /// Maximum rounds-to-stabilize observed.
+    pub max_rounds: usize,
+    /// An initial state that violated the check, if any.
+    pub counterexample: Option<Vec<S>>,
+    /// Whether the violation (if any) was a stabilization failure (`true`)
+    /// or a predicate failure at the fixpoint (`false`).
+    pub failed_to_stabilize: bool,
+}
+
+impl<S> ExhaustiveReport<S> {
+    /// Whether all initial states stabilized and satisfied the predicate.
+    pub fn all_ok(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Iterator over the Cartesian product of per-node state spaces.
+struct ProductIter<S> {
+    spaces: Vec<Vec<S>>,
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl<S: Clone> Iterator for ProductIter<S> {
+    type Item = Vec<S>;
+
+    fn next(&mut self) -> Option<Vec<S>> {
+        if self.done {
+            return None;
+        }
+        let item: Vec<S> = self
+            .spaces
+            .iter()
+            .zip(&self.cursor)
+            .map(|(space, &i)| space[i].clone())
+            .collect();
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == self.cursor.len() {
+                self.done = true;
+                break;
+            }
+            self.cursor[k] += 1;
+            if self.cursor[k] < self.spaces[k].len() {
+                break;
+            }
+            self.cursor[k] = 0;
+            k += 1;
+        }
+        Some(item)
+    }
+}
+
+/// All initial global states of `proto` on `graph` (Cartesian product of the
+/// per-node local state spaces).
+pub fn all_initial_states<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+) -> impl Iterator<Item = Vec<P::State>> + use<P> {
+    let spaces: Vec<Vec<P::State>> = graph
+        .nodes()
+        .map(|v| {
+            let space = proto.enumerate_states(v, graph.neighbors(v));
+            assert!(!space.is_empty(), "empty local state space");
+            space
+        })
+        .collect();
+    let n = spaces.len();
+    ProductIter {
+        spaces,
+        cursor: vec![0; n],
+        done: n == 0,
+    }
+}
+
+/// The number of initial global states (for sizing exhaustive runs).
+pub fn state_space_size<P: Protocol>(graph: &Graph, proto: &P) -> u128 {
+    graph
+        .nodes()
+        .map(|v| proto.enumerate_states(v, graph.neighbors(v)).len() as u128)
+        .product()
+}
+
+/// Run `proto` from **every** initial state on `graph`; each run must
+/// stabilize within `round_bound` rounds and the fixpoint must satisfy both
+/// `proto.is_legitimate` and the extra `check`. Stops at the first
+/// violation.
+pub fn verify_all_initial_states<P, F>(
+    graph: &Graph,
+    proto: &P,
+    round_bound: usize,
+    check: F,
+) -> ExhaustiveReport<P::State>
+where
+    P: Protocol,
+    F: Fn(&Graph, &[P::State]) -> bool,
+{
+    let exec = SyncExecutor::new(graph, proto);
+    let mut states_checked = 0u64;
+    let mut max_rounds = 0usize;
+    for init in all_initial_states(graph, proto) {
+        states_checked += 1;
+        let run = exec.run(InitialState::Explicit(init.clone()), round_bound);
+        if !run.stabilized() {
+            return ExhaustiveReport {
+                states_checked,
+                max_rounds,
+                counterexample: Some(init),
+                failed_to_stabilize: true,
+            };
+        }
+        max_rounds = max_rounds.max(run.rounds());
+        if !proto.is_legitimate(graph, &run.final_states) || !check(graph, &run.final_states) {
+            return ExhaustiveReport {
+                states_checked,
+                max_rounds,
+                counterexample: Some(init),
+                failed_to_stabilize: false,
+            };
+        }
+    }
+    ExhaustiveReport {
+        states_checked,
+        max_rounds,
+        counterexample: None,
+        failed_to_stabilize: false,
+    }
+}
+
+/// All labelled **connected** graphs on `n` nodes (`n <= 6` is practical:
+/// there are 2^(n(n-1)/2) labelled graphs to filter).
+pub fn all_connected_graphs(n: usize) -> impl Iterator<Item = Graph> {
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    let count: u64 = 1u64 << pairs.len();
+    assert!(pairs.len() <= 32, "too many node pairs for enumeration");
+    (0..count).filter_map(move |mask| {
+        let mut g = Graph::empty(n);
+        for (bit, &(i, j)) in pairs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                g.add_edge(Node::from(i), Node::from(j));
+            }
+        }
+        is_connected(&g).then_some(g)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn product_iterator_counts() {
+        let g = generators::path(3);
+        let total = all_initial_states(&g, &MaxProto).count();
+        assert_eq!(total, 4 * 4 * 4);
+        assert_eq!(state_space_size(&g, &MaxProto), 64);
+    }
+
+    #[test]
+    fn product_iterator_covers_all_distinct() {
+        let g = generators::path(2);
+        let mut all: Vec<Vec<u8>> = all_initial_states(&g, &MaxProto).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn max_proto_verifies_exhaustively() {
+        let g = generators::cycle(4);
+        // MaxProto stabilizes within diameter rounds (= 2 on C4); every
+        // fixpoint is a constant vector.
+        let report = verify_all_initial_states(&g, &MaxProto, 2, |_, states| {
+            states.windows(2).all(|w| w[0] == w[1])
+        });
+        assert!(report.all_ok(), "{report:?}");
+        assert_eq!(report.states_checked, 256);
+        assert!(report.max_rounds <= 2);
+    }
+
+    #[test]
+    fn violation_is_reported() {
+        let g = generators::path(4);
+        // Impossible round bound 0: any non-fixpoint initial state fails.
+        let report = verify_all_initial_states(&g, &MaxProto, 0, |_, _| true);
+        assert!(!report.all_ok());
+        assert!(report.failed_to_stabilize);
+    }
+
+    #[test]
+    fn predicate_violation_reported() {
+        let g = generators::path(3);
+        let report = verify_all_initial_states(&g, &MaxProto, 10, |_, states| {
+            states[0] == 0 // false for most fixpoints
+        });
+        assert!(!report.all_ok());
+        assert!(!report.failed_to_stabilize);
+    }
+
+    #[test]
+    fn connected_graph_counts() {
+        // Known counts of labelled connected graphs: 1, 1, 4, 38, 728.
+        assert_eq!(all_connected_graphs(1).count(), 1);
+        assert_eq!(all_connected_graphs(2).count(), 1);
+        assert_eq!(all_connected_graphs(3).count(), 4);
+        assert_eq!(all_connected_graphs(4).count(), 38);
+        assert_eq!(all_connected_graphs(5).count(), 728);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fault injection: transient state corruption and topology churn.
+//!
+//! The defining property of a self-stabilizing protocol is recovery from
+//! *any* transient fault: corrupted memory is just an arbitrary state, and a
+//! topology change (the paper's motivating fault: hosts moving in and out of
+//! radio range) leaves the old state vector in place on a new graph. Both
+//! are modelled here as transformations of a stabilized state vector, after
+//! which the executor is re-run to measure **re-stabilization cost**.
+
+use crate::protocol::{InitialState, Protocol};
+use crate::sync::{Run, SyncExecutor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selfstab_graph::mutate::{Churn, TopologyEvent};
+use selfstab_graph::{Graph, Node};
+
+/// Overwrite the states of `k` distinct random nodes with arbitrary states.
+/// Returns the corrupted nodes.
+pub fn corrupt_random_nodes<P: Protocol>(
+    proto: &P,
+    graph: &Graph,
+    states: &mut [P::State],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Node> {
+    assert_eq!(states.len(), graph.n());
+    let k = k.min(graph.n());
+    let mut victims: Vec<Node> = graph.nodes().collect();
+    // Partial Fisher–Yates: choose k distinct victims.
+    for i in 0..k {
+        let j = rng.random_range(i..victims.len());
+        victims.swap(i, j);
+    }
+    victims.truncate(k);
+    for &v in &victims {
+        states[v.index()] = proto.arbitrary_state(v, graph.neighbors(v), rng);
+    }
+    victims
+}
+
+/// Result of a fault-recovery experiment.
+#[derive(Clone, Debug)]
+pub struct Recovery<S> {
+    /// The re-stabilization run (starting from the perturbed state).
+    pub run: Run<S>,
+    /// Nodes whose final state differs from their pre-fault state — a
+    /// measure of fault containment ("how far did the disturbance spread").
+    pub perturbed_nodes: usize,
+}
+
+/// Stabilize, corrupt `k` node states, and re-stabilize.
+///
+/// Returns `(initial_run, recovery)`. Panics if the initial run does not
+/// stabilize within `max_rounds` — call this only for stabilizing protocols.
+pub fn corrupt_and_recover<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    k: usize,
+    seed: u64,
+    max_rounds: usize,
+) -> (Run<P::State>, Recovery<P::State>) {
+    let exec = SyncExecutor::new(graph, proto);
+    let initial = exec.run(InitialState::Random { seed }, max_rounds);
+    assert!(
+        initial.stabilized(),
+        "protocol must stabilize before fault injection"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut states = initial.final_states.clone();
+    corrupt_random_nodes(proto, graph, &mut states, k, &mut rng);
+    let run = exec.run(InitialState::Explicit(states), max_rounds);
+    let perturbed_nodes = run
+        .final_states
+        .iter()
+        .zip(&initial.final_states)
+        .filter(|(a, b)| a != b)
+        .count();
+    (initial, Recovery {
+        run,
+        perturbed_nodes,
+    })
+}
+
+/// Everything `churn_and_recover` produces: the post-churn graph, the
+/// applied events, the initial (pre-fault) run, and the recovery.
+pub type ChurnOutcome<S> = (Graph, Vec<TopologyEvent>, Run<S>, Recovery<S>);
+
+/// Stabilize, apply `k` connectivity-preserving topology changes, and
+/// re-stabilize **on the new graph** keeping the old states (the paper's
+/// mobility fault). Returns the changed graph, the applied events, and the
+/// recovery.
+pub fn churn_and_recover<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    k: usize,
+    seed: u64,
+    max_rounds: usize,
+) -> ChurnOutcome<P::State> {
+    let exec = SyncExecutor::new(graph, proto);
+    let initial = exec.run(InitialState::Random { seed }, max_rounds);
+    assert!(
+        initial.stabilized(),
+        "protocol must stabilize before churn injection"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+    let mut new_graph = graph.clone();
+    let events = Churn::default().apply(&mut new_graph, k, &mut rng);
+    let exec2 = SyncExecutor::new(&new_graph, proto);
+    let run = exec2.run(InitialState::Explicit(initial.final_states.clone()), max_rounds);
+    let perturbed_nodes = run
+        .final_states
+        .iter()
+        .zip(&initial.final_states)
+        .filter(|(a, b)| a != b)
+        .count();
+    (new_graph, events, initial.clone(), Recovery {
+        run,
+        perturbed_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+    use selfstab_graph::traversal::is_connected;
+
+    #[test]
+    fn corruption_hits_exactly_k_distinct_nodes() {
+        let g = generators::complete(10);
+        let mut states = vec![9u8; 10];
+        let mut rng = StdRng::seed_from_u64(1);
+        // Corrupt with a protocol whose arbitrary states are < 4, so any
+        // corrupted node is identifiable.
+        let victims = corrupt_random_nodes(&MaxProto, &g, &mut states, 4, &mut rng);
+        assert_eq!(victims.len(), 4);
+        let mut unique = victims.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "victims must be distinct");
+        let changed = states.iter().filter(|&&s| s != 9).count();
+        assert!(changed <= 4);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let g = generators::path(3);
+        let mut states = vec![9u8; 3];
+        let mut rng = StdRng::seed_from_u64(2);
+        let victims = corrupt_random_nodes(&MaxProto, &g, &mut states, 100, &mut rng);
+        assert_eq!(victims.len(), 3);
+    }
+
+    #[test]
+    fn recover_from_corruption() {
+        let g = generators::grid(4, 4);
+        let (initial, recovery) = corrupt_and_recover(&g, &MaxProto, 3, 7, 1_000);
+        assert!(initial.stabilized());
+        assert!(recovery.run.stabilized());
+        // MaxProto's legitimate states are constant vectors at the max; the
+        // recovered vector must again be constant.
+        let m = *recovery.run.final_states.iter().max().unwrap();
+        assert!(recovery.run.final_states.iter().all(|&s| s == m));
+    }
+
+    #[test]
+    fn recover_from_churn() {
+        let g = generators::cycle(12);
+        let (new_g, events, initial, recovery) = churn_and_recover(&g, &MaxProto, 5, 3, 1_000);
+        assert!(is_connected(&new_g));
+        assert!(!events.is_empty());
+        assert!(initial.stabilized());
+        assert!(recovery.run.stabilized());
+    }
+}

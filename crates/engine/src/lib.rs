@@ -1,0 +1,40 @@
+//! Execution engine for self-stabilizing guarded-rule protocols.
+//!
+//! A self-stabilizing protocol (Dijkstra 1974) is a set of guarded rules
+//! `guard(local view) → assignment` per node. Which privileged (rule-enabled)
+//! nodes actually move at each instant is decided by a *daemon*:
+//!
+//! * the **synchronous daemon** ([`sync`]) moves *every* privileged node
+//!   simultaneously — this is the beacon-driven model of the paper, where a
+//!   round ends once every node has heard every neighbor's state;
+//! * the **central daemon** ([`central`]) moves exactly one privileged node
+//!   per step — the classical adversarial model the Hsu–Huang baseline was
+//!   designed for;
+//! * the **distributed daemon** ([`distributed`]) moves an arbitrary
+//!   non-empty subset per step, interpolating between the two.
+//!
+//! On top of the executors the crate provides oscillation detection
+//! (non-stabilizing executions provably cycle, because the system is
+//! deterministic and finite — [`sync`] catches that), fault injection
+//! ([`faults`]), brute-force verification over *all* initial states and all
+//! small connected topologies ([`exhaustive`]), and a data-parallel
+//! synchronous executor ([`par`]) that is bit-identical to the serial one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod compose;
+pub mod distributed;
+pub mod exhaustive;
+pub mod faults;
+pub mod par;
+pub mod potential;
+pub mod protocol;
+pub mod record;
+pub mod sync;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use protocol::{InitialState, Move, Protocol, View};
+pub use sync::{Outcome, Run, SyncExecutor};

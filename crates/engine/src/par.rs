@@ -1,0 +1,169 @@
+//! Data-parallel synchronous executor.
+//!
+//! The synchronous daemon is embarrassingly parallel *within* a round: each
+//! node's move depends only on the previous round's states. This executor
+//! partitions the node range into chunks and evaluates guards on scoped
+//! threads (`std::thread::scope`, no dependencies, no unsafe), then applies
+//! all moves on the coordinating thread. Results are **bit-identical** to
+//! [`crate::sync::SyncExecutor`] — asserted by tests — because the protocol
+//! step is a pure function of the immutable previous state vector and moves
+//! are applied in node order either way.
+//!
+//! Guard evaluation is `O(Σ deg)` per round; parallelism pays off from a few
+//! tens of thousands of nodes (see the `throughput` bench, experiment E12).
+
+use crate::protocol::{InitialState, Move, Protocol, View};
+use crate::sync::{Outcome, Run};
+use selfstab_graph::{Graph, Node};
+use std::num::NonZeroUsize;
+
+/// Parallel synchronous executor.
+pub struct ParSyncExecutor<'a, P: Protocol> {
+    graph: &'a Graph,
+    proto: &'a P,
+    threads: NonZeroUsize,
+}
+
+impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
+    /// New executor using all available parallelism.
+    pub fn new(graph: &'a Graph, proto: &'a P) -> Self {
+        let threads = std::thread::available_parallelism()
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
+        ParSyncExecutor {
+            graph,
+            proto,
+            threads,
+        }
+    }
+
+    /// Override the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero");
+        self
+    }
+
+    /// Compute all privileged moves for `states`, in node order, using
+    /// chunked scoped threads.
+    fn privileged_moves(&self, states: &[P::State]) -> Vec<(Node, Move<P::State>)> {
+        let n = self.graph.n();
+        let threads = self.threads.get().min(n.max(1));
+        // Below this size, thread spawn overhead dominates; match the
+        // serial path exactly.
+        if threads == 1 || n < 4096 {
+            return self
+                .graph
+                .nodes()
+                .filter_map(|v| {
+                    let view = View::new(v, self.graph.neighbors(v), states);
+                    self.proto.step(view).map(|m| (v, m))
+                })
+                .collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let graph = self.graph;
+                    let proto = self.proto;
+                    scope.spawn(move || {
+                        (lo..hi)
+                            .filter_map(|i| {
+                                let v = Node::from(i);
+                                let view = View::new(v, graph.neighbors(v), states);
+                                proto.step(view).map(|m| (v, m))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        });
+        partials.concat()
+    }
+
+    /// Execute synchronously from `init` for at most `max_rounds` rounds.
+    /// Semantics identical to [`crate::sync::SyncExecutor::run`] without
+    /// tracing or cycle detection.
+    pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+        let mut states = init.materialize(self.graph, self.proto);
+        let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
+        let mut round = 0usize;
+        loop {
+            let moves = self.privileged_moves(&states);
+            if moves.is_empty() {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::Stabilized,
+                    trace: None,
+                };
+            }
+            if round >= max_rounds {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::RoundLimit,
+                    trace: None,
+                };
+            }
+            for (v, m) in moves {
+                moves_per_rule[m.rule] += 1;
+                states[v.index()] = m.next;
+            }
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::SyncExecutor;
+    use crate::testutil::MaxProto;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn identical_to_serial_small() {
+        let g = generators::grid(8, 8);
+        for seed in 0..5 {
+            let serial = SyncExecutor::new(&g, &MaxProto).run_random(seed, 1_000);
+            let par = ParSyncExecutor::new(&g, &MaxProto)
+                .run(InitialState::Random { seed }, 1_000);
+            assert_eq!(serial.final_states, par.final_states);
+            assert_eq!(serial.rounds, par.rounds);
+            assert_eq!(serial.moves_per_rule, par.moves_per_rule);
+        }
+    }
+
+    #[test]
+    fn identical_to_serial_above_parallel_threshold() {
+        // 80x80 grid = 6400 nodes > the 4096 threshold, so the threaded
+        // path actually runs.
+        let g = generators::grid(80, 80);
+        let serial = SyncExecutor::new(&g, &MaxProto).run_random(11, 10_000);
+        let par = ParSyncExecutor::new(&g, &MaxProto)
+            .with_threads(4)
+            .run(InitialState::Random { seed: 11 }, 10_000);
+        assert_eq!(serial.final_states, par.final_states);
+        assert_eq!(serial.rounds, par.rounds);
+        assert_eq!(serial.moves_per_rule, par.moves_per_rule);
+    }
+
+    #[test]
+    fn single_thread_override() {
+        let g = generators::random_geometric_connected(50, 0.3, &mut StdRng::seed_from_u64(2));
+        let run = ParSyncExecutor::new(&g, &MaxProto)
+            .with_threads(1)
+            .run(InitialState::Random { seed: 0 }, 1_000);
+        assert!(run.stabilized());
+    }
+}

@@ -1,0 +1,121 @@
+//! Potential-function tracking along executions.
+//!
+//! Self-stabilization proofs (the paper's Lemmas 1 and 9–10 included) hinge
+//! on a quantity that moves monotonically round over round — `|M_t|` for
+//! SMM, the fixed prefix of the ID order for SMI. This module evaluates a
+//! user-supplied potential after every round and reports the series plus
+//! simple shape facts, so tests can check proof arguments *empirically*
+//! instead of only checking endpoints.
+
+use crate::protocol::{InitialState, Protocol};
+use crate::sync::{Run, SyncExecutor};
+use selfstab_graph::Graph;
+
+/// A recorded potential series: `values[0]` is the initial state's
+/// potential, `values[t]` the potential after round `t`.
+#[derive(Clone, Debug)]
+pub struct PotentialSeries<V> {
+    /// The per-round potential values.
+    pub values: Vec<V>,
+}
+
+impl<V: PartialOrd> PotentialSeries<V> {
+    /// Is the series non-decreasing?
+    pub fn is_non_decreasing(&self) -> bool {
+        self.values.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Is the series non-increasing?
+    pub fn is_non_increasing(&self) -> bool {
+        self.values.windows(2).all(|w| w[0] >= w[1])
+    }
+
+    /// Is the series strictly increasing at least every `k` steps — i.e.
+    /// over every window of `k` rounds there is strict progress? (The
+    /// Lemma 10 shape with `k = 2`.)
+    pub fn strictly_increases_every(&self, k: usize) -> bool {
+        assert!(k >= 1);
+        if self.values.len() <= k {
+            return true;
+        }
+        (0..self.values.len() - k).all(|t| self.values[t] < self.values[t + k])
+    }
+}
+
+/// Run `proto` synchronously while evaluating `phi` on the global state
+/// after every round (and once on the initial state).
+pub fn track<P, V, F>(
+    graph: &Graph,
+    proto: &P,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    phi: F,
+) -> (Run<P::State>, PotentialSeries<V>)
+where
+    P: Protocol,
+    F: Fn(&Graph, &[P::State]) -> V,
+{
+    let initial_states = init.materialize(graph, proto);
+    let mut values = vec![phi(graph, &initial_states)];
+    let exec = SyncExecutor::new(graph, proto);
+    let run = exec.run_with_observer(
+        InitialState::Explicit(initial_states),
+        max_rounds,
+        |_round, _moves, states| {
+            values.push(phi(graph, states));
+        },
+    );
+    (run, PotentialSeries { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn series_shape_helpers() {
+        let s = PotentialSeries {
+            values: vec![1, 1, 2, 2, 3],
+        };
+        assert!(s.is_non_decreasing());
+        assert!(!s.is_non_increasing());
+        assert!(s.strictly_increases_every(2));
+        assert!(!s.strictly_increases_every(1));
+        let short = PotentialSeries { values: vec![5] };
+        assert!(short.is_non_decreasing());
+        assert!(short.strictly_increases_every(3));
+    }
+
+    #[test]
+    fn max_proto_sum_is_non_decreasing() {
+        let g = generators::grid(4, 4);
+        let (run, series) = track(
+            &g,
+            &MaxProto,
+            InitialState::Random { seed: 3 },
+            100,
+            |_, states| states.iter().map(|&s| s as u64).sum::<u64>(),
+        );
+        assert!(run.stabilized());
+        assert_eq!(series.values.len(), run.rounds() + 1);
+        assert!(series.is_non_decreasing());
+    }
+
+    #[test]
+    fn count_of_maximal_values_strictly_grows() {
+        let g = generators::path(12);
+        let mut init = vec![0u8; 12];
+        init[0] = 3;
+        let (run, series) = track(
+            &g,
+            &MaxProto,
+            InitialState::Explicit(init),
+            100,
+            |_, states| states.iter().filter(|&&s| s == 3).count(),
+        );
+        assert!(run.stabilized());
+        assert!(series.strictly_increases_every(1), "{:?}", series.values);
+    }
+}

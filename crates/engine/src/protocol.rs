@@ -1,0 +1,204 @@
+//! The [`Protocol`] abstraction: guarded rules over a one-hop view.
+//!
+//! A protocol in the paper's model is *uniform* (every node runs the same
+//! rules), *local* (guards read only the node's own state and the states of
+//! its current neighbors — exactly the information carried by beacon
+//! messages), and *memoryless* across rounds. The trait below captures that:
+//! [`Protocol::step`] is a pure function of a [`View`]; the engine owns all
+//! scheduling.
+
+use rand::rngs::StdRng;
+use selfstab_graph::{Graph, Ids, Node};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A node's one-hop view: its own state plus the states its neighbors
+/// advertised in their latest beacons.
+#[derive(Copy, Clone)]
+pub struct View<'a, S> {
+    node: Node,
+    neighbors: &'a [Node],
+    states: &'a [S],
+}
+
+impl<'a, S> View<'a, S> {
+    /// Build a view for `node` from the global state vector. The engine
+    /// calls this; protocols only consume it.
+    pub fn new(node: Node, neighbors: &'a [Node], states: &'a [S]) -> Self {
+        View {
+            node,
+            neighbors,
+            states,
+        }
+    }
+
+    /// The node whose view this is.
+    #[inline]
+    pub fn node(&self) -> Node {
+        self.node
+    }
+
+    /// This node's own state.
+    #[inline]
+    pub fn own(&self) -> &S {
+        &self.states[self.node.index()]
+    }
+
+    /// The node's current neighbor list (sorted by index).
+    #[inline]
+    pub fn neighbors(&self) -> &'a [Node] {
+        self.neighbors
+    }
+
+    /// Whether `v` is currently a neighbor.
+    #[inline]
+    pub fn is_neighbor(&self, v: Node) -> bool {
+        self.neighbors.binary_search(&v).is_ok()
+    }
+
+    /// The advertised state of neighbor `v`; `None` if `v` is not a
+    /// neighbor (e.g. a dangling pointer after a link failure).
+    #[inline]
+    pub fn neighbor_state(&self, v: Node) -> Option<&'a S> {
+        self.is_neighbor(v).then(|| &self.states[v.index()])
+    }
+
+    /// Iterate over `(neighbor, state)` pairs in index order.
+    pub fn neighbor_states(&self) -> impl Iterator<Item = (Node, &'a S)> + '_ {
+        self.neighbors.iter().map(|&v| (v, &self.states[v.index()]))
+    }
+}
+
+/// The effect of firing one rule: which rule fired (index into
+/// [`Protocol::rule_names`]) and the node's next state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Move<S> {
+    /// Index of the rule that fired.
+    pub rule: usize,
+    /// The node's state after the move.
+    pub next: S,
+}
+
+/// A uniform guarded-rule protocol.
+///
+/// Implementations must be deterministic: for a given view, at most one rule
+/// is enabled (or the implementation picks a canonical one), matching the
+/// synchronous model where a node "takes action after receiving beacon
+/// messages from all the neighboring nodes".
+pub trait Protocol: Sync {
+    /// Per-node state carried in beacon messages.
+    type State: Clone + PartialEq + Eq + Hash + Debug + Send + Sync;
+
+    /// Human-readable rule names, e.g. `["R1:accept", "R2:propose", "R3:back-off"]`.
+    fn rule_names(&self) -> &'static [&'static str];
+
+    /// The canonical "clean" state (used by [`InitialState::Default`]).
+    fn default_state(&self) -> Self::State;
+
+    /// An arbitrary state for `node`, drawn uniformly from the node's local
+    /// state space. Self-stabilization must cope with *any* of these.
+    fn arbitrary_state(&self, node: Node, neighbors: &[Node], rng: &mut StdRng) -> Self::State;
+
+    /// Enumerate the node's entire local state space (used by the exhaustive
+    /// verifier on small instances).
+    fn enumerate_states(&self, node: Node, neighbors: &[Node]) -> Vec<Self::State>;
+
+    /// Evaluate the guards for `view`'s node: `Some(move)` iff the node is
+    /// privileged.
+    fn step(&self, view: View<'_, Self::State>) -> Option<Move<Self::State>>;
+
+    /// Whether the global state is a legitimate fixpoint *for this
+    /// protocol's target predicate* — used by tests and the exhaustive
+    /// verifier to check that silence implies correctness (Lemma 8 / Lemma
+    /// 13 of the paper). Default: any fixpoint is accepted.
+    fn is_legitimate(&self, _graph: &Graph, _states: &[Self::State]) -> bool {
+        true
+    }
+}
+
+/// How the engine seeds the global state before an execution.
+#[derive(Clone, Debug)]
+pub enum InitialState<S> {
+    /// Every node starts in [`Protocol::default_state`].
+    Default,
+    /// Every node starts in an independently drawn arbitrary state
+    /// (deterministic in the seed).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// Explicit states, e.g. a previously stabilized vector after injected
+    /// faults.
+    Explicit(Vec<S>),
+}
+
+impl<S: Clone> InitialState<S> {
+    /// Materialize the initial state vector for `graph` under `proto`.
+    pub fn materialize<P>(&self, graph: &Graph, proto: &P) -> Vec<S>
+    where
+        P: Protocol<State = S>,
+    {
+        use rand::SeedableRng;
+        match self {
+            InitialState::Default => vec![proto.default_state(); graph.n()],
+            InitialState::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                graph
+                    .nodes()
+                    .map(|v| proto.arbitrary_state(v, graph.neighbors(v), &mut rng))
+                    .collect()
+            }
+            InitialState::Explicit(states) => {
+                assert_eq!(states.len(), graph.n(), "explicit state vector length");
+                states.clone()
+            }
+        }
+    }
+}
+
+/// Helper shared by protocol implementations: the node with the minimum ID
+/// among candidates, per the paper's `min{j ∈ N(i) : …}` notation.
+pub fn min_id_node(ids: &Ids, candidates: impl IntoIterator<Item = Node>) -> Option<Node> {
+    ids.min_by_id(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn view_accessors() {
+        let g = generators::path(3);
+        let states = vec![10u8, 20, 30];
+        let v = View::new(Node(1), g.neighbors(Node(1)), &states);
+        assert_eq!(v.node(), Node(1));
+        assert_eq!(*v.own(), 20);
+        assert!(v.is_neighbor(Node(0)));
+        assert!(!v.is_neighbor(Node(1)));
+        assert_eq!(v.neighbor_state(Node(2)), Some(&30));
+        assert_eq!(v.neighbor_state(Node(1)), None);
+        let pairs: Vec<_> = v.neighbor_states().collect();
+        assert_eq!(pairs, vec![(Node(0), &10), (Node(2), &30)]);
+    }
+
+    #[test]
+    fn initial_state_materialization() {
+        let g = generators::cycle(4);
+        let proto = MaxProto;
+        assert_eq!(InitialState::Default.materialize(&g, &proto), vec![0, 0, 0, 0]);
+        let a = InitialState::<u8>::Random { seed: 1 }.materialize(&g, &proto);
+        let b = InitialState::<u8>::Random { seed: 1 }.materialize(&g, &proto);
+        assert_eq!(a, b, "same seed, same states");
+        let ex = InitialState::Explicit(vec![3, 1, 2, 0]).materialize(&g, &proto);
+        assert_eq!(ex, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn explicit_wrong_length_panics() {
+        let g = generators::cycle(4);
+        InitialState::Explicit(vec![1u8]).materialize(&g, &MaxProto);
+    }
+}

@@ -1,0 +1,170 @@
+//! Recording, serializing, and validating executions.
+//!
+//! A recorded run is the forensic artifact of a distributed-algorithm bug
+//! report: the topology, the protocol's rule names, and the full state
+//! trace. [`to_json`]/[`from_json`] round-trip it;
+//! [`validate_trace`] replays a trace against a protocol and checks every
+//! transition obeys the synchronous semantics — so a trace captured
+//! elsewhere (another implementation, a testbed log) can be machine-checked
+//! against this reference implementation.
+
+use crate::protocol::Protocol;
+use crate::sync::SyncExecutor;
+use selfstab_graph::{Graph, Node};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained serialized execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecordedRun<S> {
+    /// The topology the run executed on.
+    pub graph: Graph,
+    /// Rule names of the protocol (for display; not needed to validate).
+    pub rule_names: Vec<String>,
+    /// `trace[t]` = global state at time `t`.
+    pub trace: Vec<Vec<S>>,
+    /// Whether the final state is a fixpoint.
+    pub stabilized: bool,
+}
+
+/// Record an already-executed trace (e.g. `Run::trace`) into a portable
+/// structure.
+pub fn record<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    trace: Vec<Vec<P::State>>,
+    stabilized: bool,
+) -> RecordedRun<P::State> {
+    RecordedRun {
+        graph: graph.clone(),
+        rule_names: proto.rule_names().iter().map(|s| s.to_string()).collect(),
+        trace,
+        stabilized,
+    }
+}
+
+/// Serialize to JSON.
+pub fn to_json<S: Serialize>(run: &RecordedRun<S>) -> String {
+    serde_json::to_string(run).expect("recorded runs are serializable")
+}
+
+/// Deserialize from JSON.
+pub fn from_json<S: DeserializeOwned>(s: &str) -> Result<RecordedRun<S>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Why a trace failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Two consecutive global states differ at a node the protocol did not
+    /// move, or agree where it had to move.
+    WrongTransition {
+        /// The offending round (`t → t+1`).
+        round: usize,
+        /// The first offending node.
+        node: Node,
+    },
+    /// The trace claims stabilization but the final state has privileged
+    /// nodes (or vice versa).
+    WrongTermination,
+    /// A state vector has the wrong length.
+    ShapeMismatch,
+}
+
+/// Validate that `rec.trace` is a genuine synchronous execution of `proto`
+/// on `rec.graph`: at every step, exactly the privileged nodes move, each
+/// to its prescribed next state.
+pub fn validate_trace<P: Protocol>(proto: &P, rec: &RecordedRun<P::State>) -> Result<(), TraceError> {
+    let exec = SyncExecutor::new(&rec.graph, proto);
+    let n = rec.graph.n();
+    for states in &rec.trace {
+        if states.len() != n {
+            return Err(TraceError::ShapeMismatch);
+        }
+    }
+    for (t, pair) in rec.trace.windows(2).enumerate() {
+        let (cur, next) = (&pair[0], &pair[1]);
+        let moves = exec.privileged_moves(cur);
+        let mut expected = cur.clone();
+        for (v, m) in moves {
+            expected[v.index()] = m.next;
+        }
+        if let Some(i) = (0..n).find(|&i| expected[i] != next[i]) {
+            return Err(TraceError::WrongTransition {
+                round: t,
+                node: Node::from(i),
+            });
+        }
+    }
+    if let Some(last) = rec.trace.last() {
+        let quiet = exec.privileged_moves(last).is_empty();
+        if quiet != rec.stabilized {
+            return Err(TraceError::WrongTermination);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::InitialState;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+
+    fn traced_run() -> (selfstab_graph::Graph, RecordedRun<u8>) {
+        let g = generators::grid(3, 3);
+        let run = SyncExecutor::new(&g, &MaxProto)
+            .with_trace()
+            .run(InitialState::Random { seed: 4 }, 100);
+        assert!(run.stabilized());
+        let rec = record(&g, &MaxProto, run.trace.clone().unwrap(), run.stabilized());
+        (g, rec)
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (_, rec) = traced_run();
+        let json = to_json(&rec);
+        let back: RecordedRun<u8> = from_json(&json).unwrap();
+        assert_eq!(back.trace, rec.trace);
+        assert_eq!(back.stabilized, rec.stabilized);
+        assert_eq!(back.graph, rec.graph);
+        assert_eq!(back.rule_names, vec!["copy-max"]);
+    }
+
+    #[test]
+    fn genuine_traces_validate() {
+        let (_, rec) = traced_run();
+        assert_eq!(validate_trace(&MaxProto, &rec), Ok(()));
+    }
+
+    #[test]
+    fn tampered_traces_are_rejected() {
+        let (_, mut rec) = traced_run();
+        // Tamper with a middle state.
+        let mid = rec.trace.len() / 2;
+        rec.trace[mid][0] = rec.trace[mid][0].wrapping_add(1);
+        assert!(matches!(
+            validate_trace(&MaxProto, &rec),
+            Err(TraceError::WrongTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_termination_flag_rejected() {
+        let (_, mut rec) = traced_run();
+        rec.stabilized = false;
+        assert_eq!(
+            validate_trace(&MaxProto, &rec),
+            Err(TraceError::WrongTermination)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (_, mut rec) = traced_run();
+        rec.trace[0].pop();
+        assert_eq!(validate_trace(&MaxProto, &rec), Err(TraceError::ShapeMismatch));
+    }
+}

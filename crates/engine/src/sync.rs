@@ -1,0 +1,360 @@
+//! The synchronous daemon: the execution model of the paper.
+//!
+//! In each *round* every node has received beacons (states) from all its
+//! neighbors and every privileged node fires its enabled rule
+//! simultaneously. The executor applies rounds until a fixpoint, a detected
+//! oscillation, or a round limit.
+//!
+//! Because the composed system is deterministic and the state space finite,
+//! an execution either reaches a fixpoint or enters a cycle; with
+//! [`SyncExecutor::with_cycle_detection`] enabled the executor distinguishes the
+//! two exactly (used to *prove* the paper's C₄ counterexample oscillates
+//! rather than merely time out).
+
+use crate::protocol::{InitialState, Protocol, View};
+use selfstab_graph::{Graph, Node};
+use std::collections::HashMap;
+
+/// Why an execution ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// No node was privileged: a fixpoint was reached.
+    Stabilized,
+    /// The global state repeated: the execution oscillates forever.
+    Cycle {
+        /// Round at which the repeated state was first seen.
+        first_seen: usize,
+        /// Cycle length in rounds.
+        period: usize,
+    },
+    /// The round limit was hit without fixpoint or (detected) cycle.
+    RoundLimit,
+}
+
+/// The result of one synchronous execution.
+#[derive(Clone, Debug)]
+pub struct Run<S> {
+    /// Global state when the execution ended.
+    pub final_states: Vec<S>,
+    /// Number of rounds in which at least one node moved.
+    pub rounds: usize,
+    /// Moves per rule (indexed like [`Protocol::rule_names`]).
+    pub moves_per_rule: Vec<u64>,
+    /// Why the execution ended.
+    pub outcome: Outcome,
+    /// Recorded state history (`trace[t]` = global state at time `t`,
+    /// `trace[0]` = initial), present iff tracing was enabled.
+    pub trace: Option<Vec<Vec<S>>>,
+}
+
+impl<S> Run<S> {
+    /// Whether the run reached a fixpoint.
+    pub fn stabilized(&self) -> bool {
+        self.outcome == Outcome::Stabilized
+    }
+
+    /// Rounds until stabilization (the paper's complexity measure).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total moves across all rules.
+    pub fn total_moves(&self) -> u64 {
+        self.moves_per_rule.iter().sum()
+    }
+}
+
+/// Synchronous-model executor for a protocol on a fixed topology.
+pub struct SyncExecutor<'a, P: Protocol> {
+    graph: &'a Graph,
+    proto: &'a P,
+    trace: bool,
+    detect_cycles: bool,
+}
+
+impl<'a, P: Protocol> SyncExecutor<'a, P> {
+    /// New executor with tracing and cycle detection disabled.
+    pub fn new(graph: &'a Graph, proto: &'a P) -> Self {
+        SyncExecutor {
+            graph,
+            proto,
+            trace: false,
+            detect_cycles: false,
+        }
+    }
+
+    /// Record the full state history in the returned [`Run`].
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Detect repeated global states (memory: one copy of every distinct
+    /// visited state).
+    pub fn with_cycle_detection(mut self) -> Self {
+        self.detect_cycles = true;
+        self
+    }
+
+    /// The topology this executor runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Compute the moves of all privileged nodes for the given global state.
+    /// Returns `(node, move)` pairs in node order.
+    pub fn privileged_moves(&self, states: &[P::State]) -> Vec<(Node, crate::protocol::Move<P::State>)> {
+        self.graph
+            .nodes()
+            .filter_map(|v| {
+                let view = View::new(v, self.graph.neighbors(v), states);
+                self.proto.step(view).map(|m| (v, m))
+            })
+            .collect()
+    }
+
+    /// Execute synchronously from `init` for at most `max_rounds` rounds.
+    pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+        let mut states = init.materialize(self.graph, self.proto);
+        let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
+        let mut trace = self.trace.then(|| vec![states.clone()]);
+        let mut seen: Option<HashMap<Vec<P::State>, usize>> = self.detect_cycles.then(HashMap::new);
+
+        let mut round = 0usize;
+        loop {
+            if let Some(seen) = seen.as_mut() {
+                if let Some(&first_seen) = seen.get(&states) {
+                    return Run {
+                        final_states: states,
+                        rounds: round,
+                        moves_per_rule,
+                        outcome: Outcome::Cycle {
+                            first_seen,
+                            period: round - first_seen,
+                        },
+                        trace,
+                    };
+                }
+                seen.insert(states.clone(), round);
+            }
+
+            let moves = self.privileged_moves(&states);
+            if moves.is_empty() {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::Stabilized,
+                    trace,
+                };
+            }
+            if round >= max_rounds {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::RoundLimit,
+                    trace,
+                };
+            }
+            for (v, m) in moves {
+                moves_per_rule[m.rule] += 1;
+                states[v.index()] = m.next;
+            }
+            round += 1;
+            if let Some(trace) = trace.as_mut() {
+                trace.push(states.clone());
+            }
+        }
+    }
+
+    /// Convenience: run from a random initial state.
+    pub fn run_random(&self, seed: u64, max_rounds: usize) -> Run<P::State> {
+        self.run(InitialState::Random { seed }, max_rounds)
+    }
+
+    /// Execute synchronously, invoking `observer` after every applied round
+    /// with the round index (1-based: the round that was just applied), the
+    /// moves of that round, and the resulting global state. Useful for
+    /// streaming metrics without the memory cost of a full trace.
+    pub fn run_with_observer<F>(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+        mut observer: F,
+    ) -> Run<P::State>
+    where
+        F: FnMut(usize, &[(Node, crate::protocol::Move<P::State>)], &[P::State]),
+    {
+        let mut states = init.materialize(self.graph, self.proto);
+        let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
+        let mut round = 0usize;
+        loop {
+            let moves = self.privileged_moves(&states);
+            if moves.is_empty() {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::Stabilized,
+                    trace: None,
+                };
+            }
+            if round >= max_rounds {
+                return Run {
+                    final_states: states,
+                    rounds: round,
+                    moves_per_rule,
+                    outcome: Outcome::RoundLimit,
+                    trace: None,
+                };
+            }
+            for (v, m) in &moves {
+                moves_per_rule[m.rule] += 1;
+                states[v.index()] = m.next.clone();
+            }
+            round += 1;
+            observer(round, &moves, &states);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Move;
+    use crate::testutil::MaxProto;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn max_protocol_stabilizes_to_global_max() {
+        let g = generators::path(10);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let run = exec.run(InitialState::Explicit(vec![0, 0, 3, 0, 0, 0, 0, 1, 0, 0]), 100);
+        assert!(run.stabilized());
+        assert!(run.final_states.iter().all(|&s| s == 3));
+        // Value 3 sits at index 2; farthest node is index 9, distance 7.
+        assert_eq!(run.rounds(), 7);
+        assert_eq!(run.total_moves() as usize, run.moves_per_rule[0] as usize);
+    }
+
+    #[test]
+    fn fixpoint_is_zero_rounds() {
+        let g = generators::cycle(5);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let run = exec.run(InitialState::Default, 10);
+        assert!(run.stabilized());
+        assert_eq!(run.rounds(), 0);
+        assert_eq!(run.total_moves(), 0);
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let g = generators::path(4);
+        let exec = SyncExecutor::new(&g, &MaxProto).with_trace();
+        let run = exec.run(InitialState::Explicit(vec![2, 0, 0, 0]), 100);
+        let trace = run.trace.as_ref().expect("tracing enabled");
+        assert_eq!(trace.len(), run.rounds() + 1);
+        assert_eq!(trace[0], vec![2, 0, 0, 0]);
+        assert_eq!(trace.last().unwrap(), &run.final_states);
+    }
+
+    /// A protocol that oscillates: two states, every node always flips.
+    struct Blinker;
+    impl Protocol for Blinker {
+        type State = bool;
+        fn rule_names(&self) -> &'static [&'static str] {
+            &["flip"]
+        }
+        fn default_state(&self) -> bool {
+            false
+        }
+        fn arbitrary_state(&self, _: Node, _: &[Node], rng: &mut StdRng) -> bool {
+            use rand::RngExt;
+            rng.random_bool(0.5)
+        }
+        fn enumerate_states(&self, _: Node, _: &[Node]) -> Vec<bool> {
+            vec![false, true]
+        }
+        fn step(&self, view: View<'_, bool>) -> Option<Move<bool>> {
+            Some(Move {
+                rule: 0,
+                next: !view.own(),
+            })
+        }
+    }
+
+    #[test]
+    fn cycle_detection_catches_oscillation() {
+        let g = generators::cycle(3);
+        let exec = SyncExecutor::new(&g, &Blinker).with_cycle_detection();
+        let run = exec.run(InitialState::Default, 1000);
+        assert_eq!(
+            run.outcome,
+            Outcome::Cycle {
+                first_seen: 0,
+                period: 2
+            }
+        );
+        assert!(!run.stabilized());
+    }
+
+    #[test]
+    fn round_limit_without_cycle_detection() {
+        let g = generators::cycle(3);
+        let exec = SyncExecutor::new(&g, &Blinker);
+        let run = exec.run(InitialState::Default, 17);
+        assert_eq!(run.outcome, Outcome::RoundLimit);
+        assert_eq!(run.rounds(), 17);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::erdos_renyi_connected(20, 0.2, &mut StdRng::seed_from_u64(0));
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let a = exec.run_random(99, 100);
+        let b = exec.run_random(99, 100);
+        assert_eq!(a.final_states, b.final_states);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn observer_sees_every_round_and_matches_plain_run() {
+        let g = generators::path(10);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let init = InitialState::Explicit(vec![0u8, 0, 3, 0, 0, 0, 0, 0, 0, 0]);
+        let mut rounds_seen = Vec::new();
+        let mut total_moves = 0usize;
+        let observed = exec.run_with_observer(init.clone(), 100, |round, moves, states| {
+            rounds_seen.push(round);
+            total_moves += moves.len();
+            assert!(!moves.is_empty());
+            assert_eq!(states.len(), 10);
+        });
+        let plain = exec.run(init, 100);
+        assert_eq!(observed.final_states, plain.final_states);
+        assert_eq!(observed.rounds, plain.rounds);
+        assert_eq!(observed.moves_per_rule, plain.moves_per_rule);
+        assert_eq!(rounds_seen, (1..=plain.rounds()).collect::<Vec<_>>());
+        assert_eq!(total_moves as u64, plain.total_moves());
+    }
+
+    #[test]
+    fn observer_not_called_at_fixpoint() {
+        let g = generators::cycle(4);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let mut called = false;
+        let run = exec.run_with_observer(InitialState::Default, 10, |_, _, _| called = true);
+        assert!(run.stabilized());
+        assert!(!called);
+    }
+}

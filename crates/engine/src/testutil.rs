@@ -1,0 +1,37 @@
+//! Shared test protocols for the engine's own unit tests.
+
+use crate::protocol::{Move, Protocol, View};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use selfstab_graph::Node;
+
+/// A toy self-stabilizing protocol: state is a small counter; a node is
+/// privileged while its counter is below the max of its neighbors' counters
+/// (it then copies that max). Stabilizes to the global maximum everywhere in
+/// eccentricity-many rounds.
+pub struct MaxProto;
+
+impl Protocol for MaxProto {
+    type State = u8;
+
+    fn rule_names(&self) -> &'static [&'static str] {
+        &["copy-max"]
+    }
+
+    fn default_state(&self) -> u8 {
+        0
+    }
+
+    fn arbitrary_state(&self, _: Node, _: &[Node], rng: &mut StdRng) -> u8 {
+        rng.random_range(0..4)
+    }
+
+    fn enumerate_states(&self, _: Node, _: &[Node]) -> Vec<u8> {
+        (0..4).collect()
+    }
+
+    fn step(&self, view: View<'_, u8>) -> Option<Move<u8>> {
+        let m = view.neighbor_states().map(|(_, &s)| s).max()?;
+        (m > *view.own()).then_some(Move { rule: 0, next: m })
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz DOT export for debugging and the examples.
+
+use crate::graph::{Edge, Graph};
+use crate::ids::Ids;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Render `g` as a Graphviz `graph`, optionally labelling nodes with their
+/// protocol IDs, bolding `highlight_edges` (e.g. the matching) and filling
+/// `highlight_nodes` (e.g. the independent set).
+pub fn to_dot(
+    g: &Graph,
+    ids: Option<&Ids>,
+    highlight_edges: &[Edge],
+    highlight_nodes: &[bool],
+) -> String {
+    let hl: HashSet<Edge> = highlight_edges.iter().copied().collect();
+    let mut out = String::new();
+    writeln!(out, "graph selfstab {{").unwrap();
+    writeln!(out, "  node [shape=circle];").unwrap();
+    for v in g.nodes() {
+        let label = match ids {
+            Some(ids) => format!("{}\\nid={}", v, ids.id(v)),
+            None => format!("{v}"),
+        };
+        let style = if highlight_nodes.get(v.index()).copied().unwrap_or(false) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        writeln!(out, "  {} [label=\"{}\"{}];", v.index(), label, style).unwrap();
+    }
+    for e in g.edges() {
+        let attr = if hl.contains(&e) {
+            " [penwidth=3, color=black]"
+        } else {
+            " [color=gray]"
+        };
+        writeln!(out, "  {} -- {}{};", e.a.index(), e.b.index(), attr).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Node;
+
+    #[test]
+    fn renders_highlights() {
+        let g = generators::path(3);
+        let m = [Edge::new(Node(0), Node(1))];
+        let s = to_dot(&g, Some(&Ids::identity(3)), &m, &[true, false, false]);
+        assert!(s.contains("graph selfstab"));
+        assert!(s.contains("0 -- 1 [penwidth=3"));
+        assert!(s.contains("1 -- 2 [color=gray]"));
+        assert!(s.contains("fillcolor=lightblue"));
+        assert!(s.contains("id=2"));
+    }
+
+    #[test]
+    fn renders_without_ids() {
+        let g = generators::cycle(3);
+        let s = to_dot(&g, None, &[], &[]);
+        assert_eq!(s.matches(" -- ").count(), 3);
+        assert!(!s.contains("id="));
+    }
+}

@@ -1,0 +1,279 @@
+//! The undirected system graph.
+//!
+//! Nodes are dense indices `0..n` wrapped in [`Node`]; adjacency lists are
+//! kept sorted so membership tests are `O(log deg)` and iteration order is
+//! deterministic, which the synchronous engine relies on for reproducible
+//! executions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node handle: a dense index into the graph's vertex set.
+///
+/// `Node` is *positional*; the comparable protocol identifier of a node is
+/// assigned separately via [`crate::ids::Ids`] so that experiments can permute
+/// IDs adversarially without rebuilding the topology.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Node(pub u32);
+
+impl Node {
+    /// The position of this node as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for Node {
+    fn from(i: usize) -> Self {
+        Node(u32::try_from(i).expect("node index exceeds u32::MAX"))
+    }
+}
+
+/// An undirected edge, stored with `a <= b` (by index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint (by index).
+    pub a: Node,
+    /// Larger endpoint (by index).
+    pub b: Node,
+}
+
+impl Edge {
+    /// Create a normalized edge; panics on self-loops.
+    pub fn new(u: Node, v: Node) -> Self {
+        assert_ne!(u, v, "self-loops are not allowed");
+        if u <= v {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// The endpoint different from `x`; panics if `x` is not an endpoint.
+    pub fn other(&self, x: Node) -> Node {
+        if x == self.a {
+            self.b
+        } else if x == self.b {
+            self.a
+        } else {
+            panic!("{x:?} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// An undirected simple graph with a fixed vertex set `0..n`.
+///
+/// The edge set can be mutated (see [`crate::mutate`]) to model link
+/// creation/failure caused by host mobility; the node set never changes,
+/// matching the system model of the paper ("no node leaves the system and no
+/// new node joins").
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<Node>>,
+    m: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "too many nodes");
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Build a graph on `n` nodes from an edge list. Duplicate edges are
+    /// ignored; self-loops panic.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::empty(n);
+        for (u, v) in edges {
+            g.add_edge(Node::from(u), Node::from(v));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = Node> + Clone + use<> {
+        (0..self.adj.len() as u32).map(Node)
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        u != v && self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Add edge `{u, v}`. Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(u.index() < self.n() && v.index() < self.n(), "node out of range");
+        match self.adj[u.index()].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u.index()].insert(pos_u, v);
+                let pos_v = self.adj[v.index()]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[v.index()].insert(pos_v, u);
+                self.m += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove edge `{u, v}`. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        if u == v {
+            return false;
+        }
+        match self.adj[u.index()].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u.index()].remove(pos_u);
+                let pos_v = self.adj[v.index()]
+                    .binary_search(&u)
+                    .expect("adjacency lists out of sync");
+                self.adj[v.index()].remove(pos_v);
+                self.m -= 1;
+                true
+            }
+        }
+    }
+
+    /// All edges, each reported once with `a < b`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = Node(u as u32);
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| Edge { a: u, b: v })
+        })
+    }
+
+    /// Sum of degrees (= 2m); used in sanity checks.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::empty(4);
+        assert!(g.add_edge(Node(0), Node(1)));
+        assert!(!g.add_edge(Node(1), Node(0)), "duplicate edge must be ignored");
+        assert!(g.add_edge(Node(1), Node(2)));
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(Node(0), Node(1)));
+        assert!(g.has_edge(Node(1), Node(0)));
+        assert!(!g.has_edge(Node(0), Node(2)));
+        assert!(g.remove_edge(Node(0), Node(1)));
+        assert!(!g.remove_edge(Node(0), Node(1)));
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(Node(1)), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(3, 1), (3, 4), (3, 0), (3, 2)]);
+        assert_eq!(g.neighbors(Node(3)), &[Node(0), Node(1), Node(2), Node(4)]);
+        assert_eq!(g.degree(Node(3)), 4);
+        assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn edges_iterator_normalized() {
+        let g = Graph::from_edges(4, [(2, 0), (1, 3), (0, 1)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                Edge::new(Node(0), Node(1)),
+                Edge::new(Node(0), Node(2)),
+                Edge::new(Node(1), Node(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(Node(7), Node(3));
+        assert_eq!(e.a, Node(3));
+        assert_eq!(e.other(Node(3)), Node(7));
+        assert_eq!(e.other(Node(7)), Node(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::empty(2);
+        g.add_edge(Node(1), Node(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(Node(0), Node(1)).other(Node(2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Unique comparable node identifiers.
+//!
+//! The paper assumes "each node is assigned a unique ID" (Section 2) and both
+//! algorithms compare IDs: SMM rule R2 proposes to the *minimum-ID* null
+//! neighbor and SMI breaks symmetry in favour of *bigger-ID* neighbors.
+//! Decoupling IDs from positional indices lets the experiment harness test
+//! adversarial ID orders (e.g. IDs increasing along a path, the worst case
+//! for SMI) on the same topology.
+
+use crate::graph::Node;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An assignment of distinct `u64` identifiers to the nodes `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ids {
+    ids: Vec<u64>,
+}
+
+impl Ids {
+    /// Identity assignment: node `i` gets ID `i`.
+    pub fn identity(n: usize) -> Self {
+        Ids {
+            ids: (0..n as u64).collect(),
+        }
+    }
+
+    /// Reversed assignment: node `i` gets ID `n - 1 - i`.
+    pub fn reversed(n: usize) -> Self {
+        Ids {
+            ids: (0..n as u64).rev().collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `0..n` as IDs.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut ids: Vec<u64> = (0..n as u64).collect();
+        ids.shuffle(rng);
+        Ids { ids }
+    }
+
+    /// Explicit assignment. Panics if the IDs are not pairwise distinct.
+    pub fn from_vec(ids: Vec<u64>) -> Self {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "node IDs must be pairwise distinct"
+        );
+        Ids { ids }
+    }
+
+    /// Number of nodes covered by this assignment.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The ID of node `v`.
+    #[inline]
+    pub fn id(&self, v: Node) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// `true` iff `a`'s ID is smaller than `b`'s.
+    #[inline]
+    pub fn lt(&self, a: Node, b: Node) -> bool {
+        self.id(a) < self.id(b)
+    }
+
+    /// The node with minimum ID among `candidates`, or `None` if empty.
+    pub fn min_by_id(&self, candidates: impl IntoIterator<Item = Node>) -> Option<Node> {
+        candidates.into_iter().min_by_key(|&v| self.id(v))
+    }
+
+    /// The node with maximum ID among `candidates`, or `None` if empty.
+    pub fn max_by_id(&self, candidates: impl IntoIterator<Item = Node>) -> Option<Node> {
+        candidates.into_iter().max_by_key(|&v| self.id(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_and_reversed() {
+        let ids = Ids::identity(4);
+        assert_eq!(ids.id(Node(2)), 2);
+        let rev = Ids::reversed(4);
+        assert_eq!(rev.id(Node(0)), 3);
+        assert_eq!(rev.id(Node(3)), 0);
+        assert!(rev.lt(Node(3), Node(0)));
+    }
+
+    #[test]
+    fn random_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ids = Ids::random(100, &mut rng);
+        let mut seen: Vec<u64> = (0..100).map(|i| ids.id(Node(i))).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_max_by_id() {
+        let ids = Ids::from_vec(vec![10, 5, 99, 7]);
+        let all = [Node(0), Node(1), Node(2), Node(3)];
+        assert_eq!(ids.min_by_id(all), Some(Node(1)));
+        assert_eq!(ids.max_by_id(all), Some(Node(2)));
+        assert_eq!(ids.min_by_id([]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise distinct")]
+    fn duplicate_ids_panic() {
+        Ids::from_vec(vec![1, 2, 1]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Topology churn: the link creations and failures caused by host mobility.
+//!
+//! The paper's fault model (Section 2): links appear when two hosts move into
+//! radio range and disappear when they move apart; node movement is
+//! coordinated so the topology never disconnects. [`Churn`] reproduces that
+//! model abstractly — random edge insertions, and random edge removals that
+//! are rejected if they would disconnect the graph.
+
+use crate::graph::{Edge, Graph, Node};
+use crate::traversal::connected_without_edge;
+use rand::{Rng, RngExt};
+
+/// A single applied topology change.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TopologyEvent {
+    /// A new logical link appeared.
+    LinkUp(Edge),
+    /// An existing logical link failed.
+    LinkDown(Edge),
+}
+
+impl TopologyEvent {
+    /// The edge touched by the event.
+    pub fn edge(&self) -> Edge {
+        match *self {
+            TopologyEvent::LinkUp(e) | TopologyEvent::LinkDown(e) => e,
+        }
+    }
+}
+
+/// Connectivity-preserving random churn generator.
+#[derive(Clone, Debug)]
+pub struct Churn {
+    /// Probability that a generated event is a link failure (vs. creation).
+    pub p_down: f64,
+}
+
+impl Default for Churn {
+    fn default() -> Self {
+        Churn { p_down: 0.5 }
+    }
+}
+
+impl Churn {
+    /// Apply one random connectivity-preserving topology change to `g`.
+    ///
+    /// Returns `None` if no change is possible (e.g. the graph is complete
+    /// and every edge is a bridge — impossible for `n >= 3`, but paths of
+    /// length 1 can get stuck).
+    pub fn apply_one<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R) -> Option<TopologyEvent> {
+        let want_down = rng.random_bool(self.p_down);
+        if want_down {
+            self.remove_random(g, rng).or_else(|| self.add_random(g, rng))
+        } else {
+            self.add_random(g, rng).or_else(|| self.remove_random(g, rng))
+        }
+    }
+
+    /// Apply `k` random changes; returns the events actually applied.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<TopologyEvent> {
+        (0..k).filter_map(|_| self.apply_one(g, rng)).collect()
+    }
+
+    /// Insert a uniformly random non-edge, if any exists.
+    pub fn add_random<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R) -> Option<TopologyEvent> {
+        let n = g.n();
+        if n < 2 {
+            return None;
+        }
+        let max_m = n * (n - 1) / 2;
+        if g.m() == max_m {
+            return None;
+        }
+        // Rejection sampling is fine: the density where it degrades
+        // (near-complete graphs) has few candidate non-edges, and we fall
+        // back to an exhaustive scan after enough rejections.
+        for _ in 0..64 {
+            let u = Node::from(rng.random_range(0..n));
+            let v = Node::from(rng.random_range(0..n));
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v);
+                return Some(TopologyEvent::LinkUp(Edge::new(u, v)));
+            }
+        }
+        let mut non_edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let (u, v) = (Node::from(i), Node::from(j));
+                if !g.has_edge(u, v) {
+                    non_edges.push((u, v));
+                }
+            }
+        }
+        let &(u, v) = &non_edges[rng.random_range(0..non_edges.len())];
+        g.add_edge(u, v);
+        Some(TopologyEvent::LinkUp(Edge::new(u, v)))
+    }
+
+    /// Remove a uniformly random non-bridge edge, if any exists.
+    pub fn remove_random<R: Rng + ?Sized>(
+        &self,
+        g: &mut Graph,
+        rng: &mut R,
+    ) -> Option<TopologyEvent> {
+        let mut candidates: Vec<Edge> = g.edges().collect();
+        // Fisher-Yates-style draw without replacement until a non-bridge is
+        // found.
+        while !candidates.is_empty() {
+            let i = rng.random_range(0..candidates.len());
+            let e = candidates.swap_remove(i);
+            if connected_without_edge(g, e.a, e.b) {
+                g.remove_edge(e.a, e.b);
+                return Some(TopologyEvent::LinkDown(e));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn churn_preserves_connectivity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = generators::cycle(20);
+        let churn = Churn::default();
+        let events = churn.apply(&mut g, 200, &mut rng);
+        assert!(!events.is_empty());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn tree_edges_never_removed() {
+        // Every edge of a tree is a bridge, so only insertions can happen.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = generators::path(6);
+        let churn = Churn { p_down: 1.0 };
+        let ev = churn.apply_one(&mut g, &mut rng).expect("falls back to add");
+        assert!(matches!(ev, TopologyEvent::LinkUp(_)));
+        assert_eq!(g.m(), 6);
+    }
+
+    #[test]
+    fn complete_graph_only_removals() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = generators::complete(5);
+        let churn = Churn { p_down: 0.0 };
+        let ev = churn.apply_one(&mut g, &mut rng).expect("falls back to remove");
+        assert!(matches!(ev, TopologyEvent::LinkDown(_)));
+        assert_eq!(g.m(), 9);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_node_tree_is_stuck() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = generators::path(2);
+        let churn = Churn::default();
+        assert!(churn.apply_one(&mut g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn dense_fallback_scan() {
+        // Near-complete graph exercises the exhaustive non-edge scan.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = generators::complete(8);
+        g.remove_edge(Node(0), Node(1));
+        let churn = Churn { p_down: 0.0 };
+        let ev = churn.add_random(&mut g, &mut rng).expect("one non-edge left");
+        assert_eq!(ev.edge(), Edge::new(Node(0), Node(1)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Verification of the global predicates the protocols must establish.
+//!
+//! The whole point of a self-stabilizing protocol is that once it stabilizes,
+//! a *global* predicate holds even though every node acted on *local*
+//! knowledge. These checkers are the ground truth the test- and experiment
+//! suites compare against; they are written for clarity, not speed.
+
+use crate::graph::{Edge, Graph, Node};
+
+/// Is `edges` a matching of `g` (pairwise disjoint edges of `g`)?
+pub fn is_matching(g: &Graph, edges: &[Edge]) -> bool {
+    let mut used = vec![false; g.n()];
+    for e in edges {
+        if !g.has_edge(e.a, e.b) {
+            return false;
+        }
+        if used[e.a.index()] || used[e.b.index()] {
+            return false;
+        }
+        used[e.a.index()] = true;
+        used[e.b.index()] = true;
+    }
+    true
+}
+
+/// Is `edges` a *maximal* matching of `g`: a matching such that no edge of
+/// `g` can be added (equivalently, every edge of `g` touches a matched node)?
+pub fn is_maximal_matching(g: &Graph, edges: &[Edge]) -> bool {
+    if !is_matching(g, edges) {
+        return false;
+    }
+    let mut used = vec![false; g.n()];
+    for e in edges {
+        used[e.a.index()] = true;
+        used[e.b.index()] = true;
+    }
+    g.edges().all(|e| used[e.a.index()] || used[e.b.index()])
+}
+
+/// Is `in_set` (indexed by node) an independent set of `g`?
+pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    assert_eq!(in_set.len(), g.n());
+    g.edges().all(|e| !(in_set[e.a.index()] && in_set[e.b.index()]))
+}
+
+/// Is `in_set` a dominating set of `g`: every node is in the set or adjacent
+/// to a member?
+pub fn is_dominating_set(g: &Graph, in_set: &[bool]) -> bool {
+    assert_eq!(in_set.len(), g.n());
+    g.nodes().all(|v| {
+        in_set[v.index()] || g.neighbors(v).iter().any(|&u| in_set[u.index()])
+    })
+}
+
+/// Is `in_set` a *maximal* independent set of `g`?
+///
+/// A set is a maximal independent set iff it is independent **and**
+/// dominating — the characterization the experiment suite checks.
+pub fn is_maximal_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    is_independent_set(g, in_set) && is_dominating_set(g, in_set)
+}
+
+/// Is `in_set` a *minimal* dominating set: dominating, and no proper subset
+/// is dominating (equivalently every member has a private neighbor or is its
+/// own private neighbor)?
+pub fn is_minimal_dominating_set(g: &Graph, in_set: &[bool]) -> bool {
+    if !is_dominating_set(g, in_set) {
+        return false;
+    }
+    // Dropping any single member must break domination.
+    let mut probe = in_set.to_vec();
+    for v in g.nodes() {
+        if !in_set[v.index()] {
+            continue;
+        }
+        probe[v.index()] = false;
+        if is_dominating_set(g, &probe) {
+            return false;
+        }
+        probe[v.index()] = true;
+    }
+    true
+}
+
+/// The nodes saturated (covered) by a matching.
+pub fn saturated_nodes(g: &Graph, edges: &[Edge]) -> Vec<bool> {
+    let mut used = vec![false; g.n()];
+    for e in edges {
+        used[e.a.index()] = true;
+        used[e.b.index()] = true;
+    }
+    used
+}
+
+/// Membership vector from a list of nodes.
+pub fn membership(n: usize, set: impl IntoIterator<Item = Node>) -> Vec<bool> {
+    let mut v = vec![false; n];
+    for x in set {
+        v[x.index()] = true;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(Node(a), Node(b))
+    }
+
+    #[test]
+    fn matching_checks_on_path() {
+        let g = generators::path(5); // 0-1-2-3-4
+        assert!(is_matching(&g, &[e(0, 1), e(2, 3)]));
+        assert!(!is_matching(&g, &[e(0, 1), e(1, 2)]), "shares node 1");
+        assert!(!is_matching(&g, &[e(0, 2)]), "0-2 is not an edge");
+        assert!(is_maximal_matching(&g, &[e(0, 1), e(2, 3)]));
+        assert!(is_maximal_matching(&g, &[e(1, 2), e(3, 4)]));
+        assert!(!is_maximal_matching(&g, &[e(0, 1)]), "3-4 still addable");
+        assert!(is_matching(&g, &[]), "empty set is a matching");
+        assert!(!is_maximal_matching(&g, &[]));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::empty(3);
+        assert!(is_maximal_matching(&g, &[]), "no edges, empty matching maximal");
+        assert!(is_maximal_independent_set(&g, &[true, true, true]));
+        assert!(!is_maximal_independent_set(&g, &[true, true, false]));
+    }
+
+    #[test]
+    fn independence_and_domination_on_cycle() {
+        let g = generators::cycle(5);
+        let mis = membership(5, [Node(0), Node(2)]);
+        assert!(is_independent_set(&g, &mis));
+        assert!(is_dominating_set(&g, &mis));
+        assert!(is_maximal_independent_set(&g, &mis));
+        let too_big = membership(5, [Node(0), Node(1)]);
+        assert!(!is_independent_set(&g, &too_big));
+    }
+
+    #[test]
+    fn minimal_domination() {
+        let g = generators::star(5);
+        let hub = membership(5, [Node(0)]);
+        assert!(is_minimal_dominating_set(&g, &hub));
+        let hub_plus_leaf = membership(5, [Node(0), Node(1)]);
+        assert!(is_dominating_set(&g, &hub_plus_leaf));
+        assert!(!is_minimal_dominating_set(&g, &hub_plus_leaf));
+        let leaves = membership(5, [Node(1), Node(2), Node(3), Node(4)]);
+        assert!(is_minimal_dominating_set(&g, &leaves), "leaves dominate minimally");
+    }
+
+    #[test]
+    fn mis_is_minimal_dominating() {
+        // Classic fact exercised by the clustering extension: any MIS is a
+        // minimal dominating set.
+        let g = generators::petersen();
+        let mis = membership(10, [Node(0), Node(2), Node(8), Node(9)]);
+        if is_maximal_independent_set(&g, &mis) {
+            assert!(is_minimal_dominating_set(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn saturated_nodes_tracks_matching() {
+        let g = generators::path(4);
+        let sat = saturated_nodes(&g, &[e(1, 2)]);
+        assert_eq!(sat, vec![false, true, true, false]);
+    }
+}

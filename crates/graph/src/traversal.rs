@@ -1,0 +1,148 @@
+//! Breadth-first traversal, connectivity, and distance utilities.
+//!
+//! The paper's system model assumes the (mobile) network graph stays
+//! connected; [`is_connected`] is the guard used by the mutation layer, and
+//! [`diameter`] feeds the experiment reports (stabilization time is often
+//! compared against diameter-scale quantities).
+
+use crate::graph::{Graph, Node};
+use std::collections::VecDeque;
+
+/// BFS distances from `src`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, src: Node) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (the empty graph and `n = 1` count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs_distances(g, Node(0)).iter().all(|&d| d != usize::MAX)
+}
+
+/// Whether the graph would stay connected after removing edge `{u, v}`.
+///
+/// Used by the churn model: the paper assumes node movement is coordinated so
+/// the topology never disconnects.
+pub fn connected_without_edge(g: &Graph, u: Node, v: Node) -> bool {
+    // BFS from u avoiding the direct edge u-v; connected iff v still reached
+    // and, because the graph was connected before, everything else stays
+    // reachable through u's component.
+    debug_assert!(g.has_edge(u, v));
+    let mut seen = vec![false; g.n()];
+    let mut queue = VecDeque::new();
+    seen[u.index()] = true;
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        for &y in g.neighbors(x) {
+            if (x == u && y == v) || (x == v && y == u) {
+                continue;
+            }
+            if !seen[y.index()] {
+                seen[y.index()] = true;
+                queue.push_back(y);
+            }
+        }
+    }
+    seen[v.index()]
+}
+
+/// Connected components as a label vector (labels are `0..k` in discovery
+/// order) together with the number of components.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut label = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for s in g.nodes() {
+        if label[s.index()] != usize::MAX {
+            continue;
+        }
+        label[s.index()] = next;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v.index()] == usize::MAX {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Exact diameter via BFS from every node. `None` if the graph is
+/// disconnected or has no nodes.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for s in g.nodes() {
+        let d = bfs_distances(g, s);
+        let ecc = *d.iter().max().expect("non-empty");
+        if ecc == usize::MAX {
+            return None;
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, Node(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = generators::path(4);
+        assert!(is_connected(&g));
+        g.remove_edge(Node(1), Node(2));
+        assert!(!is_connected(&g));
+        let (_, k) = components(&g);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn bridge_detection() {
+        let mut g = generators::cycle(4);
+        // Every cycle edge is removable without disconnecting.
+        assert!(connected_without_edge(&g, Node(0), Node(1)));
+        g.remove_edge(Node(2), Node(3));
+        // Now 0-1 is on the only remaining path; removing it disconnects.
+        assert!(!connected_without_edge(&g, Node(0), Node(1)));
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(6)), Some(1));
+        assert_eq!(diameter(&Graph::empty(3)), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_graph::generators;
+use selfstab_graph::mutate::Churn;
+use selfstab_graph::predicates::*;
+use selfstab_graph::traversal::{bfs_distances, diameter, is_connected};
+use selfstab_graph::{Graph, Ids, Node};
+
+/// Strategy: an arbitrary simple graph on `n` nodes given by an edge-presence
+/// bit per node pair.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), pairs).prop_map(move |bits| {
+            let mut g = Graph::empty(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if bits[k] {
+                        g.add_edge(Node::from(i), Node::from(j));
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a connected simple graph (random graph plus a random spanning
+/// path to guarantee connectivity).
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (arb_graph(max_n), any::<u64>()).prop_map(|(mut g, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = {
+            use rand::seq::SliceRandom;
+            let mut v: Vec<usize> = (0..g.n()).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        for w in order.windows(2) {
+            g.add_edge(Node::from(w[0]), Node::from(w[1]));
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_is_twice_edge_count(g in arb_graph(12)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn edges_are_symmetric(g in arb_graph(10)) {
+        for e in g.edges() {
+            prop_assert!(g.has_edge(e.a, e.b));
+            prop_assert!(g.has_edge(e.b, e.a));
+            prop_assert!(g.neighbors(e.a).contains(&e.b));
+            prop_assert!(g.neighbors(e.b).contains(&e.a));
+        }
+    }
+
+    #[test]
+    fn add_then_remove_roundtrips(g in arb_graph(10), a in 0usize..10, b in 0usize..10) {
+        let mut g2 = g.clone();
+        let n = g2.n();
+        let (u, v) = (Node::from(a % n), Node::from(b % n));
+        if u != v && !g2.has_edge(u, v) {
+            prop_assert!(g2.add_edge(u, v));
+            prop_assert!(g2.remove_edge(u, v));
+            prop_assert_eq!(g2, g);
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_rule(g in arb_connected_graph(10)) {
+        // Along every edge, distances from any source differ by at most 1.
+        let d = bfs_distances(&g, Node(0));
+        for e in g.edges() {
+            let (da, db) = (d[e.a.index()], d[e.b.index()]);
+            prop_assert!(da.abs_diff(db) <= 1);
+        }
+    }
+
+    #[test]
+    fn connected_graphs_have_diameter(g in arb_connected_graph(10)) {
+        prop_assert!(is_connected(&g));
+        let dia = diameter(&g).expect("connected");
+        prop_assert!(dia < g.n());
+    }
+
+    #[test]
+    fn churn_never_disconnects(g in arb_connected_graph(10), seed in any::<u64>(), k in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = g;
+        Churn::default().apply(&mut g, k, &mut rng);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn mis_predicate_equivalence(g in arb_graph(9), bits in proptest::collection::vec(any::<bool>(), 9)) {
+        // MIS == independent + dominating == independent + not extendable.
+        let set = &bits[..g.n()];
+        let mis = is_maximal_independent_set(&g, set);
+        let extendable = g.nodes().any(|v| {
+            !set[v.index()]
+                && g.neighbors(v).iter().all(|&u| !set[u.index()])
+        });
+        let indep = is_independent_set(&g, set);
+        prop_assert_eq!(mis, indep && !extendable);
+    }
+
+    #[test]
+    fn maximal_matching_not_extendable(g in arb_graph(9), seed in any::<u64>()) {
+        // Build a greedy matching; it must pass the maximality predicate,
+        // and dropping any edge must break maximality (on that subgraph).
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::seq::SliceRandom;
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.shuffle(&mut rng);
+        let mut used = vec![false; g.n()];
+        let mut matching = Vec::new();
+        for e in edges {
+            if !used[e.a.index()] && !used[e.b.index()] {
+                used[e.a.index()] = true;
+                used[e.b.index()] = true;
+                matching.push(e);
+            }
+        }
+        prop_assert!(is_maximal_matching(&g, &matching));
+    }
+
+    #[test]
+    fn ids_random_total_order(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids = Ids::random(n, &mut rng);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let (a, b) = (Node::from(i), Node::from(j));
+                    prop_assert_eq!(ids.lt(a, b), !ids.lt(b, a) && ids.id(a) != ids.id(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_connected(n in 4usize..40) {
+        for fam in generators::Family::ALL {
+            prop_assert!(is_connected(&fam.build(n)), "{}", fam.name());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Cluster-head election in a *mobile* ad hoc network — the scenario the
+//! paper's introduction motivates.
+//!
+//! Twenty hosts move under connectivity-preserving random waypoint while
+//! Algorithm SMI runs on periodic beacons (Section 2's system model:
+//! neighbor discovery, per-neighbor timers, jittered keep-alives). Every
+//! simulated second we check whether the current head set is still a valid
+//! maximal independent set — i.e. a non-interfering, fully-covering set of
+//! cluster heads — on the *live* topology.
+//!
+//! ```text
+//! cargo run --example adhoc_clustering
+//! ```
+
+use selfstab::adhoc::geometry::Region;
+use selfstab::adhoc::mobility::RandomWaypoint;
+use selfstab::adhoc::{BeaconConfig, BeaconSim, Topology};
+use selfstab::core::cluster::Clustering;
+use selfstab::core::Smi;
+use selfstab::engine::InitialState;
+use selfstab::graph::{predicates, Ids};
+
+const MS: u64 = 1_000;
+
+fn main() {
+    let n = 20;
+    let ids = Ids::identity(n);
+    let smi = Smi::new(ids.clone());
+    let model = RandomWaypoint::new(n, Region::unit(), 0.45, 0.03, 77);
+    println!(
+        "{} hosts in the unit square, radio range 0.45, speed 0.03 regions/s",
+        n
+    );
+
+    let config = BeaconConfig {
+        beacon_interval: 100 * MS,
+        jitter: 5 * MS,
+        delay: 5 * MS,
+        timeout: 250 * MS,
+        warmup: 100 * MS,
+        loss: 0.0,
+        per_node_interval: Vec::new(),
+        collision_window: 0,
+        seed: 9,
+        sample_legitimacy: true,
+    };
+    let sim = BeaconSim::new(
+        &smi,
+        Topology::Mobile {
+            model,
+            tick: 100 * MS,
+        },
+        InitialState::Default,
+        config,
+    );
+    // 60 simulated seconds of continuous operation.
+    let report = sim.run(u64::MAX / 1_000_000, 60_000 * MS);
+
+    println!(
+        "\n60 s of mobility: {} beacons, {} deliveries, {} rule evaluations",
+        report.beacons_sent, report.deliveries, report.evaluations
+    );
+    println!(
+        "maximal-independent-set predicate held in {:.1}% of the {} sampled beacon periods",
+        100.0 * report.legitimacy_fraction(),
+        report.legitimacy_samples.len()
+    );
+
+    // Final clustering on the final topology.
+    let g = report.final_graph.clone();
+    if predicates::is_maximal_independent_set(&g, &report.final_states) {
+        let clustering = Clustering::from_mis(&g, &ids, &report.final_states);
+        println!(
+            "\nfinal head set ({} clusters, minimal dominating: {}):",
+            clustering.cluster_count(),
+            predicates::is_minimal_dominating_set(&g, &clustering.head)
+        );
+        for (head, members) in clustering.clusters() {
+            let others: Vec<String> = members
+                .iter()
+                .filter(|&&m| m != head)
+                .map(|m| m.to_string())
+                .collect();
+            println!("  head {head}: members [{}]", others.join(", "));
+        }
+    } else {
+        println!("\n(final sample caught mid-repair — the protocol converges again within O(n) beacon periods)");
+    }
+}

@@ -1,0 +1,101 @@
+//! One protocol, every scheduler: how the daemon model changes the story.
+//!
+//! The paper's Section 3 contrasts its natively synchronous SMM with the
+//! central-daemon Hsu–Huang algorithm. This example runs both matching
+//! protocols under every scheduler the engine offers and prints what
+//! happens — stabilization, cost, or provable oscillation.
+//!
+//! ```text
+//! cargo run --example daemon_comparison
+//! ```
+
+use selfstab::core::hsu_huang::HsuHuang;
+use selfstab::core::smm::{SelectPolicy, Smm};
+use selfstab::core::transformer::{run_synchronized, Refinement};
+use selfstab::engine::central::{CentralExecutor, Scheduler};
+use selfstab::engine::distributed::{DistributedExecutor, SubsetPolicy};
+use selfstab::engine::sync::{Outcome, SyncExecutor};
+use selfstab::engine::{InitialState, Protocol};
+use selfstab::graph::{generators, Ids};
+
+fn main() {
+    let n = 24;
+    let g = generators::cycle(n);
+    let smm = Smm::paper(Ids::identity(n));
+    let hh = HsuHuang::with_policy(n, SelectPolicy::Clockwise);
+    let init = InitialState::Default; // the adversarial all-null start
+    println!("C{n}, all pointers null. 'HH' = Hsu–Huang with clockwise proposals.\n");
+    println!("{:<46} {:>24}", "execution model", "outcome");
+    println!("{}", "-".repeat(72));
+
+    // Synchronous daemon.
+    let run = SyncExecutor::new(&g, &smm).run(init.clone(), n + 1);
+    println!(
+        "{:<46} {:>24}",
+        "SMM, synchronous daemon (the paper)",
+        format!("stabilized, {} rounds", run.rounds())
+    );
+    let run = SyncExecutor::new(&g, &hh)
+        .with_cycle_detection()
+        .run(init.clone(), 10_000);
+    let outcome = match run.outcome {
+        Outcome::Cycle { period, .. } => format!("OSCILLATES (period {period})"),
+        Outcome::Stabilized => format!("stabilized, {} rounds", run.rounds()),
+        Outcome::RoundLimit => "round limit".into(),
+    };
+    println!("{:<46} {:>24}", "HH, synchronous daemon (counterexample)", outcome);
+
+    // Central daemon.
+    for (name, mut sched) in [
+        ("first-privileged", Scheduler::First),
+        ("random", Scheduler::random(1)),
+        ("round-robin", Scheduler::RoundRobin { cursor: 0 }),
+    ] {
+        let run = CentralExecutor::new(&g, &hh).run(init.clone(), &mut sched, 100_000);
+        println!(
+            "{:<46} {:>24}",
+            format!("HH, central daemon ({name})"),
+            format!("stabilized, {} moves", run.moves)
+        );
+    }
+
+    // Daemon-refined synchronous conversions.
+    for (name, refinement) in [
+        ("deterministic local mutex", Refinement::DeterministicLocalMutex),
+        ("randomized priorities", Refinement::RandomizedPriority { seed: 7 }),
+    ] {
+        let run = run_synchronized(&g, &hh, init.clone(), refinement, 100_000);
+        println!(
+            "{:<46} {:>24}",
+            format!("HH converted to synchronous ({name})"),
+            format!("stabilized, {} rounds", run.rounds())
+        );
+    }
+
+    // Distributed daemons on SMM.
+    for (name, mut policy) in [
+        ("Bernoulli p=0.5", SubsetPolicy::bernoulli(0.5, 3)),
+        ("independent greedy", SubsetPolicy::IndependentGreedy),
+        ("random priority", SubsetPolicy::random_priority(5)),
+    ] {
+        let run = DistributedExecutor::new(&g, &smm).run(init.clone(), &mut policy, 100_000);
+        let legit = run.stabilized() && smm.is_legitimate(&g, &run.final_states);
+        println!(
+            "{:<46} {:>24}",
+            format!("SMM, distributed daemon ({name})"),
+            format!(
+                "{}, {} steps",
+                if legit { "stabilized" } else { "NOT legitimate" },
+                run.rounds()
+            )
+        );
+    }
+
+    println!(
+        "\nThe one cell that fails is exactly the paper's point: arbitrary proposals under\n\
+         full synchrony; serializing (central daemon) or refining (local mutex) repairs it.\n\
+         Note the all-null cycle is SMM's own worst case (the min-ID chain resolves one\n\
+         link per round, ~n rounds — see E5), while on *average* inputs SMM beats the\n\
+         converted baseline in every suite cell (E6)."
+    );
+}

@@ -1,0 +1,62 @@
+//! Fault tolerance demo: the algorithms "detect occasional link failures
+//! and/or new link creations in the network (due to mobility of the hosts)
+//! and can readjust the global predicates" (paper, abstract).
+//!
+//! We stabilize SMM on a grid, then hit it with (1) transient memory
+//! corruption and (2) a burst of connectivity-preserving link flips, and
+//! watch it re-stabilize — measuring how the recovery cost compares to
+//! stabilizing from scratch.
+//!
+//! ```text
+//! cargo run --example fault_recovery
+//! ```
+
+use selfstab::core::smm::Smm;
+use selfstab::engine::faults::{churn_and_recover, corrupt_and_recover};
+use selfstab::engine::protocol::Protocol;
+use selfstab::graph::{generators, Ids};
+
+fn main() {
+    let g = generators::grid(8, 8);
+    let n = g.n();
+    let smm = Smm::paper(Ids::identity(n));
+    println!("8×8 grid, n={n}, Theorem 1 bound = {} rounds\n", n + 1);
+
+    println!("== transient state corruption ==");
+    println!("{:<14} {:>16} {:>18}", "corrupted k", "recovery rounds", "perturbed nodes");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let (initial, recovery) = corrupt_and_recover(&g, &smm, k, 1234 + k as u64, n + 1);
+        assert!(recovery.run.stabilized());
+        assert!(smm.is_legitimate(&g, &recovery.run.final_states));
+        println!(
+            "{k:<14} {:>16} {:>18}   (from scratch: {} rounds)",
+            recovery.run.rounds(),
+            recovery.perturbed_nodes,
+            initial.rounds()
+        );
+    }
+
+    println!("\n== link failures / creations (mobility) ==");
+    println!("{:<14} {:>16} {:>18}", "flipped links", "recovery rounds", "perturbed nodes");
+    for k in [1usize, 2, 4, 8, 16] {
+        let (new_g, events, initial, recovery) =
+            churn_and_recover(&g, &smm, k, 99 + k as u64, 4 * n);
+        assert!(recovery.run.stabilized());
+        assert!(
+            smm.is_legitimate(&new_g, &recovery.run.final_states),
+            "matching must be maximal on the NEW topology"
+        );
+        println!(
+            "{:<14} {:>16} {:>18}   (events: {}, from scratch: {} rounds)",
+            k,
+            recovery.run.rounds(),
+            recovery.perturbed_nodes,
+            events.len(),
+            initial.rounds()
+        );
+    }
+
+    println!("\nSmall fault bursts recover in far fewer rounds than a cold start, and the");
+    println!("disturbance stays local (few perturbed nodes) — the readjustment property");
+    println!("the paper claims for the beacon-based protocols.");
+}

@@ -1,0 +1,77 @@
+//! Multicast-tree maintenance — the application the paper's first paragraph
+//! motivates ("a minimal spanning tree must be maintained … for
+//! multicast/broadcast messages").
+//!
+//! A BFS tree rooted at the multicast source is maintained by the
+//! self-stabilizing protocol of `core::bfs_tree` while links fail and
+//! appear. After each topology event we measure how many rounds the tree
+//! needs to re-converge and how many hosts changed their routing state.
+//!
+//! ```text
+//! cargo run --example multicast_tree
+//! ```
+
+use selfstab::core::bfs_tree::BfsTree;
+use selfstab::engine::sync::SyncExecutor;
+use selfstab::engine::{InitialState, Protocol};
+use selfstab::graph::mutate::Churn;
+use selfstab::graph::{generators, Ids, Node};
+
+fn main() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut g = generators::random_geometric_connected(30, 0.32, &mut rng);
+    let source = Node(0);
+    let proto = BfsTree::new(source, Ids::identity(30));
+    println!(
+        "30 hosts, source {source}; initial topology m={}, building the multicast tree…",
+        g.m()
+    );
+
+    let run = SyncExecutor::new(&g, &proto).run(InitialState::Random { seed: 1 }, 62);
+    assert!(run.stabilized());
+    assert!(proto.is_legitimate(&g, &run.final_states));
+    let depth = run.final_states.iter().map(|s| s.dist).max().unwrap();
+    println!(
+        "tree built in {} rounds; depth {} hops; {} tree edges\n",
+        run.rounds(),
+        depth,
+        BfsTree::tree_edges(&run.final_states).len()
+    );
+
+    println!("{:<8} {:>10} {:>16} {:>14}", "event", "kind", "reconvergence", "hosts changed");
+    let mut states = run.final_states;
+    let churn = Churn::default();
+    for event_no in 1..=10 {
+        let Some(event) = churn.apply_one(&mut g, &mut rng) else {
+            continue;
+        };
+        let exec = SyncExecutor::new(&g, &proto);
+        let rerun = exec.run(InitialState::Explicit(states.clone()), 62);
+        assert!(rerun.stabilized());
+        assert!(
+            proto.is_legitimate(&g, &rerun.final_states),
+            "tree must re-form on the new topology"
+        );
+        let changed = rerun
+            .final_states
+            .iter()
+            .zip(&states)
+            .filter(|(a, b)| a != b)
+            .count();
+        let kind = match event {
+            selfstab::graph::mutate::TopologyEvent::LinkUp(e) => format!("up {e:?}"),
+            selfstab::graph::mutate::TopologyEvent::LinkDown(e) => format!("down {e:?}"),
+        };
+        println!(
+            "{:<8} {:>10} {:>13} rnd {:>14}",
+            event_no,
+            kind,
+            rerun.rounds(),
+            changed
+        );
+        states = rerun.final_states;
+    }
+    println!("\nEvery event was absorbed without global disruption: the tree readjusts");
+    println!("locally, which is exactly the fault-tolerance story of the paper.");
+}

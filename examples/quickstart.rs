@@ -1,0 +1,74 @@
+//! Quickstart: run both of the paper's protocols on a small ad hoc topology
+//! and verify the theorems' claims.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use selfstab::core::smm::types::classify;
+use selfstab::core::smm::Smm;
+use selfstab::core::Smi;
+use selfstab::engine::sync::SyncExecutor;
+use selfstab::engine::InitialState;
+use selfstab::graph::{dot, generators, predicates, Ids};
+
+fn main() {
+    // A 30-node random geometric graph — the standard model of an ad hoc
+    // radio deployment (nodes uniform in the unit square, links within
+    // radio range).
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2003);
+    let g = generators::random_geometric_connected(30, 0.3, &mut rng);
+    let ids = Ids::random(30, &mut rng);
+    println!("topology: n={}, m={}, max degree {}", g.n(), g.m(), g.max_degree());
+
+    // --- Algorithm SMM: synchronous maximal matching (Fig. 1) -----------
+    let smm = Smm::paper(ids.clone());
+    let exec = SyncExecutor::new(&g, &smm);
+    // Self-stabilization: start from an arbitrary state.
+    let run = exec.run(InitialState::Random { seed: 7 }, g.n() + 1);
+    assert!(run.stabilized(), "Theorem 1: stabilizes within n+1 rounds");
+    let matching = Smm::matched_edges(&g, &run.final_states);
+    assert!(predicates::is_maximal_matching(&g, &matching));
+    println!(
+        "\nSMM stabilized in {} rounds (bound: {}), |M| = {} edges",
+        run.rounds(),
+        g.n() + 1,
+        matching.len()
+    );
+    use selfstab::engine::protocol::Protocol;
+    let firings: Vec<(&str, u64)> = smm
+        .rule_names()
+        .iter()
+        .copied()
+        .zip(run.moves_per_rule.iter().copied())
+        .collect();
+    println!("rule firings: {firings:?}");
+    let types = classify(&g, &run.final_states);
+    println!(
+        "final node types: {} matched, {} aloof",
+        types.iter().filter(|t| t.name() == "M").count(),
+        types.iter().filter(|t| t.name() == "A0").count()
+    );
+
+    // --- Algorithm SMI: synchronous maximal independent set (Fig. 4) ----
+    let smi = Smi::new(ids.clone());
+    let run = SyncExecutor::new(&g, &smi).run(InitialState::Random { seed: 7 }, g.n() + 2);
+    assert!(run.stabilized(), "Theorem 2: stabilizes in O(n) rounds");
+    assert!(predicates::is_maximal_independent_set(&g, &run.final_states));
+    let members: Vec<_> = Smi::members(&run.final_states);
+    println!(
+        "\nSMI stabilized in {} rounds, |S| = {} nodes: {:?}",
+        run.rounds(),
+        members.len(),
+        members
+    );
+
+    // Render the matching for graphviz users.
+    let dot = dot::to_dot(&g, Some(&ids), &matching, &run.final_states);
+    println!(
+        "\nGraphviz preview (pipe to `dot -Tsvg`): {} chars, starts with {:?}",
+        dot.len(),
+        &dot[..14]
+    );
+}

@@ -1,0 +1,194 @@
+//! Randomized stress battery: differential testing across protocols,
+//! executors, topologies, ID orders and fault schedules. Kept at a size
+//! that runs in seconds in debug builds.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selfstab::core::bfs_tree::BfsTree;
+use selfstab::core::coloring::Coloring;
+use selfstab::core::smm::Smm;
+use selfstab::core::{AnonMis, Smi};
+use selfstab::engine::record::{from_json, record, to_json, validate_trace};
+use selfstab::engine::sync::SyncExecutor;
+use selfstab::engine::{InitialState, Protocol};
+use selfstab::graph::mutate::Churn;
+use selfstab::graph::traversal::is_connected;
+use selfstab::graph::{generators, Graph, Ids, Node};
+
+fn random_connected_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.random_range(2..40);
+    let mut g = generators::random_tree(n, rng);
+    for _ in 0..rng.random_range(0..n) {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            g.add_edge(Node::from(a), Node::from(b));
+        }
+    }
+    g
+}
+
+/// Every protocol stabilizes legitimately on a zoo of random instances,
+/// within its documented round budget.
+#[test]
+fn protocol_zoo_random_instances() {
+    let mut rng = StdRng::seed_from_u64(0x57e55);
+    for trial in 0..60 {
+        let g = random_connected_graph(&mut rng);
+        let n = g.n();
+        let ids = Ids::random(n, &mut rng);
+        let seed = rng.random();
+
+        let smm = Smm::paper(ids.clone());
+        let run = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed }, n + 1);
+        assert!(run.stabilized() && smm.is_legitimate(&g, &run.final_states), "SMM trial {trial}");
+
+        let smi = Smi::new(ids.clone());
+        let run = SyncExecutor::new(&g, &smi).run(InitialState::Random { seed }, n + 2);
+        assert!(run.stabilized() && smi.is_legitimate(&g, &run.final_states), "SMI trial {trial}");
+
+        let sc = Coloring::new(ids.clone());
+        let run = SyncExecutor::new(&g, &sc).run(InitialState::Random { seed }, n + 2);
+        assert!(run.stabilized() && sc.is_legitimate(&g, &run.final_states), "SC trial {trial}");
+
+        let tree = BfsTree::new(Node::from(rng.random_range(0..n)), ids.clone());
+        let run = SyncExecutor::new(&g, &tree).run(InitialState::Random { seed }, 2 * n + 2);
+        assert!(run.stabilized() && tree.is_legitimate(&g, &run.final_states), "BFS trial {trial}");
+
+        let anon = AnonMis::new();
+        let run = SyncExecutor::new(&g, &anon).run(InitialState::Random { seed }, 8 * n + 64);
+        assert!(run.stabilized() && anon.is_legitimate(&g, &run.final_states), "Anon trial {trial}");
+    }
+}
+
+/// Fault storm: alternate corruption and churn on a live SMM instance; the
+/// predicate must hold at every quiescent point and connectivity is never
+/// broken.
+#[test]
+fn smm_survives_fault_storm() {
+    let mut rng = StdRng::seed_from_u64(0xf0157);
+    let mut g = generators::grid(6, 6);
+    let smm = Smm::paper(Ids::random(36, &mut rng));
+    let mut states = SyncExecutor::new(&g, &smm)
+        .run(InitialState::Random { seed: 1 }, 37)
+        .final_states;
+    let churn = Churn::default();
+    for storm in 0..40 {
+        // Random mix of topology and memory faults.
+        if rng.random_bool(0.5) {
+            churn.apply(&mut g, rng.random_range(1..4), &mut rng);
+        }
+        if rng.random_bool(0.5) {
+            let victim = Node::from(rng.random_range(0..36));
+            let nbrs = g.neighbors(victim).to_vec();
+            states[victim.index()] = if nbrs.is_empty() || rng.random_bool(0.4) {
+                selfstab::core::Pointer(None)
+            } else {
+                selfstab::core::Pointer(Some(nbrs[rng.random_range(0..nbrs.len())]))
+            };
+        }
+        assert!(is_connected(&g), "storm {storm}");
+        let run = SyncExecutor::new(&g, &smm).run(InitialState::Explicit(states.clone()), 80);
+        assert!(run.stabilized(), "storm {storm}");
+        assert!(smm.is_legitimate(&g, &run.final_states), "storm {storm}");
+        states = run.final_states;
+    }
+}
+
+/// Record → JSON → parse → validate, for a state type from each protocol
+/// family, through the public API.
+#[test]
+fn recorded_runs_roundtrip_and_validate() {
+    let mut rng = StdRng::seed_from_u64(0x4ec0);
+    for _ in 0..10 {
+        let g = random_connected_graph(&mut rng);
+        let n = g.n();
+        let ids = Ids::random(n, &mut rng);
+
+        let smm = Smm::paper(ids.clone());
+        let run = SyncExecutor::new(&g, &smm)
+            .with_trace()
+            .run(InitialState::Random { seed: rng.random() }, n + 1);
+        let rec = record(&g, &smm, run.trace.clone().unwrap(), run.stabilized());
+        let json = to_json(&rec);
+        let back = from_json::<selfstab::core::Pointer>(&json).unwrap();
+        assert_eq!(back.trace, rec.trace);
+        validate_trace(&smm, &back).expect("genuine SMM trace validates");
+
+        let tree = BfsTree::new(Node(0), ids);
+        let run = SyncExecutor::new(&g, &tree)
+            .with_trace()
+            .run(InitialState::Random { seed: rng.random() }, 2 * n + 2);
+        let rec = record(&g, &tree, run.trace.clone().unwrap(), run.stabilized());
+        validate_trace(&tree, &rec).expect("genuine BFS trace validates");
+    }
+}
+
+/// Cross-protocol consistency: on the same stabilized instance, the SMM
+/// matching saturates every edge of the graph, the SMI set dominates it,
+/// and the coloring separates it — three independent certificates computed
+/// by three independent protocols on one topology.
+#[test]
+fn certificates_compose() {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    for _ in 0..20 {
+        let g = random_connected_graph(&mut rng);
+        let n = g.n();
+        let ids = Ids::random(n, &mut rng);
+        let matching = {
+            let p = Smm::paper(ids.clone());
+            let r = SyncExecutor::new(&g, &p).run(InitialState::Random { seed: 1 }, n + 1);
+            Smm::matched_edges(&g, &r.final_states)
+        };
+        let mis = {
+            let p = Smi::new(ids.clone());
+            SyncExecutor::new(&g, &p)
+                .run(InitialState::Random { seed: 2 }, n + 2)
+                .final_states
+        };
+        let colors = {
+            let p = Coloring::new(ids.clone());
+            SyncExecutor::new(&g, &p)
+                .run(InitialState::Random { seed: 3 }, n + 2)
+                .final_states
+        };
+        // |matching| <= n/2; |MIS| >= n/(Δ+1); colors separate the MIS's
+        // complement... the simple cross-checks:
+        assert!(2 * matching.len() <= n);
+        let mis_size = mis.iter().filter(|&&x| x).count();
+        assert!(mis_size * (g.max_degree() + 1) >= n, "MIS size lower bound");
+        for e in g.edges() {
+            assert_ne!(colors[e.a.index()], colors[e.b.index()]);
+        }
+        // A maximal matching's saturated set is a vertex cover; its
+        // complement is an independent set (weak duality cross-check).
+        let saturated = selfstab::graph::predicates::saturated_nodes(&g, &matching);
+        let complement: Vec<bool> = saturated.iter().map(|&s| !s).collect();
+        assert!(selfstab::graph::predicates::is_independent_set(&g, &complement));
+    }
+}
+
+/// Matching and cluster heads maintained on the same beacons: the parallel
+/// composition of SMM and SMI stabilizes to both structures at once and
+/// projects onto the standalone runs.
+#[test]
+fn smm_and_smi_compose_on_one_network() {
+    use selfstab::engine::compose::Product;
+    let mut rng = StdRng::seed_from_u64(0xc0135);
+    for _ in 0..10 {
+        let g = random_connected_graph(&mut rng);
+        let n = g.n();
+        let ids = Ids::random(n, &mut rng);
+        let smm = Smm::paper(ids.clone());
+        let smi = Smi::new(ids);
+        let product = Product::new(&smm, &smi);
+        let run = SyncExecutor::new(&g, &product).run(InitialState::Random { seed: 4 }, 2 * n + 4);
+        assert!(run.stabilized());
+        assert!(product.is_legitimate(&g, &run.final_states));
+        // Both certificates extracted from the single composed state.
+        let matching = Smm::matched_edges(&g, &Product::<Smm, Smi>::project1(&run.final_states));
+        let mis = Product::<Smm, Smi>::project2(&run.final_states);
+        assert!(selfstab::graph::predicates::is_maximal_matching(&g, &matching));
+        assert!(selfstab::graph::predicates::is_maximal_independent_set(&g, &mis));
+    }
+}
