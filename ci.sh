@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: build, full test suite, lint wall, and an end-to-end smoke
+# of the observability layer (E17 machine-checks Lemmas 4/7 and 10 from live
+# observer output). Run from the repo root; exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> harness --quick e17 (observability smoke)"
+cargo run --release -p selfstab-bench --bin harness -- --quick e17 \
+    | grep -F "0 violations in total" >/dev/null \
+    || { echo "E17 reported violations" >&2; exit 1; }
+
+echo "ci.sh: all gates passed"

@@ -21,7 +21,9 @@
 use crate::mobility::RandomWaypoint;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use selfstab_engine::obs::{BeaconCounters, Observer, RoundStats};
 use selfstab_engine::protocol::{InitialState, Protocol, View};
+use selfstab_engine::sync::Outcome;
 use selfstab_graph::{Graph, Node};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -261,6 +263,17 @@ pub struct BeaconSim<'a, P: Protocol> {
     per_node_moves: Vec<u64>,
     last_arrival: Vec<Micros>,
     collisions: u64,
+    // Per-beacon-period counters, drained into a `RoundStats` at each
+    // period boundary by `run_observed`. Kept up to date even when no
+    // observer is attached (plain `u64` adds; the hook calls themselves are
+    // compiled out for the `()` observer).
+    period_moves_per_rule: Vec<u64>,
+    period_changes: usize,
+    period_deliveries: u64,
+    period_losses: u64,
+    period_collisions: u64,
+    period_stale_views: u64,
+    period_jitter_abs: u64,
 }
 
 impl<'a, P: Protocol> BeaconSim<'a, P> {
@@ -305,6 +318,13 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             per_node_moves: vec![0; n],
             last_arrival: vec![Micros::MAX; n],
             collisions: 0,
+            period_moves_per_rule: vec![0; proto.rule_names().len()],
+            period_changes: 0,
+            period_deliveries: 0,
+            period_losses: 0,
+            period_collisions: 0,
+            period_stale_views: 0,
+            period_jitter_abs: 0,
         };
         for i in 0..n {
             sim.schedule(0, EventKind::Beacon(Node::from(i)));
@@ -360,7 +380,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
 
     /// A node acts at its beacon instant if it has heard from all known
     /// neighbors since its last action (the paper's round condition).
-    fn try_act(&mut self, me: Node) {
+    fn try_act<O: Observer<P::State>>(&mut self, me: Node, obs: &mut O) {
         if self.now < self.config.warmup {
             return;
         }
@@ -373,11 +393,17 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         {
             return;
         }
-        // Build the local view from cached neighbor states.
+        // Build the local view from cached neighbor states. A cached entry
+        // older than one beacon period is *stale*: the evaluation proceeds
+        // (the timeout has not expired it yet) but runs on information the
+        // neighbor may already have superseded.
         let list = &self.neighbors[me.index()];
         let mut nbr_list: Vec<Node> = list.iter().map(|&(v, _)| v).collect();
         nbr_list.sort_unstable();
         for (v, e) in list {
+            if self.now.saturating_sub(e.last_heard) > self.config.beacon_interval {
+                self.period_stale_views += 1;
+            }
             self.scratch[v.index()] = e.state.clone();
         }
         self.scratch[me.index()] = self.states[me.index()].clone();
@@ -390,20 +416,26 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         }
         if let Some(mv) = mv {
             self.moves_per_rule[mv.rule] += 1;
+            self.period_moves_per_rule[mv.rule] += 1;
+            self.period_changes += 1;
             self.per_node_moves[me.index()] += 1;
             self.states[me.index()] = mv.next;
             self.last_change = self.now;
+            if O::ENABLED {
+                obs.on_move(me, mv.rule, &self.states[me.index()]);
+            }
         }
     }
 
-    fn handle_beacon(&mut self, me: Node) {
-        self.try_act(me);
+    fn handle_beacon<O: Observer<P::State>>(&mut self, me: Node, obs: &mut O) {
+        self.try_act(me, obs);
         // Broadcast the (possibly updated) state to everyone in range.
         let receivers = self.topology.receivers(me);
         self.beacons_sent += 1;
         for dst in receivers {
             if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
                 self.losses += 1;
+                self.period_losses += 1;
                 continue;
             }
             self.schedule(
@@ -421,6 +453,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             self.rng
                 .random_range(-(self.config.jitter as i64)..=self.config.jitter as i64)
         };
+        self.period_jitter_abs += jitter.unsigned_abs();
         let base = self.config.interval_of(me);
         let next = self.now + (base as i64 + jitter) as Micros;
         self.schedule(next, EventKind::Beacon(me));
@@ -434,10 +467,12 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
                 // Slotted-medium collision: the overlapping frame is lost
                 // (capture model: the earlier frame survives).
                 self.collisions += 1;
+                self.period_collisions += 1;
                 return;
             }
         }
         self.deliveries += 1;
+        self.period_deliveries += 1;
         let list = &mut self.neighbors[dst.index()];
         match list.iter_mut().find(|(v, _)| *v == src) {
             Some((_, e)) => {
@@ -460,14 +495,71 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         }
     }
 
+    /// Drain the current beacon period's counters into a [`RoundStats`] and
+    /// report it. `duration_micros` is *simulated* time (one beacon period).
+    /// The `privileged` field carries the number of state changes in the
+    /// period: under a beacon daemon the engine's notion of a privileged
+    /// set is unobservable, so the closest live quantity — nodes that
+    /// actually moved — stands in for it.
+    fn flush_period<O: Observer<P::State>>(&mut self, period: usize, obs: &mut O) {
+        let beacon = BeaconCounters {
+            deliveries: std::mem::take(&mut self.period_deliveries),
+            losses: std::mem::take(&mut self.period_losses),
+            collisions: std::mem::take(&mut self.period_collisions),
+            stale_views: std::mem::take(&mut self.period_stale_views),
+            jitter_abs_sum_micros: std::mem::take(&mut self.period_jitter_abs),
+        };
+        let stats = RoundStats {
+            round: period,
+            privileged: std::mem::take(&mut self.period_changes),
+            moves_per_rule: std::mem::replace(
+                &mut self.period_moves_per_rule,
+                vec![0; self.moves_per_rule.len()],
+            ),
+            duration_micros: self.config.beacon_interval,
+            beacon: Some(beacon),
+        };
+        obs.on_round_end(&stats, &self.states);
+    }
+
     /// Run until the system has been quiet (no state change) for
     /// `quiet_periods` beacon periods after warmup, or until `max_time`.
-    pub fn run(mut self, quiet_periods: u64, max_time: Micros) -> SimReport<P::State> {
+    pub fn run(self, quiet_periods: u64, max_time: Micros) -> SimReport<P::State> {
+        self.run_observed(quiet_periods, max_time, &mut ())
+    }
+
+    /// Run like [`BeaconSim::run`], firing the [`Observer`] hooks once per
+    /// **beacon period** (`t_b` of simulated time): the sim has no global
+    /// round barrier, so periods stand in for rounds. Period `k` (1-based)
+    /// covers `[(k-1)·t_b, k·t_b)`; `on_round_start(k)` fires at its first
+    /// event, `on_move` at every state change within it, and `on_round_end`
+    /// at the boundary with a [`RoundStats`] whose `beacon` field carries
+    /// the period's channel counters (deliveries, losses, collisions, stale
+    /// views used in evaluations, and the summed |jitter| drawn). The final
+    /// period may be partial; `on_finish` reports [`Outcome::Stabilized`]
+    /// when the run quiesced and [`Outcome::RoundLimit`] when `max_time`
+    /// cut it off.
+    pub fn run_observed<O: Observer<P::State>>(
+        mut self,
+        quiet_periods: u64,
+        max_time: Micros,
+        obs: &mut O,
+    ) -> SimReport<P::State> {
         let quiet = quiet_periods * self.config.beacon_interval;
         let mut quiesced = false;
+        let mut period: usize = 1;
+        if O::ENABLED {
+            obs.on_round_start(period, &self.states);
+        }
         while let Some(Reverse((t, _, slot))) = self.events.pop() {
             if t > max_time {
                 break;
+            }
+            // Close out every beacon period that ended before this event.
+            while O::ENABLED && t >= period as Micros * self.config.beacon_interval {
+                self.flush_period(period, obs);
+                period += 1;
+                obs.on_round_start(period, &self.states);
             }
             self.now = t;
             let low_water = self.last_change.max(self.config.warmup);
@@ -478,7 +570,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             let kind = self.payloads[slot].take().expect("event payload present");
             self.free_slots.push(slot);
             match kind {
-                EventKind::Beacon(me) => self.handle_beacon(me),
+                EventKind::Beacon(me) => self.handle_beacon(me, obs),
                 EventKind::Deliver { dst, src, state } => self.handle_deliver(dst, src, state),
                 EventKind::MobilityTick => {
                     if let Topology::Mobile { model, tick } = &mut self.topology {
@@ -498,6 +590,15 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
                     );
                 }
             }
+        }
+        if O::ENABLED {
+            self.flush_period(period, obs);
+            let outcome = if quiesced {
+                Outcome::Stabilized
+            } else {
+                Outcome::RoundLimit
+            };
+            obs.on_finish(&outcome, &self.states);
         }
         let stabilization_periods =
             self.last_change as f64 / self.config.beacon_interval as f64;
@@ -977,5 +1078,139 @@ mod contention_tests {
         };
         assert_eq!(c.interval_of(Node(3)), 50_000);
         assert_eq!(c.interval_of(Node(4)), c.beacon_interval);
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use selfstab_core::smm::Smm;
+    use selfstab_engine::obs::MetricsCollector;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_engine::sync::SyncExecutor;
+    use selfstab_graph::{generators, Ids};
+
+    const MS: Micros = 1_000;
+
+    fn cfg() -> BeaconConfig {
+        BeaconConfig {
+            seed: 1,
+            ..BeaconConfig::default()
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_counters_reconcile() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let plain = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 7 },
+            cfg(),
+        )
+        .run(5, 3_600_000 * MS);
+        let mut metrics = MetricsCollector::new();
+        let observed = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 7 },
+            cfg(),
+        )
+        .run_observed(5, 3_600_000 * MS, &mut metrics);
+        assert!(plain.quiesced && observed.quiesced);
+        assert_eq!(observed.final_states, plain.final_states);
+        assert_eq!(observed.deliveries, plain.deliveries);
+        // Per-period counters sum back to the run totals.
+        let mut moves = vec![0u64; observed.moves_per_rule.len()];
+        let mut deliveries = 0u64;
+        let mut changes = 0usize;
+        for r in metrics.rounds() {
+            let b = r.beacon.as_ref().expect("sim rounds carry beacon counters");
+            deliveries += b.deliveries;
+            assert_eq!(b.losses, 0);
+            assert_eq!(b.collisions, 0);
+            assert_eq!(r.duration_micros, cfg().beacon_interval);
+            changes += r.privileged;
+            for (acc, &k) in moves.iter_mut().zip(&r.moves_per_rule) {
+                *acc += k;
+            }
+        }
+        assert_eq!(moves, observed.moves_per_rule);
+        assert_eq!(deliveries, observed.deliveries);
+        assert_eq!(changes as u64, observed.per_node_moves.iter().sum::<u64>());
+        assert_eq!(
+            metrics.outcome(),
+            Some(&selfstab_engine::sync::Outcome::Stabilized)
+        );
+    }
+
+    #[test]
+    fn observed_zero_jitter_run_still_matches_synchronous_engine() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = generators::random_geometric_connected(12, 0.45, &mut rng);
+        let n = g.n();
+        let smm = Smm::paper(Ids::identity(n));
+        let sync = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed: 2 }, n + 1);
+        assert!(sync.stabilized());
+        let mut metrics = MetricsCollector::new();
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 2 },
+            cfg(),
+        )
+        .run_observed(5, 60_000 * MS, &mut metrics);
+        assert!(report.quiesced);
+        assert_eq!(report.final_states, sync.final_states);
+        // Every evaluation period moves exactly the nodes the sync engine
+        // moved; after stabilization the periods are all-quiet.
+        let active: Vec<&selfstab_engine::obs::RoundRecord> = metrics
+            .rounds()
+            .iter()
+            .filter(|r| r.privileged > 0)
+            .collect();
+        assert_eq!(active.len(), sync.rounds());
+        let per_round: Vec<u64> = active
+            .iter()
+            .map(|r| r.moves_per_rule.iter().sum())
+            .collect();
+        let sync_total: u64 = sync.moves_per_rule.iter().sum();
+        assert_eq!(per_round.iter().sum::<u64>(), sync_total);
+    }
+
+    #[test]
+    fn lossy_jittered_run_reports_channel_counters() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let config = BeaconConfig {
+            seed: 3,
+            ..BeaconConfig::default()
+        }
+        .with_loss(0.2)
+        .with_jitter(0.05);
+        let mut metrics = MetricsCollector::new();
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g),
+            InitialState::Random { seed: 4 },
+            config,
+        )
+        .run_observed(8, 3_600_000 * MS, &mut metrics);
+        assert!(report.quiesced);
+        let (mut losses, mut jitter, mut stale) = (0u64, 0u64, 0u64);
+        for r in metrics.rounds() {
+            let b = r.beacon.as_ref().unwrap();
+            losses += b.losses;
+            jitter += b.jitter_abs_sum_micros;
+            stale += b.stale_views;
+        }
+        assert_eq!(losses, report.losses);
+        assert!(losses > 0, "losses must be observed per period");
+        assert!(jitter > 0, "jitter draws must be accumulated");
+        assert!(
+            stale > 0,
+            "with 20% loss some evaluations must use views older than one period"
+        );
     }
 }

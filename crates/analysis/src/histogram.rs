@@ -1,13 +1,31 @@
 //! Integer histograms for experiment reporting (degree distributions,
 //! rounds distributions, repair-size distributions).
 
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// A dense histogram over small non-negative integers.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("counts", self.counts.to_json()),
+            ("total", self.total.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Histogram {
+            counts: Vec::<u64>::from_json(value.field("counts")?)?,
+            total: u64::from_json(value.field("total")?)?,
+        })
+    }
 }
 
 impl Histogram {

@@ -5,10 +5,10 @@
 //! and reports slope and `R²` so EXPERIMENTS.md can state "the growth is
 //! linear with slope ≈ …" instead of eyeballing.
 
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// The result of a univariate least-squares fit `y = slope · x + intercept`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -17,6 +17,26 @@ pub struct LinearFit {
     /// Coefficient of determination (1 = perfect fit; NaN when `y` is
     /// constant).
     pub r2: f64,
+}
+
+impl ToJson for LinearFit {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("slope", self.slope.to_json()),
+            ("intercept", self.intercept.to_json()),
+            ("r2", self.r2.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinearFit {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(LinearFit {
+            slope: f64::from_json(value.field("slope")?)?,
+            intercept: f64::from_json(value.field("intercept")?)?,
+            r2: f64::from_json(value.field("r2")?)?,
+        })
+    }
 }
 
 /// Fit `y = a·x + b` by ordinary least squares. Panics if fewer than two

@@ -1,9 +1,9 @@
 //! Descriptive statistics over experiment samples.
 
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// Summary statistics of a sample.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,
@@ -19,6 +19,34 @@ pub struct Summary {
     pub median: f64,
     /// 95th percentile (nearest-rank).
     pub p95: f64,
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", self.n.to_json()),
+            ("mean", self.mean.to_json()),
+            ("std", self.std.to_json()),
+            ("min", self.min.to_json()),
+            ("max", self.max.to_json()),
+            ("median", self.median.to_json()),
+            ("p95", self.p95.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            n: usize::from_json(value.field("n")?)?,
+            mean: f64::from_json(value.field("mean")?)?,
+            std: f64::from_json(value.field("std")?)?,
+            min: f64::from_json(value.field("min")?)?,
+            max: f64::from_json(value.field("max")?)?,
+            median: f64::from_json(value.field("median")?)?,
+            p95: f64::from_json(value.field("p95")?)?,
+        })
+    }
 }
 
 impl Summary {

@@ -2,16 +2,19 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [e1 e2 … e11 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e17 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
-//! sizes match the committed EXPERIMENTS.md. Output is Markdown on stdout.
+//! sizes match the committed EXPERIMENTS.md. `--metrics` appends a
+//! convergence-telemetry section (a representative observed run's
+//! per-round census table and latency histogram). Output is Markdown on
+//! stdout.
 
 use selfstab_bench::experiments::{
     e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample,
     e06_baseline, e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality,
-    e13_coloring, e14_anonymous, e15_bfs_tree, e16_contention, Report,
+    e13_coloring, e14_anonymous, e15_bfs_tree, e16_contention, e17_observability, Report,
 };
 use std::io::Write;
 
@@ -71,6 +74,10 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
             if q { &[0.0, 0.2] } else { &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4] },
             if q { 3 } else { 10 },
         ),
+        "e17" => e17_observability::run(
+            if q { &[12] } else { &[16, 36, 64] },
+            if q { 3 } else { 15 },
+        ),
         _ => return None,
     })
 }
@@ -78,6 +85,7 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics = args.iter().any(|a| a == "--metrics");
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -89,6 +97,7 @@ fn main() {
         ids.push("e14".to_string());
         ids.push("e15".to_string());
         ids.push("e16".to_string());
+        ids.push("e17".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -113,9 +122,12 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e11 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e17 or all)");
                 std::process::exit(2);
             }
         }
+    }
+    if metrics {
+        writeln!(out, "{}", e17_observability::telemetry_section(quick)).unwrap();
     }
 }

@@ -15,6 +15,7 @@ pub mod e13_coloring;
 pub mod e14_anonymous;
 pub mod e15_bfs_tree;
 pub mod e16_contention;
+pub mod e17_observability;
 
 /// An experiment's rendered report section.
 pub struct Report {

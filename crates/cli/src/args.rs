@@ -9,19 +9,21 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse `--key value` pairs. Rejects dangling keys, repeated keys, and
-    /// positional arguments.
+    /// Parse `--key value` pairs and bare `--flag` booleans: a flag followed
+    /// by another `--…` token (or by nothing) stores the value `"true"`.
+    /// Rejects repeated keys and positional arguments.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut flags = BTreeMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument '{key}'"));
             };
-            let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing a value"));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
             };
-            if flags.insert(name.to_string(), value.clone()).is_some() {
+            if flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
         }
@@ -53,6 +55,11 @@ impl Args {
         }
     }
 
+    /// Whether a bare boolean flag (`--metrics`) was given.
+    pub fn bool_flag(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+
     /// Keys the caller never consumed (for strictness checks, unused here).
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.flags.keys().map(String::as_str)
@@ -81,11 +88,24 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(Args::parse(&sv(&["positional"])).is_err());
-        assert!(Args::parse(&sv(&["--n"])).is_err());
         assert!(Args::parse(&sv(&["--n", "1", "--n", "2"])).is_err());
         let a = Args::parse(&sv(&["--n", "abc"])).unwrap();
         assert!(a.parse_or("n", 0usize).is_err());
         assert!(a.required("missing").is_err());
         assert_eq!(a.required("n").unwrap(), "abc");
+    }
+
+    #[test]
+    fn bare_flags_are_booleans() {
+        let a = Args::parse(&sv(&["--metrics", "--n", "8"])).unwrap();
+        assert!(a.bool_flag("metrics"));
+        assert!(!a.bool_flag("n"));
+        assert!(!a.bool_flag("absent"));
+        assert_eq!(a.parse_or("n", 0usize).unwrap(), 8);
+        // Trailing bare flag and a numeric flag that was left dangling.
+        let a = Args::parse(&sv(&["--n", "8", "--verbose"])).unwrap();
+        assert!(a.bool_flag("verbose"));
+        let a = Args::parse(&sv(&["--n"])).unwrap();
+        assert!(a.parse_or("n", 0usize).is_err(), "dangling --n parses as boolean");
     }
 }

@@ -8,10 +8,11 @@ use selfstab_core::coloring::Coloring;
 use selfstab_core::smm::Smm;
 use selfstab_core::Smi;
 use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
+use selfstab_engine::obs::{ChromeTraceWriter, Gauge, MetricsCollector};
 use selfstab_engine::protocol::{InitialState, Protocol};
 use selfstab_engine::sync::{Outcome, SyncExecutor};
 use selfstab_graph::{dot, generators, Graph, Ids};
-use serde::Serialize;
+use selfstab_json::{Json, ToJson};
 
 /// Usage text shown by `help` and on errors.
 pub const USAGE: &str = "\
@@ -21,9 +22,14 @@ USAGE:
   selfstab run    --protocol smm|smi|coloring (--topology <name> --n <N> | --graph6 <str>)
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--max-rounds <N>] [--format text|json|dot]
+                  [--metrics] [--trace-out <file>]
   selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
                   [--jitter <frac>] [--loss <prob>] [--mobility <speed>]
-                  [--seconds <N>] [--seed <u64>]
+                  [--seconds <N>] [--seed <u64>] [--metrics]
+
+  --metrics appends a per-round convergence table (for SMM: the Fig. 2
+  node-type census and the matched-pair count |M|); --trace-out writes a
+  chrome://tracing-loadable JSON timeline of the run.
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
@@ -62,7 +68,6 @@ fn build_ids(kind: &str, n: usize, rng: &mut StdRng) -> Result<Ids, String> {
     })
 }
 
-#[derive(Serialize)]
 struct RunReport {
     protocol: String,
     topology: String,
@@ -74,6 +79,28 @@ struct RunReport {
     legitimate: bool,
     result_summary: String,
     states: Vec<String>,
+    metrics: Option<Json>,
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("protocol".to_string(), self.protocol.to_json()),
+            ("topology".to_string(), self.topology.to_json()),
+            ("n".to_string(), self.n.to_json()),
+            ("m".to_string(), self.m.to_json()),
+            ("rounds".to_string(), self.rounds.to_json()),
+            ("outcome".to_string(), self.outcome.to_json()),
+            ("moves_per_rule".to_string(), self.moves_per_rule.to_json()),
+            ("legitimate".to_string(), self.legitimate.to_json()),
+            ("result_summary".to_string(), self.result_summary.to_json()),
+            ("states".to_string(), self.states.to_json()),
+        ];
+        if let Some(m) = &self.metrics {
+            fields.push(("metrics".to_string(), m.clone()));
+        }
+        Json::Object(fields)
+    }
 }
 
 // The renderer callbacks are what make the argument list long; bundling
@@ -85,6 +112,7 @@ fn execute<P: Protocol>(
     args: &Args,
     protocol_name: &str,
     topology_name: &str,
+    gauges: Vec<(String, Gauge<P::State>)>,
     summarize: impl Fn(&Graph, &[P::State]) -> String,
     render_state: impl Fn(&P::State) -> String,
     highlight: impl Fn(&Graph, &[P::State]) -> (Vec<selfstab_graph::Edge>, Vec<bool>),
@@ -97,8 +125,20 @@ fn execute<P: Protocol>(
         "random" => InitialState::Random { seed },
         other => return Err(format!("unknown init '{other}'")),
     };
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let mut metrics = args
+        .bool_flag("metrics")
+        .then(|| MetricsCollector::new().with_gauges(gauges));
+    let mut chrome = trace_out
+        .as_ref()
+        .map(|_| ChromeTraceWriter::with_rule_names(proto.rule_names()));
     let exec = SyncExecutor::new(g, proto).with_cycle_detection();
-    let run = exec.run(init, max_rounds);
+    let run = exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()));
+    if let (Some(path), Some(writer)) = (&trace_out, &chrome) {
+        writer
+            .write_to(path)
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+    }
     let outcome = match run.outcome {
         Outcome::Stabilized => "stabilized".to_string(),
         Outcome::Cycle { period, .. } => format!("oscillates (period {period})"),
@@ -106,23 +146,30 @@ fn execute<P: Protocol>(
     };
     let legitimate = run.stabilized() && proto.is_legitimate(g, &run.final_states);
     match args.str_or("format", "text") {
-        "text" => Ok(format!(
-            "protocol {protocol_name} on {topology_name} (n={n}, m={})\n\
-             outcome:   {outcome} after {} rounds (bound-style budget {max_rounds})\n\
-             legitimate: {legitimate}\n\
-             {}\n\
-             moves: {}",
-            g.m(),
-            run.rounds(),
-            summarize(g, &run.final_states),
-            proto
-                .rule_names()
-                .iter()
-                .zip(&run.moves_per_rule)
-                .map(|(name, k)| format!("{name}={k}"))
-                .collect::<Vec<_>>()
-                .join(" ")
-        )),
+        "text" => {
+            let mut out = format!(
+                "protocol {protocol_name} on {topology_name} (n={n}, m={})\n\
+                 outcome:   {outcome} after {} rounds (bound-style budget {max_rounds})\n\
+                 legitimate: {legitimate}\n\
+                 {}\n\
+                 moves: {}",
+                g.m(),
+                run.rounds(),
+                summarize(g, &run.final_states),
+                proto
+                    .rule_names()
+                    .iter()
+                    .zip(&run.moves_per_rule)
+                    .map(|(name, k)| format!("{name}={k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            if let Some(m) = &metrics {
+                out.push_str("\n\nper-round convergence metrics\n");
+                out.push_str(&m.render_table());
+            }
+            Ok(out)
+        }
         "json" => {
             let report = RunReport {
                 protocol: protocol_name.into(),
@@ -140,8 +187,9 @@ fn execute<P: Protocol>(
                 legitimate,
                 result_summary: summarize(g, &run.final_states),
                 states: run.final_states.iter().map(&render_state).collect(),
+                metrics: metrics.as_ref().map(MetricsCollector::to_json),
             };
-            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            Ok(report.to_json().to_string_pretty())
         }
         "dot" => {
             let (edges, nodes) = highlight(g, &run.final_states);
@@ -174,6 +222,7 @@ pub fn run(args: &Args) -> Result<String, String> {
                 args,
                 "SMM",
                 &topology,
+                selfstab_core::smm::types::census_gauges(&g),
                 |g, s| {
                     let m = Smm::matched_edges(g, s);
                     format!("maximal matching with {} edges: {m:?}", m.len())
@@ -190,6 +239,10 @@ pub fn run(args: &Args) -> Result<String, String> {
                 args,
                 "SMI",
                 &topology,
+                vec![(
+                    "set_size".to_string(),
+                    Box::new(|s: &[bool]| s.iter().filter(|&&x| x).count() as u64) as Gauge<bool>,
+                )],
                 |_, s| {
                     let members = Smi::members(s);
                     format!("maximal independent set with {} members: {members:?}", members.len())
@@ -206,6 +259,10 @@ pub fn run(args: &Args) -> Result<String, String> {
                 args,
                 "SC",
                 &topology,
+                vec![(
+                    "palette_size".to_string(),
+                    Box::new(|s: &[u32]| Coloring::palette_size(s) as u64) as Gauge<u32>,
+                )],
                 |_, s| {
                     format!(
                         "proper coloring with {} colors: {s:?}",
@@ -285,14 +342,21 @@ pub fn sim(args: &Args) -> Result<String, String> {
         )
     }
 
+    let want_metrics = args.bool_flag("metrics");
     macro_rules! simulate {
         ($proto:expr, $label:expr) => {{
             let proto = $proto;
             let sim = BeaconSim::new(&proto, topology, InitialState::Default, config);
-            let r = sim.run(quiet, horizon);
+            let mut metrics = want_metrics.then(MetricsCollector::new);
+            let r = sim.run_observed(quiet, horizon, &mut metrics.as_mut());
             let check_graph = static_graph.unwrap_or_else(|| r.final_graph.clone());
             let legit = proto.is_legitimate(&check_graph, &r.final_states);
-            Ok(report_text($label, &r, legit))
+            let mut out = report_text($label, &r, legit);
+            if let Some(m) = &metrics {
+                out.push_str("\n\nper-period beacon telemetry\n");
+                out.push_str(&m.render_table());
+            }
+            Ok(out)
         }};
     }
     match protocol.as_str() {
@@ -396,10 +460,10 @@ mod tests {
             "--protocol", "smi", "--topology", "cycle", "--n", "9", "--format", "json",
         ]))
         .unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(v["protocol"], "SMI");
-        assert_eq!(v["legitimate"], true);
-        assert_eq!(v["states"].as_array().unwrap().len(), 9);
+        let v = Json::parse(&out).unwrap();
+        assert_eq!(v.get("protocol").and_then(Json::as_str), Some("SMI"));
+        assert_eq!(v.get("legitimate").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("states").and_then(Json::as_array).unwrap().len(), 9);
     }
 
     #[test]
@@ -430,6 +494,71 @@ mod tests {
             "--protocol", "smm", "--topology", "path", "--ids", "xyz"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn run_smm_metrics_prints_census_table() {
+        let out = run(&args(&[
+            "--protocol", "smm", "--topology", "cycle", "--n", "8", "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("per-round convergence metrics"), "{out}");
+        assert!(
+            out.contains("| round | privileged | moves | M | A0 | A1 | PA | PM | PP | DANGLING | matched_pairs |"),
+            "{out}"
+        );
+        assert!(out.contains("| 0 (init) |"), "{out}");
+    }
+
+    #[test]
+    fn run_trace_out_emits_loadable_chrome_trace() {
+        let path = std::env::temp_dir().join("selfstab_cli_trace_test.json");
+        let out = run(&args(&[
+            "--protocol", "smm", "--topology", "cycle", "--n", "4",
+            "--trace-out", path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("stabilized"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.get("ph").is_some()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_json_metrics_field() {
+        let out = run(&args(&[
+            "--protocol", "smi", "--topology", "cycle", "--n", "9",
+            "--format", "json", "--metrics",
+        ]))
+        .unwrap();
+        let v = Json::parse(&out).unwrap();
+        let metrics = v.get("metrics").expect("metrics field present");
+        assert_eq!(
+            metrics.get("outcome").and_then(Json::as_str),
+            Some("stabilized")
+        );
+        assert!(
+            !metrics.get("rounds").and_then(Json::as_array).unwrap().is_empty()
+        );
+        // Without the flag the field is absent.
+        let out = run(&args(&[
+            "--protocol", "smi", "--topology", "cycle", "--n", "9", "--format", "json",
+        ]))
+        .unwrap();
+        assert!(Json::parse(&out).unwrap().get("metrics").is_none());
+    }
+
+    #[test]
+    fn sim_metrics_prints_beacon_telemetry() {
+        let out = sim(&args(&[
+            "--protocol", "smm", "--topology", "path", "--n", "6", "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("per-period beacon telemetry"), "{out}");
+        assert!(out.contains("| deliveries | losses | stale views |"), "{out}");
     }
 
     #[test]

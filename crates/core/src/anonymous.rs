@@ -33,17 +33,32 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use selfstab_engine::protocol::{Move, Protocol, View};
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use selfstab_graph::predicates::is_maximal_independent_set;
 use selfstab_graph::{Graph, Node};
 
 /// Per-node state of the anonymous protocol.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct AnonState {
     /// Set membership.
     pub x: bool,
     /// Private coin stream (advanced on every move).
     pub seed: u64,
+}
+
+impl ToJson for AnonState {
+    fn to_json(&self) -> Json {
+        Json::obj([("x", self.x.to_json()), ("seed", self.seed.to_json())])
+    }
+}
+
+impl FromJson for AnonState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(AnonState {
+            x: bool::from_json(value.field("x")?)?,
+            seed: u64::from_json(value.field("seed")?)?,
+        })
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {

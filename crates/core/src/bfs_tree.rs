@@ -29,17 +29,35 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use selfstab_engine::protocol::{Move, Protocol, View};
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use selfstab_graph::traversal::bfs_distances;
 use selfstab_graph::{Graph, Ids, Node};
 
 /// Per-node state: distance estimate and parent pointer.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TreeState {
     /// Distance estimate to the source (`cap` = unreachable/∞).
     pub dist: u32,
     /// Parent in the tree (`None` for the source or while unreachable).
     pub parent: Option<Node>,
+}
+
+impl ToJson for TreeState {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dist", self.dist.to_json()),
+            ("parent", self.parent.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TreeState {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(TreeState {
+            dist: u32::from_json(value.field("dist")?)?,
+            parent: Option::<Node>::from_json(value.field("parent")?)?,
+        })
+    }
 }
 
 /// Self-stabilizing BFS tree rooted at a multicast source.

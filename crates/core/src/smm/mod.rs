@@ -31,14 +31,26 @@ pub mod types;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use selfstab_engine::protocol::{Move, Protocol, View};
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use selfstab_graph::predicates::is_maximal_matching;
 use selfstab_graph::{Edge, Graph, Ids, Node};
 use std::fmt;
 
 /// The SMM per-node state: a nullable pointer to a neighbor.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Pointer(pub Option<Node>);
+
+impl ToJson for Pointer {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Pointer {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Option::<Node>::from_json(value).map(Pointer)
+    }
+}
 
 impl Pointer {
     /// The null pointer (`i → ⊥`).

@@ -120,6 +120,79 @@ pub fn classify(graph: &Graph, states: &[Pointer]) -> Vec<NodeType> {
         .collect()
 }
 
+/// The node-type census of one global state: how many nodes fall into each
+/// Fig. 2 class. This is the per-round quantity the paper's convergence
+/// argument tracks (|M| for Lemma 10, emptiness of A¹/P_A for Lemma 7).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TypeCensus {
+    counts: [usize; 7],
+}
+
+impl TypeCensus {
+    /// Census of `states` on `graph`.
+    pub fn of(graph: &Graph, states: &[Pointer]) -> Self {
+        let mut counts = [0usize; 7];
+        for ty in classify(graph, states) {
+            counts[ty.idx()] += 1;
+        }
+        TypeCensus { counts }
+    }
+
+    /// Number of nodes of one type.
+    pub fn count(&self, ty: NodeType) -> usize {
+        self.counts[ty.idx()]
+    }
+
+    /// Nodes in class `M` (matched *nodes*, not edges).
+    pub fn matched_nodes(&self) -> usize {
+        self.counts[NodeType::M.idx()]
+    }
+
+    /// Matched *pairs* — the |M| of Lemma 10, in edges. Every matched node
+    /// has exactly one partner, so this is half the `M` class.
+    pub fn matched_pairs(&self) -> usize {
+        self.matched_nodes() / 2
+    }
+
+    /// Total nodes classified.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// One-line rendering in the paper's notation, e.g.
+    /// `M=4 A0=1 A1=0 PA=0 PM=1 PP=0 DANGLING=0`.
+    pub fn render(&self) -> String {
+        NodeType::ALL
+            .iter()
+            .map(|t| format!("{}={}", t.name(), self.count(*t)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// One [`selfstab_engine::obs::Gauge`] per Fig. 2 node type, plus a
+/// `matched_pairs` gauge (Lemma 10's |M|, in edges) — ready to plug into
+/// [`selfstab_engine::obs::MetricsCollector::with_gauges`] so an observed
+/// SMM run reports the live census every round.
+pub fn census_gauges(graph: &Graph) -> Vec<(String, selfstab_engine::obs::Gauge<Pointer>)> {
+    let mut gauges: Vec<(String, selfstab_engine::obs::Gauge<Pointer>)> = Vec::new();
+    for ty in NodeType::ALL {
+        let g = graph.clone();
+        gauges.push((
+            ty.name().to_string(),
+            Box::new(move |states: &[Pointer]| {
+                classify(&g, states).iter().filter(|&&t| t == ty).count() as u64
+            }),
+        ));
+    }
+    let g = graph.clone();
+    gauges.push((
+        "matched_pairs".to_string(),
+        Box::new(move |states: &[Pointer]| Smm::matched_edges(&g, states).len() as u64),
+    ));
+    gauges
+}
+
 /// The arrows of Fig. 3: is `from → to` a permitted one-round transition in
 /// a clean (fault-free) synchronous execution?
 ///
@@ -381,6 +454,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn census_on_hand_built_c4_is_exact() {
+        use selfstab_graph::Graph;
+        // C4 built from its edge list alone: 0-1-2-3-0.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // 0 ↔ 1 matched; 2 → 1 (matched) = PM; 3 → ⊥, nobody points at 3 = A0.
+        let states = vec![ptr(1), ptr(0), ptr(1), Pointer::NULL];
+        assert_eq!(
+            classify(&g, &states),
+            vec![NodeType::M, NodeType::M, NodeType::Pm, NodeType::A0]
+        );
+        let census = TypeCensus::of(&g, &states);
+        assert_eq!(census.count(NodeType::M), 2);
+        assert_eq!(census.count(NodeType::A0), 1);
+        assert_eq!(census.count(NodeType::A1), 0);
+        assert_eq!(census.count(NodeType::Pa), 0);
+        assert_eq!(census.count(NodeType::Pm), 1);
+        assert_eq!(census.count(NodeType::Pp), 0);
+        assert_eq!(census.count(NodeType::Dangling), 0);
+        assert_eq!(census.matched_nodes(), 2);
+        assert_eq!(census.matched_pairs(), 1);
+        assert_eq!(census.total(), 4);
+        assert_eq!(census.render(), "M=2 A0=1 A1=0 PA=0 PM=1 PP=0 DANGLING=0");
+
+        // Second population exercising A1 and PA: 2 ↔ 3 matched;
+        // 0 → ⊥ but 1 points at it = A1; 1 → 0 (aloof) = PA.
+        let states = vec![Pointer::NULL, ptr(0), ptr(3), ptr(2)];
+        assert_eq!(
+            classify(&g, &states),
+            vec![NodeType::A1, NodeType::Pa, NodeType::M, NodeType::M]
+        );
+        let census = TypeCensus::of(&g, &states);
+        assert_eq!(census.count(NodeType::A1), 1);
+        assert_eq!(census.count(NodeType::Pa), 1);
+        assert_eq!(census.count(NodeType::M), 2);
+        assert_eq!(census.matched_pairs(), 1);
+    }
+
+    #[test]
+    fn census_on_hand_built_p4_is_exact() {
+        use selfstab_graph::Graph;
+        // P4 built from its edge list alone: 0-1-2-3.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        // 2 ↔ 3 matched; 1 → 2 (matched) = PM; 0 → 1 (pointing) = PP.
+        let states = vec![ptr(1), ptr(2), ptr(3), ptr(2)];
+        assert_eq!(
+            classify(&g, &states),
+            vec![NodeType::Pp, NodeType::Pm, NodeType::M, NodeType::M]
+        );
+        let census = TypeCensus::of(&g, &states);
+        assert_eq!(census.count(NodeType::M), 2);
+        assert_eq!(census.count(NodeType::Pm), 1);
+        assert_eq!(census.count(NodeType::Pp), 1);
+        assert_eq!(census.count(NodeType::A0), 0);
+        assert_eq!(census.count(NodeType::A1), 0);
+        assert_eq!(census.count(NodeType::Pa), 0);
+        assert_eq!(census.matched_pairs(), 1);
+
+        // The all-null start is pure A0.
+        let census = TypeCensus::of(&g, &[Pointer::NULL; 4]);
+        assert_eq!(census.count(NodeType::A0), 4);
+        assert_eq!(census.total(), 4);
+        assert_eq!(census.matched_pairs(), 0);
+    }
+
+    #[test]
+    fn census_gauges_report_live_partition() {
+        let g = generators::cycle(4);
+        let mut gauges = census_gauges(&g);
+        let names: Vec<&str> = gauges.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["M", "A0", "A1", "PA", "PM", "PP", "DANGLING", "matched_pairs"]
+        );
+        let states = vec![ptr(1), ptr(0), ptr(1), Pointer::NULL];
+        let values: Vec<u64> = gauges.iter_mut().map(|(_, f)| f(&states)).collect();
+        assert_eq!(values, vec![2, 1, 0, 0, 1, 0, 0, 1]);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! adversarial schedules; complexity is measured in *moves* (rounds are not
 //! meaningful under a central daemon).
 
+use crate::obs::{Observer, RoundStats};
 use crate::protocol::{InitialState, Move, Protocol, View};
+use crate::sync::Outcome;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use selfstab_graph::{Graph, Ids, Node};
@@ -123,12 +125,32 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
         scheduler: &mut Scheduler,
         max_moves: u64,
     ) -> CentralRun<P::State> {
+        self.run_observed(init, scheduler, max_moves, &mut ())
+    }
+
+    /// Run under the central daemon, firing the [`Observer`] hooks. Each
+    /// daemon step is reported as a one-move round: `on_round_start` sees
+    /// the pre-step state, `on_move` the single firing, and `on_round_end`
+    /// a [`RoundStats`] whose `privileged` field is the size of the
+    /// privileged set the scheduler chose from. `on_finish` reports
+    /// [`Outcome::Stabilized`] or — when the move budget ran out —
+    /// [`Outcome::RoundLimit`].
+    pub fn run_observed<O: Observer<P::State>>(
+        &self,
+        init: InitialState<P::State>,
+        scheduler: &mut Scheduler,
+        max_moves: u64,
+        obs: &mut O,
+    ) -> CentralRun<P::State> {
         let mut states = init.materialize(self.graph, self.proto);
         let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
         let mut moves = 0u64;
         loop {
             let privileged = self.privileged(&states);
             if privileged.is_empty() {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::Stabilized, &states);
+                }
                 return CentralRun {
                     final_states: states,
                     moves,
@@ -137,6 +159,9 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
                 };
             }
             if moves >= max_moves {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::RoundLimit, &states);
+                }
                 return CentralRun {
                     final_states: states,
                     moves,
@@ -144,15 +169,35 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
                     stabilized: false,
                 };
             }
+            let timer = O::ENABLED.then(std::time::Instant::now);
+            if O::ENABLED {
+                obs.on_round_start(moves as usize + 1, &states);
+            }
             let nodes: Vec<Node> = privileged.iter().map(|&(v, _)| v).collect();
             let chosen = scheduler.pick(&nodes);
             let (_, mv) = privileged
                 .into_iter()
                 .find(|&(v, _)| v == chosen)
                 .expect("scheduler picked a privileged node");
-            moves_per_rule[mv.rule] += 1;
+            let rule = mv.rule;
+            moves_per_rule[rule] += 1;
             states[chosen.index()] = mv.next;
             moves += 1;
+            if O::ENABLED {
+                obs.on_move(chosen, rule, &states[chosen.index()]);
+                let mut round_moves = vec![0u64; moves_per_rule.len()];
+                round_moves[rule] = 1;
+                let stats = RoundStats {
+                    round: moves as usize,
+                    privileged: nodes.len(),
+                    moves_per_rule: round_moves,
+                    duration_micros: timer
+                        .map(|t| t.elapsed().as_micros() as u64)
+                        .unwrap_or(0),
+                    beacon: None,
+                };
+                obs.on_round_end(&stats, &states);
+            }
         }
     }
 }
@@ -194,6 +239,31 @@ mod tests {
         let run = exec.run(InitialState::Explicit(init), &mut Scheduler::First, 5);
         assert!(!run.stabilized);
         assert_eq!(run.moves, 5);
+    }
+
+    #[test]
+    fn observed_central_run_reports_each_move_as_a_round() {
+        use crate::obs::MetricsCollector;
+        let g = generators::path(8);
+        let exec = CentralExecutor::new(&g, &MaxProto);
+        let init = vec![0u8, 0, 0, 3, 0, 0, 0, 1];
+        let mut metrics = MetricsCollector::new()
+            .with_gauge("maxed", |s: &[u8]| s.iter().filter(|&&x| x == 3).count() as u64);
+        let run = exec.run_observed(
+            InitialState::Explicit(init),
+            &mut Scheduler::RoundRobin { cursor: 0 },
+            10_000,
+            &mut metrics,
+        );
+        assert!(run.stabilized);
+        assert_eq!(metrics.rounds().len() as u64, run.moves);
+        assert_eq!(metrics.outcome(), Some(&Outcome::Stabilized));
+        for r in metrics.rounds() {
+            assert_eq!(r.moves_per_rule.iter().sum::<u64>(), 1);
+            assert!(r.privileged >= 1);
+        }
+        let series = metrics.gauge_series("maxed").unwrap();
+        assert_eq!(series.last(), Some(&8));
     }
 
     #[test]

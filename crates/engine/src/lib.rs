@@ -19,6 +19,11 @@
 //! ([`faults`]), brute-force verification over *all* initial states and all
 //! small connected topologies ([`exhaustive`]), and a data-parallel
 //! synchronous executor ([`par`]) that is bit-identical to the serial one.
+//!
+//! Every executor also has an observed entry point
+//! (e.g. [`sync::SyncExecutor::run_observed`]) threading the zero-cost
+//! [`obs::Observer`] hooks through the loop; [`obs`] ships observers for
+//! convergence metrics, Chrome-trace timelines, and JSONL event logs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +33,7 @@ pub mod compose;
 pub mod distributed;
 pub mod exhaustive;
 pub mod faults;
+pub mod obs;
 pub mod par;
 pub mod potential;
 pub mod protocol;
@@ -36,5 +42,6 @@ pub mod sync;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use obs::{Observer, RoundStats};
 pub use protocol::{InitialState, Move, Protocol, View};
 pub use sync::{Outcome, Run, SyncExecutor};

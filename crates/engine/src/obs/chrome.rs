@@ -1,0 +1,220 @@
+//! A `chrome://tracing` (Trace Event Format) timeline of an execution.
+//!
+//! [`ChromeTraceWriter`] emits one complete (`"ph": "X"`) event per round,
+//! a counter (`"ph": "C"`) event tracking the privileged-node count, and an
+//! instant (`"ph": "i"`) event when the run finishes. The resulting JSON
+//! loads directly into `chrome://tracing` or [Perfetto](https://ui.perfetto.dev):
+//! the round track shows where convergence time is spent, and the
+//! privileged counter visualizes the paper's monotone progress arguments
+//! (the count shrinks towards zero as the protocol stabilizes).
+//!
+//! Timestamps are synthesized from the cumulative round durations, so
+//! synchronous-engine traces show wall-clock rounds and beacon-simulator
+//! traces show simulated beacon periods.
+
+use super::{Observer, RoundStats};
+use crate::sync::Outcome;
+use selfstab_json::{Json, ToJson};
+
+/// Buffers Trace Event Format events during a run; write the file out with
+/// [`ChromeTraceWriter::write_to`] (or grab the JSON string) afterwards.
+#[derive(Default)]
+pub struct ChromeTraceWriter {
+    rule_names: Vec<String>,
+    events: Vec<Json>,
+    /// Cumulative timeline position, µs.
+    ts: u64,
+}
+
+impl ChromeTraceWriter {
+    /// A writer that labels per-rule move counts generically (`rule 0`,
+    /// `rule 1`, …).
+    pub fn new() -> Self {
+        ChromeTraceWriter::default()
+    }
+
+    /// A writer that labels per-rule move counts with the protocol's rule
+    /// names.
+    pub fn with_rule_names(names: &[&str]) -> Self {
+        ChromeTraceWriter {
+            rule_names: names.iter().map(|s| s.to_string()).collect(),
+            ..ChromeTraceWriter::default()
+        }
+    }
+
+    fn rule_label(&self, rule: usize) -> String {
+        self.rule_names
+            .get(rule)
+            .cloned()
+            .unwrap_or_else(|| format!("rule {rule}"))
+    }
+
+    /// Number of events buffered so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The trace as a Trace Event Format JSON document (object form, with
+    /// a `traceEvents` array — both Chrome and Perfetto accept it).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Array(self.events.clone())),
+            ("displayTimeUnit", "ms".to_json()),
+        ])
+    }
+
+    /// Render the trace document as a compact JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Write the trace document to `path`.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+impl<S> Observer<S> for ChromeTraceWriter {
+    fn on_round_end(&mut self, stats: &RoundStats, _states: &[S]) {
+        // Chrome collapses zero-duration slices; floor at 1 µs.
+        let dur = stats.duration_micros.max(1);
+        let mut args = vec![
+            ("privileged".to_string(), stats.privileged.to_json()),
+            (
+                "moves".to_string(),
+                stats.moves_per_rule.iter().sum::<u64>().to_json(),
+            ),
+        ];
+        for (rule, &count) in stats.moves_per_rule.iter().enumerate() {
+            if count > 0 {
+                args.push((self.rule_label(rule), count.to_json()));
+            }
+        }
+        if let Some(b) = &stats.beacon {
+            args.push(("deliveries".to_string(), b.deliveries.to_json()));
+            args.push(("losses".to_string(), b.losses.to_json()));
+            args.push(("stale_views".to_string(), b.stale_views.to_json()));
+        }
+        self.events.push(Json::obj([
+            ("name", format!("round {}", stats.round).to_json()),
+            ("cat", "round".to_json()),
+            ("ph", "X".to_json()),
+            ("ts", self.ts.to_json()),
+            ("dur", dur.to_json()),
+            ("pid", 0u64.to_json()),
+            ("tid", 0u64.to_json()),
+            ("args", Json::Object(args)),
+        ]));
+        self.events.push(Json::obj([
+            ("name", "privileged".to_json()),
+            ("ph", "C".to_json()),
+            ("ts", self.ts.to_json()),
+            ("pid", 0u64.to_json()),
+            (
+                "args",
+                Json::obj([("count", stats.privileged.to_json())]),
+            ),
+        ]));
+        self.ts += dur;
+    }
+
+    fn on_finish(&mut self, outcome: &Outcome, _states: &[S]) {
+        let label = match outcome {
+            Outcome::Stabilized => "stabilized".to_string(),
+            Outcome::Cycle { period, .. } => format!("cycle (period {period})"),
+            Outcome::RoundLimit => "round limit".to_string(),
+        };
+        self.events.push(Json::obj([
+            ("name", label.to_json()),
+            ("ph", "i".to_json()),
+            ("s", "g".to_json()),
+            ("ts", self.ts.to_json()),
+            ("pid", 0u64.to_json()),
+            ("tid", 0u64.to_json()),
+        ]));
+        // Close the privileged counter track at zero/current level.
+        self.events.push(Json::obj([
+            ("name", "privileged".to_json()),
+            ("ph", "C".to_json()),
+            ("ts", self.ts.to_json()),
+            ("pid", 0u64.to_json()),
+            ("args", Json::obj([("count", 0u64.to_json())])),
+        ]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::Node;
+
+    #[test]
+    fn emits_loadable_trace_events() {
+        let mut w = ChromeTraceWriter::with_rule_names(&["accept", "propose"]);
+        let states = [0u8; 3];
+        <ChromeTraceWriter as Observer<u8>>::on_round_start(&mut w, 1, &states);
+        <ChromeTraceWriter as Observer<u8>>::on_move(&mut w, Node(0), 1, &1u8);
+        <ChromeTraceWriter as Observer<u8>>::on_move(&mut w, Node(2), 0, &1u8);
+        w.on_round_end(
+            &RoundStats {
+                round: 1,
+                privileged: 2,
+                moves_per_rule: vec![1, 1],
+                duration_micros: 7,
+                beacon: None,
+            },
+            &states,
+        );
+        <ChromeTraceWriter as Observer<u8>>::on_finish(&mut w, &Outcome::Stabilized, &states);
+        assert_eq!(w.len(), 4);
+        let doc = Json::parse(&w.to_json_string()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(events[0].get("dur").and_then(Json::as_u64), Some(7));
+        let args = events[0].get("args").unwrap();
+        assert_eq!(args.get("privileged").and_then(Json::as_u64), Some(2));
+        assert_eq!(args.get("accept").and_then(Json::as_u64), Some(1));
+        // Counter then instant then final counter.
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            events[2].get("name").and_then(Json::as_str),
+            Some("stabilized")
+        );
+    }
+
+    #[test]
+    fn timeline_is_monotone() {
+        let mut w = ChromeTraceWriter::new();
+        let states = [0u8];
+        for round in 1..=3usize {
+            <ChromeTraceWriter as Observer<u8>>::on_round_start(&mut w, round, &states);
+            w.on_round_end(
+                &RoundStats {
+                    round,
+                    privileged: 1,
+                    moves_per_rule: vec![1],
+                    duration_micros: 10,
+                    beacon: None,
+                },
+                &states,
+            );
+        }
+        let doc = w.to_json();
+        let ts: Vec<u64> = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| e.get("ts").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(ts, vec![0, 10, 20]);
+    }
+}

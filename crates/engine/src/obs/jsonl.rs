@@ -1,0 +1,199 @@
+//! A line-oriented JSON event log of an execution.
+//!
+//! [`JsonlEventLog`] writes one self-describing JSON object per line:
+//! an `init` event carrying the initial global state, a `move` event per
+//! applied move, a `round_end` event per round carrying the post-round
+//! state, and a terminal `finish` event. Because the per-round states ride
+//! along, a JSONL log is convertible back into the trace representation of
+//! the [`crate::record`] module with [`trace_from_jsonl`] — so a log
+//! captured from a live observed run can be re-validated offline with
+//! [`crate::record::validate_trace`], exactly like a recorded trace.
+
+use super::{Observer, RoundStats};
+use crate::sync::Outcome;
+use selfstab_graph::Node;
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
+
+/// Buffers one JSON event per line during a run.
+#[derive(Clone, Debug, Default)]
+pub struct JsonlEventLog {
+    lines: Vec<String>,
+}
+
+impl JsonlEventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        JsonlEventLog::default()
+    }
+
+    /// The buffered lines, in emission order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The whole log as one newline-separated string (trailing newline
+    /// included, as expected of a JSONL file).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the log to `path`.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    fn push(&mut self, event: Json) {
+        self.lines.push(event.to_string());
+    }
+}
+
+impl<S: ToJson> Observer<S> for JsonlEventLog {
+    fn on_round_start(&mut self, round: usize, states: &[S]) {
+        if round == 1 {
+            self.push(Json::obj([
+                ("event", "init".to_json()),
+                ("states", states.to_json()),
+            ]));
+        }
+    }
+
+    fn on_move(&mut self, node: Node, rule: usize, next: &S) {
+        self.push(Json::obj([
+            ("event", "move".to_json()),
+            ("node", (node.index() as u64).to_json()),
+            ("rule", rule.to_json()),
+            ("next", next.to_json()),
+        ]));
+    }
+
+    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
+        let mut fields = vec![
+            ("event".to_string(), "round_end".to_json()),
+            ("round".to_string(), stats.round.to_json()),
+            ("privileged".to_string(), stats.privileged.to_json()),
+            ("moves_per_rule".to_string(), stats.moves_per_rule.to_json()),
+            ("duration_micros".to_string(), stats.duration_micros.to_json()),
+            ("states".to_string(), states.to_json()),
+        ];
+        if let Some(b) = &stats.beacon {
+            fields.push((
+                "beacon".to_string(),
+                Json::obj([
+                    ("deliveries", b.deliveries.to_json()),
+                    ("losses", b.losses.to_json()),
+                    ("collisions", b.collisions.to_json()),
+                    ("stale_views", b.stale_views.to_json()),
+                    ("jitter_abs_sum_micros", b.jitter_abs_sum_micros.to_json()),
+                ]),
+            ));
+        }
+        self.push(Json::Object(fields));
+    }
+
+    fn on_finish(&mut self, outcome: &Outcome, states: &[S]) {
+        let label = match outcome {
+            Outcome::Stabilized => "stabilized",
+            Outcome::Cycle { .. } => "cycle",
+            Outcome::RoundLimit => "round-limit",
+        };
+        self.push(Json::obj([
+            ("event", "finish".to_json()),
+            ("outcome", label.to_json()),
+            ("stabilized", (*outcome == Outcome::Stabilized).to_json()),
+            ("states", states.to_json()),
+        ]));
+    }
+}
+
+/// Reconstruct the trace (`trace[t]` = global state at time `t`) and the
+/// stabilization flag from a JSONL log, for feeding into
+/// [`crate::record::record`] / [`crate::record::validate_trace`].
+///
+/// The trace is the `init` state followed by every `round_end` state; the
+/// flag comes from the `finish` event. Errors if the log has no `init` or
+/// no `finish` event, or if any line fails to parse.
+pub fn trace_from_jsonl<S: FromJson>(text: &str) -> Result<(Vec<Vec<S>>, bool), JsonError> {
+    let mut trace: Vec<Vec<S>> = Vec::new();
+    let mut saw_init = false;
+    let mut stabilized: Option<bool> = None;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let event = Json::parse(line)?;
+        match event.field("event")?.as_str() {
+            Some("init") => {
+                saw_init = true;
+                trace.insert(0, Vec::<S>::from_json(event.field("states")?)?);
+            }
+            Some("round_end") => {
+                trace.push(Vec::<S>::from_json(event.field("states")?)?);
+            }
+            Some("finish") => {
+                stabilized = Some(bool::from_json(event.field("stabilized")?)?);
+                if !saw_init {
+                    // A fixpoint run emits only `finish`; its single state
+                    // is the whole trace.
+                    trace.push(Vec::<S>::from_json(event.field("states")?)?);
+                    saw_init = true;
+                }
+            }
+            Some("move") => {}
+            _ => return Err(JsonError::new("unknown event type in JSONL log")),
+        }
+    }
+    match stabilized {
+        Some(flag) if saw_init => Ok((trace, flag)),
+        _ => Err(JsonError::new("JSONL log has no finish event")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_shape_and_roundtrip() {
+        let mut log = JsonlEventLog::new();
+        let s0 = [0u8, 5];
+        let s1 = [5u8, 5];
+        log.on_round_start(1, &s0);
+        log.on_move(Node(0), 0, &5u8);
+        log.on_round_end(
+            &RoundStats {
+                round: 1,
+                privileged: 1,
+                moves_per_rule: vec![1],
+                duration_micros: 2,
+                beacon: None,
+            },
+            &s1,
+        );
+        log.on_finish(&Outcome::Stabilized, &s1);
+        assert_eq!(log.lines().len(), 4);
+        let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
+        assert!(stabilized);
+        assert_eq!(trace, vec![vec![0, 5], vec![5, 5]]);
+    }
+
+    #[test]
+    fn fixpoint_run_is_single_state_trace() {
+        let mut log = JsonlEventLog::new();
+        let s = [1u8, 1];
+        log.on_finish(&Outcome::Stabilized, &s);
+        let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
+        assert!(stabilized);
+        assert_eq!(trace, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn truncated_log_is_rejected() {
+        let mut log = JsonlEventLog::new();
+        log.on_round_start(1, &[0u8]);
+        assert!(trace_from_jsonl::<u8>(&log.to_jsonl()).is_err());
+        assert!(trace_from_jsonl::<u8>("{\"event\":\"bogus\"}\n").is_err());
+        assert!(trace_from_jsonl::<u8>("not json\n").is_err());
+    }
+}

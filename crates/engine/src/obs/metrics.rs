@@ -1,0 +1,304 @@
+//! Per-round convergence metrics: the paper's quantities, sampled live.
+//!
+//! [`MetricsCollector`] records, for every observed round, the privileged
+//! count, the per-rule move counts, the wall-clock round latency (fed into
+//! a log₂-bucketed [`Histogram`]), the beacon-layer counters when present,
+//! and a caller-supplied set of [`Gauge`]s evaluated on the post-round
+//! global state. Gauges are how protocol-level summaries plug in without
+//! the engine depending on any protocol crate: `selfstab-core` provides
+//! `smm::types::census_gauges` (the Fig. 2 node-type census and the
+//! matched-pair count |M|), and an SMI set-size gauge is a one-line
+//! closure.
+
+use super::{BeaconCounters, Observer, RoundStats};
+use crate::sync::Outcome;
+use selfstab_analysis::Histogram;
+use selfstab_json::{Json, ToJson};
+
+/// A named measurement over a global state, evaluated after every round.
+pub type Gauge<S> = Box<dyn FnMut(&[S]) -> u64>;
+
+/// One observed round, as recorded by [`MetricsCollector`].
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// 1-based round index.
+    pub round: usize,
+    /// Privileged nodes at round start.
+    pub privileged: usize,
+    /// Moves applied this round, per rule.
+    pub moves_per_rule: Vec<u64>,
+    /// Wall-clock (or simulated) duration of the round, µs.
+    pub duration_micros: u64,
+    /// Gauge values on the post-round state, index-aligned with
+    /// [`MetricsCollector::gauge_names`].
+    pub gauges: Vec<u64>,
+    /// Beacon-layer counters (simulator runs only).
+    pub beacon: Option<BeaconCounters>,
+}
+
+/// Collects per-round convergence metrics during an observed run.
+#[derive(Default)]
+pub struct MetricsCollector<S> {
+    gauge_names: Vec<String>,
+    gauge_fns: Vec<Gauge<S>>,
+    initial_gauges: Option<Vec<u64>>,
+    rounds: Vec<RoundRecord>,
+    latency: Histogram,
+    outcome: Option<Outcome>,
+}
+
+impl<S> MetricsCollector<S> {
+    /// A collector with no gauges (privileged counts, per-rule moves and
+    /// latencies are always recorded).
+    pub fn new() -> Self {
+        MetricsCollector {
+            gauge_names: Vec::new(),
+            gauge_fns: Vec::new(),
+            initial_gauges: None,
+            rounds: Vec::new(),
+            latency: Histogram::new(),
+            outcome: None,
+        }
+    }
+
+    /// Add a named gauge, evaluated on the global state after every round
+    /// (and once on the initial state).
+    pub fn with_gauge(mut self, name: impl Into<String>, f: impl FnMut(&[S]) -> u64 + 'static) -> Self {
+        self.gauge_names.push(name.into());
+        self.gauge_fns.push(Box::new(f));
+        self
+    }
+
+    /// Add a batch of boxed gauges (e.g. `selfstab-core`'s
+    /// `smm::types::census_gauges`).
+    pub fn with_gauges(mut self, gauges: impl IntoIterator<Item = (String, Gauge<S>)>) -> Self {
+        for (name, f) in gauges {
+            self.gauge_names.push(name);
+            self.gauge_fns.push(f);
+        }
+        self
+    }
+
+    /// The gauge names, in the order of [`RoundRecord::gauges`].
+    pub fn gauge_names(&self) -> &[String] {
+        &self.gauge_names
+    }
+
+    /// Gauge values on the initial state (recorded when round 1 starts;
+    /// `None` if the run was already at a fixpoint).
+    pub fn initial_gauges(&self) -> Option<&[u64]> {
+        self.initial_gauges.as_deref()
+    }
+
+    /// The recorded rounds, in order.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Why the observed execution ended (`None` until `on_finish`).
+    pub fn outcome(&self) -> Option<&Outcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Histogram of round latencies in log₂ buckets: a round of `d` µs
+    /// lands in bucket `⌈log₂(d+1)⌉` (bucket 0 = sub-microsecond rounds).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// The time series of one gauge: its value on the initial state (if
+    /// recorded) followed by its value after every round. `None` if the
+    /// gauge name is unknown.
+    pub fn gauge_series(&self, name: &str) -> Option<Vec<u64>> {
+        let idx = self.gauge_names.iter().position(|n| n == name)?;
+        let mut series = Vec::with_capacity(self.rounds.len() + 1);
+        if let Some(init) = &self.initial_gauges {
+            series.push(init[idx]);
+        }
+        series.extend(self.rounds.iter().map(|r| r.gauges[idx]));
+        Some(series)
+    }
+
+    fn eval_gauges(&mut self, states: &[S]) -> Vec<u64> {
+        self.gauge_fns.iter_mut().map(|f| f(states)).collect()
+    }
+
+    /// Render a per-round Markdown table: round, privileged, moves, then
+    /// one column per gauge, plus beacon counters when present.
+    pub fn render_table(&self) -> String {
+        let has_beacon = self.rounds.iter().any(|r| r.beacon.is_some());
+        let mut out = String::from("| round | privileged | moves |");
+        for name in &self.gauge_names {
+            out.push_str(&format!(" {name} |"));
+        }
+        if has_beacon {
+            out.push_str(" deliveries | losses | stale views |");
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(3 + self.gauge_names.len() + if has_beacon { 3 } else { 0 }));
+        out.push_str("|\n");
+        if let Some(init) = &self.initial_gauges {
+            out.push_str("| 0 (init) | — | — |");
+            for v in init {
+                out.push_str(&format!(" {v} |"));
+            }
+            if has_beacon {
+                out.push_str(" — | — | — |");
+            }
+            out.push('\n');
+        }
+        for r in &self.rounds {
+            let moves: u64 = r.moves_per_rule.iter().sum();
+            out.push_str(&format!("| {} | {} | {moves} |", r.round, r.privileged));
+            for v in &r.gauges {
+                out.push_str(&format!(" {v} |"));
+            }
+            if has_beacon {
+                let b = r.beacon.clone().unwrap_or_default();
+                out.push_str(&format!(" {} | {} | {} |", b.deliveries, b.losses, b.stale_views));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize everything recorded to JSON.
+    pub fn to_json(&self) -> Json {
+        let rounds: Vec<Json> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("round".to_string(), r.round.to_json()),
+                    ("privileged".to_string(), r.privileged.to_json()),
+                    ("moves_per_rule".to_string(), r.moves_per_rule.to_json()),
+                    ("duration_micros".to_string(), r.duration_micros.to_json()),
+                    ("gauges".to_string(), r.gauges.to_json()),
+                ];
+                if let Some(b) = &r.beacon {
+                    fields.push(("beacon".to_string(), beacon_json(b)));
+                }
+                Json::Object(fields)
+            })
+            .collect();
+        Json::obj([
+            ("gauge_names", self.gauge_names.to_json()),
+            (
+                "initial_gauges",
+                self.initial_gauges
+                    .as_ref()
+                    .map(|g| g.to_json())
+                    .unwrap_or(Json::Null),
+            ),
+            ("rounds", Json::Array(rounds)),
+            ("latency_log2_histogram", self.latency.to_json()),
+            (
+                "outcome",
+                match &self.outcome {
+                    None => Json::Null,
+                    Some(Outcome::Stabilized) => "stabilized".to_json(),
+                    Some(Outcome::Cycle { period, .. }) => format!("cycle (period {period})").to_json(),
+                    Some(Outcome::RoundLimit) => "round limit".to_json(),
+                },
+            ),
+        ])
+    }
+}
+
+fn beacon_json(b: &BeaconCounters) -> Json {
+    Json::obj([
+        ("deliveries", b.deliveries.to_json()),
+        ("losses", b.losses.to_json()),
+        ("collisions", b.collisions.to_json()),
+        ("stale_views", b.stale_views.to_json()),
+        ("jitter_abs_sum_micros", b.jitter_abs_sum_micros.to_json()),
+    ])
+}
+
+fn log2_bucket(micros: u64) -> usize {
+    (u64::BITS - micros.leading_zeros()) as usize
+}
+
+impl<S> Observer<S> for MetricsCollector<S> {
+    fn on_round_start(&mut self, round: usize, states: &[S]) {
+        if round == 1 {
+            let init = self.eval_gauges(states);
+            self.initial_gauges = Some(init);
+        }
+    }
+
+    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
+        let gauges = self.eval_gauges(states);
+        self.latency.add(log2_bucket(stats.duration_micros));
+        self.rounds.push(RoundRecord {
+            round: stats.round,
+            privileged: stats.privileged,
+            moves_per_rule: stats.moves_per_rule.clone(),
+            duration_micros: stats.duration_micros,
+            gauges,
+            beacon: stats.beacon.clone(),
+        });
+    }
+
+    fn on_finish(&mut self, outcome: &Outcome, _states: &[S]) {
+        self.outcome = Some(outcome.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::Node;
+
+    fn stats(round: usize, privileged: usize, micros: u64) -> RoundStats {
+        RoundStats {
+            round,
+            privileged,
+            moves_per_rule: vec![privileged as u64],
+            duration_micros: micros,
+            beacon: None,
+        }
+    }
+
+    #[test]
+    fn records_rounds_gauges_and_latency() {
+        let mut c: MetricsCollector<u8> =
+            MetricsCollector::new().with_gauge("sum", |s: &[u8]| s.iter().map(|&x| x as u64).sum());
+        let s0 = [0u8, 2];
+        let s1 = [2u8, 2];
+        c.on_round_start(1, &s0);
+        c.on_move(Node(0), 0, &2);
+        c.on_round_end(&stats(1, 1, 3), &s1);
+        c.on_finish(&Outcome::Stabilized, &s1);
+        assert_eq!(c.initial_gauges(), Some(&[2u64][..]));
+        assert_eq!(c.rounds().len(), 1);
+        assert_eq!(c.rounds()[0].gauges, vec![4]);
+        assert_eq!(c.gauge_series("sum"), Some(vec![2, 4]));
+        assert_eq!(c.gauge_series("nope"), None);
+        assert_eq!(c.outcome(), Some(&Outcome::Stabilized));
+        // 3 µs lands in log2 bucket 2.
+        assert_eq!(c.latency_histogram().count(2), 1);
+        let table = c.render_table();
+        assert!(table.contains("| 0 (init) | — | — | 2 |"), "{table}");
+        assert!(table.contains("| 1 | 1 | 1 | 4 |"), "{table}");
+        let json = c.to_json();
+        assert_eq!(
+            json.get("outcome").and_then(Json::as_str),
+            Some("stabilized")
+        );
+        assert_eq!(
+            json.get("rounds").and_then(Json::as_array).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1_000_000), 20);
+    }
+}

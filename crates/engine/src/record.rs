@@ -11,11 +11,11 @@
 use crate::protocol::Protocol;
 use crate::sync::SyncExecutor;
 use selfstab_graph::{Graph, Node};
-use serde::de::DeserializeOwned;
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
 
 /// A self-contained serialized execution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RecordedRun<S> {
     /// The topology the run executed on.
     pub graph: Graph,
@@ -43,21 +43,63 @@ pub fn record<P: Protocol>(
     }
 }
 
+impl<S: ToJson> ToJson for RecordedRun<S> {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("graph", self.graph.to_json()),
+            ("rule_names", self.rule_names.to_json()),
+            ("trace", self.trace.to_json()),
+            ("stabilized", self.stabilized.to_json()),
+        ])
+    }
+}
+
+impl<S: FromJson> FromJson for RecordedRun<S> {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(RecordedRun {
+            graph: Graph::from_json(value.field("graph")?)?,
+            rule_names: Vec::<String>::from_json(value.field("rule_names")?)?,
+            trace: Vec::<Vec<S>>::from_json(value.field("trace")?)?,
+            stabilized: bool::from_json(value.field("stabilized")?)?,
+        })
+    }
+}
+
 /// Serialize to JSON.
-pub fn to_json<S: Serialize>(run: &RecordedRun<S>) -> String {
-    serde_json::to_string(run).expect("recorded runs are serializable")
+pub fn to_json<S: ToJson>(run: &RecordedRun<S>) -> String {
+    run.to_json().to_string()
 }
 
 /// Deserialize from JSON.
-pub fn from_json<S: DeserializeOwned>(s: &str) -> Result<RecordedRun<S>, serde_json::Error> {
-    serde_json::from_str(s)
+pub fn from_json<S: FromJson>(s: &str) -> Result<RecordedRun<S>, JsonError> {
+    RecordedRun::from_json(&Json::parse(s)?)
 }
 
 /// Why a trace failed validation.
+///
+/// Every variant names the offending round, and the [`fmt::Display`] output
+/// includes it, so a rejected testbed log can be opened at the right line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceError {
-    /// Two consecutive global states differ at a node the protocol did not
-    /// move, or agree where it had to move.
+    /// A node changed state in round `t → t+1` although no rule was
+    /// enabled for it at time `t`.
+    UnprivilegedMove {
+        /// The offending round (transition `t → t+1`).
+        round: usize,
+        /// The node that moved without privilege.
+        node: Node,
+    },
+    /// A node was privileged at time `t` but its state is unchanged at
+    /// `t+1` — illegal under the synchronous daemon, where every
+    /// privileged node moves.
+    MissedMove {
+        /// The offending round (transition `t → t+1`).
+        round: usize,
+        /// The privileged node that failed to move.
+        node: Node,
+    },
+    /// A privileged node moved, but not to the state its enabled rule
+    /// prescribes.
     WrongTransition {
         /// The offending round (`t → t+1`).
         round: usize,
@@ -66,10 +108,45 @@ pub enum TraceError {
     },
     /// The trace claims stabilization but the final state has privileged
     /// nodes (or vice versa).
-    WrongTermination,
+    WrongTermination {
+        /// Index of the final state in the trace.
+        round: usize,
+    },
     /// A state vector has the wrong length.
-    ShapeMismatch,
+    ShapeMismatch {
+        /// Index of the malformed state vector.
+        round: usize,
+    },
 }
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnprivilegedMove { round, node } => write!(
+                f,
+                "round {round}: node {node:?} moved without being privileged"
+            ),
+            TraceError::MissedMove { round, node } => write!(
+                f,
+                "round {round}: privileged node {node:?} failed to move"
+            ),
+            TraceError::WrongTransition { round, node } => write!(
+                f,
+                "round {round}: node {node:?} moved to a state its enabled rule does not prescribe"
+            ),
+            TraceError::WrongTermination { round } => write!(
+                f,
+                "round {round}: stabilization flag contradicts the final state's privileges"
+            ),
+            TraceError::ShapeMismatch { round } => write!(
+                f,
+                "round {round}: state vector length does not match the graph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Validate that `rec.trace` is a genuine synchronous execution of `proto`
 /// on `rec.graph`: at every step, exactly the privileged nodes move, each
@@ -77,9 +154,9 @@ pub enum TraceError {
 pub fn validate_trace<P: Protocol>(proto: &P, rec: &RecordedRun<P::State>) -> Result<(), TraceError> {
     let exec = SyncExecutor::new(&rec.graph, proto);
     let n = rec.graph.n();
-    for states in &rec.trace {
+    for (t, states) in rec.trace.iter().enumerate() {
         if states.len() != n {
-            return Err(TraceError::ShapeMismatch);
+            return Err(TraceError::ShapeMismatch { round: t });
         }
     }
     for (t, pair) in rec.trace.windows(2).enumerate() {
@@ -89,17 +166,26 @@ pub fn validate_trace<P: Protocol>(proto: &P, rec: &RecordedRun<P::State>) -> Re
         for (v, m) in moves {
             expected[v.index()] = m.next;
         }
-        if let Some(i) = (0..n).find(|&i| expected[i] != next[i]) {
-            return Err(TraceError::WrongTransition {
-                round: t,
-                node: Node::from(i),
+        for i in 0..n {
+            if expected[i] == next[i] {
+                continue;
+            }
+            let node = Node::from(i);
+            let moved = cur[i] != next[i];
+            let privileged = expected[i] != cur[i];
+            return Err(match (privileged, moved) {
+                (false, _) => TraceError::UnprivilegedMove { round: t, node },
+                (true, false) => TraceError::MissedMove { round: t, node },
+                (true, true) => TraceError::WrongTransition { round: t, node },
             });
         }
     }
     if let Some(last) = rec.trace.last() {
         let quiet = exec.privileged_moves(last).is_empty();
         if quiet != rec.stabilized {
-            return Err(TraceError::WrongTermination);
+            return Err(TraceError::WrongTermination {
+                round: rec.trace.len() - 1,
+            });
         }
     }
     Ok(())
@@ -145,19 +231,73 @@ mod tests {
         // Tamper with a middle state.
         let mid = rec.trace.len() / 2;
         rec.trace[mid][0] = rec.trace[mid][0].wrapping_add(1);
-        assert!(matches!(
-            validate_trace(&MaxProto, &rec),
-            Err(TraceError::WrongTransition { .. })
-        ));
+        let err = validate_trace(&MaxProto, &rec).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::UnprivilegedMove { .. }
+                    | TraceError::MissedMove { .. }
+                    | TraceError::WrongTransition { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    /// Satellite: the two asymmetric tamper branches, each surviving a JSON
+    /// round-trip, each reporting the exact offending round in `Display`.
+    #[test]
+    fn unprivileged_move_caught_after_roundtrip() {
+        let (g, rec) = traced_run();
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        // Find a (round, node) where the node is NOT privileged, then make
+        // it move anyway.
+        let (t, v) = (0..rec.trace.len() - 1)
+            .find_map(|t| {
+                let moves = exec.privileged_moves(&rec.trace[t]);
+                (0..g.n())
+                    .map(Node::from)
+                    .find(|v| moves.iter().all(|(u, _)| u != v))
+                    .map(|v| (t, v))
+            })
+            .expect("some node is unprivileged at some round");
+        let mut bad = rec.clone();
+        bad.trace[t + 1][v.index()] = bad.trace[t][v.index()].wrapping_add(101);
+        let back: RecordedRun<u8> = from_json(&to_json(&bad)).unwrap();
+        let err = validate_trace(&MaxProto, &back).unwrap_err();
+        assert_eq!(err, TraceError::UnprivilegedMove { round: t, node: v });
+        assert!(err.to_string().contains(&format!("round {t}")), "{err}");
+        assert!(err.to_string().contains("without being privileged"), "{err}");
+    }
+
+    #[test]
+    fn missed_move_caught_after_roundtrip() {
+        let (g, rec) = traced_run();
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        // Find a (round, node) where the node IS privileged, then freeze it.
+        let (t, v) = (0..rec.trace.len() - 1)
+            .find_map(|t| {
+                exec.privileged_moves(&rec.trace[t])
+                    .first()
+                    .map(|(u, _)| (t, *u))
+            })
+            .expect("a non-final round has a privileged node");
+        let mut bad = rec.clone();
+        bad.trace[t + 1][v.index()] = bad.trace[t][v.index()];
+        let back: RecordedRun<u8> = from_json(&to_json(&bad)).unwrap();
+        let err = validate_trace(&MaxProto, &back).unwrap_err();
+        assert_eq!(err, TraceError::MissedMove { round: t, node: v });
+        assert!(err.to_string().contains(&format!("round {t}")), "{err}");
+        assert!(err.to_string().contains("failed to move"), "{err}");
     }
 
     #[test]
     fn wrong_termination_flag_rejected() {
         let (_, mut rec) = traced_run();
         rec.stabilized = false;
+        let last = rec.trace.len() - 1;
         assert_eq!(
             validate_trace(&MaxProto, &rec),
-            Err(TraceError::WrongTermination)
+            Err(TraceError::WrongTermination { round: last })
         );
     }
 
@@ -165,6 +305,9 @@ mod tests {
     fn shape_mismatch_rejected() {
         let (_, mut rec) = traced_run();
         rec.trace[0].pop();
-        assert_eq!(validate_trace(&MaxProto, &rec), Err(TraceError::ShapeMismatch));
+        assert_eq!(
+            validate_trace(&MaxProto, &rec),
+            Err(TraceError::ShapeMismatch { round: 0 })
+        );
     }
 }

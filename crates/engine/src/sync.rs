@@ -11,7 +11,8 @@
 //! two exactly (used to *prove* the paper's C₄ counterexample oscillates
 //! rather than merely time out).
 
-use crate::protocol::{InitialState, Protocol, View};
+use crate::obs::{Observer, RoundStats};
+use crate::protocol::{InitialState, Move, Protocol, View};
 use selfstab_graph::{Graph, Node};
 use std::collections::HashMap;
 
@@ -115,6 +116,24 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
 
     /// Execute synchronously from `init` for at most `max_rounds` rounds.
     pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+        // `()` has `ENABLED == false`: monomorphization removes every
+        // observation branch, so this is the same loop as before the
+        // hooks existed.
+        self.run_observed(init, max_rounds, &mut ())
+    }
+
+    /// Execute synchronously, firing the [`Observer`] hooks: per round,
+    /// `on_round_start` (pre-round states) → `on_move` per applied move →
+    /// `on_round_end` ([`RoundStats`] + post-round states); `on_finish`
+    /// once, with the final outcome. Timing and per-round bookkeeping are
+    /// guarded by [`Observer::ENABLED`], so a disabled observer costs
+    /// nothing.
+    pub fn run_observed<O: Observer<P::State>>(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+        obs: &mut O,
+    ) -> Run<P::State> {
         let mut states = init.materialize(self.graph, self.proto);
         let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
         let mut trace = self.trace.then(|| vec![states.clone()]);
@@ -124,14 +143,18 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
         loop {
             if let Some(seen) = seen.as_mut() {
                 if let Some(&first_seen) = seen.get(&states) {
+                    let outcome = Outcome::Cycle {
+                        first_seen,
+                        period: round - first_seen,
+                    };
+                    if O::ENABLED {
+                        obs.on_finish(&outcome, &states);
+                    }
                     return Run {
                         final_states: states,
                         rounds: round,
                         moves_per_rule,
-                        outcome: Outcome::Cycle {
-                            first_seen,
-                            period: round - first_seen,
-                        },
+                        outcome,
                         trace,
                     };
                 }
@@ -140,6 +163,9 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
 
             let moves = self.privileged_moves(&states);
             if moves.is_empty() {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::Stabilized, &states);
+                }
                 return Run {
                     final_states: states,
                     rounds: round,
@@ -149,6 +175,9 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 };
             }
             if round >= max_rounds {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::RoundLimit, &states);
+                }
                 return Run {
                     final_states: states,
                     rounds: round,
@@ -157,13 +186,38 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                     trace,
                 };
             }
+            let timer = O::ENABLED.then(std::time::Instant::now);
+            let mut round_moves = O::ENABLED.then(|| vec![0u64; moves_per_rule.len()]);
+            if O::ENABLED {
+                obs.on_round_start(round + 1, &states);
+            }
+            let privileged = moves.len();
             for (v, m) in moves {
                 moves_per_rule[m.rule] += 1;
+                if let Some(rm) = round_moves.as_mut() {
+                    rm[m.rule] += 1;
+                }
+                let rule = m.rule;
                 states[v.index()] = m.next;
+                if O::ENABLED {
+                    obs.on_move(v, rule, &states[v.index()]);
+                }
             }
             round += 1;
             if let Some(trace) = trace.as_mut() {
                 trace.push(states.clone());
+            }
+            if O::ENABLED {
+                let stats = RoundStats {
+                    round,
+                    privileged,
+                    moves_per_rule: round_moves.take().unwrap_or_default(),
+                    duration_micros: timer
+                        .map(|t| t.elapsed().as_micros() as u64)
+                        .unwrap_or(0),
+                    beacon: None,
+                };
+                obs.on_round_end(&stats, &states);
             }
         }
     }
@@ -177,45 +231,51 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
     /// with the round index (1-based: the round that was just applied), the
     /// moves of that round, and the resulting global state. Useful for
     /// streaming metrics without the memory cost of a full trace.
+    ///
+    /// A convenience adapter over [`SyncExecutor::run_observed`]; the typed
+    /// [`Observer`] interface is richer (per-move hooks, [`RoundStats`],
+    /// finish notification) and avoids buffering the round's moves.
     pub fn run_with_observer<F>(
         &self,
         init: InitialState<P::State>,
         max_rounds: usize,
-        mut observer: F,
+        observer: F,
     ) -> Run<P::State>
     where
-        F: FnMut(usize, &[(Node, crate::protocol::Move<P::State>)], &[P::State]),
+        F: FnMut(usize, &[(Node, Move<P::State>)], &[P::State]),
     {
-        let mut states = init.materialize(self.graph, self.proto);
-        let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
-        let mut round = 0usize;
-        loop {
-            let moves = self.privileged_moves(&states);
-            if moves.is_empty() {
-                return Run {
-                    final_states: states,
-                    rounds: round,
-                    moves_per_rule,
-                    outcome: Outcome::Stabilized,
-                    trace: None,
-                };
-            }
-            if round >= max_rounds {
-                return Run {
-                    final_states: states,
-                    rounds: round,
-                    moves_per_rule,
-                    outcome: Outcome::RoundLimit,
-                    trace: None,
-                };
-            }
-            for (v, m) in &moves {
-                moves_per_rule[m.rule] += 1;
-                states[v.index()] = m.next.clone();
-            }
-            round += 1;
-            observer(round, &moves, &states);
-        }
+        let mut adapter = ClosureObserver {
+            moves: Vec::new(),
+            f: observer,
+        };
+        self.run_observed(init, max_rounds, &mut adapter)
+    }
+}
+
+/// Buffers the current round's moves to feed the legacy closure interface
+/// of [`SyncExecutor::run_with_observer`].
+struct ClosureObserver<S, F> {
+    moves: Vec<(Node, Move<S>)>,
+    f: F,
+}
+
+impl<S: Clone, F: FnMut(usize, &[(Node, Move<S>)], &[S])> Observer<S> for ClosureObserver<S, F> {
+    fn on_round_start(&mut self, _round: usize, _states: &[S]) {
+        self.moves.clear();
+    }
+
+    fn on_move(&mut self, node: Node, rule: usize, next: &S) {
+        self.moves.push((
+            node,
+            Move {
+                rule,
+                next: next.clone(),
+            },
+        ));
+    }
+
+    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
+        (self.f)(stats.round, &self.moves, states);
     }
 }
 
@@ -356,5 +416,83 @@ mod observer_tests {
         let run = exec.run_with_observer(InitialState::Default, 10, |_, _, _| called = true);
         assert!(run.stabilized());
         assert!(!called);
+    }
+
+    #[test]
+    fn metrics_collector_matches_plain_run() {
+        use crate::obs::MetricsCollector;
+        let g = generators::path(10);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let init = InitialState::Explicit(vec![0u8, 0, 3, 0, 0, 0, 0, 0, 0, 0]);
+        let mut metrics = MetricsCollector::new()
+            .with_gauge("maxed", |s: &[u8]| s.iter().filter(|&&x| x == 3).count() as u64);
+        let observed = exec.run_observed(init.clone(), 100, &mut metrics);
+        let plain = exec.run(init, 100);
+        assert_eq!(observed.final_states, plain.final_states);
+        assert_eq!(metrics.rounds().len(), plain.rounds());
+        assert_eq!(metrics.outcome(), Some(&Outcome::Stabilized));
+        // Per-round move counts sum to the run totals.
+        let mut summed = vec![0u64; plain.moves_per_rule.len()];
+        for r in metrics.rounds() {
+            assert!(r.privileged > 0);
+            assert_eq!(r.round, metrics.rounds()[r.round - 1].round);
+            for (acc, &k) in summed.iter_mut().zip(&r.moves_per_rule) {
+                *acc += k;
+            }
+        }
+        assert_eq!(summed, plain.moves_per_rule);
+        // The gauge series is monotone for MaxProto and ends at n.
+        let series = metrics.gauge_series("maxed").unwrap();
+        assert_eq!(series.first(), Some(&1));
+        assert_eq!(series.last(), Some(&10));
+        assert!(series.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(metrics.latency_histogram().total(), plain.rounds() as u64);
+    }
+
+    #[test]
+    fn jsonl_log_roundtrips_through_record_and_validates() {
+        use crate::obs::{trace_from_jsonl, JsonlEventLog};
+        use crate::record::{record, validate_trace};
+        let g = generators::grid(3, 3);
+        let exec = SyncExecutor::new(&g, &MaxProto).with_trace();
+        let mut log = JsonlEventLog::new();
+        let run = exec.run_observed(InitialState::Random { seed: 4 }, 100, &mut log);
+        assert!(run.stabilized());
+        let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
+        assert_eq!(Some(&trace), run.trace.as_ref(), "JSONL log equals the recorded trace");
+        assert!(stabilized);
+        let rec = record(&g, &MaxProto, trace, stabilized);
+        assert_eq!(validate_trace(&MaxProto, &rec), Ok(()));
+    }
+
+    #[test]
+    fn observers_compose_and_finish_fires_on_every_outcome() {
+        use crate::obs::{ChromeTraceWriter, MetricsCollector};
+        let g = generators::path(6);
+        let exec = SyncExecutor::new(&g, &MaxProto);
+        let init = InitialState::Explicit(vec![3u8, 0, 0, 0, 0, 0]);
+        let mut pair = (MetricsCollector::new(), ChromeTraceWriter::new());
+        let run = exec.run_observed(init, 100, &mut pair);
+        assert!(run.stabilized());
+        let (metrics, chrome) = pair;
+        assert_eq!(metrics.rounds().len(), run.rounds());
+        // 2 events per round + 2 finish events.
+        assert_eq!(chrome.len(), 2 * run.rounds() + 2);
+        // RoundLimit also notifies.
+        let mut m = MetricsCollector::new();
+        let limited = exec.run_observed(
+            InitialState::Explicit(vec![3u8, 0, 0, 0, 0, 0]),
+            2,
+            &mut m,
+        );
+        assert_eq!(limited.outcome, Outcome::RoundLimit);
+        assert_eq!(m.outcome(), Some(&Outcome::RoundLimit));
+        // A fixpoint start fires on_finish without any round hooks.
+        let mut m = MetricsCollector::new();
+        let quiet = exec.run_observed(InitialState::Default, 10, &mut m);
+        assert!(quiet.stabilized());
+        assert!(m.rounds().is_empty());
+        assert!(m.initial_gauges().is_none());
+        assert_eq!(m.outcome(), Some(&Outcome::Stabilized));
     }
 }

@@ -132,7 +132,10 @@ proptest! {
             let verdict = validate_trace(&MaxProto, &bad);
             let caught = matches!(
                 verdict,
-                Err(TraceError::WrongTransition { .. }) | Err(TraceError::WrongTermination)
+                Err(TraceError::WrongTransition { .. })
+                    | Err(TraceError::UnprivilegedMove { .. })
+                    | Err(TraceError::MissedMove { .. })
+                    | Err(TraceError::WrongTermination { .. })
             );
             prop_assert!(caught, "tampering not caught: {verdict:?}");
         }

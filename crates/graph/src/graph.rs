@@ -5,7 +5,7 @@
 //! deterministic, which the synchronous engine relies on for reproducible
 //! executions.
 
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A node handle: a dense index into the graph's vertex set.
@@ -13,8 +13,20 @@ use std::fmt;
 /// `Node` is *positional*; the comparable protocol identifier of a node is
 /// assigned separately via [`crate::ids::Ids`] so that experiments can permute
 /// IDs adversarially without rebuilding the topology.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Node(pub u32);
+
+impl ToJson for Node {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        u32::from_json(value).map(Node)
+    }
+}
 
 impl Node {
     /// The position of this node as a `usize` index.
@@ -43,7 +55,7 @@ impl From<usize> for Node {
 }
 
 /// An undirected edge, stored with `a <= b` (by index).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Edge {
     /// Smaller endpoint (by index).
     pub a: Node,
@@ -80,7 +92,7 @@ impl Edge {
 /// creation/failure caused by host mobility; the node set never changes,
 /// matching the system model of the paper ("no node leaves the system and no
 /// new node joins").
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<Node>>,
     m: usize,
@@ -202,6 +214,32 @@ impl Graph {
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+impl ToJson for Graph {
+    /// `{"n": …, "edges": [[a, b], …]}` — the edge list is the canonical
+    /// exchange format (adjacency is a derived index).
+    fn to_json(&self) -> Json {
+        let edges: Vec<(Node, Node)> = self.edges().map(|e| (e.a, e.b)).collect();
+        Json::obj([("n", self.n().to_json()), ("edges", edges.to_json())])
+    }
+}
+
+impl FromJson for Graph {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let n = usize::from_json(value.field("n")?)?;
+        let edges = Vec::<(Node, Node)>::from_json(value.field("edges")?)?;
+        let mut g = Graph::empty(n);
+        for (a, b) in edges {
+            if a.index() >= n || b.index() >= n {
+                return Err(JsonError::new(format!(
+                    "edge ({a:?}, {b:?}) out of range for n={n}"
+                )));
+            }
+            g.add_edge(a, b);
+        }
+        Ok(g)
     }
 }
 

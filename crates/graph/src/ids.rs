@@ -10,12 +10,26 @@
 use crate::graph::Node;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// An assignment of distinct `u64` identifiers to the nodes `0..n`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Ids {
     ids: Vec<u64>,
+}
+
+impl ToJson for Ids {
+    fn to_json(&self) -> Json {
+        self.ids.to_json()
+    }
+}
+
+impl FromJson for Ids {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Ids {
+            ids: Vec::<u64>::from_json(value)?,
+        })
+    }
 }
 
 impl Ids {

@@ -79,7 +79,7 @@ fn smm_survives_fault_storm() {
             churn.apply(&mut g, rng.random_range(1..4), &mut rng);
         }
         if rng.random_bool(0.5) {
-            let victim = Node::from(rng.random_range(0..36));
+            let victim = Node::from(rng.random_range(0..36usize));
             let nbrs = g.neighbors(victim).to_vec();
             states[victim.index()] = if nbrs.is_empty() || rng.random_bool(0.4) {
                 selfstab::core::Pointer(None)

@@ -1,0 +1,352 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of the criterion API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::throughput`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Measurement is a plain wall-clock mean over a time-budgeted batch of
+//!   iterations — no outlier analysis, no plots, no saved baselines.
+//! * When invoked by `cargo test` (cargo passes `--test` to `harness =
+//!   false` bench binaries), every benchmark body runs exactly once as a
+//!   smoke test.
+//! * `cargo bench -- <filter>` substring filtering is honored; other CLI
+//!   flags are ignored.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How work scales per iteration; reported as a rate next to the mean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("serial", n)`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the display string.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean wall-clock time per iteration measured by the last `iter` call.
+    mean: Option<Duration>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// One iteration, no timing (driven by `cargo test`).
+    Smoke,
+    /// Time-budgeted measurement.
+    Measure { budget: Duration },
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; the harness decides the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                std::hint::black_box(f());
+                self.mean = None;
+            }
+            Mode::Measure { budget } => {
+                // Warmup + calibration: run until ~1/5 of the budget is
+                // spent to estimate the per-iteration cost.
+                let warmup_budget = budget / 5;
+                let warm_start = Instant::now();
+                let mut warm_iters: u32 = 0;
+                while warm_start.elapsed() < warmup_budget {
+                    std::hint::black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed() / warm_iters.max(1);
+                let remaining = budget.saturating_sub(warm_start.elapsed());
+                let iters = if per_iter.is_zero() {
+                    1000
+                } else {
+                    (remaining.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+                };
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.mean = Some(start.elapsed() / iters);
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            smoke,
+            filter,
+            budget: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let name = id.into_id_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, throughput: Option<Throughput>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: if self.smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure { budget: self.budget }
+            },
+            mean: None,
+        };
+        f(&mut bencher);
+        if self.smoke {
+            println!("{label:<50} ok (smoke)");
+            return;
+        }
+        match bencher.mean {
+            Some(mean) => {
+                let rate = throughput.map(|t| match t {
+                    Throughput::Elements(n) => format!(
+                        "  {:.0} elem/s",
+                        n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+                    ),
+                    Throughput::Bytes(n) => format!(
+                        "  {:.0} B/s",
+                        n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+                    ),
+                });
+                println!(
+                    "{label:<50} time: [{}]{}",
+                    format_duration(mean),
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!("{label:<50} (no measurement: body never called iter)"),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let id = id.into_id_string();
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        self.criterion.run_one(&label, self.throughput, f);
+    }
+
+    /// Benchmark `f` with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let criterion = Criterion {
+            smoke: true,
+            filter: None,
+            budget: Duration::from_millis(1),
+        };
+        let mut calls = 0u32;
+        criterion.run_one("t", None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_mean() {
+        let criterion = Criterion {
+            smoke: false,
+            filter: None,
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        criterion.run_one("t", Some(Throughput::Elements(10)), |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let criterion = Criterion {
+            smoke: true,
+            filter: Some("match-me".into()),
+            budget: Duration::from_millis(1),
+        };
+        let mut calls = 0u32;
+        criterion.run_one("other", None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        criterion.run_one("yes-match-me-here", None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("serial", 64).into_id_string(), "serial/64");
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}
