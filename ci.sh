@@ -11,6 +11,9 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -18,5 +21,19 @@ echo "==> harness --quick e17 (observability smoke)"
 cargo run --release -p selfstab-bench --bin harness -- --quick e17 \
     | grep -F "0 violations in total" >/dev/null \
     || { echo "E17 reported violations" >&2; exit 1; }
+
+echo "==> sharded runtime smoke (4 shards, C4 counterexample + Theorem 1 bound)"
+# Arbitrary-choice (clockwise) R2 on C4 must NOT converge on the sharded
+# runtime, exactly as on the serial executor (Section 3 counterexample; the
+# runtime has no cycle detection, so it hits the round limit).
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --propose clockwise --shards 4 --max-rounds 12 \
+    | grep -F "round limit hit" >/dev/null \
+    || { echo "sharded C4/clockwise should not converge" >&2; exit 1; }
+# Default min-ID R2 stabilizes within Theorem 1's n+1 bound at 4 shards.
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --shards 4 --max-rounds 5 --format json \
+    | grep -F '"legitimate": true' >/dev/null \
+    || { echo "sharded C4/min-id should stabilize within n+1 rounds" >&2; exit 1; }
 
 echo "ci.sh: all gates passed"

@@ -40,7 +40,10 @@ impl Point {
         } else {
             let f = step / d;
             (
-                Point::new(self.x + (target.x - self.x) * f, self.y + (target.y - self.y) * f),
+                Point::new(
+                    self.x + (target.x - self.x) * f,
+                    self.y + (target.y - self.y) * f,
+                ),
                 false,
             )
         }

@@ -285,7 +285,10 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         init: InitialState<P::State>,
         config: BeaconConfig,
     ) -> Self {
-        assert!(config.delay > 0, "zero delay would deliver within the send instant");
+        assert!(
+            config.delay > 0,
+            "zero delay would deliver within the send instant"
+        );
         assert!(
             config.delay + config.jitter < config.beacon_interval,
             "delay + jitter must fit within one beacon period"
@@ -518,6 +521,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             ),
             duration_micros: self.config.beacon_interval,
             beacon: Some(beacon),
+            runtime: None,
         };
         obs.on_round_end(&stats, &self.states);
     }
@@ -584,10 +588,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
                     let g = self.topology.graph();
                     self.legitimacy_samples
                         .push(self.proto.is_legitimate(&g, &self.states));
-                    self.schedule(
-                        self.now + self.config.beacon_interval,
-                        EventKind::Sample,
-                    );
+                    self.schedule(self.now + self.config.beacon_interval, EventKind::Sample);
                 }
             }
         }
@@ -600,8 +601,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             };
             obs.on_finish(&outcome, &self.states);
         }
-        let stabilization_periods =
-            self.last_change as f64 / self.config.beacon_interval as f64;
+        let stabilization_periods = self.last_change as f64 / self.config.beacon_interval as f64;
         SimReport {
             final_states: self.states,
             beacons_sent: self.beacons_sent,
@@ -656,8 +656,7 @@ mod tests {
             let n = g.n();
             let smm = Smm::paper(Ids::identity(n));
             for seed in 0..5 {
-                let sync = SyncExecutor::new(&g, &smm)
-                    .run(InitialState::Random { seed }, n + 1);
+                let sync = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed }, n + 1);
                 assert!(sync.stabilized());
                 let sim = BeaconSim::new(
                     &smm,
@@ -668,7 +667,8 @@ mod tests {
                 let report = sim.run(5, 60_000 * MS);
                 assert!(report.quiesced, "{}", fam.name());
                 assert_eq!(
-                    report.final_states, sync.final_states,
+                    report.final_states,
+                    sync.final_states,
                     "beacon sim must equal sync engine on {}",
                     fam.name()
                 );
@@ -832,15 +832,13 @@ mod tests {
     fn counters_are_consistent() {
         let g = generators::cycle(6);
         let smm = Smm::paper(Ids::identity(6));
-        let report = BeaconSim::new(
-            &smm,
-            Topology::Static(g),
-            InitialState::Default,
-            cfg(),
-        )
-        .run(3, 600_000 * MS);
+        let report = BeaconSim::new(&smm, Topology::Static(g), InitialState::Default, cfg())
+            .run(3, 600_000 * MS);
         assert!(report.beacons_sent >= 6);
-        assert!(report.deliveries > report.beacons_sent, "degree-2 nodes double deliveries");
+        assert!(
+            report.deliveries > report.beacons_sent,
+            "degree-2 nodes double deliveries"
+        );
         assert!(report.evaluations > 0);
         assert!(report.moves_per_rule.iter().sum::<u64>() > 0);
         assert!(report.end_time >= report.last_change);
@@ -939,13 +937,8 @@ mod loss_tests {
             ..BeaconConfig::default()
         }
         .with_loss(0.25);
-        let report = BeaconSim::new(
-            &smi,
-            Topology::Static(g),
-            InitialState::Default,
-            cfg,
-        )
-        .run(10, 3_600_000 * MS);
+        let report = BeaconSim::new(&smi, Topology::Static(g), InitialState::Default, cfg)
+            .run(10, 3_600_000 * MS);
         let total = (report.deliveries + report.losses) as f64;
         let rate = report.losses as f64 / total;
         assert!((0.1..0.4).contains(&rate), "observed loss rate {rate}");
@@ -1031,7 +1024,9 @@ mod contention_tests {
             &smm,
             Topology::Static(g.clone()),
             InitialState::Default,
-            BeaconConfig::default().with_collisions(2_000).with_jitter(0.2),
+            BeaconConfig::default()
+                .with_collisions(2_000)
+                .with_jitter(0.2),
         )
         .run(10, 60_000_000);
         assert!(jittered.quiesced);

@@ -21,7 +21,8 @@ impl Table {
     /// Append a row (must match the header width).
     pub fn row(&mut self, cells: &[&dyn Display]) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -98,10 +99,7 @@ mod tests {
         let mut t = Table::new(&["n", "rounds"]);
         t.row(&[&8, &3.5]).row(&[&16, &"7"]);
         let md = t.to_markdown();
-        assert_eq!(
-            md,
-            "| n | rounds |\n|---|---|\n| 8 | 3.5 |\n| 16 | 7 |\n"
-        );
+        assert_eq!(md, "| n | rounds |\n|---|---|\n| 8 | 3.5 |\n| 16 | 7 |\n");
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
     }

@@ -32,7 +32,11 @@ fn bench(c: &mut Criterion) {
         });
     }
     // The counterexample policy: time a fixed 64-round oscillation window.
-    let smm = Smm::with_policies(Ids::identity(n), SelectPolicy::MinId, SelectPolicy::Clockwise);
+    let smm = Smm::with_policies(
+        Ids::identity(n),
+        SelectPolicy::MinId,
+        SelectPolicy::Clockwise,
+    );
     let exec = SyncExecutor::new(&g, &smm);
     group.bench_function(BenchmarkId::new("oscillate-64-rounds", "clockwise"), |b| {
         b.iter(|| {

@@ -1,0 +1,110 @@
+//! E7 runtime bench — executor throughput: serial vs chunked-parallel vs
+//! the sharded mailbox runtime at 1/2/4/8 shards.
+//!
+//! All three executors are round-for-round identical (asserted in the
+//! bodies), so this measures pure execution cost: the runtime pays per-round
+//! barriers plus beacon serialization across the partition cut in exchange
+//! for parallel guard evaluation. Besides the criterion output, each
+//! configuration emits one machine-readable `BENCH {...}` JSON line on
+//! stdout for trend tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use selfstab_core::smm::Smm;
+use selfstab_engine::par::ParSyncExecutor;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Graph, Ids};
+use selfstab_runtime::RuntimeExecutor;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn init() -> InitialState<selfstab_core::smm::Pointer> {
+    InitialState::Random { seed: 7 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_runtime_throughput");
+    group.sample_size(10);
+    let g = generators::grid(96, 96);
+    let n = g.n();
+    let smm = Smm::paper(Ids::identity(n));
+    group.throughput(Throughput::Elements(n as u64));
+
+    let serial = SyncExecutor::new(&g, &smm);
+    group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, &n| {
+        b.iter(|| {
+            let run = serial.run(init(), n + 2);
+            assert!(run.stabilized());
+            black_box(run.rounds())
+        });
+    });
+
+    let par = ParSyncExecutor::new(&g, &smm);
+    group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, &n| {
+        b.iter(|| {
+            let run = par.run(init(), n + 2);
+            assert!(run.stabilized());
+            black_box(run.rounds())
+        });
+    });
+
+    let reference_rounds = serial.run(init(), n + 2).rounds();
+    for shards in SHARD_COUNTS {
+        let rt = RuntimeExecutor::new(&g, &smm, shards);
+        let label = format!("runtime-{shards}shard");
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            b.iter(|| {
+                let run = rt.run(init(), n + 2);
+                assert_eq!(run.rounds(), reference_rounds);
+                black_box(run.rounds())
+            });
+        });
+    }
+    group.finish();
+
+    emit_bench_points(&g, &smm);
+}
+
+/// Print one `BENCH {...}` JSON line per executor configuration (skipped in
+/// `cargo test` smoke mode, where cargo passes `--test`).
+fn emit_bench_points(g: &Graph, smm: &Smm) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let n = g.n();
+    let point = |executor: &str, shards: usize, run_once: &dyn Fn() -> usize| {
+        // One warmup, then the mean of three timed runs.
+        let rounds = run_once();
+        let start = Instant::now();
+        for _ in 0..3 {
+            black_box(run_once());
+        }
+        let secs = start.elapsed().as_secs_f64() / 3.0;
+        let rate = (n * rounds) as f64 / secs.max(f64::MIN_POSITIVE);
+        println!(
+            "BENCH {{\"bench\":\"e7_runtime_throughput\",\"executor\":\"{executor}\",\
+             \"shards\":{shards},\"n\":{n},\"rounds\":{rounds},\"secs\":{secs:.6},\
+             \"node_rounds_per_sec\":{rate:.0}}}"
+        );
+    };
+    point("serial", 0, &|| serial_rounds(g, smm, n));
+    point("parallel", 0, &|| {
+        ParSyncExecutor::new(g, smm).run(init(), n + 2).rounds()
+    });
+    for shards in SHARD_COUNTS {
+        point("runtime", shards, &|| {
+            RuntimeExecutor::new(g, smm, shards)
+                .run(init(), n + 2)
+                .rounds()
+        });
+    }
+}
+
+fn serial_rounds(g: &Graph, smm: &Smm, n: usize) -> usize {
+    SyncExecutor::new(g, smm).run(init(), n + 2).rounds()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [--metrics] [e1 e2 … e17 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e18 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
@@ -12,9 +12,9 @@
 //! stdout.
 
 use selfstab_bench::experiments::{
-    e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample,
-    e06_baseline, e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality,
-    e13_coloring, e14_anonymous, e15_bfs_tree, e16_contention, e17_observability, Report,
+    e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample, e06_baseline,
+    e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality, e13_coloring, e14_anonymous,
+    e15_bfs_tree, e16_contention, e17_observability, e18_runtime_scaling, Report,
 };
 use std::io::Write;
 
@@ -26,17 +26,28 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
     let q = cfg.quick;
     Some(match id {
         "e1" => e01_smm_rounds::run(
-            if q { &[16, 64] } else { &[16, 32, 64, 128, 256, 512] },
+            if q {
+                &[16, 64]
+            } else {
+                &[16, 32, 64, 128, 256, 512]
+            },
             if q { 5 } else { 25 },
         ),
         "e2" => e02_smi_rounds::run(
-            if q { &[16, 64] } else { &[16, 32, 64, 128, 256, 512] },
+            if q {
+                &[16, 64]
+            } else {
+                &[16, 32, 64, 128, 256, 512]
+            },
             if q { 5 } else { 25 },
         ),
         "e3" => e03_transitions::run(if q { &[12] } else { &[16, 48] }, if q { 5 } else { 40 }),
         "e4" => e04_growth::run(if q { &[16] } else { &[24, 64] }, if q { 5 } else { 25 }),
         "e5" => e05_counterexample::run(if q { 20 } else { 200 }),
-        "e6" => e06_baseline::run(if q { &[16] } else { &[16, 32, 64, 128] }, if q { 3 } else { 15 }),
+        "e6" => e06_baseline::run(
+            if q { &[16] } else { &[16, 32, 64, 128] },
+            if q { 3 } else { 15 },
+        ),
         "e7" => e07_faults::run(
             if q { 16 } else { 64 },
             if q { &[1, 4] } else { &[1, 2, 4, 8, 16] },
@@ -45,7 +56,11 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
         "e8" => e08_adhoc::run(if q { 12 } else { 24 }, if q { 2 } else { 5 }),
         "e9" => e09_mobility::run(
             if q { 12 } else { 24 },
-            if q { &[0.005, 0.05] } else { &[0.002, 0.01, 0.05, 0.1, 0.2] },
+            if q {
+                &[0.005, 0.05]
+            } else {
+                &[0.002, 0.01, 0.05, 0.1, 0.2]
+            },
             if q { 1 } else { 3 },
             if q { 120 } else { 600 },
         ),
@@ -58,7 +73,11 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
         }
         "e11" => e11_quality::run(if q { 14 } else { 18 }, if q { 3 } else { 15 }),
         "e13" => e13_coloring::run(
-            if q { &[16, 64] } else { &[16, 32, 64, 128, 256] },
+            if q {
+                &[16, 64]
+            } else {
+                &[16, 32, 64, 128, 256]
+            },
             if q { 5 } else { 25 },
         ),
         "e14" => e14_anonymous::run(
@@ -71,13 +90,20 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
         ),
         "e16" => e16_contention::run(
             if q { 16 } else { 36 },
-            if q { &[0.0, 0.2] } else { &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4] },
+            if q {
+                &[0.0, 0.2]
+            } else {
+                &[0.0, 0.02, 0.05, 0.1, 0.2, 0.4]
+            },
             if q { 3 } else { 10 },
         ),
         "e17" => e17_observability::run(
             if q { &[12] } else { &[16, 36, 64] },
             if q { 3 } else { 15 },
         ),
+        "e18" => {
+            e18_runtime_scaling::run(if q { &[2_000] } else { &[10_000, 100_000] }, &[1, 2, 4, 8])
+        }
         _ => return None,
     })
 }
@@ -98,6 +124,7 @@ fn main() {
         ids.push("e15".to_string());
         ids.push("e16".to_string());
         ids.push("e17".to_string());
+        ids.push("e18".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -122,7 +149,7 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e17 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e18 or all)");
                 std::process::exit(2);
             }
         }

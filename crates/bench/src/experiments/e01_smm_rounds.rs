@@ -17,7 +17,13 @@ use selfstab_engine::sync::SyncExecutor;
 pub fn run(sizes: &[usize], reps: u64) -> Report {
     let suite = Suite::default();
     let mut table = Table::new(&[
-        "topology", "n", "m", "rounds mean±std", "rounds max", "bound n+1", "within bound",
+        "topology",
+        "n",
+        "m",
+        "rounds mean±std",
+        "rounds max",
+        "bound n+1",
+        "within bound",
     ]);
     let mut all_ok = true;
     for &n in sizes {
@@ -42,7 +48,11 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
                 s.mean_pm_std(),
                 format!("{}", s.max as usize),
                 (n_actual + 1).to_string(),
-                if ok { "yes".into() } else { "**VIOLATED**".into() },
+                if ok {
+                    "yes".into()
+                } else {
+                    "**VIOLATED**".into()
+                },
             ]);
         }
     }
@@ -50,7 +60,11 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
         "Every cell ran {reps} random initial states (random ID orders).\n\
          All runs {} within the Theorem 1 bound and ended in a maximal matching\n\
          with all unmatched nodes aloof (Lemma 8).\n\n{}",
-        if all_ok { "stabilized" } else { "DID NOT all stabilize" },
+        if all_ok {
+            "stabilized"
+        } else {
+            "DID NOT all stabilize"
+        },
         table.to_markdown()
     );
     Report {

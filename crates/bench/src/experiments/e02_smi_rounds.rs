@@ -19,7 +19,12 @@ use selfstab_graph::{generators, Ids};
 pub fn run(sizes: &[usize], reps: u64) -> Report {
     let suite = Suite::default();
     let mut table = Table::new(&[
-        "topology", "n", "rounds mean±std", "rounds max", "envelope n+2", "within",
+        "topology",
+        "n",
+        "rounds mean±std",
+        "rounds max",
+        "envelope n+2",
+        "within",
     ]);
     let mut all_ok = true;
     for &n in sizes {
@@ -43,7 +48,11 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
                 s.mean_pm_std(),
                 format!("{}", s.max as usize),
                 (n_actual + 2).to_string(),
-                if ok { "yes".into() } else { "**VIOLATED**".into() },
+                if ok {
+                    "yes".into()
+                } else {
+                    "**VIOLATED**".into()
+                },
             ]);
         }
     }

@@ -64,7 +64,9 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
     Report {
         id: "E4",
         title: "Matching growth: ≥ 2 nodes per 2 rounds while active (Lemmas 9–10)",
-        body: format!("Checked {checked} windows: {violations} violations (no long example trace)."),
+        body: format!(
+            "Checked {checked} windows: {violations} violations (no long example trace)."
+        ),
     }
 }
 

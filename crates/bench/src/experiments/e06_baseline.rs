@@ -114,7 +114,11 @@ mod tests {
     fn e6_smm_wins_most_cells() {
         let r = super::run(&[16], 3);
         // Extract "won/cells" claim: SMM should win in a clear majority.
-        let line = r.body.lines().find(|l| l.contains("cells (mean rounds)")).unwrap();
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.contains("cells (mean rounds)"))
+            .unwrap();
         let frac = line.split("in ").nth(1).unwrap().split(' ').next().unwrap();
         let (w, c) = frac.split_once('/').unwrap();
         let (w, c): (u64, u64) = (w.parse().unwrap(), c.parse().unwrap());

@@ -37,7 +37,8 @@ fn sweep<P: Protocol + Clone>(
         for &k in ks {
             let (mut rec_rounds, mut perturbed, mut scratch) = (vec![], vec![], vec![]);
             for rep in 0..reps {
-                let seed = suite.rep_seed(&inst.label, inst.graph.n(), rep ^ 0xe7 ^ (k as u64) << 8);
+                let seed =
+                    suite.rep_seed(&inst.label, inst.graph.n(), rep ^ 0xe7 ^ (k as u64) << 8);
                 let max_rounds = 4 * inst.graph.n() + 16;
                 if churn {
                     let (_, _, initial, recovery) =
@@ -88,7 +89,14 @@ pub fn run(n: usize, ks: &[usize], reps: u64) -> Report {
         &suite,
         true,
     );
-    let smi_corrupt = sweep(|inst| Smi::new(inst.ids.clone()), n, ks, reps, &suite, false);
+    let smi_corrupt = sweep(
+        |inst| Smi::new(inst.ids.clone()),
+        n,
+        ks,
+        reps,
+        &suite,
+        false,
+    );
     let smi_churn = sweep(|inst| Smi::new(inst.ids.clone()), n, ks, reps, &suite, true);
     let body = format!(
         "SMM, state corruption at k random nodes:\n\n{}\n\

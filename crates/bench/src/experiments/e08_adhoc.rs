@@ -73,8 +73,7 @@ pub fn run(n: usize, reps: u64) -> Report {
                 cfgj,
             )
             .run(5, 3_600_000_000);
-            let jitter_ok = simj.quiesced
-                && smm.is_legitimate(&inst.graph, &simj.final_states);
+            let jitter_ok = simj.quiesced && smm.is_legitimate(&inst.graph, &simj.final_states);
 
             if rep == 0 {
                 table.row_strings(vec![
@@ -82,7 +81,11 @@ pub fn run(n: usize, reps: u64) -> Report {
                     n_actual.to_string(),
                     sync.rounds().to_string(),
                     format!("{:.0}", sim0.stabilization_periods),
-                    if is_exact { "yes".into() } else { "**NO**".into() },
+                    if is_exact {
+                        "yes".into()
+                    } else {
+                        "**NO**".into()
+                    },
                     if jitter_ok {
                         format!("{:.1}", simj.stabilization_periods)
                     } else {

@@ -89,8 +89,16 @@ mod tests {
         assert!(r.body.contains("%"));
         // The slow row should show a high hold fraction for SMI.
         let slow_row = r.body.lines().find(|l| l.starts_with("| 0.005 |")).unwrap();
-        let smi_cell = slow_row.split('|').nth(3).unwrap().trim().trim_end_matches('%');
+        let smi_cell = slow_row
+            .split('|')
+            .nth(3)
+            .unwrap()
+            .trim()
+            .trim_end_matches('%');
         let frac: f64 = smi_cell.parse().unwrap();
-        assert!(frac > 60.0, "slow mobility should hold the MIS predicate: {frac}");
+        assert!(
+            frac > 60.0,
+            "slow mobility should hold the MIS predicate: {frac}"
+        );
     }
 }

@@ -59,7 +59,11 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
     let body = format!(
         "{reps} random initial states (including out-of-range corrupted colors) per cell.\n\
          All runs {} within n + 2 rounds to a proper coloring with at most Δ+1 colors.\n\n{}",
-        if all_ok { "stabilized" } else { "DID NOT stabilize" },
+        if all_ok {
+            "stabilized"
+        } else {
+            "DID NOT stabilize"
+        },
         table.to_markdown()
     );
     Report {

@@ -68,8 +68,16 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
         "{reps} random coin assignments per cell; every run reached a maximal independent\n\
          set **without any node IDs** ({}). With all coins equal (the fully symmetric\n\
          adversarial start) the protocol livelocked on C₄ as impossibility demands: {}.\n\n{}",
-        if all_ok { "all cells clean" } else { "FAILURES present" },
-        if livelock { "confirmed" } else { "**NOT OBSERVED**" },
+        if all_ok {
+            "all cells clean"
+        } else {
+            "FAILURES present"
+        },
+        if livelock {
+            "confirmed"
+        } else {
+            "**NOT OBSERVED**"
+        },
         table.to_markdown()
     );
     Report {

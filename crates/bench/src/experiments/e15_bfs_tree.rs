@@ -7,14 +7,14 @@
 
 use super::Report;
 use crate::suite::Suite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfstab_analysis::{Summary, Table};
 use selfstab_core::bfs_tree::{BfsTree, TreeState};
 use selfstab_engine::protocol::{InitialState, Protocol};
 use selfstab_engine::sync::SyncExecutor;
 use selfstab_graph::mutate::Churn;
 use selfstab_graph::Node;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Run E15.
 pub fn run(sizes: &[usize], reps: u64) -> Report {
@@ -51,8 +51,8 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
                 n_actual
             ];
             let ghost_run = exec.run(InitialState::Explicit(ghosts), 2 * n_actual + 2);
-            ok &= ghost_run.stabilized()
-                && proto.is_legitimate(&inst.graph, &ghost_run.final_states);
+            ok &=
+                ghost_run.stabilized() && proto.is_legitimate(&inst.graph, &ghost_run.final_states);
             // Event locality: stabilize, flip one link, re-stabilize.
             let mut post_rounds = vec![];
             let mut post_changed = vec![];
@@ -65,8 +65,10 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
                     continue;
                 }
                 let exec2 = SyncExecutor::new(&g2, &proto);
-                let rerun =
-                    exec2.run(InitialState::Explicit(stable.final_states.clone()), 2 * n_actual + 2);
+                let rerun = exec2.run(
+                    InitialState::Explicit(stable.final_states.clone()),
+                    2 * n_actual + 2,
+                );
                 ok &= rerun.stabilized() && proto.is_legitimate(&g2, &rerun.final_states);
                 post_rounds.push(rerun.rounds());
                 post_changed.push(

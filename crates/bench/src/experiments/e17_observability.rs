@@ -46,8 +46,7 @@ pub fn run(sizes: &[usize], reps: u64) -> Report {
             let mut max_rounds = 0usize;
             for rep in 0..reps {
                 let seed = suite.rep_seed(&inst.label, inst.graph.n(), rep ^ 0xe17);
-                let mut metrics =
-                    MetricsCollector::new().with_gauges(census_gauges(&inst.graph));
+                let mut metrics = MetricsCollector::new().with_gauges(census_gauges(&inst.graph));
                 let run = exec.run_observed(
                     InitialState::Random { seed },
                     inst.graph.n() + 1,
@@ -134,7 +133,11 @@ pub fn telemetry_section(quick: bool) -> String {
          Round-latency histogram (log₂ µs buckets): {}\n",
         inst.graph.n(),
         inst.graph.m(),
-        if run.stabilized() { "stabilized" } else { "did not stabilize" },
+        if run.stabilized() {
+            "stabilized"
+        } else {
+            "did not stabilize"
+        },
         run.rounds(),
         metrics.render_table(),
         metrics.latency_histogram().render()

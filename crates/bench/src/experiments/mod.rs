@@ -16,6 +16,7 @@ pub mod e14_anonymous;
 pub mod e15_bfs_tree;
 pub mod e16_contention;
 pub mod e17_observability;
+pub mod e18_runtime_scaling;
 
 /// An experiment's rendered report section.
 pub struct Report {

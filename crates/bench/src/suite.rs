@@ -24,7 +24,9 @@ pub struct Suite {
 
 impl Default for Suite {
     fn default() -> Self {
-        Suite { master_seed: 0x5e1f_57ab }
+        Suite {
+            master_seed: 0x5e1f_57ab,
+        }
     }
 }
 
@@ -44,8 +46,7 @@ impl Suite {
                 ids,
             });
         }
-        let mut rng =
-            StdRng::seed_from_u64(seeds::derive(self.master_seed, &[100, n as u64, 0]));
+        let mut rng = StdRng::seed_from_u64(seeds::derive(self.master_seed, &[100, n as u64, 0]));
         // Radius chosen to keep random geometric graphs connected with few
         // rejections across the sweep sizes.
         let radius = (2.2 * (n as f64).ln() / n as f64).sqrt().min(1.0);
@@ -56,8 +57,7 @@ impl Suite {
             graph,
             ids,
         });
-        let mut rng =
-            StdRng::seed_from_u64(seeds::derive(self.master_seed, &[101, n as u64, 0]));
+        let mut rng = StdRng::seed_from_u64(seeds::derive(self.master_seed, &[101, n as u64, 0]));
         let p = (2.0 * (n as f64).ln() / n as f64).min(1.0);
         let graph = generators::erdos_renyi_connected(n, p, &mut rng);
         let ids = Ids::random(graph.n(), &mut rng);
@@ -71,7 +71,9 @@ impl Suite {
 
     /// Per-cell seed for repetition `rep` of instance `label` at size `n`.
     pub fn rep_seed(&self, label: &str, n: usize, rep: u64) -> u64 {
-        let h = label.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+        let h = label
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
         seeds::derive(self.master_seed, &[h, n as u64, rep])
     }
 }

@@ -42,7 +42,8 @@ impl Args {
 
     /// Required string flag.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// Typed flag with a default.
@@ -106,6 +107,9 @@ mod tests {
         let a = Args::parse(&sv(&["--n", "8", "--verbose"])).unwrap();
         assert!(a.bool_flag("verbose"));
         let a = Args::parse(&sv(&["--n"])).unwrap();
-        assert!(a.parse_or("n", 0usize).is_err(), "dangling --n parses as boolean");
+        assert!(
+            a.parse_or("n", 0usize).is_err(),
+            "dangling --n parses as boolean"
+        );
     }
 }

@@ -5,14 +5,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_adhoc::{BeaconConfig, BeaconSim, Topology};
 use selfstab_core::coloring::Coloring;
-use selfstab_core::smm::Smm;
+use selfstab_core::smm::{SelectPolicy, Smm};
 use selfstab_core::Smi;
 use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
 use selfstab_engine::obs::{ChromeTraceWriter, Gauge, MetricsCollector};
-use selfstab_engine::protocol::{InitialState, Protocol};
+use selfstab_engine::protocol::{InitialState, Protocol, WireState};
 use selfstab_engine::sync::{Outcome, SyncExecutor};
 use selfstab_graph::{dot, generators, Graph, Ids};
 use selfstab_json::{Json, ToJson};
+use selfstab_runtime::RuntimeExecutor;
 
 /// Usage text shown by `help` and on errors.
 pub const USAGE: &str = "\
@@ -23,13 +24,20 @@ USAGE:
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--max-rounds <N>] [--format text|json|dot]
                   [--metrics] [--trace-out <file>]
+                  [--shards <K> [--channel-cap <M>]]
+                  [--propose min-id|max-id|first|clockwise|hashed]   (smm only)
   selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
                   [--jitter <frac>] [--loss <prob>] [--mobility <speed>]
                   [--seconds <N>] [--seed <u64>] [--metrics]
 
   --metrics appends a per-round convergence table (for SMM: the Fig. 2
   node-type census and the matched-pair count |M|); --trace-out writes a
-  chrome://tracing-loadable JSON timeline of the run.
+  chrome://tracing-loadable JSON timeline of the run. --shards K executes
+  on the sharded message-passing runtime (K mailbox workers, beacon frames
+  over bounded channels; no cycle detection) — identical states and round
+  counts to the in-process executor. --propose overrides SMM's R2 selection
+  (the paper's min-id is what makes SMM stabilize; clockwise reproduces the
+  C4 counterexample).
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
@@ -59,6 +67,39 @@ fn build_topology(name: &str, n: usize, rng: &mut StdRng) -> Result<Graph, Strin
     })
 }
 
+/// Parse `--shards` / `--channel-cap` into `(shards, channel capacity)`;
+/// `None` means "run on the in-process executor".
+fn parse_shards(args: &Args) -> Result<Option<(usize, usize)>, String> {
+    let Some(raw) = args.get("shards") else {
+        if args.get("channel-cap").is_some() {
+            return Err("--channel-cap requires --shards".into());
+        }
+        return Ok(None);
+    };
+    let shards: usize = raw
+        .parse()
+        .map_err(|_| format!("flag --shards: cannot parse '{raw}'"))?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let cap: usize = args.parse_or("channel-cap", selfstab_runtime::DEFAULT_CHANNEL_CAP)?;
+    if cap == 0 {
+        return Err("--channel-cap must be at least 1".into());
+    }
+    Ok(Some((shards, cap)))
+}
+
+fn parse_propose_policy(args: &Args) -> Result<SelectPolicy, String> {
+    Ok(match args.str_or("propose", "min-id") {
+        "min-id" => SelectPolicy::MinId,
+        "max-id" => SelectPolicy::MaxId,
+        "first" => SelectPolicy::FirstIndex,
+        "clockwise" => SelectPolicy::Clockwise,
+        "hashed" => SelectPolicy::Hashed,
+        other => return Err(format!("unknown propose policy '{other}'")),
+    })
+}
+
 fn build_ids(kind: &str, n: usize, rng: &mut StdRng) -> Result<Ids, String> {
     Ok(match kind {
         "identity" => Ids::identity(n),
@@ -80,6 +121,7 @@ struct RunReport {
     result_summary: String,
     states: Vec<String>,
     metrics: Option<Json>,
+    shards: Option<usize>,
 }
 
 impl ToJson for RunReport {
@@ -96,6 +138,9 @@ impl ToJson for RunReport {
             ("result_summary".to_string(), self.result_summary.to_json()),
             ("states".to_string(), self.states.to_json()),
         ];
+        if let Some(k) = self.shards {
+            fields.push(("shards".to_string(), k.to_json()));
+        }
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.clone()));
         }
@@ -116,7 +161,10 @@ fn execute<P: Protocol>(
     summarize: impl Fn(&Graph, &[P::State]) -> String,
     render_state: impl Fn(&P::State) -> String,
     highlight: impl Fn(&Graph, &[P::State]) -> (Vec<selfstab_graph::Edge>, Vec<bool>),
-) -> Result<String, String> {
+) -> Result<String, String>
+where
+    P::State: WireState,
+{
     let n = g.n();
     let seed: u64 = args.parse_or("seed", 0)?;
     let max_rounds: usize = args.parse_or("max-rounds", 4 * n + 16)?;
@@ -125,6 +173,7 @@ fn execute<P: Protocol>(
         "random" => InitialState::Random { seed },
         other => return Err(format!("unknown init '{other}'")),
     };
+    let shards = parse_shards(args)?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let mut metrics = args
         .bool_flag("metrics")
@@ -132,8 +181,24 @@ fn execute<P: Protocol>(
     let mut chrome = trace_out
         .as_ref()
         .map(|_| ChromeTraceWriter::with_rule_names(proto.rule_names()));
-    let exec = SyncExecutor::new(g, proto).with_cycle_detection();
-    let run = exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()));
+    let (run, runtime_note) = match shards {
+        Some((k, cap)) => {
+            let exec = RuntimeExecutor::new(g, proto, k).with_channel_cap(cap);
+            let cut = exec.partition().cut_edges(g).len();
+            let run = exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()));
+            (
+                run,
+                Some(format!("{k} shards, channel cap {cap}, {cut} cut edges")),
+            )
+        }
+        None => {
+            let exec = SyncExecutor::new(g, proto).with_cycle_detection();
+            (
+                exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut())),
+                None,
+            )
+        }
+    };
     if let (Some(path), Some(writer)) = (&trace_out, &chrome) {
         writer
             .write_to(path)
@@ -164,6 +229,9 @@ fn execute<P: Protocol>(
                     .collect::<Vec<_>>()
                     .join(" ")
             );
+            if let Some(note) = &runtime_note {
+                out.push_str(&format!("\nruntime: {note}"));
+            }
             if let Some(m) = &metrics {
                 out.push_str("\n\nper-round convergence metrics\n");
                 out.push_str(&m.render_table());
@@ -188,6 +256,7 @@ fn execute<P: Protocol>(
                 result_summary: summarize(g, &run.final_states),
                 states: run.final_states.iter().map(&render_state).collect(),
                 metrics: metrics.as_ref().map(MetricsCollector::to_json),
+                shards: shards.map(|(k, _)| k),
             };
             Ok(report.to_json().to_string_pretty())
         }
@@ -215,7 +284,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     let ids = build_ids(args.str_or("ids", "identity"), g.n(), &mut rng)?;
     match protocol.as_str() {
         "smm" => {
-            let proto = Smm::paper(ids);
+            let proto = Smm::with_policies(ids, SelectPolicy::MinId, parse_propose_policy(args)?);
             execute(
                 &proto,
                 &g,
@@ -245,7 +314,10 @@ pub fn run(args: &Args) -> Result<String, String> {
                 )],
                 |_, s| {
                     let members = Smi::members(s);
-                    format!("maximal independent set with {} members: {members:?}", members.len())
+                    format!(
+                        "maximal independent set with {} members: {members:?}",
+                        members.len()
+                    )
                 },
                 |s| if *s { "1".into() } else { "0".into() },
                 |_, s| (Vec::new(), s.to_vec()),
@@ -319,13 +391,13 @@ pub fn sim(args: &Args) -> Result<String, String> {
     };
     let ids = build_ids(args.str_or("ids", "identity"), n, &mut rng)?;
     let horizon = seconds * 1_000_000;
-    let quiet = if mobility > 0.0 { u64::MAX / 1_000_000 } else { 10 };
+    let quiet = if mobility > 0.0 {
+        u64::MAX / 1_000_000
+    } else {
+        10
+    };
 
-    fn report_text<S>(
-        label: &str,
-        r: &selfstab_adhoc::SimReport<S>,
-        legitimate: bool,
-    ) -> String {
+    fn report_text<S>(label: &str, r: &selfstab_adhoc::SimReport<S>, legitimate: bool) -> String {
         format!(
             "beacon simulation of {label}\n\
              quiesced: {} (stabilization ≈ {:.1} beacon periods)\n\
@@ -448,7 +520,15 @@ mod tests {
 
     #[test]
     fn run_smm_text() {
-        let out = run(&args(&["--protocol", "smm", "--topology", "grid", "--n", "16"])).unwrap();
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+        ]))
+        .unwrap();
         assert!(out.contains("stabilized"));
         assert!(out.contains("legitimate: true"));
         assert!(out.contains("maximal matching"));
@@ -457,7 +537,14 @@ mod tests {
     #[test]
     fn run_smi_json() {
         let out = run(&args(&[
-            "--protocol", "smi", "--topology", "cycle", "--n", "9", "--format", "json",
+            "--protocol",
+            "smi",
+            "--topology",
+            "cycle",
+            "--n",
+            "9",
+            "--format",
+            "json",
         ]))
         .unwrap();
         let v = Json::parse(&out).unwrap();
@@ -469,12 +556,204 @@ mod tests {
     #[test]
     fn run_coloring_dot_and_defaults() {
         let out = run(&args(&[
-            "--protocol", "coloring", "--topology", "petersen", "--n", "10", "--format", "dot",
+            "--protocol",
+            "coloring",
+            "--topology",
+            "petersen",
+            "--n",
+            "10",
+            "--format",
+            "dot",
         ]))
         .unwrap();
         assert!(out.starts_with("graph selfstab"));
-        let out = run(&args(&["--protocol", "coloring", "--topology", "path", "--n", "5"])).unwrap();
+        let out = run(&args(&[
+            "--protocol",
+            "coloring",
+            "--topology",
+            "path",
+            "--n",
+            "5",
+        ]))
+        .unwrap();
         assert!(out.contains("proper coloring"));
+    }
+
+    #[test]
+    fn run_sharded_matches_serial_output() {
+        let base = &[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "25",
+            "--format",
+            "json",
+        ];
+        let serial = Json::parse(&run(&args(base)).unwrap()).unwrap();
+        let mut sharded_args = base.to_vec();
+        sharded_args.extend_from_slice(&["--shards", "4"]);
+        let sharded = Json::parse(&run(&args(&sharded_args)).unwrap()).unwrap();
+        assert_eq!(sharded.get("shards").and_then(Json::as_u64), Some(4));
+        assert!(serial.get("shards").is_none());
+        for field in [
+            "rounds",
+            "outcome",
+            "legitimate",
+            "result_summary",
+            "states",
+        ] {
+            assert_eq!(
+                serial.get(field).map(Json::to_string),
+                sharded.get(field).map(Json::to_string),
+                "field {field} must match"
+            );
+        }
+    }
+
+    #[test]
+    fn run_sharded_text_reports_runtime_and_metrics_wire_columns() {
+        let out = run(&args(&[
+            "--protocol",
+            "smi",
+            "--topology",
+            "cycle",
+            "--n",
+            "12",
+            "--shards",
+            "3",
+            "--channel-cap",
+            "8",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("runtime: 3 shards, channel cap 8"), "{out}");
+        assert!(out.contains("cut edges"), "{out}");
+        assert!(
+            out.contains("| frames | wire bytes | max chan depth |"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn run_validates_shard_flags() {
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shards must be at least 1"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "2",
+            "--channel-cap",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--channel-cap must be at least 1"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--channel-cap",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--channel-cap requires --shards"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn run_propose_policy_selects_counterexample() {
+        // The paper's min-id R2 stabilizes C4 within n+1 rounds; the
+        // clockwise ablation oscillates (cycle detected serially, round
+        // limit on the sharded runtime).
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "4",
+            "--init",
+            "default",
+            "--max-rounds",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("stabilized"), "{out}");
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "4",
+            "--init",
+            "default",
+            "--propose",
+            "clockwise",
+            "--max-rounds",
+            "12",
+        ]))
+        .unwrap();
+        assert!(out.contains("oscillates"), "{out}");
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "4",
+            "--init",
+            "default",
+            "--propose",
+            "clockwise",
+            "--max-rounds",
+            "12",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("round limit hit"), "{out}");
+        assert!(run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "4",
+            "--propose",
+            "xyz",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -483,15 +762,30 @@ mod tests {
         assert!(run(&args(&["--protocol", "smm", "--topology", "xyz"])).is_err());
         assert!(run(&args(&["--topology", "path"])).is_err());
         assert!(run(&args(&[
-            "--protocol", "smm", "--topology", "path", "--format", "xyz"
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--format",
+            "xyz"
         ]))
         .is_err());
         assert!(run(&args(&[
-            "--protocol", "smm", "--topology", "path", "--init", "xyz"
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--init",
+            "xyz"
         ]))
         .is_err());
         assert!(run(&args(&[
-            "--protocol", "smm", "--topology", "path", "--ids", "xyz"
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--ids",
+            "xyz"
         ]))
         .is_err());
     }
@@ -499,7 +793,13 @@ mod tests {
     #[test]
     fn run_smm_metrics_prints_census_table() {
         let out = run(&args(&[
-            "--protocol", "smm", "--topology", "cycle", "--n", "8", "--metrics",
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "8",
+            "--metrics",
         ]))
         .unwrap();
         assert!(out.contains("per-round convergence metrics"), "{out}");
@@ -514,8 +814,14 @@ mod tests {
     fn run_trace_out_emits_loadable_chrome_trace() {
         let path = std::env::temp_dir().join("selfstab_cli_trace_test.json");
         let out = run(&args(&[
-            "--protocol", "smm", "--topology", "cycle", "--n", "4",
-            "--trace-out", path.to_str().unwrap(),
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "4",
+            "--trace-out",
+            path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("stabilized"));
@@ -530,8 +836,15 @@ mod tests {
     #[test]
     fn run_json_metrics_field() {
         let out = run(&args(&[
-            "--protocol", "smi", "--topology", "cycle", "--n", "9",
-            "--format", "json", "--metrics",
+            "--protocol",
+            "smi",
+            "--topology",
+            "cycle",
+            "--n",
+            "9",
+            "--format",
+            "json",
+            "--metrics",
         ]))
         .unwrap();
         let v = Json::parse(&out).unwrap();
@@ -540,12 +853,21 @@ mod tests {
             metrics.get("outcome").and_then(Json::as_str),
             Some("stabilized")
         );
-        assert!(
-            !metrics.get("rounds").and_then(Json::as_array).unwrap().is_empty()
-        );
+        assert!(!metrics
+            .get("rounds")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
         // Without the flag the field is absent.
         let out = run(&args(&[
-            "--protocol", "smi", "--topology", "cycle", "--n", "9", "--format", "json",
+            "--protocol",
+            "smi",
+            "--topology",
+            "cycle",
+            "--n",
+            "9",
+            "--format",
+            "json",
         ]))
         .unwrap();
         assert!(Json::parse(&out).unwrap().get("metrics").is_none());
@@ -554,17 +876,33 @@ mod tests {
     #[test]
     fn sim_metrics_prints_beacon_telemetry() {
         let out = sim(&args(&[
-            "--protocol", "smm", "--topology", "path", "--n", "6", "--metrics",
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--metrics",
         ]))
         .unwrap();
         assert!(out.contains("per-period beacon telemetry"), "{out}");
-        assert!(out.contains("| deliveries | losses | stale views |"), "{out}");
+        assert!(
+            out.contains("| deliveries | losses | stale views |"),
+            "{out}"
+        );
     }
 
     #[test]
     fn sim_static_and_lossy() {
         let out = sim(&args(&[
-            "--protocol", "smm", "--topology", "grid", "--n", "16", "--loss", "0.1",
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+            "--loss",
+            "0.1",
         ]))
         .unwrap();
         assert!(out.contains("quiesced: true"));
@@ -574,8 +912,16 @@ mod tests {
     #[test]
     fn sim_mobile() {
         let out = sim(&args(&[
-            "--protocol", "smi", "--topology", "unit-disk", "--n", "12", "--mobility", "0.02",
-            "--seconds", "10",
+            "--protocol",
+            "smi",
+            "--topology",
+            "unit-disk",
+            "--n",
+            "12",
+            "--mobility",
+            "0.02",
+            "--seconds",
+            "10",
         ]))
         .unwrap();
         assert!(out.contains("predicate held"));
@@ -591,10 +937,7 @@ mod tests {
     #[test]
     fn cli_dispatch() {
         let mut buf = Vec::new();
-        let code = crate::main_with(
-            &["help".to_string()],
-            &mut buf,
-        );
+        let code = crate::main_with(&["help".to_string()], &mut buf);
         assert_eq!(code, 0);
         assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
         let mut buf = Vec::new();
@@ -616,8 +959,15 @@ mod topology_tests {
         let out = topology(&args(&["--topology", "cycle", "--n", "5"])).unwrap();
         assert!(out.contains("n=5, m=5"));
         assert!(out.contains("degree histogram: 2:5"));
-        let g6 = topology(&args(&["--topology", "cycle", "--n", "5", "--format", "graph6"]))
-            .unwrap();
+        let g6 = topology(&args(&[
+            "--topology",
+            "cycle",
+            "--n",
+            "5",
+            "--format",
+            "graph6",
+        ]))
+        .unwrap();
         let parsed = selfstab_graph::graph6::parse(&g6).unwrap();
         assert_eq!(parsed.n(), 5);
         assert_eq!(parsed.m(), 5);
@@ -625,11 +975,26 @@ mod topology_tests {
 
     #[test]
     fn topology_dot_and_errors() {
-        let out =
-            topology(&args(&["--topology", "star", "--n", "4", "--format", "dot"])).unwrap();
+        let out = topology(&args(&[
+            "--topology",
+            "star",
+            "--n",
+            "4",
+            "--format",
+            "dot",
+        ]))
+        .unwrap();
         assert!(out.starts_with("graph selfstab"));
         assert!(topology(&args(&["--topology", "nope", "--n", "4"])).is_err());
-        assert!(topology(&args(&["--topology", "star", "--n", "4", "--format", "nope"])).is_err());
+        assert!(topology(&args(&[
+            "--topology",
+            "star",
+            "--n",
+            "4",
+            "--format",
+            "nope"
+        ]))
+        .is_err());
     }
 }
 

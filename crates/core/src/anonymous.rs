@@ -33,9 +33,9 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use selfstab_engine::protocol::{Move, Protocol, View};
-use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use selfstab_graph::predicates::is_maximal_independent_set;
 use selfstab_graph::{Graph, Node};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// Per-node state of the anonymous protocol.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -125,10 +125,22 @@ impl Protocol for AnonMis {
     /// proof — the randomized protocol's guarantee is probabilistic anyway.
     fn enumerate_states(&self, node: Node, _: &[Node]) -> Vec<AnonState> {
         vec![
-            AnonState { x: false, seed: node.index() as u64 },
-            AnonState { x: false, seed: node.index() as u64 + 1000 },
-            AnonState { x: true, seed: node.index() as u64 },
-            AnonState { x: true, seed: node.index() as u64 + 1000 },
+            AnonState {
+                x: false,
+                seed: node.index() as u64,
+            },
+            AnonState {
+                x: false,
+                seed: node.index() as u64 + 1000,
+            },
+            AnonState {
+                x: true,
+                seed: node.index() as u64,
+            },
+            AnonState {
+                x: true,
+                seed: node.index() as u64 + 1000,
+            },
         ]
     }
 

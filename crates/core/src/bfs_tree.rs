@@ -29,9 +29,9 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use selfstab_engine::protocol::{Move, Protocol, View};
-use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use selfstab_graph::traversal::bfs_distances;
 use selfstab_graph::{Graph, Ids, Node};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 
 /// Per-node state: distance estimate and parent pointer.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -111,10 +111,7 @@ impl BfsTree {
                 .filter(|(_, s)| s.dist.min(self.cap) == best - 1)
                 .map(|(j, _)| j),
         );
-        TreeState {
-            dist: best,
-            parent,
-        }
+        TreeState { dist: best, parent }
     }
 
     /// The tree edges (child, parent) of a global state.

@@ -41,13 +41,8 @@ impl Clustering {
                 if mis[v.index()] {
                     v
                 } else {
-                    ids.max_by_id(
-                        g.neighbors(v)
-                            .iter()
-                            .copied()
-                            .filter(|&u| mis[u.index()]),
-                    )
-                    .expect("MIS dominates every node")
+                    ids.max_by_id(g.neighbors(v).iter().copied().filter(|&u| mis[u.index()]))
+                        .expect("MIS dominates every node")
                 }
             })
             .collect();
@@ -68,7 +63,8 @@ impl Clustering {
             .head
             .iter()
             .enumerate()
-            .filter(|&(_i, &h)| h).map(|(i, &_h)| (Node::from(i), Vec::new()))
+            .filter(|&(_i, &h)| h)
+            .map(|(i, &_h)| (Node::from(i), Vec::new()))
             .collect();
         for (i, &h) in self.assignment.iter().enumerate() {
             let slot = out
@@ -110,9 +106,13 @@ mod tests {
         for fam in generators::Family::ALL {
             let g = fam.build(24);
             let n = g.n();
-            let (clustering, rounds) =
-                elect_cluster_heads(&g, Ids::identity(n), InitialState::Random { seed: 5 }, n + 2)
-                    .expect("stabilizes");
+            let (clustering, rounds) = elect_cluster_heads(
+                &g,
+                Ids::identity(n),
+                InitialState::Random { seed: 5 },
+                n + 2,
+            )
+            .expect("stabilizes");
             assert!(rounds <= n + 2);
             let total: usize = clustering.clusters().iter().map(|(_, m)| m.len()).sum();
             assert_eq!(total, n, "{}", fam.name());
@@ -131,7 +131,10 @@ mod tests {
         let (clustering, _) =
             elect_cluster_heads(&g, Ids::reversed(36), InitialState::Default, 40).expect("stab");
         assert!(is_minimal_dominating_set(&g, &clustering.head));
-        assert!(clustering.cluster_count() >= 36 / 5, "grid needs many heads");
+        assert!(
+            clustering.cluster_count() >= 36 / 5,
+            "grid needs many heads"
+        );
     }
 
     #[test]
@@ -141,7 +144,11 @@ mod tests {
         let (clustering, _) =
             elect_cluster_heads(&g, Ids::identity(3), InitialState::Default, 10).expect("stab");
         assert_eq!(clustering.head, vec![true, false, true]);
-        assert_eq!(clustering.assignment[1], Node(2), "1 prefers head 2 over head 0");
+        assert_eq!(
+            clustering.assignment[1],
+            Node(2),
+            "1 prefers head 2 over head 0"
+        );
     }
 
     #[test]

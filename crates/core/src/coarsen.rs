@@ -10,7 +10,7 @@
 //! transformation wants, computed *in the network itself*.
 
 use crate::smm::{Pointer, Smm};
-use selfstab_graph::{Graph, Node};
+use selfstab_graph::{Edge, Graph, Node};
 
 /// The result of one coarsening level.
 #[derive(Clone, Debug)]
@@ -25,10 +25,17 @@ pub struct Coarsening {
 
 /// Contract the matched pairs of a stabilized SMM state.
 pub fn coarsen_by_matching(g: &Graph, states: &[Pointer]) -> Coarsening {
-    let matching = Smm::matched_edges(g, states);
+    contract_matching(g, &Smm::matched_edges(g, states))
+}
+
+/// Contract an explicit matching: every matched pair becomes one coarse
+/// node, every unmatched node survives as a singleton. The matching need
+/// not be maximal (the shard partitioner feeds greedy matchings through
+/// here), but each node may appear in at most one edge.
+pub fn contract_matching(g: &Graph, matching: &[Edge]) -> Coarsening {
     let mut fine_to_coarse = vec![usize::MAX; g.n()];
     let mut members: Vec<Vec<Node>> = Vec::new();
-    for e in &matching {
+    for e in matching {
         let c = members.len();
         members.push(vec![e.a, e.b]);
         fine_to_coarse[e.a.index()] = c;

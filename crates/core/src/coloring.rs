@@ -77,7 +77,8 @@ impl Coloring {
 
     /// Is `colors` a proper coloring of `g`?
     pub fn is_proper(g: &Graph, colors: &[Color]) -> bool {
-        g.edges().all(|e| colors[e.a.index()] != colors[e.b.index()])
+        g.edges()
+            .all(|e| colors[e.a.index()] != colors[e.b.index()])
     }
 
     /// Number of distinct colors used.
@@ -131,7 +132,10 @@ impl Protocol for Coloring {
         }
         let used: Vec<Color> = view.neighbor_states().map(|(_, &c)| c).collect();
         let free = Self::min_free_color(&used);
-        debug_assert_ne!(free, mine, "a conflicted node always has a different free color");
+        debug_assert_ne!(
+            free, mine,
+            "a conflicted node always has a different free color"
+        );
         Some(Move {
             rule: rule::RECOLOR,
             next: free,
@@ -178,8 +182,12 @@ mod tests {
             .expect("conflicted with bigger");
         assert_eq!(mv.rule, rule::RECOLOR);
         assert_eq!(mv.next, 1, "min free color given neighbor colors {{0}}");
-        assert!(sc.step(View::new(Node(1), g.neighbors(Node(1)), &states)).is_none());
-        assert!(sc.step(View::new(Node(2), g.neighbors(Node(2)), &states)).is_none());
+        assert!(sc
+            .step(View::new(Node(1), g.neighbors(Node(1)), &states))
+            .is_none());
+        assert!(sc
+            .step(View::new(Node(2), g.neighbors(Node(2)), &states))
+            .is_none());
     }
 
     #[test]

@@ -58,10 +58,7 @@ impl HsuHuang {
     }
 
     /// The matched pairs of a global state (same notion as SMM).
-    pub fn matched_edges(
-        graph: &Graph,
-        states: &[Pointer],
-    ) -> Vec<selfstab_graph::Edge> {
+    pub fn matched_edges(graph: &Graph, states: &[Pointer]) -> Vec<selfstab_graph::Edge> {
         Smm::matched_edges(graph, states)
     }
 }
@@ -127,11 +124,8 @@ mod tests {
         // Known bound for Hsu–Huang-style matching: O(m) moves. Use the
         // generous 2m + 2n envelope as a smoke bound.
         use rand::SeedableRng;
-        let g = generators::erdos_renyi_connected(
-            30,
-            0.2,
-            &mut rand::rngs::StdRng::seed_from_u64(4),
-        );
+        let g =
+            generators::erdos_renyi_connected(30, 0.2, &mut rand::rngs::StdRng::seed_from_u64(4));
         let hh = HsuHuang::classic(30);
         let exec = CentralExecutor::new(&g, &hh);
         for seed in 0..20 {

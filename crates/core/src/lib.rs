@@ -32,6 +32,7 @@ pub mod coarsen;
 pub mod coloring;
 pub mod hsu_huang;
 pub mod oracle;
+pub mod partition;
 pub mod smi;
 pub mod smm;
 pub mod transformer;

@@ -124,7 +124,10 @@ mod tests {
         assert_eq!(maximum_matching_size_bruteforce(&generators::path(5)), 2);
         assert_eq!(maximum_matching_size_bruteforce(&generators::path(6)), 3);
         assert_eq!(maximum_matching_size_bruteforce(&generators::cycle(7)), 3);
-        assert_eq!(maximum_matching_size_bruteforce(&generators::complete(6)), 3);
+        assert_eq!(
+            maximum_matching_size_bruteforce(&generators::complete(6)),
+            3
+        );
         assert_eq!(maximum_matching_size_bruteforce(&generators::petersen()), 5);
         assert_eq!(maximum_matching_size_bruteforce(&generators::star(9)), 1);
     }

@@ -1,0 +1,368 @@
+//! Graph partitioning for the sharded runtime: split the node set into K
+//! shards so each runtime worker owns a contiguous chunk of the protocol
+//! state and only boundary states cross shard channels.
+//!
+//! Two partitioners are provided. [`Partition::contiguous`] slices node ids
+//! into K equal ranges — the trivial baseline, cheap and balanced but
+//! oblivious to topology. [`Partition::coarsened`] runs the multilevel
+//! scheme this crate already has the machinery for: repeatedly compute a
+//! greedy *heavy-edge* matching (coarse edges are weighted by the number of
+//! fine edges they stand for, and matching along the heaviest ones keeps
+//! densely-connected regions together), contract it with
+//! [`crate::coarsen::contract_matching`] until the coarse graph is small,
+//! walk the coarse graph in BFS order packing coarse blobs into shards up
+//! to the balance target, then run a greedy boundary-refinement pass on the
+//! fine graph. Matched pairs never straddle a shard boundary, so the edge
+//! cut — and with it the beacon traffic on the runtime's cross-shard
+//! channels — stays low.
+
+use crate::coarsen::contract_matching;
+use selfstab_graph::{Edge, Graph, Node};
+use std::collections::HashMap;
+
+/// An assignment of every node to one of `k` shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `shard_of[v]` — the shard owning node `v`.
+    pub shard_of: Vec<u32>,
+    /// For each shard, its owned nodes in ascending id order. Shards may be
+    /// empty when `k` exceeds the node count.
+    pub shards: Vec<Vec<Node>>,
+}
+
+impl Partition {
+    /// Number of shards (including empty ones).
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Split node ids into `k` contiguous, size-balanced ranges.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn contiguous(g: &Graph, k: usize) -> Partition {
+        assert!(k > 0, "partition needs at least one shard");
+        let n = g.n();
+        let mut shard_of = vec![0u32; n];
+        let (base, extra) = (n / k, n % k);
+        let mut next = 0usize;
+        for s in 0..k {
+            let take = base + usize::from(s < extra);
+            for slot in shard_of.iter_mut().skip(next).take(take) {
+                *slot = s as u32;
+            }
+            next += take;
+        }
+        Partition::from_shard_of(shard_of, k)
+    }
+
+    /// Multilevel coarsening partition: greedy maximal matchings are
+    /// contracted until the coarse graph has at most `8 * k` nodes (or
+    /// stops shrinking), then coarse blobs are packed into shards along a
+    /// BFS order of the coarse graph, each shard capped at
+    /// `ceil(n / k)` fine nodes. Deterministic for a given graph and `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn coarsened(g: &Graph, k: usize) -> Partition {
+        assert!(k > 0, "partition needs at least one shard");
+        let n = g.n();
+        if k == 1 || n <= k {
+            // One shard, or nothing to balance: contiguous already optimal.
+            return Partition::contiguous(g, k);
+        }
+
+        // Coarsening loop: blobs[c] = fine nodes inside coarse node c, and
+        // edge_w[{a,b}] = fine edges between blobs a and b (the heavy-edge
+        // signal: matching the heaviest coarse edges keeps densely-connected
+        // regions in one blob, which is what makes the final cut small). A
+        // matched pair's combined fine size is capped at the balance target
+        // so no blob can outgrow a shard (star graphs would otherwise grow
+        // one giant center blob).
+        let target = n.div_ceil(k);
+        let mut cur = g.clone();
+        let mut blobs: Vec<Vec<Node>> = g.nodes().map(|v| vec![v]).collect();
+        let mut edge_w: HashMap<(u32, u32), u64> =
+            g.edges().map(|e| (weight_key(e.a, e.b), 1)).collect();
+        while cur.n() > 8 * k {
+            let weights: Vec<usize> = blobs.iter().map(Vec::len).collect();
+            let matching = greedy_matching(&cur, &weights, target, &edge_w);
+            if matching.is_empty() {
+                break;
+            }
+            let c = contract_matching(&cur, &matching);
+            let mut merged: Vec<Vec<Node>> = vec![Vec::new(); c.coarse.n()];
+            for (fine, &coarse) in c.fine_to_coarse.iter().enumerate() {
+                merged[coarse.index()].append(&mut blobs[fine].clone());
+            }
+            for b in &mut merged {
+                b.sort_unstable();
+            }
+            blobs = merged;
+            let mut coarse_w = HashMap::with_capacity(edge_w.len());
+            for e in cur.edges() {
+                let (a, b) = (c.fine_to_coarse[e.a.index()], c.fine_to_coarse[e.b.index()]);
+                if a != b {
+                    let w = edge_w[&weight_key(e.a, e.b)];
+                    *coarse_w.entry(weight_key(a, b)).or_insert(0) += w;
+                }
+            }
+            edge_w = coarse_w;
+            cur = c.coarse;
+        }
+
+        // Pack blobs into shards along a BFS order of the coarse graph so
+        // consecutive shards get adjacent regions.
+        let order = bfs_order(&cur);
+        let mut shard_of = vec![0u32; n];
+        let mut shard = 0usize;
+        let mut filled = 0usize;
+        for c in order {
+            let blob = &blobs[c.index()];
+            if filled > 0 && filled + blob.len() > target && shard + 1 < k {
+                shard += 1;
+                filled = 0;
+            }
+            for &v in blob {
+                shard_of[v.index()] = shard as u32;
+            }
+            filled += blob.len();
+        }
+        refine(g, &mut shard_of, k, target);
+        Partition::from_shard_of(shard_of, k)
+    }
+
+    /// Rebuild the per-shard node lists from a raw assignment vector.
+    fn from_shard_of(shard_of: Vec<u32>, k: usize) -> Partition {
+        let mut shards: Vec<Vec<Node>> = vec![Vec::new(); k];
+        for (v, &s) in shard_of.iter().enumerate() {
+            shards[s as usize].push(Node::from(v));
+        }
+        Partition { shard_of, shards }
+    }
+
+    /// The edges whose endpoints live in different shards — exactly the
+    /// edges whose beacon frames must cross a runtime channel.
+    pub fn cut_edges(&self, g: &Graph) -> Vec<Edge> {
+        g.edges()
+            .filter(|e| self.shard_of[e.a.index()] != self.shard_of[e.b.index()])
+            .collect()
+    }
+
+    /// Size of the largest shard.
+    pub fn max_shard_size(&self) -> usize {
+        self.shards.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Canonical key for an undirected edge's weight entry.
+fn weight_key(a: Node, b: Node) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
+/// A deterministic greedy heavy-edge matching: scan nodes in id order,
+/// match each unmatched node with the unmatched neighbor it shares the most
+/// fine edges with (lowest id on ties), among those whose combined blob
+/// weight stays within `cap`.
+fn greedy_matching(
+    g: &Graph,
+    weights: &[usize],
+    cap: usize,
+    edge_w: &HashMap<(u32, u32), u64>,
+) -> Vec<Edge> {
+    let mut taken = vec![false; g.n()];
+    let mut matching = Vec::new();
+    for v in g.nodes() {
+        if taken[v.index()] {
+            continue;
+        }
+        let mate = g
+            .neighbors(v)
+            .iter()
+            .filter(|w| !taken[w.index()] && weights[v.index()] + weights[w.index()] <= cap)
+            .max_by_key(|&&w| {
+                (
+                    edge_w.get(&weight_key(v, w)).copied().unwrap_or(1),
+                    std::cmp::Reverse(w.0),
+                )
+            });
+        if let Some(&w) = mate {
+            taken[v.index()] = true;
+            taken[w.index()] = true;
+            matching.push(Edge::new(v, w));
+        }
+    }
+    matching
+}
+
+/// Greedy boundary refinement (a light Kernighan–Lin step): repeatedly move
+/// a node to the neighboring shard holding more of its neighbors, as long
+/// as the move reduces the cut and keeps every shard within the balance
+/// target. A few passes recover most of what blob packing leaves on the
+/// table; the loop is deterministic (node-id order) and stops at the first
+/// pass with no improving move.
+fn refine(g: &Graph, shard_of: &mut [u32], k: usize, target: usize) {
+    let mut sizes = vec![0usize; k];
+    for &s in shard_of.iter() {
+        sizes[s as usize] += 1;
+    }
+    let mut degree = vec![0u32; k];
+    for _pass in 0..8 {
+        let mut moved = false;
+        for v in g.nodes() {
+            let s = shard_of[v.index()] as usize;
+            if sizes[s] <= 1 {
+                continue;
+            }
+            let neighbors = g.neighbors(v);
+            let mut seen: Vec<usize> = Vec::with_capacity(4);
+            for &w in neighbors {
+                let t = shard_of[w.index()] as usize;
+                if degree[t] == 0 {
+                    seen.push(t);
+                }
+                degree[t] += 1;
+            }
+            let home = degree[s];
+            let best = seen
+                .iter()
+                .copied()
+                .filter(|&t| t != s && sizes[t] < target && degree[t] > home)
+                .max_by_key(|&t| (degree[t], std::cmp::Reverse(t)));
+            if let Some(t) = best {
+                shard_of[v.index()] = t as u32;
+                sizes[s] -= 1;
+                sizes[t] += 1;
+                moved = true;
+            }
+            for t in seen {
+                degree[t] = 0;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// BFS order over all components, seeded from the lowest-id unvisited node.
+fn bfs_order(g: &Graph) -> Vec<Node> {
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::with_capacity(g.n());
+    let mut queue = std::collections::VecDeque::new();
+    for root in g.nodes() {
+        if seen[root.index()] {
+            continue;
+        }
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::generators;
+
+    fn assert_valid(p: &Partition, g: &Graph, k: usize) {
+        assert_eq!(p.k(), k);
+        assert_eq!(p.shard_of.len(), g.n());
+        let total: usize = p.shards.iter().map(Vec::len).sum();
+        assert_eq!(total, g.n(), "every node in exactly one shard");
+        for (s, nodes) in p.shards.iter().enumerate() {
+            for &v in nodes {
+                assert_eq!(p.shard_of[v.index()], s as u32);
+            }
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted shard lists");
+        }
+    }
+
+    #[test]
+    fn contiguous_is_balanced() {
+        let g = generators::cycle(10);
+        for k in [1, 2, 3, 4, 10, 12] {
+            let p = Partition::contiguous(&g, k);
+            assert_valid(&p, &g, k);
+            let max = p.max_shard_size();
+            let min_nonempty = p
+                .shards
+                .iter()
+                .map(Vec::len)
+                .filter(|&l| l > 0)
+                .min()
+                .unwrap();
+            assert!(max - min_nonempty <= 1, "k={k}: {max} vs {min_nonempty}");
+        }
+    }
+
+    #[test]
+    fn contiguous_cut_on_cycle_is_k() {
+        let g = generators::cycle(12);
+        for k in [2, 3, 4] {
+            let p = Partition::contiguous(&g, k);
+            assert_eq!(p.cut_edges(&g).len(), k, "k contiguous arcs cut k edges");
+        }
+    }
+
+    #[test]
+    fn coarsened_covers_and_balances() {
+        for fam in generators::Family::ALL {
+            let g = fam.build(64);
+            for k in [1, 2, 4, 8] {
+                let p = Partition::coarsened(&g, k);
+                assert_valid(&p, &g, k);
+                // Balance: no shard more than 2x the ideal (blob packing can
+                // overshoot by one blob, blobs shrink by halving).
+                assert!(
+                    p.max_shard_size() <= 2 * g.n().div_ceil(k),
+                    "{} k={k}: max {}",
+                    fam.name(),
+                    p.max_shard_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarsened_beats_oblivious_cut_on_grid() {
+        // On a 16x16 grid, BFS-packed coarse blobs should not cut more than
+        // the contiguous row-slices do by much; both must be far below m.
+        let g = generators::grid(16, 16);
+        let p = Partition::coarsened(&g, 4);
+        let cut = p.cut_edges(&g).len();
+        assert!(cut < g.m() / 2, "cut {cut} of {} edges", g.m());
+    }
+
+    #[test]
+    fn coarsened_is_deterministic() {
+        let g = generators::grid(9, 7);
+        let a = Partition::coarsened(&g, 4);
+        let b = Partition::coarsened(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empties() {
+        let g = generators::path(3);
+        let p = Partition::coarsened(&g, 8);
+        assert_valid(&p, &g, 8);
+        assert_eq!(p.shards.iter().filter(|s| !s.is_empty()).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let g = generators::path(3);
+        let _ = Partition::contiguous(&g, 0);
+    }
+}

@@ -88,7 +88,8 @@ impl Smi {
         states
             .iter()
             .enumerate()
-            .filter(|&(_i, &x)| x).map(|(i, &_x)| Node::from(i))
+            .filter(|&(_i, &x)| x)
+            .map(|(i, &_x)| Node::from(i))
             .collect()
     }
 }
@@ -166,11 +167,15 @@ mod tests {
         assert_eq!(mv.rule, rule::LEAVE);
         assert!(!mv.next);
         // Node 2 in, no bigger neighbor => silent.
-        assert!(smi.step(View::new(Node(2), g.neighbors(Node(2)), &states)).is_none());
+        assert!(smi
+            .step(View::new(Node(2), g.neighbors(Node(2)), &states))
+            .is_none());
         // Node 1 in, only *smaller* neighbor 0 in => silent for node 1
         // (smaller members don't force a leave)...
         let states = vec![true, true, false];
-        assert!(smi.step(View::new(Node(1), g.neighbors(Node(1)), &states)).is_none());
+        assert!(smi
+            .step(View::new(Node(1), g.neighbors(Node(1)), &states))
+            .is_none());
         // ...but node 0 leaves because of bigger member 1.
         let mv = smi
             .step(View::new(Node(0), g.neighbors(Node(0)), &states))
@@ -277,10 +282,7 @@ mod tests {
 
     #[test]
     fn members_helper() {
-        assert_eq!(
-            Smi::members(&[true, false, true]),
-            vec![Node(0), Node(2)]
-        );
+        assert_eq!(Smi::members(&[true, false, true]), vec![Node(0), Node(2)]);
         assert!(Smi::members(&[]).is_empty());
     }
 }
@@ -301,8 +303,7 @@ mod tiebreak_tests {
             for tb in [Tiebreak::BiggerWins, Tiebreak::SmallerWins] {
                 let smi = Smi::with_tiebreak(Ids::identity(n), tb);
                 for seed in 0..8 {
-                    let run =
-                        SyncExecutor::new(&g, &smi).run(InitialState::Random { seed }, n + 2);
+                    let run = SyncExecutor::new(&g, &smi).run(InitialState::Random { seed }, n + 2);
                     assert!(run.stabilized(), "{} {tb:?}", fam.name());
                     assert!(is_maximal_independent_set(&g, &run.final_states));
                 }
@@ -320,13 +321,19 @@ mod tiebreak_tests {
         let bigger = Smi::new(Ids::identity(6));
         let run = SyncExecutor::new(&g, &bigger).run(InitialState::Default, 8);
         assert!(run.stabilized());
-        assert!(!run.final_states[0], "bigger-wins: leaves beat the small center");
+        assert!(
+            !run.final_states[0],
+            "bigger-wins: leaves beat the small center"
+        );
         assert_eq!(run.final_states.iter().filter(|&&x| x).count(), 5);
 
         let smaller = Smi::with_tiebreak(Ids::identity(6), Tiebreak::SmallerWins);
         let run = SyncExecutor::new(&g, &smaller).run(InitialState::Default, 8);
         assert!(run.stabilized());
-        assert!(run.final_states[0], "smaller-wins: the center (ID 0) dominates");
+        assert!(
+            run.final_states[0],
+            "smaller-wins: the center (ID 0) dominates"
+        );
         assert_eq!(run.final_states.iter().filter(|&&x| x).count(), 1);
     }
 

@@ -30,10 +30,10 @@ pub mod types;
 
 use rand::rngs::StdRng;
 use rand::RngExt;
-use selfstab_engine::protocol::{Move, Protocol, View};
-use selfstab_json::{FromJson, Json, JsonError, ToJson};
+use selfstab_engine::protocol::{Move, Protocol, View, WireError, WireState};
 use selfstab_graph::predicates::is_maximal_matching;
 use selfstab_graph::{Edge, Graph, Ids, Node};
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// The SMM per-node state: a nullable pointer to a neighbor.
@@ -60,6 +60,18 @@ impl Pointer {
     #[inline]
     pub fn is_null(self) -> bool {
         self.0.is_none()
+    }
+}
+
+/// Beacon wire encoding: the pointer is carried exactly as its underlying
+/// `Option<Node>` (1 tag byte, plus 4 LE id bytes when non-null).
+impl WireState for Pointer {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        Option::<Node>::decode_prefix(bytes).map(|(p, used)| (Pointer(p), used))
     }
 }
 
@@ -328,8 +340,14 @@ mod tests {
         let cands = [Node(1), Node(2), Node(4)];
         assert_eq!(SelectPolicy::MinId.select(&ids, Node(0), &cands), Node(4));
         assert_eq!(SelectPolicy::MaxId.select(&ids, Node(0), &cands), Node(1));
-        assert_eq!(SelectPolicy::FirstIndex.select(&ids, Node(0), &cands), Node(1));
-        assert_eq!(SelectPolicy::Clockwise.select(&ids, Node(3), &cands), Node(4));
+        assert_eq!(
+            SelectPolicy::FirstIndex.select(&ids, Node(0), &cands),
+            Node(1)
+        );
+        assert_eq!(
+            SelectPolicy::Clockwise.select(&ids, Node(3), &cands),
+            Node(4)
+        );
         assert_eq!(
             SelectPolicy::Clockwise.select(&ids, Node(4), &cands),
             Node(1),
@@ -337,7 +355,11 @@ mod tests {
         );
         let h = SelectPolicy::Hashed.select(&ids, Node(0), &cands);
         assert!(cands.contains(&h));
-        assert_eq!(SelectPolicy::Hashed.select(&ids, Node(0), &cands), h, "deterministic");
+        assert_eq!(
+            SelectPolicy::Hashed.select(&ids, Node(0), &cands),
+            h,
+            "deterministic"
+        );
     }
 
     #[test]
@@ -369,11 +391,17 @@ mod tests {
         assert_eq!(mv.next, Pointer::NULL);
         // Matched pair is silent.
         let states = vec![ptr(1), ptr(0), Pointer::NULL, Pointer::NULL];
-        assert!(smm.step(View::new(Node(0), g.neighbors(Node(0)), &states)).is_none());
-        assert!(smm.step(View::new(Node(1), g.neighbors(Node(1)), &states)).is_none());
+        assert!(smm
+            .step(View::new(Node(0), g.neighbors(Node(0)), &states))
+            .is_none());
+        assert!(smm
+            .step(View::new(Node(1), g.neighbors(Node(1)), &states))
+            .is_none());
         // P_A waits: node 2 points at null node 3.
         let states = vec![Pointer::NULL, Pointer::NULL, ptr(3), Pointer::NULL];
-        assert!(smm.step(View::new(Node(2), g.neighbors(Node(2)), &states)).is_none());
+        assert!(smm
+            .step(View::new(Node(2), g.neighbors(Node(2)), &states))
+            .is_none());
     }
 
     #[test]
@@ -396,7 +424,10 @@ mod tests {
         let states = vec![ptr(1), ptr(0), ptr(3), Pointer::NULL];
         let m = Smm::matched_edges(&g, &states);
         assert_eq!(m, vec![Edge::new(Node(0), Node(1))]);
-        assert_eq!(Smm::matched_nodes(&g, &states), vec![true, true, false, false]);
+        assert_eq!(
+            Smm::matched_nodes(&g, &states),
+            vec![true, true, false, false]
+        );
     }
 
     #[test]

@@ -425,7 +425,10 @@ mod tests {
         for states in trace {
             let matched = Smm::matched_nodes(&g, states);
             for i in 0..9 {
-                assert!(!matched_prev[i] || matched[i], "Lemma 1 violated at node {i}");
+                assert!(
+                    !matched_prev[i] || matched[i],
+                    "Lemma 1 violated at node {i}"
+                );
             }
             matched_prev = matched;
         }
@@ -528,7 +531,16 @@ mod tests {
         let names: Vec<&str> = gauges.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            vec!["M", "A0", "A1", "PA", "PM", "PP", "DANGLING", "matched_pairs"]
+            vec![
+                "M",
+                "A0",
+                "A1",
+                "PA",
+                "PM",
+                "PP",
+                "DANGLING",
+                "matched_pairs"
+            ]
         );
         let states = vec![ptr(1), ptr(0), ptr(1), Pointer::NULL];
         let values: Vec<u64> = gauges.iter_mut().map(|(_, f)| f(&states)).collect();

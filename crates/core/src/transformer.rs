@@ -118,11 +118,8 @@ mod tests {
         // The paper's Section 3 claim, in miniature: average rounds of SMM
         // vs synchronized Hsu–Huang over random starts on a random graph.
         use rand::SeedableRng;
-        let g = generators::erdos_renyi_connected(
-            60,
-            0.1,
-            &mut rand::rngs::StdRng::seed_from_u64(2),
-        );
+        let g =
+            generators::erdos_renyi_connected(60, 0.1, &mut rand::rngs::StdRng::seed_from_u64(2));
         let n = g.n();
         let smm = Smm::paper(Ids::identity(n));
         let hh = HsuHuang::classic(n);

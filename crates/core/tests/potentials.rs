@@ -25,7 +25,12 @@ fn smm_matched_count_is_monotone_potential() {
                 |g, states| Smm::matched_edges(g, states).len(),
             );
             assert!(run.stabilized());
-            assert!(series.is_non_decreasing(), "{}: {:?}", fam.name(), series.values);
+            assert!(
+                series.is_non_decreasing(),
+                "{}: {:?}",
+                fam.name(),
+                series.values
+            );
         }
     }
 }
@@ -37,13 +42,9 @@ fn smm_matching_strictly_grows_every_two_rounds_after_round_one() {
     let g = generators::grid(6, 6);
     let smm = Smm::paper(Ids::reversed(36));
     for seed in 0..10 {
-        let (run, series) = track(
-            &g,
-            &smm,
-            InitialState::Random { seed },
-            37,
-            |g, states| Smm::matched_edges(g, states).len(),
-        );
+        let (run, series) = track(&g, &smm, InitialState::Random { seed }, 37, |g, states| {
+            Smm::matched_edges(g, states).len()
+        });
         assert!(run.stabilized());
         // Drop the t=0 entry: Lemma 10 applies from t >= 1.
         let tail = PotentialSeries {

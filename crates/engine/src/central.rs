@@ -191,10 +191,9 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
                     round: moves as usize,
                     privileged: nodes.len(),
                     moves_per_rule: round_moves,
-                    duration_micros: timer
-                        .map(|t| t.elapsed().as_micros() as u64)
-                        .unwrap_or(0),
+                    duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                     beacon: None,
+                    runtime: None,
                 };
                 obs.on_round_end(&stats, &states);
             }
@@ -247,8 +246,9 @@ mod tests {
         let g = generators::path(8);
         let exec = CentralExecutor::new(&g, &MaxProto);
         let init = vec![0u8, 0, 0, 3, 0, 0, 0, 1];
-        let mut metrics = MetricsCollector::new()
-            .with_gauge("maxed", |s: &[u8]| s.iter().filter(|&&x| x == 3).count() as u64);
+        let mut metrics = MetricsCollector::new().with_gauge("maxed", |s: &[u8]| {
+            s.iter().filter(|&&x| x == 3).count() as u64
+        });
         let run = exec.run_observed(
             InitialState::Explicit(init),
             &mut Scheduler::RoundRobin { cursor: 0 },

@@ -168,8 +168,7 @@ mod tests {
         let init1: Vec<u8> = init.iter().map(|&(a, _)| a).collect();
         let init2: Vec<u8> = init.iter().map(|&(_, b)| b).collect();
 
-        let prod_run =
-            SyncExecutor::new(&g, &product).run(InitialState::Explicit(init), 100);
+        let prod_run = SyncExecutor::new(&g, &product).run(InitialState::Explicit(init), 100);
         let run1 = SyncExecutor::new(&g, &MaxProto).run(InitialState::Explicit(init1), 100);
         let run2 = SyncExecutor::new(&g, &MinProto).run(InitialState::Explicit(init2), 100);
         assert!(prod_run.stabilized());

@@ -75,10 +75,13 @@ pub fn corrupt_and_recover<P: Protocol>(
         .zip(&initial.final_states)
         .filter(|(a, b)| a != b)
         .count();
-    (initial, Recovery {
-        run,
-        perturbed_nodes,
-    })
+    (
+        initial,
+        Recovery {
+            run,
+            perturbed_nodes,
+        },
+    )
 }
 
 /// Everything `churn_and_recover` produces: the post-churn graph, the
@@ -106,17 +109,25 @@ pub fn churn_and_recover<P: Protocol>(
     let mut new_graph = graph.clone();
     let events = Churn::default().apply(&mut new_graph, k, &mut rng);
     let exec2 = SyncExecutor::new(&new_graph, proto);
-    let run = exec2.run(InitialState::Explicit(initial.final_states.clone()), max_rounds);
+    let run = exec2.run(
+        InitialState::Explicit(initial.final_states.clone()),
+        max_rounds,
+    );
     let perturbed_nodes = run
         .final_states
         .iter()
         .zip(&initial.final_states)
         .filter(|(a, b)| a != b)
         .count();
-    (new_graph, events, initial.clone(), Recovery {
-        run,
-        perturbed_nodes,
-    })
+    (
+        new_graph,
+        events,
+        initial.clone(),
+        Recovery {
+            run,
+            perturbed_nodes,
+        },
+    )
 }
 
 #[cfg(test)]

@@ -42,6 +42,6 @@ pub mod sync;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use obs::{Observer, RoundStats};
-pub use protocol::{InitialState, Move, Protocol, View};
+pub use obs::{Observer, RoundStats, RuntimeCounters};
+pub use protocol::{InitialState, Move, Protocol, View, WireError, WireState};
 pub use sync::{Outcome, Run, SyncExecutor};

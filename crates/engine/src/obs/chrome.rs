@@ -100,6 +100,14 @@ impl<S> Observer<S> for ChromeTraceWriter {
             args.push(("losses".to_string(), b.losses.to_json()));
             args.push(("stale_views".to_string(), b.stale_views.to_json()));
         }
+        if let Some(rt) = &stats.runtime {
+            args.push(("frames".to_string(), rt.frames.to_json()));
+            args.push(("bytes_on_wire".to_string(), rt.bytes_on_wire.to_json()));
+            args.push((
+                "max_channel_depth".to_string(),
+                rt.max_channel_depth.to_json(),
+            ));
+        }
         self.events.push(Json::obj([
             ("name", format!("round {}", stats.round).to_json()),
             ("cat", "round".to_json()),
@@ -115,11 +123,24 @@ impl<S> Observer<S> for ChromeTraceWriter {
             ("ph", "C".to_json()),
             ("ts", self.ts.to_json()),
             ("pid", 0u64.to_json()),
-            (
-                "args",
-                Json::obj([("count", stats.privileged.to_json())]),
-            ),
+            ("args", Json::obj([("count", stats.privileged.to_json())])),
         ]));
+        if let Some(rt) = &stats.runtime {
+            // Wire-traffic counter track (sharded runtime only).
+            self.events.push(Json::obj([
+                ("name", "wire".to_json()),
+                ("ph", "C".to_json()),
+                ("ts", self.ts.to_json()),
+                ("pid", 0u64.to_json()),
+                (
+                    "args",
+                    Json::obj([
+                        ("bytes", rt.bytes_on_wire.to_json()),
+                        ("channel_depth", rt.max_channel_depth.to_json()),
+                    ]),
+                ),
+            ]));
+        }
         self.ts += dur;
     }
 
@@ -167,6 +188,7 @@ mod tests {
                 moves_per_rule: vec![1, 1],
                 duration_micros: 7,
                 beacon: None,
+                runtime: None,
             },
             &states,
         );
@@ -202,6 +224,7 @@ mod tests {
                     moves_per_rule: vec![1],
                     duration_micros: 10,
                     beacon: None,
+                    runtime: None,
                 },
                 &states,
             );

@@ -77,7 +77,10 @@ impl<S: ToJson> Observer<S> for JsonlEventLog {
             ("round".to_string(), stats.round.to_json()),
             ("privileged".to_string(), stats.privileged.to_json()),
             ("moves_per_rule".to_string(), stats.moves_per_rule.to_json()),
-            ("duration_micros".to_string(), stats.duration_micros.to_json()),
+            (
+                "duration_micros".to_string(),
+                stats.duration_micros.to_json(),
+            ),
             ("states".to_string(), states.to_json()),
         ];
         if let Some(b) = &stats.beacon {
@@ -168,6 +171,7 @@ mod tests {
                 moves_per_rule: vec![1],
                 duration_micros: 2,
                 beacon: None,
+                runtime: None,
             },
             &s1,
         );

@@ -10,7 +10,7 @@
 //! matched-pair count |M|), and an SMI set-size gauge is a one-line
 //! closure.
 
-use super::{BeaconCounters, Observer, RoundStats};
+use super::{BeaconCounters, Observer, RoundStats, RuntimeCounters};
 use crate::sync::Outcome;
 use selfstab_analysis::Histogram;
 use selfstab_json::{Json, ToJson};
@@ -34,6 +34,8 @@ pub struct RoundRecord {
     pub gauges: Vec<u64>,
     /// Beacon-layer counters (simulator runs only).
     pub beacon: Option<BeaconCounters>,
+    /// Shard/wire counters (sharded-runtime runs only).
+    pub runtime: Option<RuntimeCounters>,
 }
 
 /// Collects per-round convergence metrics during an observed run.
@@ -63,7 +65,11 @@ impl<S> MetricsCollector<S> {
 
     /// Add a named gauge, evaluated on the global state after every round
     /// (and once on the initial state).
-    pub fn with_gauge(mut self, name: impl Into<String>, f: impl FnMut(&[S]) -> u64 + 'static) -> Self {
+    pub fn with_gauge(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&[S]) -> u64 + 'static,
+    ) -> Self {
         self.gauge_names.push(name.into());
         self.gauge_fns.push(Box::new(f));
         self
@@ -127,6 +133,7 @@ impl<S> MetricsCollector<S> {
     /// one column per gauge, plus beacon counters when present.
     pub fn render_table(&self) -> String {
         let has_beacon = self.rounds.iter().any(|r| r.beacon.is_some());
+        let has_runtime = self.rounds.iter().any(|r| r.runtime.is_some());
         let mut out = String::from("| round | privileged | moves |");
         for name in &self.gauge_names {
             out.push_str(&format!(" {name} |"));
@@ -134,16 +141,20 @@ impl<S> MetricsCollector<S> {
         if has_beacon {
             out.push_str(" deliveries | losses | stale views |");
         }
+        if has_runtime {
+            out.push_str(" frames | wire bytes | max chan depth |");
+        }
         out.push('\n');
-        out.push_str(&"|---".repeat(3 + self.gauge_names.len() + if has_beacon { 3 } else { 0 }));
+        let extra = if has_beacon { 3 } else { 0 } + if has_runtime { 3 } else { 0 };
+        out.push_str(&"|---".repeat(3 + self.gauge_names.len() + extra));
         out.push_str("|\n");
         if let Some(init) = &self.initial_gauges {
             out.push_str("| 0 (init) | — | — |");
             for v in init {
                 out.push_str(&format!(" {v} |"));
             }
-            if has_beacon {
-                out.push_str(" — | — | — |");
+            for _ in 0..extra {
+                out.push_str(" — |");
             }
             out.push('\n');
         }
@@ -155,7 +166,17 @@ impl<S> MetricsCollector<S> {
             }
             if has_beacon {
                 let b = r.beacon.clone().unwrap_or_default();
-                out.push_str(&format!(" {} | {} | {} |", b.deliveries, b.losses, b.stale_views));
+                out.push_str(&format!(
+                    " {} | {} | {} |",
+                    b.deliveries, b.losses, b.stale_views
+                ));
+            }
+            if has_runtime {
+                let rt = r.runtime.clone().unwrap_or_default();
+                out.push_str(&format!(
+                    " {} | {} | {} |",
+                    rt.frames, rt.bytes_on_wire, rt.max_channel_depth
+                ));
             }
             out.push('\n');
         }
@@ -178,6 +199,9 @@ impl<S> MetricsCollector<S> {
                 if let Some(b) = &r.beacon {
                     fields.push(("beacon".to_string(), beacon_json(b)));
                 }
+                if let Some(rt) = &r.runtime {
+                    fields.push(("runtime".to_string(), runtime_json(rt)));
+                }
                 Json::Object(fields)
             })
             .collect();
@@ -197,7 +221,9 @@ impl<S> MetricsCollector<S> {
                 match &self.outcome {
                     None => Json::Null,
                     Some(Outcome::Stabilized) => "stabilized".to_json(),
-                    Some(Outcome::Cycle { period, .. }) => format!("cycle (period {period})").to_json(),
+                    Some(Outcome::Cycle { period, .. }) => {
+                        format!("cycle (period {period})").to_json()
+                    }
                     Some(Outcome::RoundLimit) => "round limit".to_json(),
                 },
             ),
@@ -212,6 +238,15 @@ fn beacon_json(b: &BeaconCounters) -> Json {
         ("collisions", b.collisions.to_json()),
         ("stale_views", b.stale_views.to_json()),
         ("jitter_abs_sum_micros", b.jitter_abs_sum_micros.to_json()),
+    ])
+}
+
+fn runtime_json(rt: &RuntimeCounters) -> Json {
+    Json::obj([
+        ("shard_moves", rt.shard_moves.to_json()),
+        ("frames", rt.frames.to_json()),
+        ("bytes_on_wire", rt.bytes_on_wire.to_json()),
+        ("max_channel_depth", rt.max_channel_depth.to_json()),
     ])
 }
 
@@ -237,6 +272,7 @@ impl<S> Observer<S> for MetricsCollector<S> {
             duration_micros: stats.duration_micros,
             gauges,
             beacon: stats.beacon.clone(),
+            runtime: stats.runtime.clone(),
         });
     }
 
@@ -257,6 +293,7 @@ mod tests {
             moves_per_rule: vec![privileged as u64],
             duration_micros: micros,
             beacon: None,
+            runtime: None,
         }
     }
 

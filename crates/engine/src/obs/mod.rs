@@ -60,6 +60,23 @@ pub struct BeaconCounters {
     pub jitter_abs_sum_micros: u64,
 }
 
+/// Shard/wire-layer counters for one round, reported only by the sharded
+/// message-passing runtime (`selfstab-runtime`); `None` in
+/// [`RoundStats::runtime`] for the in-process executors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Moves applied this round, per shard (index = shard id).
+    pub shard_moves: Vec<u64>,
+    /// Beacon frames that crossed a shard boundary this round.
+    pub frames: u64,
+    /// Total encoded frame bytes that crossed a shard boundary this round
+    /// (header + payload).
+    pub bytes_on_wire: u64,
+    /// The deepest any cross-shard channel got this round (a backpressure
+    /// gauge: values near the channel capacity mean senders were blocked).
+    pub max_channel_depth: u64,
+}
+
 /// What happened in one observed round.
 ///
 /// Under the synchronous daemon a round is one simultaneous firing of all
@@ -81,6 +98,8 @@ pub struct RoundStats {
     pub duration_micros: u64,
     /// Beacon-layer counters (simulator only).
     pub beacon: Option<BeaconCounters>,
+    /// Shard/wire counters (sharded runtime only).
+    pub runtime: Option<RuntimeCounters>,
 }
 
 /// Execution hooks, called by `run_observed` on every executor.
@@ -248,6 +267,7 @@ mod tests {
             moves_per_rule: vec![1],
             duration_micros: 0,
             beacon: None,
+            runtime: None,
         };
         let mut pair = (Count::default(), Some(Count::default()));
         let mut none: Option<Count> = None;
@@ -257,7 +277,10 @@ mod tests {
         pair.on_round_end(&stats, &states);
         pair.on_finish(&Outcome::Stabilized, &states);
         none.on_round_start(1, &states);
-        assert_eq!(pair.0.starts + pair.0.moves + pair.0.ends + pair.0.finishes, 4);
+        assert_eq!(
+            pair.0.starts + pair.0.moves + pair.0.ends + pair.0.finishes,
+            4
+        );
         let inner = pair.1.unwrap();
         assert_eq!(inner.starts + inner.moves + inner.ends + inner.finishes, 4);
         assert!(none.is_none());

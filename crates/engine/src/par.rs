@@ -136,8 +136,7 @@ mod tests {
         let g = generators::grid(8, 8);
         for seed in 0..5 {
             let serial = SyncExecutor::new(&g, &MaxProto).run_random(seed, 1_000);
-            let par = ParSyncExecutor::new(&g, &MaxProto)
-                .run(InitialState::Random { seed }, 1_000);
+            let par = ParSyncExecutor::new(&g, &MaxProto).run(InitialState::Random { seed }, 1_000);
             assert_eq!(serial.final_states, par.final_states);
             assert_eq!(serial.rounds, par.rounds);
             assert_eq!(serial.moves_per_rule, par.moves_per_rule);

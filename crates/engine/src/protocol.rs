@@ -162,6 +162,125 @@ pub fn min_id_node(ids: &Ids, candidates: impl IntoIterator<Item = Node>) -> Opt
     ids.min_by_id(candidates)
 }
 
+/// A decode failure for a wire-encoded state or frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the layout requires.
+    Truncated,
+    /// An enum/option tag byte had an undefined value.
+    BadTag(u8),
+    /// Bytes left over after the value was fully decoded.
+    TrailingBytes,
+    /// A frame header field (version, round tag) did not match.
+    Header(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated wire payload"),
+            WireError::BadTag(t) => write!(f, "undefined tag byte {t:#04x}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+            WireError::Header(what) => write!(f, "bad frame header: {what}"),
+        }
+    }
+}
+
+/// A state that can ride in a beacon frame: a compact little-endian binary
+/// encoding with a lossless decode. The message-passing runtime
+/// (`selfstab-runtime`) requires `Protocol::State: WireState` so neighbor
+/// states can cross shard (and eventually process) boundaries as bytes
+/// instead of shared memory.
+///
+/// Contract: `decode(encode(x)) == x`, and `decode` consumes *exactly* the
+/// bytes `encode` produced (a frame carries an explicit payload length, so
+/// partial consumption indicates a layout mismatch and must error).
+pub trait WireState: Sized {
+    /// Append the little-endian encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode a value from a prefix of `bytes`; returns the value and the
+    /// number of bytes consumed.
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError>;
+
+    /// Decode a value that must span `bytes` exactly.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (value, used) = Self::decode_prefix(bytes)?;
+        if used != bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(value)
+    }
+}
+
+macro_rules! impl_wire_le_int {
+    ($($t:ty),*) => {$(
+        impl WireState for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+                const W: usize = std::mem::size_of::<$t>();
+                let raw: [u8; W] = bytes
+                    .get(..W)
+                    .ok_or(WireError::Truncated)?
+                    .try_into()
+                    .expect("slice length checked");
+                Ok((<$t>::from_le_bytes(raw), W))
+            }
+        }
+    )*};
+}
+
+impl_wire_le_int!(u8, u16, u32, u64);
+
+impl WireState for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        match bytes.first() {
+            None => Err(WireError::Truncated),
+            Some(0) => Ok((false, 1)),
+            Some(1) => Ok((true, 1)),
+            Some(&t) => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireState for Node {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        let (raw, used) = u32::decode_prefix(bytes)?;
+        Ok((Node(raw), used))
+    }
+}
+
+impl<T: WireState> WireState for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        match bytes.first() {
+            None => Err(WireError::Truncated),
+            Some(0) => Ok((None, 1)),
+            Some(1) => {
+                let (v, used) = T::decode_prefix(&bytes[1..])?;
+                Ok((Some(v), used + 1))
+            }
+            Some(&t) => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +306,10 @@ mod tests {
     fn initial_state_materialization() {
         let g = generators::cycle(4);
         let proto = MaxProto;
-        assert_eq!(InitialState::Default.materialize(&g, &proto), vec![0, 0, 0, 0]);
+        assert_eq!(
+            InitialState::Default.materialize(&g, &proto),
+            vec![0, 0, 0, 0]
+        );
         let a = InitialState::<u8>::Random { seed: 1 }.materialize(&g, &proto);
         let b = InitialState::<u8>::Random { seed: 1 }.materialize(&g, &proto);
         assert_eq!(a, b, "same seed, same states");
@@ -200,5 +322,41 @@ mod tests {
     fn explicit_wrong_length_panics() {
         let g = generators::cycle(4);
         InitialState::Explicit(vec![1u8]).materialize(&g, &MaxProto);
+    }
+
+    #[test]
+    fn wire_roundtrip_primitives() {
+        fn rt<T: WireState + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = Vec::new();
+            v.encode(&mut buf);
+            assert_eq!(T::decode(&buf).unwrap(), v);
+        }
+        rt(0u8);
+        rt(255u8);
+        rt(0xBEEFu16);
+        rt(0xDEAD_BEEFu32);
+        rt(u64::MAX);
+        rt(true);
+        rt(false);
+        rt(Node(7));
+        rt(Option::<Node>::None);
+        rt(Some(Node(u32::MAX)));
+    }
+
+    #[test]
+    fn wire_encoding_is_little_endian() {
+        let mut buf = Vec::new();
+        0x0102_0304u32.encode(&mut buf);
+        assert_eq!(buf, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed() {
+        assert_eq!(u32::decode(&[1, 2]), Err(WireError::Truncated));
+        assert_eq!(u8::decode(&[1, 2]), Err(WireError::TrailingBytes));
+        assert_eq!(bool::decode(&[9]), Err(WireError::BadTag(9)));
+        assert_eq!(Option::<u8>::decode(&[2, 0]), Err(WireError::BadTag(2)));
+        assert_eq!(Option::<u8>::decode(&[1]), Err(WireError::Truncated));
+        assert_eq!(Option::<u8>::decode(&[]), Err(WireError::Truncated));
     }
 }

@@ -126,10 +126,9 @@ impl fmt::Display for TraceError {
                 f,
                 "round {round}: node {node:?} moved without being privileged"
             ),
-            TraceError::MissedMove { round, node } => write!(
-                f,
-                "round {round}: privileged node {node:?} failed to move"
-            ),
+            TraceError::MissedMove { round, node } => {
+                write!(f, "round {round}: privileged node {node:?} failed to move")
+            }
             TraceError::WrongTransition { round, node } => write!(
                 f,
                 "round {round}: node {node:?} moved to a state its enabled rule does not prescribe"
@@ -151,7 +150,10 @@ impl std::error::Error for TraceError {}
 /// Validate that `rec.trace` is a genuine synchronous execution of `proto`
 /// on `rec.graph`: at every step, exactly the privileged nodes move, each
 /// to its prescribed next state.
-pub fn validate_trace<P: Protocol>(proto: &P, rec: &RecordedRun<P::State>) -> Result<(), TraceError> {
+pub fn validate_trace<P: Protocol>(
+    proto: &P,
+    rec: &RecordedRun<P::State>,
+) -> Result<(), TraceError> {
     let exec = SyncExecutor::new(&rec.graph, proto);
     let n = rec.graph.n();
     for (t, states) in rec.trace.iter().enumerate() {
@@ -266,7 +268,10 @@ mod tests {
         let err = validate_trace(&MaxProto, &back).unwrap_err();
         assert_eq!(err, TraceError::UnprivilegedMove { round: t, node: v });
         assert!(err.to_string().contains(&format!("round {t}")), "{err}");
-        assert!(err.to_string().contains("without being privileged"), "{err}");
+        assert!(
+            err.to_string().contains("without being privileged"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
 
     /// Compute the moves of all privileged nodes for the given global state.
     /// Returns `(node, move)` pairs in node order.
-    pub fn privileged_moves(&self, states: &[P::State]) -> Vec<(Node, crate::protocol::Move<P::State>)> {
+    pub fn privileged_moves(
+        &self,
+        states: &[P::State],
+    ) -> Vec<(Node, crate::protocol::Move<P::State>)> {
         self.graph
             .nodes()
             .filter_map(|v| {
@@ -212,10 +215,9 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                     round,
                     privileged,
                     moves_per_rule: round_moves.take().unwrap_or_default(),
-                    duration_micros: timer
-                        .map(|t| t.elapsed().as_micros() as u64)
-                        .unwrap_or(0),
+                    duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                     beacon: None,
+                    runtime: None,
                 };
                 obs.on_round_end(&stats, &states);
             }
@@ -292,7 +294,10 @@ mod tests {
     fn max_protocol_stabilizes_to_global_max() {
         let g = generators::path(10);
         let exec = SyncExecutor::new(&g, &MaxProto);
-        let run = exec.run(InitialState::Explicit(vec![0, 0, 3, 0, 0, 0, 0, 1, 0, 0]), 100);
+        let run = exec.run(
+            InitialState::Explicit(vec![0, 0, 3, 0, 0, 0, 0, 1, 0, 0]),
+            100,
+        );
         assert!(run.stabilized());
         assert!(run.final_states.iter().all(|&s| s == 3));
         // Value 3 sits at index 2; farthest node is index 9, distance 7.
@@ -424,8 +429,9 @@ mod observer_tests {
         let g = generators::path(10);
         let exec = SyncExecutor::new(&g, &MaxProto);
         let init = InitialState::Explicit(vec![0u8, 0, 3, 0, 0, 0, 0, 0, 0, 0]);
-        let mut metrics = MetricsCollector::new()
-            .with_gauge("maxed", |s: &[u8]| s.iter().filter(|&&x| x == 3).count() as u64);
+        let mut metrics = MetricsCollector::new().with_gauge("maxed", |s: &[u8]| {
+            s.iter().filter(|&&x| x == 3).count() as u64
+        });
         let observed = exec.run_observed(init.clone(), 100, &mut metrics);
         let plain = exec.run(init, 100);
         assert_eq!(observed.final_states, plain.final_states);
@@ -459,7 +465,11 @@ mod observer_tests {
         let run = exec.run_observed(InitialState::Random { seed: 4 }, 100, &mut log);
         assert!(run.stabilized());
         let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
-        assert_eq!(Some(&trace), run.trace.as_ref(), "JSONL log equals the recorded trace");
+        assert_eq!(
+            Some(&trace),
+            run.trace.as_ref(),
+            "JSONL log equals the recorded trace"
+        );
         assert!(stabilized);
         let rec = record(&g, &MaxProto, trace, stabilized);
         assert_eq!(validate_trace(&MaxProto, &rec), Ok(()));
@@ -480,11 +490,8 @@ mod observer_tests {
         assert_eq!(chrome.len(), 2 * run.rounds() + 2);
         // RoundLimit also notifies.
         let mut m = MetricsCollector::new();
-        let limited = exec.run_observed(
-            InitialState::Explicit(vec![3u8, 0, 0, 0, 0, 0]),
-            2,
-            &mut m,
-        );
+        let limited =
+            exec.run_observed(InitialState::Explicit(vec![3u8, 0, 0, 0, 0, 0]), 2, &mut m);
         assert_eq!(limited.outcome, Outcome::RoundLimit);
         assert_eq!(m.outcome(), Some(&Outcome::RoundLimit));
         // A fixpoint start fires on_finish without any round hooks.

@@ -45,7 +45,10 @@ pub fn wheel(n: usize) -> Graph {
 
 /// Complete bipartite graph `K_{a,b}` (left part `0..a`, right part `a..a+b`).
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    Graph::from_edges(a + b, (0..a).flat_map(move |i| (a..a + b).map(move |j| (i, j))))
+    Graph::from_edges(
+        a + b,
+        (0..a).flat_map(move |i| (a..a + b).map(move |j| (i, j))),
+    )
 }
 
 /// `w × h` grid graph.
@@ -203,16 +206,40 @@ pub fn erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> 
 /// Unit-disk graph on explicit 2-D positions: `{u, v}` is an edge iff the
 /// Euclidean distance is at most `radius`. This is the standard connectivity
 /// model for ad hoc radio networks.
+///
+/// Uses a spatial hash with cells of side `radius`: any edge's endpoints
+/// fall in the same or adjacent cells, so only the 3×3 cell neighborhood is
+/// scanned per point. On bounded-density inputs (uniform points, radius ~
+/// √(log n / n)) this is O(n + m) instead of the naive O(n²), which is what
+/// makes 10⁵-node geometric instances practical to generate.
 pub fn unit_disk(positions: &[(f64, f64)], radius: f64) -> Graph {
     let n = positions.len();
     let r2 = radius * radius;
     let mut g = Graph::empty(n);
-    for i in 0..n {
-        for j in i + 1..n {
-            let dx = positions[i].0 - positions[j].0;
-            let dy = positions[i].1 - positions[j].1;
-            if dx * dx + dy * dy <= r2 {
-                g.add_edge(Node::from(i), Node::from(j));
+    let cell = radius.abs().max(f64::MIN_POSITIVE);
+    let key = |p: (f64, f64)| ((p.0 / cell).floor() as i64, (p.1 / cell).floor() as i64);
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &p) in positions.iter().enumerate() {
+        buckets.entry(key(p)).or_default().push(i);
+    }
+    for (i, &p) in positions.iter().enumerate() {
+        let (cx, cy) = key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(cands) = buckets.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &j in cands {
+                    if j <= i {
+                        continue;
+                    }
+                    let ddx = p.0 - positions[j].0;
+                    let ddy = p.1 - positions[j].1;
+                    if ddx * ddx + ddy * ddy <= r2 {
+                        g.add_edge(Node::from(i), Node::from(j));
+                    }
+                }
             }
         }
     }
@@ -360,6 +387,36 @@ mod tests {
         assert!(g.has_edge(Node(0), Node(1)));
         assert!(!g.has_edge(Node(0), Node(2)));
         assert!(!g.has_edge(Node(1), Node(2)), "distance 1.5 > 1.0");
+    }
+
+    #[test]
+    fn unit_disk_bucketing_matches_naive_scan() {
+        // The spatial hash must produce exactly the edge set of the
+        // all-pairs definition, including points on cell boundaries.
+        let mut rng = StdRng::seed_from_u64(17);
+        for &radius in &[0.05, 0.2, 0.5, 1.5] {
+            let pts: Vec<(f64, f64)> = (0..200)
+                .map(|_| (rng.random::<f64>() * 3.0, rng.random::<f64>() * 3.0))
+                .collect();
+            let fast = unit_disk(&pts, radius);
+            let r2 = radius * radius;
+            let mut naive = Graph::empty(pts.len());
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                    if dx * dx + dy * dy <= r2 {
+                        naive.add_edge(Node::from(i), Node::from(j));
+                    }
+                }
+            }
+            assert_eq!(fast.m(), naive.m(), "edge count at r={radius}");
+            for e in naive.edges() {
+                assert!(fast.has_edge(e.a, e.b), "missing {e:?} at r={radius}");
+            }
+        }
+        // Exact cell-boundary distance is still an edge.
+        let g = unit_disk(&[(0.0, 0.0), (1.0, 0.0)], 1.0);
+        assert!(g.has_edge(Node(0), Node(1)));
     }
 
     #[test]

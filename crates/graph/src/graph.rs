@@ -160,7 +160,10 @@ impl Graph {
     /// Add edge `{u, v}`. Returns `true` if the edge was new.
     pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
         assert_ne!(u, v, "self-loops are not allowed");
-        assert!(u.index() < self.n() && v.index() < self.n(), "node out of range");
+        assert!(
+            u.index() < self.n() && v.index() < self.n(),
+            "node out of range"
+        );
         match self.adj[u.index()].binary_search(&v) {
             Ok(_) => false,
             Err(pos_u) => {
@@ -260,7 +263,10 @@ mod tests {
     fn add_and_remove_edges() {
         let mut g = Graph::empty(4);
         assert!(g.add_edge(Node(0), Node(1)));
-        assert!(!g.add_edge(Node(1), Node(0)), "duplicate edge must be ignored");
+        assert!(
+            !g.add_edge(Node(1), Node(0)),
+            "duplicate edge must be ignored"
+        );
         assert!(g.add_edge(Node(1), Node(2)));
         assert_eq!(g.m(), 2);
         assert!(g.has_edge(Node(0), Node(1)));

@@ -94,7 +94,10 @@ pub fn parse(s: &str) -> Result<Graph, Graph6Error> {
 /// Serialize a [`Graph`] as a graph6 line (no trailing newline).
 pub fn to_graph6(g: &Graph) -> String {
     let n = g.n();
-    assert!(n <= 258_047, "graph too large for the implemented graph6 forms");
+    assert!(
+        n <= 258_047,
+        "graph too large for the implemented graph6 forms"
+    );
     let mut out: Vec<u8> = Vec::new();
     if n <= 62 {
         out.push(n as u8 + 63);

@@ -23,8 +23,8 @@
 pub mod dimacs;
 pub mod dot;
 pub mod generators;
-pub mod graph6;
 pub mod graph;
+pub mod graph6;
 pub mod ids;
 pub mod mutate;
 pub mod predicates;

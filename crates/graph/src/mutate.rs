@@ -50,9 +50,11 @@ impl Churn {
     pub fn apply_one<R: Rng + ?Sized>(&self, g: &mut Graph, rng: &mut R) -> Option<TopologyEvent> {
         let want_down = rng.random_bool(self.p_down);
         if want_down {
-            self.remove_random(g, rng).or_else(|| self.add_random(g, rng))
+            self.remove_random(g, rng)
+                .or_else(|| self.add_random(g, rng))
         } else {
-            self.add_random(g, rng).or_else(|| self.remove_random(g, rng))
+            self.add_random(g, rng)
+                .or_else(|| self.remove_random(g, rng))
         }
     }
 
@@ -146,7 +148,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut g = generators::path(6);
         let churn = Churn { p_down: 1.0 };
-        let ev = churn.apply_one(&mut g, &mut rng).expect("falls back to add");
+        let ev = churn
+            .apply_one(&mut g, &mut rng)
+            .expect("falls back to add");
         assert!(matches!(ev, TopologyEvent::LinkUp(_)));
         assert_eq!(g.m(), 6);
     }
@@ -156,7 +160,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut g = generators::complete(5);
         let churn = Churn { p_down: 0.0 };
-        let ev = churn.apply_one(&mut g, &mut rng).expect("falls back to remove");
+        let ev = churn
+            .apply_one(&mut g, &mut rng)
+            .expect("falls back to remove");
         assert!(matches!(ev, TopologyEvent::LinkDown(_)));
         assert_eq!(g.m(), 9);
         assert!(is_connected(&g));
@@ -177,7 +183,9 @@ mod tests {
         let mut g = generators::complete(8);
         g.remove_edge(Node(0), Node(1));
         let churn = Churn { p_down: 0.0 };
-        let ev = churn.add_random(&mut g, &mut rng).expect("one non-edge left");
+        let ev = churn
+            .add_random(&mut g, &mut rng)
+            .expect("one non-edge left");
         assert_eq!(ev.edge(), Edge::new(Node(0), Node(1)));
     }
 }

@@ -40,16 +40,16 @@ pub fn is_maximal_matching(g: &Graph, edges: &[Edge]) -> bool {
 /// Is `in_set` (indexed by node) an independent set of `g`?
 pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
     assert_eq!(in_set.len(), g.n());
-    g.edges().all(|e| !(in_set[e.a.index()] && in_set[e.b.index()]))
+    g.edges()
+        .all(|e| !(in_set[e.a.index()] && in_set[e.b.index()]))
 }
 
 /// Is `in_set` a dominating set of `g`: every node is in the set or adjacent
 /// to a member?
 pub fn is_dominating_set(g: &Graph, in_set: &[bool]) -> bool {
     assert_eq!(in_set.len(), g.n());
-    g.nodes().all(|v| {
-        in_set[v.index()] || g.neighbors(v).iter().any(|&u| in_set[u.index()])
-    })
+    g.nodes()
+        .all(|v| in_set[v.index()] || g.neighbors(v).iter().any(|&u| in_set[u.index()]))
 }
 
 /// Is `in_set` a *maximal* independent set of `g`?
@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn empty_graph_edge_cases() {
         let g = Graph::empty(3);
-        assert!(is_maximal_matching(&g, &[]), "no edges, empty matching maximal");
+        assert!(
+            is_maximal_matching(&g, &[]),
+            "no edges, empty matching maximal"
+        );
         assert!(is_maximal_independent_set(&g, &[true, true, true]));
         assert!(!is_maximal_independent_set(&g, &[true, true, false]));
     }
@@ -151,7 +154,10 @@ mod tests {
         assert!(is_dominating_set(&g, &hub_plus_leaf));
         assert!(!is_minimal_dominating_set(&g, &hub_plus_leaf));
         let leaves = membership(5, [Node(1), Node(2), Node(3), Node(4)]);
-        assert!(is_minimal_dominating_set(&g, &leaves), "leaves dominate minimally");
+        assert!(
+            is_minimal_dominating_set(&g, &leaves),
+            "leaves dominate minimally"
+        );
     }
 
     #[test]

@@ -425,8 +425,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&second) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let cp =
-                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
                                 char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
                             } else {
                                 char::from_u32(first)
@@ -449,7 +448,9 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32> {
         let mut value = 0u32;
         for _ in 0..4 {
-            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -525,7 +526,9 @@ impl ToJson for bool {
 
 impl FromJson for bool {
     fn from_json(value: &Json) -> Result<Self> {
-        value.as_bool().ok_or_else(|| JsonError::new("expected bool"))
+        value
+            .as_bool()
+            .ok_or_else(|| JsonError::new("expected bool"))
     }
 }
 
@@ -587,7 +590,9 @@ impl FromJson for f64 {
             // self-describing reconstruction.
             return Ok(f64::NAN);
         }
-        value.as_f64().ok_or_else(|| JsonError::new("expected number"))
+        value
+            .as_f64()
+            .ok_or_else(|| JsonError::new("expected number"))
     }
 }
 
@@ -675,7 +680,9 @@ mod tests {
 
     #[test]
     fn scalar_roundtrips() {
-        for text in ["null", "true", "false", "0", "-7", "42.5", "\"hi\"", "[]", "{}"] {
+        for text in [
+            "null", "true", "false", "0", "-7", "42.5", "\"hi\"", "[]", "{}",
+        ] {
             let v = Json::parse(text).unwrap();
             assert_eq!(v.to_string(), text, "{text}");
         }
@@ -726,22 +733,39 @@ mod tests {
     #[test]
     fn option_and_field_access() {
         let v = Json::obj([("a", None::<u32>.to_json()), ("b", Some(9u32).to_json())]);
-        assert_eq!(Option::<u32>::from_json(v.field("a").unwrap()).unwrap(), None);
-        assert_eq!(Option::<u32>::from_json(v.field("b").unwrap()).unwrap(), Some(9));
+        assert_eq!(
+            Option::<u32>::from_json(v.field("a").unwrap()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u32>::from_json(v.field("b").unwrap()).unwrap(),
+            Some(9)
+        );
         let err = v.field("missing").unwrap_err();
         assert!(err.to_string().contains("missing field `missing`"));
     }
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "[1,", "{\"a\"}", "tru", "1 2", "\"unterminated", "[01x]"] {
+        for bad in [
+            "",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "[01x]",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad}");
         }
     }
 
     #[test]
     fn negative_and_float_numbers() {
-        assert_eq!(Json::parse("-9007199254740993").unwrap().as_i64(), Some(-9007199254740993));
+        assert_eq!(
+            Json::parse("-9007199254740993").unwrap().as_i64(),
+            Some(-9007199254740993)
+        );
         assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
         assert_eq!(Json::parse("-2.5e-1").unwrap().as_f64(), Some(-0.25));
     }

@@ -1,0 +1,269 @@
+//! Bounded MPSC channels for cross-shard beacon traffic.
+//!
+//! A deliberately small mailbox primitive: a `Mutex<VecDeque>` plus two
+//! condvars, a hard capacity, and a high-water mark. The capacity is the
+//! backpressure mechanism the runtime's observability reports on — a
+//! channel running at its cap means the receiving shard is the bottleneck.
+//!
+//! The executor's exchange loop uses only the non-blocking [`Sender::try_send`]
+//! / [`Receiver::try_recv`] pair (blocking sends between mutually-sending
+//! shards with full channels would deadlock); the blocking [`Sender::send`]
+//! and [`Receiver::recv`] exist for tests and simpler producer/consumer
+//! uses.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a [`Sender::try_send`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the value is handed back.
+    Full(T),
+    /// The receiver was dropped; the value is handed back.
+    Disconnected(T),
+}
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// Deepest the queue has ever been (backpressure gauge).
+    max_depth: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// The sending half; clone one per producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; exactly one per channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded channel with room for `cap` in-flight values.
+///
+/// # Panics
+/// Panics if `cap == 0` (a zero-capacity mailbox can never deliver under
+/// the non-blocking exchange protocol).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            items: VecDeque::new(),
+            max_depth: 0,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue without blocking; hands the value back when full or when the
+    /// receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.shared.queue.lock().unwrap();
+        if !q.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if q.items.len() >= self.shared.cap {
+            return Err(TrySendError::Full(value));
+        }
+        q.items.push_back(value);
+        q.max_depth = q.max_depth.max(q.items.len());
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the channel is full. Hands the value back
+    /// (as `Err`) only if the receiver is dropped.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if !q.receiver_alive {
+                return Err(value);
+            }
+            if q.items.len() < self.shared.cap {
+                q.items.push_back(value);
+                q.max_depth = q.max_depth.max(q.items.len());
+                drop(q);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            q = self.shared.not_full.wait(q).unwrap();
+        }
+    }
+
+    /// Current queue depth (racy; for gauges only).
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.senders -= 1;
+        if q.senders == 0 {
+            drop(q);
+            // Wake a receiver blocked on an empty queue so it can observe
+            // the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue without blocking; `None` when the queue is currently empty
+    /// (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut q = self.shared.queue.lock().unwrap();
+        let item = q.items.pop_front();
+        if item.is_some() {
+            drop(q);
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Dequeue, blocking while the queue is empty; `None` once the queue is
+    /// empty *and* every sender is gone.
+    pub fn recv(&self) -> Option<T> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                drop(q);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if q.senders == 0 {
+                return None;
+            }
+            q = self.shared.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Current queue depth (racy; for gauges only).
+    pub fn depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().max_depth
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().receiver_alive = false;
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_depth_tracking() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.depth(), 4);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Full(9)));
+        assert_eq!(
+            (0..4).map(|_| rx.try_recv().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.max_depth(), 4);
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            // Blocks until the main thread drains one slot.
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv(), Some(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        // All senders dropped: recv reports disconnect, not a hang.
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn mpsc_from_many_threads_delivers_everything() {
+        let (tx, rx) = bounded(3);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..25 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(got.len(), 100);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 100, "no duplicates, nothing lost");
+        assert!(rx.max_depth() <= 3, "bound respected");
+    }
+
+    #[test]
+    fn dropped_receiver_fails_sends() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+        assert_eq!(tx.send(2), Err(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = bounded::<u8>(0);
+    }
+}

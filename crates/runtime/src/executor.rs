@@ -1,0 +1,698 @@
+//! [`RuntimeExecutor`]: the sharded mailbox runtime.
+//!
+//! The graph is partitioned into K shards
+//! ([`selfstab_core::partition::Partition::coarsened`]); one worker thread
+//! owns each shard's node states. Every worker keeps a full-length state
+//! vector, but only its *owned* entries are authoritative — entries for
+//! boundary neighbors in other shards are ghosts, refreshed once per round
+//! by [`Beacon`] frames arriving through bounded channels. Interior entries
+//! of other shards go stale, which is harmless: a guard only ever reads the
+//! node itself (owned) and its neighbors (owned or ghost).
+//!
+//! **A runtime round is exactly a paper round.** Per iteration every worker
+//! (1) evaluates the guards of its owned nodes against its current view,
+//! (2) publishes its move count into a parity-indexed atomic and crosses a
+//! barrier, so all workers agree on the *global* move count, (3) takes the
+//! same termination decision [`SyncExecutor`] would — stabilized when no
+//! node moved anywhere, round limit before applying the would-be moves —
+//! and otherwise (4) applies its own moves and exchanges boundary beacons.
+//! Rule evaluation order inside a shard is node order, and applications are
+//! per-node disjoint, so the post-round global state is *identical* to the
+//! serial executor's, round for round, for any shard count.
+//!
+//! **The exchange cannot deadlock.** Beacons bound for the same shard are
+//! batched into one message per round, and senders never block: each worker
+//! pumps — `try_send` its pending batch, drain everything in its own
+//! mailbox — until all batches are out and the expected number (a static
+//! property of the partition) has arrived. A full peer channel therefore
+//! never stops a worker from emptying its own mailbox, which is what
+//! unblocks the peer.
+//!
+//! **At most one round of frames is ever in flight.** A worker sends round
+//! r+1 frames only after the round-(r+1) barriers, which every peer reaches
+//! only after completely draining its round-r frames. The round tag in each
+//! frame turns this invariant into a checked assertion instead of silent
+//! state corruption.
+
+use crate::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::wire::Beacon;
+use selfstab_core::partition::Partition;
+use selfstab_engine::obs::{Observer, RoundStats, RuntimeCounters};
+use selfstab_engine::protocol::{InitialState, Protocol, View, WireState};
+use selfstab_engine::sync::{Outcome, Run, SyncExecutor};
+use selfstab_graph::{Graph, Node};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Default bound on each cross-shard channel (batch messages; one message
+/// carries every beacon one shard sends another for one round).
+pub const DEFAULT_CHANNEL_CAP: usize = 1024;
+
+/// Sharded message-passing executor with [`SyncExecutor`]-identical
+/// synchronous-round semantics.
+pub struct RuntimeExecutor<'a, P: Protocol>
+where
+    P::State: WireState,
+{
+    graph: &'a Graph,
+    proto: &'a P,
+    partition: Partition,
+    channel_cap: usize,
+}
+
+/// Everything a worker thread needs to run its shard.
+struct ShardPlan {
+    owned: Vec<Node>,
+    /// Per neighbor shard, the boundary nodes whose beacons it needs. All
+    /// of a target's frames travel as one concatenated batch message per
+    /// round, in deterministic (shard, node) order.
+    sends: Vec<(usize, Vec<Node>)>,
+    /// Batch messages this shard receives per round (= number of shards
+    /// with an edge into it; static for a fixed partition).
+    expected_in: usize,
+}
+
+/// One applied round as journaled by a worker (observer replay input).
+struct RoundJournal<S> {
+    moves: Vec<(Node, usize, S)>,
+    moves_per_rule: Vec<u64>,
+    frames: u64,
+    bytes: u64,
+    max_depth: u64,
+    duration_micros: u64,
+}
+
+/// What a worker hands back to the coordinator.
+struct WorkerOut<S> {
+    shard: usize,
+    owned_final: Vec<(Node, S)>,
+    moves_per_rule: Vec<u64>,
+    rounds: usize,
+    outcome: Outcome,
+    journal: Vec<RoundJournal<S>>,
+}
+
+impl<'a, P: Protocol> RuntimeExecutor<'a, P>
+where
+    P::State: WireState,
+{
+    /// New executor over `shards` worker shards (coarsening-based
+    /// partition, default channel capacity).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(graph: &'a Graph, proto: &'a P, shards: usize) -> Self {
+        RuntimeExecutor {
+            graph,
+            proto,
+            partition: Partition::coarsened(graph, shards),
+            channel_cap: DEFAULT_CHANNEL_CAP,
+        }
+    }
+
+    /// Override the per-channel frame bound.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn with_channel_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "channel capacity must be positive");
+        self.channel_cap = cap;
+        self
+    }
+
+    /// The topology this executor runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The shard assignment in use.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shards(&self) -> usize {
+        self.partition.k()
+    }
+
+    /// Per-shard send/receive plans, derived once from the partition.
+    fn plans(&self) -> Vec<ShardPlan> {
+        let k = self.partition.k();
+        let shard_of = &self.partition.shard_of;
+        let mut plans: Vec<ShardPlan> = self
+            .partition
+            .shards
+            .iter()
+            .map(|owned| ShardPlan {
+                owned: owned.clone(),
+                sends: Vec::new(),
+                expected_in: 0,
+            })
+            .collect();
+        let mut pairs: Vec<Vec<(usize, Node)>> = vec![Vec::new(); k];
+        for v in self.graph.nodes() {
+            let s = shard_of[v.index()] as usize;
+            let mut targets: Vec<usize> = self
+                .graph
+                .neighbors(v)
+                .iter()
+                .map(|w| shard_of[w.index()] as usize)
+                .filter(|&t| t != s)
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            for t in targets {
+                pairs[s].push((t, v));
+            }
+        }
+        for (s, mut list) in pairs.into_iter().enumerate() {
+            list.sort_unstable();
+            for (t, v) in list {
+                let appended = match plans[s].sends.last_mut() {
+                    Some((last, nodes)) if *last == t => {
+                        nodes.push(v);
+                        true
+                    }
+                    _ => false,
+                };
+                if !appended {
+                    plans[s].sends.push((t, vec![v]));
+                    plans[t].expected_in += 1;
+                }
+            }
+        }
+        debug_assert_eq!(k, plans.len());
+        plans
+    }
+
+    /// Execute from `init` for at most `max_rounds` rounds.
+    pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+        self.run_observed(init, max_rounds, &mut ())
+    }
+
+    /// Execute, firing [`Observer`] hooks with the same call pattern as
+    /// [`SyncExecutor::run_observed`] (moves reported in global node order)
+    /// plus per-round [`RuntimeCounters`] in [`RoundStats::runtime`].
+    ///
+    /// Unlike the serial executor there is no cycle detection: a
+    /// non-stabilizing execution ends with [`Outcome::RoundLimit`]. Workers
+    /// journal their rounds locally (only when `O::ENABLED`) and the hooks
+    /// replay on the calling thread after the workers join, so observers
+    /// need not be `Send`.
+    pub fn run_observed<O: Observer<P::State>>(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+        obs: &mut O,
+    ) -> Run<P::State> {
+        let initial = init.materialize(self.graph, self.proto);
+        let k = self.partition.k();
+        let plans = self.plans();
+
+        // One bounded mailbox per shard; every worker can send to every
+        // other shard's mailbox.
+        let mut senders: Vec<Sender<Vec<u8>>> = Vec::with_capacity(k);
+        let mut receivers: Vec<Receiver<Vec<u8>>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = bounded(self.channel_cap);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let barrier = Barrier::new(k);
+        // Parity-indexed global move accumulators: round r adds to slot
+        // r % 2; the slot is re-zeroed (by the second barrier's leader)
+        // only after every worker has read it.
+        let accum = [AtomicU64::new(0), AtomicU64::new(0)];
+        let journal_enabled = O::ENABLED;
+
+        let mut outs: Vec<WorkerOut<P::State>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .into_iter()
+                .zip(receivers)
+                .enumerate()
+                .map(|(shard, (plan, mailbox))| {
+                    let senders = senders.clone();
+                    let states = initial.clone();
+                    let barrier = &barrier;
+                    let accum = &accum;
+                    scope.spawn(move || {
+                        run_shard(
+                            ShardCtx {
+                                shard,
+                                graph: self.graph,
+                                proto: self.proto,
+                                plan,
+                                senders,
+                                mailbox,
+                                barrier,
+                                accum,
+                                max_rounds,
+                                journal_enabled,
+                            },
+                            states,
+                        )
+                    })
+                })
+                .collect();
+            // The coordinator's sender clones must die or workers' final
+            // mailbox drops would still see live senders (harmless here,
+            // but keep ownership honest).
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        outs.sort_by_key(|o| o.shard);
+
+        // All workers take identical termination decisions.
+        let rounds = outs[0].rounds;
+        let outcome = outs[0].outcome.clone();
+        debug_assert!(outs
+            .iter()
+            .all(|o| o.rounds == rounds && o.outcome == outcome));
+
+        let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
+        let mut final_states = initial.clone();
+        for out in &outs {
+            for (acc, &m) in moves_per_rule.iter_mut().zip(&out.moves_per_rule) {
+                *acc += m;
+            }
+            for (v, s) in &out.owned_final {
+                final_states[v.index()] = s.clone();
+            }
+        }
+
+        if O::ENABLED {
+            replay_journals(obs, &initial, &final_states, &outcome, rounds, &outs);
+        }
+
+        Run {
+            final_states,
+            rounds,
+            moves_per_rule,
+            outcome,
+            trace: None,
+        }
+    }
+}
+
+/// Borrowed context for one shard worker.
+struct ShardCtx<'scope, P: Protocol> {
+    shard: usize,
+    graph: &'scope Graph,
+    proto: &'scope P,
+    plan: ShardPlan,
+    senders: Vec<Sender<Vec<u8>>>,
+    mailbox: Receiver<Vec<u8>>,
+    barrier: &'scope Barrier,
+    accum: &'scope [AtomicU64; 2],
+    max_rounds: usize,
+    journal_enabled: bool,
+}
+
+/// The worker loop: evaluate → agree on the global move count → decide →
+/// apply → exchange.
+fn run_shard<P: Protocol>(ctx: ShardCtx<'_, P>, mut states: Vec<P::State>) -> WorkerOut<P::State>
+where
+    P::State: WireState,
+{
+    let ShardCtx {
+        shard,
+        graph,
+        proto,
+        plan,
+        senders,
+        mailbox,
+        barrier,
+        accum,
+        max_rounds,
+        journal_enabled,
+    } = ctx;
+    let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
+    let mut journal = Vec::new();
+    let mut round = 0usize;
+    let outcome = loop {
+        let timer = journal_enabled.then(std::time::Instant::now);
+
+        let moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = plan
+            .owned
+            .iter()
+            .filter_map(|&v| {
+                let view = View::new(v, graph.neighbors(v), &states);
+                proto.step(view).map(|m| (v, m))
+            })
+            .collect();
+
+        let slot = &accum[round % 2];
+        slot.fetch_add(moves.len() as u64, Ordering::SeqCst);
+        barrier.wait();
+        let total = slot.load(Ordering::SeqCst);
+        if barrier.wait().is_leader() {
+            // Safe: every worker has read `slot`, and its next write is two
+            // rounds away, behind the next barrier.
+            slot.store(0, Ordering::SeqCst);
+        }
+
+        if total == 0 {
+            break Outcome::Stabilized;
+        }
+        if round >= max_rounds {
+            // Mirror SyncExecutor: the computed moves are NOT applied.
+            break Outcome::RoundLimit;
+        }
+
+        let mut round_moves = journal_enabled.then(|| vec![0u64; moves_per_rule.len()]);
+        let mut journal_moves = journal_enabled.then(Vec::new);
+        for (v, m) in moves {
+            moves_per_rule[m.rule] += 1;
+            if let Some(rm) = round_moves.as_mut() {
+                rm[m.rule] += 1;
+            }
+            if let Some(jm) = journal_moves.as_mut() {
+                jm.push((v, m.rule, m.next.clone()));
+            }
+            states[v.index()] = m.next;
+        }
+        round += 1;
+
+        let xch = exchange::<P>(round, &plan, &senders, &mailbox, &mut states);
+
+        if journal_enabled {
+            journal.push(RoundJournal {
+                moves: journal_moves.unwrap_or_default(),
+                moves_per_rule: round_moves.unwrap_or_default(),
+                frames: xch.frames,
+                bytes: xch.bytes,
+                max_depth: xch.max_depth,
+                duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
+            });
+        }
+    };
+
+    WorkerOut {
+        shard,
+        owned_final: plan
+            .owned
+            .iter()
+            .map(|&v| (v, states[v.index()].clone()))
+            .collect(),
+        moves_per_rule,
+        rounds: round,
+        outcome,
+        journal,
+    }
+}
+
+struct ExchangeStats {
+    frames: u64,
+    bytes: u64,
+    max_depth: u64,
+}
+
+/// Pump the post-round boundary states out and the neighbors' in. Never
+/// blocks on a full peer channel: a stalled send always falls through to
+/// draining our own mailbox, which is what un-stalls the peer.
+fn exchange<P: Protocol>(
+    round: usize,
+    plan: &ShardPlan,
+    senders: &[Sender<Vec<u8>>],
+    mailbox: &Receiver<Vec<u8>>,
+    states: &mut [P::State],
+) -> ExchangeStats
+where
+    P::State: WireState,
+{
+    let mut stats = ExchangeStats {
+        frames: 0,
+        bytes: 0,
+        max_depth: 0,
+    };
+    let mut next = 0usize;
+    let mut pending: Option<(usize, u64, Vec<u8>)> = None;
+    let mut received = 0usize;
+    while pending.is_some() || next < plan.sends.len() || received < plan.expected_in {
+        let mut progress = false;
+
+        if pending.is_none() && next < plan.sends.len() {
+            // Batch every beacon bound for shard `t` into one message.
+            let (t, nodes) = &plan.sends[next];
+            next += 1;
+            let mut batch = Vec::with_capacity(nodes.len() * (crate::wire::HEADER_LEN + 8));
+            for &v in nodes {
+                Beacon {
+                    round: round as u32,
+                    node: v,
+                    state: states[v.index()].clone(),
+                }
+                .encode_into(&mut batch);
+            }
+            pending = Some((*t, nodes.len() as u64, batch));
+        }
+        if let Some((t, frames, bytes)) = pending.take() {
+            let len = bytes.len() as u64;
+            match senders[t].try_send(bytes) {
+                Ok(()) => {
+                    stats.frames += frames;
+                    stats.bytes += len;
+                    stats.max_depth = stats.max_depth.max(senders[t].depth() as u64);
+                    progress = true;
+                }
+                Err(TrySendError::Full(bytes)) => pending = Some((t, frames, bytes)),
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("peer mailboxes outlive the exchange")
+                }
+            }
+        }
+
+        while let Some(bytes) = mailbox.try_recv() {
+            let mut rest = &bytes[..];
+            while !rest.is_empty() {
+                let (beacon, used) = Beacon::<P::State>::decode_prefix(rest)
+                    .expect("malformed beacon frame on shard channel");
+                assert_eq!(
+                    beacon.round as usize, round,
+                    "beacon from a different round in flight"
+                );
+                states[beacon.node.index()] = beacon.state;
+                rest = &rest[used..];
+            }
+            received += 1;
+            progress = true;
+        }
+
+        if !progress {
+            std::thread::yield_now();
+        }
+    }
+    debug_assert_eq!(received, plan.expected_in);
+    stats
+}
+
+/// Re-fire the observer hooks on the coordinator from the workers'
+/// journals, in [`SyncExecutor`]'s order: per round, moves sorted by node.
+fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
+    obs: &mut O,
+    initial: &[S],
+    final_states: &[S],
+    outcome: &Outcome,
+    rounds: usize,
+    outs: &[WorkerOut<S>],
+) {
+    let n_rules = outs
+        .iter()
+        .map(|o| o.moves_per_rule.len())
+        .max()
+        .unwrap_or(0);
+    let mut states = initial.to_vec();
+    for r in 0..rounds {
+        obs.on_round_start(r + 1, &states);
+        let mut moves: Vec<&(Node, usize, S)> = outs
+            .iter()
+            .flat_map(|o| o.journal[r].moves.iter())
+            .collect();
+        moves.sort_by_key(|(v, _, _)| *v);
+        let privileged = moves.len();
+        for &(v, rule, ref next) in moves {
+            states[v.index()] = next.clone();
+            obs.on_move(v, rule, &states[v.index()]);
+        }
+        let mut moves_per_rule = vec![0u64; n_rules];
+        let mut runtime = RuntimeCounters {
+            shard_moves: vec![0; outs.len()],
+            ..RuntimeCounters::default()
+        };
+        let mut duration = 0u64;
+        for out in outs {
+            let j = &out.journal[r];
+            for (acc, &m) in moves_per_rule.iter_mut().zip(&j.moves_per_rule) {
+                *acc += m;
+            }
+            runtime.shard_moves[out.shard] = j.moves_per_rule.iter().sum();
+            runtime.frames += j.frames;
+            runtime.bytes_on_wire += j.bytes;
+            runtime.max_channel_depth = runtime.max_channel_depth.max(j.max_depth);
+            duration = duration.max(j.duration_micros);
+        }
+        obs.on_round_end(
+            &RoundStats {
+                round: r + 1,
+                privileged,
+                moves_per_rule,
+                duration_micros: duration,
+                beacon: None,
+                runtime: Some(runtime),
+            },
+            &states,
+        );
+    }
+    debug_assert_eq!(states, final_states, "journal replay reproduces the run");
+    obs.on_finish(outcome, final_states);
+}
+
+/// Convenience: assert a runtime run matches the serial executor on the
+/// same inputs (used by tests and the CI smoke target).
+pub fn assert_matches_sync<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    shards: usize,
+) where
+    P::State: WireState,
+{
+    let serial = SyncExecutor::new(graph, proto).run(init.clone(), max_rounds);
+    let sharded = RuntimeExecutor::new(graph, proto, shards).run(init, max_rounds);
+    assert_eq!(serial.outcome, sharded.outcome, "outcome (shards={shards})");
+    assert_eq!(serial.rounds, sharded.rounds, "rounds (shards={shards})");
+    assert_eq!(
+        serial.moves_per_rule, sharded.moves_per_rule,
+        "moves per rule (shards={shards})"
+    );
+    assert_eq!(
+        serial.final_states, sharded.final_states,
+        "final states (shards={shards})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_core::smi::Smi;
+    use selfstab_core::smm::{SelectPolicy, Smm};
+    use selfstab_engine::obs::MetricsCollector;
+    use selfstab_graph::{generators, Ids};
+
+    #[test]
+    fn matches_sync_executor_on_smm() {
+        let g = generators::grid(6, 5);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            for seed in 0..3 {
+                assert_matches_sync(&g, &smm, InitialState::Random { seed }, g.n() + 1, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sync_executor_on_smi() {
+        let g = generators::petersen();
+        let smi = Smi::new(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            assert_matches_sync(&g, &smi, InitialState::Random { seed: 11 }, 100, shards);
+        }
+    }
+
+    #[test]
+    fn fixpoint_start_is_zero_rounds() {
+        let g = generators::path(8);
+        let smi = Smi::new(Ids::identity(g.n()));
+        // All-true on a path is not independent; all nodes in with no
+        // neighbors out — use a stabilized state instead.
+        let stable = SyncExecutor::new(&g, &smi).run_random(1, 100).final_states;
+        let run = RuntimeExecutor::new(&g, &smi, 4).run(InitialState::Explicit(stable), 100);
+        assert!(run.stabilized());
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.total_moves(), 0);
+    }
+
+    #[test]
+    fn round_limit_mirrors_sync_semantics() {
+        // C4 under arbitrary-choice R2 (clockwise) oscillates forever; with
+        // a round limit both executors must stop at the same (unapplied)
+        // point.
+        let g = generators::cycle(4);
+        let smm = Smm::with_policies(
+            Ids::identity(g.n()),
+            SelectPolicy::Clockwise,
+            SelectPolicy::Clockwise,
+        );
+        for shards in [1, 2, 4] {
+            assert_matches_sync(&g, &smm, InitialState::Default, 13, shards);
+        }
+    }
+
+    #[test]
+    fn tiny_channel_capacity_still_completes() {
+        // Capacity 1 forces maximal backpressure; the pump must still
+        // deliver every frame without deadlock.
+        let g = generators::complete(12);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let run_small = RuntimeExecutor::new(&g, &smm, 4)
+            .with_channel_cap(1)
+            .run(InitialState::Random { seed: 5 }, g.n() + 1);
+        let serial = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed: 5 }, g.n() + 1);
+        assert_eq!(run_small.final_states, serial.final_states);
+        assert_eq!(run_small.rounds, serial.rounds);
+    }
+
+    #[test]
+    fn observer_replay_matches_serial_hooks() {
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let init = InitialState::Random { seed: 3 };
+
+        let mut serial_m = MetricsCollector::new();
+        let serial =
+            SyncExecutor::new(&g, &smm).run_observed(init.clone(), g.n() + 1, &mut serial_m);
+        let mut sharded_m = MetricsCollector::new();
+        let sharded =
+            RuntimeExecutor::new(&g, &smm, 4).run_observed(init, g.n() + 1, &mut sharded_m);
+
+        assert_eq!(serial.final_states, sharded.final_states);
+        assert_eq!(serial_m.rounds().len(), sharded_m.rounds().len());
+        for (a, b) in serial_m.rounds().iter().zip(sharded_m.rounds()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.privileged, b.privileged);
+            assert_eq!(a.moves_per_rule, b.moves_per_rule);
+            let rt = b.runtime.as_ref().expect("runtime counters present");
+            assert_eq!(
+                rt.shard_moves.iter().sum::<u64>(),
+                a.moves_per_rule.iter().sum::<u64>(),
+                "shard moves partition the round's moves"
+            );
+        }
+        // Frames flowed (4 shards on a connected grid must have cut edges).
+        assert!(sharded_m
+            .rounds()
+            .iter()
+            .all(|r| r.runtime.as_ref().unwrap().frames > 0));
+        assert_eq!(serial_m.outcome(), sharded_m.outcome());
+    }
+
+    #[test]
+    fn more_shards_than_nodes() {
+        let g = generators::path(3);
+        let smi = Smi::new(Ids::identity(g.n()));
+        assert_matches_sync(&g, &smi, InitialState::Random { seed: 2 }, 50, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let g = generators::path(3);
+        let smi = Smi::new(Ids::identity(g.n()));
+        let _ = RuntimeExecutor::new(&g, &smi, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Sharded message-passing runtime for self-stabilizing protocols.
+//!
+//! The in-process executors of `selfstab-engine` evaluate every node
+//! against one shared state vector. That is faithful to the paper's
+//! synchronous model but caps a run at what one memory bus serves. This
+//! crate re-introduces the paper's *messages*: the graph is partitioned
+//! into K shards ([`selfstab_core::partition`]), one mailbox worker per
+//! shard owns its nodes' states, and neighbor states cross shard
+//! boundaries as compact binary [`wire::Beacon`] frames through bounded
+//! [`channel`]s with explicit backpressure.
+//!
+//! The centerpiece is [`RuntimeExecutor`]: for any
+//! [`Protocol`](selfstab_engine::protocol::Protocol) whose state is
+//! [`WireState`](selfstab_engine::protocol::WireState)-encodable it
+//! produces the *same states, round for round*, as the serial
+//! [`SyncExecutor`](selfstab_engine::sync::SyncExecutor) — the per-round
+//! barrier is exactly the paper's "every node has heard every neighbor"
+//! round boundary — while scaling rule evaluation across worker threads.
+//! Observer hooks (`run_observed`) report per-shard move counts, frames
+//! and bytes on the wire, and channel-depth gauges through
+//! [`RoundStats::runtime`](selfstab_engine::obs::RoundStats::runtime).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod executor;
+pub mod wire;
+
+pub use executor::{assert_matches_sync, RuntimeExecutor, DEFAULT_CHANNEL_CAP};
+pub use wire::{Beacon, HEADER_LEN, WIRE_VERSION};

@@ -1,0 +1,262 @@
+//! The beacon wire format: how a node's state crosses a shard boundary.
+//!
+//! In the paper's system model every node periodically broadcasts a beacon
+//! carrying its current state; a synchronous round ends once every node has
+//! heard every neighbor. Inside one process the executors share a state
+//! vector instead — the sharded runtime restores the message: boundary
+//! states travel between shard workers as encoded [`Beacon`] frames.
+//!
+//! Frame layout, all integers little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     version        (== WIRE_VERSION)
+//! 1       4     round tag      (round the carried state belongs to)
+//! 5       4     node id
+//! 9       2     payload length L
+//! 11      L     state payload  (the node's WireState encoding)
+//! ```
+//!
+//! Decoding is strict: wrong version, short buffer, trailing bytes after
+//! the payload, or a payload the state doesn't consume exactly are all
+//! errors — a malformed frame must never silently become a state.
+
+use selfstab_engine::protocol::{WireError, WireState};
+use selfstab_graph::Node;
+
+/// Version byte of the frame layout.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed header size preceding the payload.
+pub const HEADER_LEN: usize = 11;
+
+/// One beacon: node `node`'s state as of synchronous round `round`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Beacon<S> {
+    /// Round tag: the number of rounds applied to produce `state`.
+    pub round: u32,
+    /// The broadcasting node.
+    pub node: Node,
+    /// The broadcast state.
+    pub state: S,
+}
+
+impl<S: WireState> Beacon<S> {
+    /// Encode the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + 8);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the frame to `buf` — frames concatenate into batch messages
+    /// (one per neighbor shard per round) and split back out with
+    /// [`Beacon::decode_prefix`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(WIRE_VERSION);
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&self.node.0.to_le_bytes());
+        let len_at = buf.len();
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        self.state.encode(buf);
+        let payload = buf.len() - len_at - 2;
+        let payload: u16 = payload
+            .try_into()
+            .expect("state encoding exceeds u16 frame payload");
+        buf[len_at..len_at + 2].copy_from_slice(&payload.to_le_bytes());
+    }
+
+    /// Decode a frame that must span `bytes` exactly.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (beacon, used) = Self::decode_prefix(bytes)?;
+        if used < bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(beacon)
+    }
+
+    /// Decode one frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed (for walking a batch of concatenated
+    /// frames).
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if bytes[0] != WIRE_VERSION {
+            return Err(WireError::Header("version"));
+        }
+        let round = u32::from_le_bytes(bytes[1..5].try_into().expect("4 bytes"));
+        let node = Node(u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")));
+        let len = u16::from_le_bytes(bytes[9..11].try_into().expect("2 bytes")) as usize;
+        if bytes.len() < HEADER_LEN + len {
+            return Err(WireError::Truncated);
+        }
+        let state = S::decode(&bytes[HEADER_LEN..HEADER_LEN + len])?;
+        Ok((Beacon { round, node, state }, HEADER_LEN + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_core::smm::Pointer;
+
+    #[test]
+    fn roundtrips_losslessly() {
+        let frames = [
+            Beacon {
+                round: 0,
+                node: Node(0),
+                state: Pointer::NULL,
+            },
+            Beacon {
+                round: 7,
+                node: Node(3),
+                state: Pointer(Some(Node(12))),
+            },
+            Beacon {
+                round: u32::MAX,
+                node: Node(u32::MAX),
+                state: Pointer(Some(Node(u32::MAX))),
+            },
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            assert_eq!(Beacon::<Pointer>::decode(&bytes), Ok(f));
+        }
+        // And for the other protocol state types the runtime carries.
+        let smi = Beacon {
+            round: 3,
+            node: Node(9),
+            state: true,
+        };
+        assert_eq!(Beacon::<bool>::decode(&smi.encode()), Ok(smi));
+        let coloring = Beacon {
+            round: 1,
+            node: Node(2),
+            state: 0xDEAD_BEEFu32,
+        };
+        assert_eq!(Beacon::<u32>::decode(&coloring.encode()), Ok(coloring));
+    }
+
+    #[test]
+    fn concatenated_frames_split_back_out() {
+        let frames = [
+            Beacon {
+                round: 4,
+                node: Node(0),
+                state: Pointer::NULL,
+            },
+            Beacon {
+                round: 4,
+                node: Node(17),
+                state: Pointer(Some(Node(2))),
+            },
+            Beacon {
+                round: 4,
+                node: Node(3),
+                state: Pointer(Some(Node(17))),
+            },
+        ];
+        let mut batch = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut batch);
+        }
+        let mut rest = &batch[..];
+        let mut decoded = Vec::new();
+        while !rest.is_empty() {
+            let (f, used) = Beacon::<Pointer>::decode_prefix(rest).expect("valid prefix");
+            decoded.push(f);
+            rest = &rest[used..];
+        }
+        assert_eq!(decoded, frames);
+        // A batch is not a single frame: exact decode rejects it.
+        assert_eq!(
+            Beacon::<Pointer>::decode(&batch),
+            Err(WireError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn layout_is_stable_little_endian() {
+        let f = Beacon {
+            round: 0x0102_0304,
+            node: Node(0x0A0B_0C0D),
+            state: Pointer(Some(Node(5))),
+        };
+        let bytes = f.encode();
+        assert_eq!(
+            bytes,
+            vec![
+                WIRE_VERSION, // version
+                0x04,
+                0x03,
+                0x02,
+                0x01, // round, LE
+                0x0D,
+                0x0C,
+                0x0B,
+                0x0A, // node, LE
+                0x05,
+                0x00, // payload length = 5, LE
+                0x01,
+                0x05,
+                0x00,
+                0x00,
+                0x00, // Some tag + pointee 5, LE
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        let good = Beacon {
+            round: 2,
+            node: Node(1),
+            state: Pointer(Some(Node(4))),
+        }
+        .encode();
+
+        // Wrong version byte.
+        let mut bad = good.clone();
+        bad[0] = 9;
+        assert_eq!(
+            Beacon::<Pointer>::decode(&bad),
+            Err(WireError::Header("version"))
+        );
+
+        // Every truncation of the frame fails.
+        for cut in 0..good.len() {
+            assert!(
+                Beacon::<Pointer>::decode(&good[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+
+        // Trailing garbage after the declared payload.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(
+            Beacon::<Pointer>::decode(&long),
+            Err(WireError::TrailingBytes)
+        );
+
+        // Declared length longer than the state's encoding: the state
+        // decode must reject the leftover bytes.
+        let mut padded = good.clone();
+        padded[9] += 1; // claim one extra payload byte
+        padded.push(0);
+        assert_eq!(
+            Beacon::<Pointer>::decode(&padded),
+            Err(WireError::TrailingBytes)
+        );
+
+        // Undefined option tag inside the payload.
+        let mut badtag = good;
+        badtag[HEADER_LEN] = 7;
+        assert_eq!(
+            Beacon::<Pointer>::decode(&badtag),
+            Err(WireError::BadTag(7))
+        );
+    }
+}

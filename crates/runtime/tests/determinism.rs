@@ -1,0 +1,120 @@
+//! Property: for any seeded random graph, any initial state seed, and any
+//! shard count, the sharded runtime produces exactly the per-round states
+//! and round count of the serial synchronous executor — the runtime's
+//! barrier is the paper's round, not an approximation of it.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_core::smi::Smi;
+use selfstab_core::smm::Smm;
+use selfstab_engine::obs::{Observer, RoundStats};
+use selfstab_engine::protocol::{InitialState, Protocol, WireState};
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Graph, Ids};
+use selfstab_runtime::RuntimeExecutor;
+
+/// Records the global state after every round.
+struct StateTrace<S> {
+    per_round: Vec<Vec<S>>,
+}
+
+impl<S> StateTrace<S> {
+    fn new() -> Self {
+        StateTrace {
+            per_round: Vec::new(),
+        }
+    }
+}
+
+impl<S: Clone> Observer<S> for StateTrace<S> {
+    fn on_round_end(&mut self, _stats: &RoundStats, states: &[S]) {
+        self.per_round.push(states.to_vec());
+    }
+}
+
+/// Run both executors observed and compare everything round for round.
+fn check_equivalence<P: Protocol>(g: &Graph, proto: &P, seed: u64, shards: usize) -> TestCaseResult
+where
+    P::State: WireState,
+{
+    let max_rounds = 4 * g.n() + 8;
+    let init = InitialState::Random { seed };
+
+    let mut serial_trace = StateTrace::new();
+    let serial =
+        SyncExecutor::new(g, proto).run_observed(init.clone(), max_rounds, &mut serial_trace);
+    let mut sharded_trace = StateTrace::new();
+    let sharded =
+        RuntimeExecutor::new(g, proto, shards).run_observed(init, max_rounds, &mut sharded_trace);
+
+    prop_assert_eq!(
+        serial.rounds,
+        sharded.rounds,
+        "round count, shards={}",
+        shards
+    );
+    prop_assert_eq!(
+        &serial.outcome,
+        &sharded.outcome,
+        "outcome, shards={}",
+        shards
+    );
+    prop_assert_eq!(
+        &serial.moves_per_rule,
+        &sharded.moves_per_rule,
+        "moves per rule, shards={}",
+        shards
+    );
+    prop_assert_eq!(
+        serial_trace.per_round.len(),
+        sharded_trace.per_round.len(),
+        "observed round count, shards={}",
+        shards
+    );
+    for (r, (a, b)) in serial_trace
+        .per_round
+        .iter()
+        .zip(&sharded_trace.per_round)
+        .enumerate()
+    {
+        prop_assert_eq!(a, b, "state after round {}, shards={}", r + 1, shards);
+    }
+    prop_assert_eq!(
+        &serial.final_states,
+        &sharded.final_states,
+        "final states, shards={}",
+        shards
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn smm_matches_serial_for_any_shard_count(
+        n in 4usize..48,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.2, &mut StdRng::seed_from_u64(graph_seed));
+        let smm = Smm::paper(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            check_equivalence(&g, &smm, state_seed, shards)?;
+        }
+    }
+
+    #[test]
+    fn smi_matches_serial_for_any_shard_count(
+        n in 4usize..48,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.2, &mut StdRng::seed_from_u64(graph_seed));
+        let smi = Smi::new(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            check_equivalence(&g, &smi, state_seed, shards)?;
+        }
+    }
+}

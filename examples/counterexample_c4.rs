@@ -30,8 +30,14 @@ fn main() {
     println!("C4: 0-1-2-3-0, all pointers initially null\n");
 
     println!("== R2 selects the CLOCKWISE neighbor (arbitrary choice) ==");
-    let bad = Smm::with_policies(Ids::identity(4), SelectPolicy::MinId, SelectPolicy::Clockwise);
-    let exec = SyncExecutor::new(&g, &bad).with_trace().with_cycle_detection();
+    let bad = Smm::with_policies(
+        Ids::identity(4),
+        SelectPolicy::MinId,
+        SelectPolicy::Clockwise,
+    );
+    let exec = SyncExecutor::new(&g, &bad)
+        .with_trace()
+        .with_cycle_detection();
     let run = exec.run(InitialState::Default, 10);
     for (t, states) in run.trace.as_ref().expect("traced").iter().enumerate() {
         println!("  t={t}:  {}", render(states));

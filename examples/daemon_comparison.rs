@@ -43,7 +43,10 @@ fn main() {
         Outcome::Stabilized => format!("stabilized, {} rounds", run.rounds()),
         Outcome::RoundLimit => "round limit".into(),
     };
-    println!("{:<46} {:>24}", "HH, synchronous daemon (counterexample)", outcome);
+    println!(
+        "{:<46} {:>24}",
+        "HH, synchronous daemon (counterexample)", outcome
+    );
 
     // Central daemon.
     for (name, mut sched) in [
@@ -61,8 +64,14 @@ fn main() {
 
     // Daemon-refined synchronous conversions.
     for (name, refinement) in [
-        ("deterministic local mutex", Refinement::DeterministicLocalMutex),
-        ("randomized priorities", Refinement::RandomizedPriority { seed: 7 }),
+        (
+            "deterministic local mutex",
+            Refinement::DeterministicLocalMutex,
+        ),
+        (
+            "randomized priorities",
+            Refinement::RandomizedPriority { seed: 7 },
+        ),
     ] {
         let run = run_synchronized(&g, &hh, init.clone(), refinement, 100_000);
         println!(
@@ -85,7 +94,11 @@ fn main() {
             format!("SMM, distributed daemon ({name})"),
             format!(
                 "{}, {} steps",
-                if legit { "stabilized" } else { "NOT legitimate" },
+                if legit {
+                    "stabilized"
+                } else {
+                    "NOT legitimate"
+                },
                 run.rounds()
             )
         );

@@ -23,7 +23,10 @@ fn main() {
     println!("8×8 grid, n={n}, Theorem 1 bound = {} rounds\n", n + 1);
 
     println!("== transient state corruption ==");
-    println!("{:<14} {:>16} {:>18}", "corrupted k", "recovery rounds", "perturbed nodes");
+    println!(
+        "{:<14} {:>16} {:>18}",
+        "corrupted k", "recovery rounds", "perturbed nodes"
+    );
     for k in [1usize, 2, 4, 8, 16, 32] {
         let (initial, recovery) = corrupt_and_recover(&g, &smm, k, 1234 + k as u64, n + 1);
         assert!(recovery.run.stabilized());
@@ -37,7 +40,10 @@ fn main() {
     }
 
     println!("\n== link failures / creations (mobility) ==");
-    println!("{:<14} {:>16} {:>18}", "flipped links", "recovery rounds", "perturbed nodes");
+    println!(
+        "{:<14} {:>16} {:>18}",
+        "flipped links", "recovery rounds", "perturbed nodes"
+    );
     for k in [1usize, 2, 4, 8, 16] {
         let (new_g, events, initial, recovery) =
             churn_and_recover(&g, &smm, k, 99 + k as u64, 4 * n);

@@ -39,7 +39,10 @@ fn main() {
         BfsTree::tree_edges(&run.final_states).len()
     );
 
-    println!("{:<8} {:>10} {:>16} {:>14}", "event", "kind", "reconvergence", "hosts changed");
+    println!(
+        "{:<8} {:>10} {:>16} {:>14}",
+        "event", "kind", "reconvergence", "hosts changed"
+    );
     let mut states = run.final_states;
     let churn = Churn::default();
     for event_no in 1..=10 {

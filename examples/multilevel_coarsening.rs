@@ -41,5 +41,8 @@ fn main() {
         assert!(c.coarse.n() < n, "maximal matching strictly shrinks");
         g = c.coarse;
     }
-    println!("\ncollapsed 256 nodes to {} in {level} levels (≈ log₂ 256 = 8).", g.n());
+    println!(
+        "\ncollapsed 256 nodes to {} in {level} levels (≈ log₂ 256 = 8).",
+        g.n()
+    );
 }

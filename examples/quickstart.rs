@@ -20,7 +20,12 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2003);
     let g = generators::random_geometric_connected(30, 0.3, &mut rng);
     let ids = Ids::random(30, &mut rng);
-    println!("topology: n={}, m={}, max degree {}", g.n(), g.m(), g.max_degree());
+    println!(
+        "topology: n={}, m={}, max degree {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
 
     // --- Algorithm SMM: synchronous maximal matching (Fig. 1) -----------
     let smm = Smm::paper(ids.clone());
@@ -55,7 +60,10 @@ fn main() {
     let smi = Smi::new(ids.clone());
     let run = SyncExecutor::new(&g, &smi).run(InitialState::Random { seed: 7 }, g.n() + 2);
     assert!(run.stabilized(), "Theorem 2: stabilizes in O(n) rounds");
-    assert!(predicates::is_maximal_independent_set(&g, &run.final_states));
+    assert!(predicates::is_maximal_independent_set(
+        &g,
+        &run.final_states
+    ));
     let members: Vec<_> = Smi::members(&run.final_states);
     println!(
         "\nSMI stabilized in {} rounds, |S| = {} nodes: {:?}",

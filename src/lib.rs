@@ -15,6 +15,11 @@
 //!   variants, the Hsu–Huang baseline and its synchronous transformation,
 //!   greedy oracles, derived applications, and the extension protocols
 //!   ([`core::coloring`], [`core::anonymous`], [`core::bfs_tree`]),
+//! * [`runtime`] — sharded message-passing runtime: mailbox worker per
+//!   shard, boundary states as beacon wire frames over bounded channels,
+//!   per-round barrier = the paper's synchronous round
+//!   ([`runtime::RuntimeExecutor`] is state-identical to the serial
+//!   executor at any shard count),
 //! * [`adhoc`] — discrete-event beacon/mobility simulator (the ad hoc
 //!   network model of Section 2),
 //! * [`analysis`] — statistics and table rendering for the experiment
@@ -43,3 +48,4 @@ pub use selfstab_analysis as analysis;
 pub use selfstab_core as core;
 pub use selfstab_engine as engine;
 pub use selfstab_graph as graph;
+pub use selfstab_runtime as runtime;

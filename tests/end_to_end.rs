@@ -19,22 +19,17 @@ fn rand_seed(seed: u64) -> rand::rngs::StdRng {
     <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)
 }
 
-
 /// The same protocol instance driven by all four execution backends
 /// (serial sync, parallel sync, beacon sim, distributed-All) must agree.
 #[test]
 fn all_backends_agree_on_smm() {
     let g = generators::grid(5, 5);
-    let smm = Smm::paper(Ids::random(
-        25,
-        &mut rand_seed(3),
-    ));
+    let smm = Smm::paper(Ids::random(25, &mut rand_seed(3)));
     for seed in 0..5 {
         let init = InitialState::Random { seed };
         let serial = SyncExecutor::new(&g, &smm).run(init.clone(), 26);
         let par = ParSyncExecutor::new(&g, &smm).run(init.clone(), 26);
-        let dist =
-            DistributedExecutor::new(&g, &smm).run(init.clone(), &mut SubsetPolicy::All, 26);
+        let dist = DistributedExecutor::new(&g, &smm).run(init.clone(), &mut SubsetPolicy::All, 26);
         let beacon = BeaconSim::new(
             &smm,
             Topology::Static(g.clone()),
@@ -59,11 +54,7 @@ fn all_backends_agree_on_smm() {
 /// only retreat before *bigger* members).
 #[test]
 fn smi_under_many_daemons() {
-    let g = generators::erdos_renyi_connected(
-        30,
-        0.15,
-        &mut rand_seed(1),
-    );
+    let g = generators::erdos_renyi_connected(30, 0.15, &mut rand_seed(1));
     let smi = Smi::new(Ids::identity(30));
     // Central daemon, several schedulers.
     for mut sched in [
@@ -78,7 +69,10 @@ fn smi_under_many_daemons() {
             100_000,
         );
         assert!(run.stabilized);
-        assert!(predicates::is_maximal_independent_set(&g, &run.final_states));
+        assert!(predicates::is_maximal_independent_set(
+            &g,
+            &run.final_states
+        ));
     }
     // Distributed daemon.
     for mut policy in [
@@ -93,7 +87,10 @@ fn smi_under_many_daemons() {
             100_000,
         );
         assert!(run.stabilized());
-        assert!(predicates::is_maximal_independent_set(&g, &run.final_states));
+        assert!(predicates::is_maximal_independent_set(
+            &g,
+            &run.final_states
+        ));
     }
 }
 
@@ -101,11 +98,7 @@ fn smi_under_many_daemons() {
 /// then re-elect on the coarse graph — everything stays consistent.
 #[test]
 fn clustering_then_coarsening_pipeline() {
-    let g = generators::random_geometric_connected(
-        40,
-        0.3,
-        &mut rand_seed(8),
-    );
+    let g = generators::random_geometric_connected(40, 0.3, &mut rand_seed(8));
     let ids = Ids::identity(40);
     let (clustering, rounds) =
         elect_cluster_heads(&g, ids.clone(), InitialState::Random { seed: 4 }, 42)

@@ -87,7 +87,11 @@ fn figure_3_transitions_and_lemma_7() {
 #[test]
 fn c4_counterexample_both_directions() {
     let g = generators::cycle(4);
-    let bad = Smm::with_policies(Ids::identity(4), SelectPolicy::MinId, SelectPolicy::Clockwise);
+    let bad = Smm::with_policies(
+        Ids::identity(4),
+        SelectPolicy::MinId,
+        SelectPolicy::Clockwise,
+    );
     let run = SyncExecutor::new(&g, &bad)
         .with_cycle_detection()
         .run(InitialState::Default, 1000);
@@ -118,7 +122,10 @@ fn smi_lemmas_and_theorem_2() {
             let run = exec.run(InitialState::Random { seed }, n + 2);
             assert!(run.stabilized(), "{}", fam.name());
             // Lemma 13: stable => maximal independent set.
-            assert!(predicates::is_maximal_independent_set(&g, &run.final_states));
+            assert!(predicates::is_maximal_independent_set(
+                &g,
+                &run.final_states
+            ));
             // Lemmas 11-12 contrapositive along the trace: while the current
             // set is NOT a maximal independent set, some node moves next
             // round (the trace only ends at the legitimate fixpoint).

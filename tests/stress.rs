@@ -41,23 +41,38 @@ fn protocol_zoo_random_instances() {
 
         let smm = Smm::paper(ids.clone());
         let run = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed }, n + 1);
-        assert!(run.stabilized() && smm.is_legitimate(&g, &run.final_states), "SMM trial {trial}");
+        assert!(
+            run.stabilized() && smm.is_legitimate(&g, &run.final_states),
+            "SMM trial {trial}"
+        );
 
         let smi = Smi::new(ids.clone());
         let run = SyncExecutor::new(&g, &smi).run(InitialState::Random { seed }, n + 2);
-        assert!(run.stabilized() && smi.is_legitimate(&g, &run.final_states), "SMI trial {trial}");
+        assert!(
+            run.stabilized() && smi.is_legitimate(&g, &run.final_states),
+            "SMI trial {trial}"
+        );
 
         let sc = Coloring::new(ids.clone());
         let run = SyncExecutor::new(&g, &sc).run(InitialState::Random { seed }, n + 2);
-        assert!(run.stabilized() && sc.is_legitimate(&g, &run.final_states), "SC trial {trial}");
+        assert!(
+            run.stabilized() && sc.is_legitimate(&g, &run.final_states),
+            "SC trial {trial}"
+        );
 
         let tree = BfsTree::new(Node::from(rng.random_range(0..n)), ids.clone());
         let run = SyncExecutor::new(&g, &tree).run(InitialState::Random { seed }, 2 * n + 2);
-        assert!(run.stabilized() && tree.is_legitimate(&g, &run.final_states), "BFS trial {trial}");
+        assert!(
+            run.stabilized() && tree.is_legitimate(&g, &run.final_states),
+            "BFS trial {trial}"
+        );
 
         let anon = AnonMis::new();
         let run = SyncExecutor::new(&g, &anon).run(InitialState::Random { seed }, 8 * n + 64);
-        assert!(run.stabilized() && anon.is_legitimate(&g, &run.final_states), "Anon trial {trial}");
+        assert!(
+            run.stabilized() && anon.is_legitimate(&g, &run.final_states),
+            "Anon trial {trial}"
+        );
     }
 }
 
@@ -164,7 +179,10 @@ fn certificates_compose() {
         // complement is an independent set (weak duality cross-check).
         let saturated = selfstab::graph::predicates::saturated_nodes(&g, &matching);
         let complement: Vec<bool> = saturated.iter().map(|&s| !s).collect();
-        assert!(selfstab::graph::predicates::is_independent_set(&g, &complement));
+        assert!(selfstab::graph::predicates::is_independent_set(
+            &g,
+            &complement
+        ));
     }
 }
 
@@ -188,7 +206,11 @@ fn smm_and_smi_compose_on_one_network() {
         // Both certificates extracted from the single composed state.
         let matching = Smm::matched_edges(&g, &Product::<Smm, Smi>::project1(&run.final_states));
         let mis = Product::<Smm, Smi>::project2(&run.final_states);
-        assert!(selfstab::graph::predicates::is_maximal_matching(&g, &matching));
-        assert!(selfstab::graph::predicates::is_maximal_independent_set(&g, &mis));
+        assert!(selfstab::graph::predicates::is_maximal_matching(
+            &g, &matching
+        ));
+        assert!(selfstab::graph::predicates::is_maximal_independent_set(
+            &g, &mis
+        ));
     }
 }

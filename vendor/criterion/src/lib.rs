@@ -180,7 +180,12 @@ impl Criterion {
         group.finish();
     }
 
-    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, throughput: Option<Throughput>, mut f: F) {
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        label: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
         if let Some(filter) = &self.filter {
             if !label.contains(filter.as_str()) {
                 return;
@@ -190,7 +195,9 @@ impl Criterion {
             mode: if self.smoke {
                 Mode::Smoke
             } else {
-                Mode::Measure { budget: self.budget }
+                Mode::Measure {
+                    budget: self.budget,
+                }
             },
             mean: None,
         };

@@ -91,7 +91,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            TestRng(StdRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ))
         }
     }
 
@@ -493,6 +495,9 @@ mod tests {
         let mut a = TestRng::deterministic("t", 3);
         let mut b = TestRng::deterministic("t", 3);
         let s = 0u64..u64::MAX;
-        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
     }
 }
