@@ -17,6 +17,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors; vendored crates excluded)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace \
+    --exclude rand --exclude proptest --exclude criterion >/dev/null
+
 echo "==> harness --quick e17 (observability smoke)"
 cargo run --release -p selfstab-bench --bin harness -- --quick e17 \
     | grep -F "0 violations in total" >/dev/null \
@@ -35,5 +39,21 @@ cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
     --topology cycle --n 4 --init default --shards 4 --max-rounds 5 --format json \
     | grep -F '"legitimate": true' >/dev/null \
     || { echo "sharded C4/min-id should stabilize within n+1 rounds" >&2; exit 1; }
+
+echo "==> active-set schedule smoke (C4 counterexample identical under pruning)"
+# Active-set scheduling is pure evaluation pruning: the serial executor's
+# cycle detector must still catch the clockwise-R2 period-2 oscillation on
+# C4, and the sharded runtime must still hit the round limit, exactly as
+# under --schedule full.
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --propose clockwise --schedule active \
+    --max-rounds 12 \
+    | grep -F "oscillates (period 2)" >/dev/null \
+    || { echo "serial C4/clockwise should oscillate under --schedule active" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --propose clockwise --schedule active \
+    --shards 4 --max-rounds 12 \
+    | grep -F "round limit hit" >/dev/null \
+    || { echo "sharded C4/clockwise should not converge under --schedule active" >&2; exit 1; }
 
 echo "ci.sh: all gates passed"

@@ -269,6 +269,7 @@ pub struct BeaconSim<'a, P: Protocol> {
     // compiled out for the `()` observer).
     period_moves_per_rule: Vec<u64>,
     period_changes: usize,
+    period_evaluations: usize,
     period_deliveries: u64,
     period_losses: u64,
     period_collisions: u64,
@@ -323,6 +324,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             collisions: 0,
             period_moves_per_rule: vec![0; proto.rule_names().len()],
             period_changes: 0,
+            period_evaluations: 0,
             period_deliveries: 0,
             period_losses: 0,
             period_collisions: 0,
@@ -413,6 +415,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         let view = View::new(me, &nbr_list, &self.scratch);
         self.evaluations += 1;
         self.per_node_evaluations[me.index()] += 1;
+        self.period_evaluations += 1;
         let mv = self.proto.step(view);
         for (_, e) in &mut self.neighbors[me.index()] {
             e.heard_since_action = false;
@@ -515,6 +518,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         let stats = RoundStats {
             round: period,
             privileged: std::mem::take(&mut self.period_changes),
+            evaluated: std::mem::take(&mut self.period_evaluations),
             moves_per_rule: std::mem::replace(
                 &mut self.period_moves_per_rule,
                 vec![0; self.moves_per_rule.len()],

@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
         let label = format!("runtime-{shards}shard");
         group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
             b.iter(|| {
-                let run = rt.run(init(), n + 2);
+                let run = rt.run(init(), n + 2).expect("sharded run failed");
                 assert_eq!(run.rounds(), reference_rounds);
                 black_box(run.rounds())
             });
@@ -97,6 +97,7 @@ fn emit_bench_points(g: &Graph, smm: &Smm) {
         point("runtime", shards, &|| {
             RuntimeExecutor::new(g, smm, shards)
                 .run(init(), n + 2)
+                .expect("sharded run failed")
                 .rounds()
         });
     }

@@ -156,7 +156,10 @@ mod tests {
     fn telemetry_section_renders_census_table() {
         let s = super::telemetry_section(true);
         assert!(s.contains("## Convergence telemetry"));
-        assert!(s.contains("| round | privileged | moves | M | A0 |"), "{s}");
+        assert!(
+            s.contains("| round | privileged | evaluated | moves | M | A0 |"),
+            "{s}"
+        );
         assert!(s.contains("Round-latency histogram"));
     }
 }

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 /// Connectivity-safe unit-disk radius for `n` uniform points in the unit
 /// square: ~1.4× the connectivity threshold `sqrt(ln n / (π n))`.
-fn geometric_radius(n: usize) -> f64 {
+pub(crate) fn geometric_radius(n: usize) -> f64 {
     let n = n as f64;
     (1.4 * (n.ln() / (std::f64::consts::PI * n)).sqrt()).min(1.0)
 }
@@ -85,7 +85,9 @@ pub fn run(sizes: &[usize], shard_counts: &[usize]) -> Report {
             let exec = RuntimeExecutor::new(&g, &smm, k);
             let cut = exec.partition().cut_edges(&g).len();
             let start = Instant::now();
-            let run = exec.run(init.clone(), max_rounds);
+            let run = exec
+                .run(init.clone(), max_rounds)
+                .expect("sharded run failed");
             let elapsed = start.elapsed();
             assert!(
                 run.stabilized(),

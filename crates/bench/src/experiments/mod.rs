@@ -17,6 +17,7 @@ pub mod e15_bfs_tree;
 pub mod e16_contention;
 pub mod e17_observability;
 pub mod e18_runtime_scaling;
+pub mod e19_active_schedule;
 
 /// An experiment's rendered report section.
 pub struct Report {

@@ -7,6 +7,7 @@ use selfstab_adhoc::{BeaconConfig, BeaconSim, Topology};
 use selfstab_core::coloring::Coloring;
 use selfstab_core::smm::{SelectPolicy, Smm};
 use selfstab_core::Smi;
+use selfstab_engine::active::Schedule;
 use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
 use selfstab_engine::obs::{ChromeTraceWriter, Gauge, MetricsCollector};
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
@@ -24,6 +25,7 @@ USAGE:
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--max-rounds <N>] [--format text|json|dot]
                   [--metrics] [--trace-out <file>]
+                  [--schedule full|active]
                   [--shards <K> [--channel-cap <M>]]
                   [--propose min-id|max-id|first|clockwise|hashed]   (smm only)
   selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
@@ -32,12 +34,16 @@ USAGE:
 
   --metrics appends a per-round convergence table (for SMM: the Fig. 2
   node-type census and the matched-pair count |M|); --trace-out writes a
-  chrome://tracing-loadable JSON timeline of the run. --shards K executes
-  on the sharded message-passing runtime (K mailbox workers, beacon frames
-  over bounded channels; no cycle detection) — identical states and round
-  counts to the in-process executor. --propose overrides SMM's R2 selection
-  (the paper's min-id is what makes SMM stabilize; clockwise reproduces the
-  C4 counterexample).
+  chrome://tracing-loadable JSON timeline of the run. --schedule active
+  (the default) evaluates only nodes whose closed neighborhood changed in
+  the previous round — identical results to the full sweep, fewer guard
+  evaluations; full re-evaluates everything every round. --shards K
+  executes on the sharded message-passing runtime (K mailbox workers,
+  beacon frames over bounded channels; no cycle detection) — identical
+  states and round counts to the in-process executor; under the active
+  schedule only moved boundary states are re-broadcast (delta beacons).
+  --propose overrides SMM's R2 selection (the paper's min-id is what makes
+  SMM stabilize; clockwise reproduces the C4 counterexample).
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
@@ -174,6 +180,8 @@ where
         other => return Err(format!("unknown init '{other}'")),
     };
     let shards = parse_shards(args)?;
+    let schedule = Schedule::parse(args.str_or("schedule", "active"))
+        .map_err(|e| format!("flag --schedule: {e}"))?;
     let trace_out = args.get("trace-out").map(str::to_string);
     let mut metrics = args
         .bool_flag("metrics")
@@ -183,16 +191,22 @@ where
         .map(|_| ChromeTraceWriter::with_rule_names(proto.rule_names()));
     let (run, runtime_note) = match shards {
         Some((k, cap)) => {
-            let exec = RuntimeExecutor::new(g, proto, k).with_channel_cap(cap);
+            let exec = RuntimeExecutor::new(g, proto, k)
+                .with_channel_cap(cap)
+                .with_schedule(schedule);
             let cut = exec.partition().cut_edges(g).len();
-            let run = exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()));
+            let run = exec
+                .run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()))
+                .map_err(|e| format!("runtime: {e}"))?;
             (
                 run,
                 Some(format!("{k} shards, channel cap {cap}, {cut} cut edges")),
             )
         }
         None => {
-            let exec = SyncExecutor::new(g, proto).with_cycle_detection();
+            let exec = SyncExecutor::new(g, proto)
+                .with_cycle_detection()
+                .with_schedule(schedule);
             (
                 exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut())),
                 None,
@@ -631,9 +645,46 @@ mod tests {
         assert!(out.contains("runtime: 3 shards, channel cap 8"), "{out}");
         assert!(out.contains("cut edges"), "{out}");
         assert!(
-            out.contains("| frames | wire bytes | max chan depth |"),
+            out.contains("| frames | suppressed | wire bytes | max chan depth |"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn run_schedule_flag_is_equivalent_and_validated() {
+        let base = &[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "25",
+            "--format",
+            "json",
+        ];
+        let active = Json::parse(&run(&args(base)).unwrap()).unwrap();
+        let mut full_args = base.to_vec();
+        full_args.extend_from_slice(&["--schedule", "full"]);
+        let full = Json::parse(&run(&args(&full_args)).unwrap()).unwrap();
+        for field in ["rounds", "outcome", "moves_per_rule", "states"] {
+            assert_eq!(
+                active.get(field).map(Json::to_string),
+                full.get(field).map(Json::to_string),
+                "field {field} must not depend on the schedule"
+            );
+        }
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "4",
+            "--schedule",
+            "lazy",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown schedule 'lazy'"), "{err}");
     }
 
     #[test]
@@ -804,7 +855,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("per-round convergence metrics"), "{out}");
         assert!(
-            out.contains("| round | privileged | moves | M | A0 | A1 | PA | PM | PP | DANGLING | matched_pairs |"),
+            out.contains("| round | privileged | evaluated | moves | M | A0 | A1 | PA | PM | PP | DANGLING | matched_pairs |"),
             "{out}"
         );
         assert!(out.contains("| 0 (init) |"), "{out}");

@@ -87,7 +87,11 @@ impl Partition {
         while cur.n() > 8 * k {
             let weights: Vec<usize> = blobs.iter().map(Vec::len).collect();
             let matching = greedy_matching(&cur, &weights, target, &edge_w);
-            if matching.is_empty() {
+            // A level must shrink the graph by a constant fraction or the
+            // loop degenerates to quadratic time (a star's edges all share
+            // the hub, so its matching has one edge per level); packing the
+            // current blobs is better than contracting one pair at a time.
+            if 16 * matching.len() < cur.n() {
                 break;
             }
             let c = contract_matching(&cur, &matching);
@@ -341,6 +345,24 @@ mod tests {
         let p = Partition::coarsened(&g, 4);
         let cut = p.cut_edges(&g).len();
         assert!(cut < g.m() / 2, "cut {cut} of {} edges", g.m());
+    }
+
+    #[test]
+    fn coarsened_star_is_not_quadratic() {
+        // Every star edge shares the hub, so heavy-edge matching contracts
+        // one pair per level; without the progress guard this test would
+        // contract ~n levels (minutes), with it the loop bails after one.
+        let n = 50_000;
+        let g = generators::star(n);
+        let start = std::time::Instant::now();
+        let p = Partition::coarsened(&g, 4);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "star partition took {:?}",
+            start.elapsed()
+        );
+        assert_valid(&p, &g, 4);
+        assert!(p.max_shard_size() <= 2 * n.div_ceil(4));
     }
 
     #[test]

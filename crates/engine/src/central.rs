@@ -190,6 +190,9 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
                 let stats = RoundStats {
                     round: moves as usize,
                     privileged: nodes.len(),
+                    // The central daemon sweeps every node to find the
+                    // privileged set before each move.
+                    evaluated: states.len(),
                     moves_per_rule: round_moves,
                     duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                     beacon: None,

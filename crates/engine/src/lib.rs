@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod central;
 pub mod compose;
 pub mod distributed;
@@ -42,6 +43,7 @@ pub mod sync;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use active::{ActiveSet, Schedule};
 pub use obs::{Observer, RoundStats, RuntimeCounters};
 pub use protocol::{InitialState, Move, Protocol, View, WireError, WireState};
 pub use sync::{Outcome, Run, SyncExecutor};

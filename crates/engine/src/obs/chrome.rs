@@ -85,6 +85,7 @@ impl<S> Observer<S> for ChromeTraceWriter {
         let dur = stats.duration_micros.max(1);
         let mut args = vec![
             ("privileged".to_string(), stats.privileged.to_json()),
+            ("evaluated".to_string(), stats.evaluated.to_json()),
             (
                 "moves".to_string(),
                 stats.moves_per_rule.iter().sum::<u64>().to_json(),
@@ -102,6 +103,10 @@ impl<S> Observer<S> for ChromeTraceWriter {
         }
         if let Some(rt) = &stats.runtime {
             args.push(("frames".to_string(), rt.frames.to_json()));
+            args.push((
+                "frames_suppressed".to_string(),
+                rt.frames_suppressed.to_json(),
+            ));
             args.push(("bytes_on_wire".to_string(), rt.bytes_on_wire.to_json()));
             args.push((
                 "max_channel_depth".to_string(),
@@ -137,6 +142,7 @@ impl<S> Observer<S> for ChromeTraceWriter {
                     Json::obj([
                         ("bytes", rt.bytes_on_wire.to_json()),
                         ("channel_depth", rt.max_channel_depth.to_json()),
+                        ("frames_suppressed", rt.frames_suppressed.to_json()),
                     ]),
                 ),
             ]));
@@ -185,6 +191,7 @@ mod tests {
             &RoundStats {
                 round: 1,
                 privileged: 2,
+                evaluated: 3,
                 moves_per_rule: vec![1, 1],
                 duration_micros: 7,
                 beacon: None,
@@ -221,6 +228,7 @@ mod tests {
                 &RoundStats {
                     round,
                     privileged: 1,
+                    evaluated: 1,
                     moves_per_rule: vec![1],
                     duration_micros: 10,
                     beacon: None,

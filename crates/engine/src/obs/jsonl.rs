@@ -76,6 +76,7 @@ impl<S: ToJson> Observer<S> for JsonlEventLog {
             ("event".to_string(), "round_end".to_json()),
             ("round".to_string(), stats.round.to_json()),
             ("privileged".to_string(), stats.privileged.to_json()),
+            ("evaluated".to_string(), stats.evaluated.to_json()),
             ("moves_per_rule".to_string(), stats.moves_per_rule.to_json()),
             (
                 "duration_micros".to_string(),
@@ -168,6 +169,7 @@ mod tests {
             &RoundStats {
                 round: 1,
                 privileged: 1,
+                evaluated: 2,
                 moves_per_rule: vec![1],
                 duration_micros: 2,
                 beacon: None,

@@ -25,6 +25,8 @@ pub struct RoundRecord {
     pub round: usize,
     /// Privileged nodes at round start.
     pub privileged: usize,
+    /// Guard evaluations the round cost (see [`RoundStats::evaluated`]).
+    pub evaluated: usize,
     /// Moves applied this round, per rule.
     pub moves_per_rule: Vec<u64>,
     /// Wall-clock (or simulated) duration of the round, µs.
@@ -134,7 +136,7 @@ impl<S> MetricsCollector<S> {
     pub fn render_table(&self) -> String {
         let has_beacon = self.rounds.iter().any(|r| r.beacon.is_some());
         let has_runtime = self.rounds.iter().any(|r| r.runtime.is_some());
-        let mut out = String::from("| round | privileged | moves |");
+        let mut out = String::from("| round | privileged | evaluated | moves |");
         for name in &self.gauge_names {
             out.push_str(&format!(" {name} |"));
         }
@@ -142,14 +144,14 @@ impl<S> MetricsCollector<S> {
             out.push_str(" deliveries | losses | stale views |");
         }
         if has_runtime {
-            out.push_str(" frames | wire bytes | max chan depth |");
+            out.push_str(" frames | suppressed | wire bytes | max chan depth |");
         }
         out.push('\n');
-        let extra = if has_beacon { 3 } else { 0 } + if has_runtime { 3 } else { 0 };
-        out.push_str(&"|---".repeat(3 + self.gauge_names.len() + extra));
+        let extra = if has_beacon { 3 } else { 0 } + if has_runtime { 4 } else { 0 };
+        out.push_str(&"|---".repeat(4 + self.gauge_names.len() + extra));
         out.push_str("|\n");
         if let Some(init) = &self.initial_gauges {
-            out.push_str("| 0 (init) | — | — |");
+            out.push_str("| 0 (init) | — | — | — |");
             for v in init {
                 out.push_str(&format!(" {v} |"));
             }
@@ -160,7 +162,10 @@ impl<S> MetricsCollector<S> {
         }
         for r in &self.rounds {
             let moves: u64 = r.moves_per_rule.iter().sum();
-            out.push_str(&format!("| {} | {} | {moves} |", r.round, r.privileged));
+            out.push_str(&format!(
+                "| {} | {} | {} | {moves} |",
+                r.round, r.privileged, r.evaluated
+            ));
             for v in &r.gauges {
                 out.push_str(&format!(" {v} |"));
             }
@@ -174,8 +179,8 @@ impl<S> MetricsCollector<S> {
             if has_runtime {
                 let rt = r.runtime.clone().unwrap_or_default();
                 out.push_str(&format!(
-                    " {} | {} | {} |",
-                    rt.frames, rt.bytes_on_wire, rt.max_channel_depth
+                    " {} | {} | {} | {} |",
+                    rt.frames, rt.frames_suppressed, rt.bytes_on_wire, rt.max_channel_depth
                 ));
             }
             out.push('\n');
@@ -192,6 +197,7 @@ impl<S> MetricsCollector<S> {
                 let mut fields = vec![
                     ("round".to_string(), r.round.to_json()),
                     ("privileged".to_string(), r.privileged.to_json()),
+                    ("evaluated".to_string(), r.evaluated.to_json()),
                     ("moves_per_rule".to_string(), r.moves_per_rule.to_json()),
                     ("duration_micros".to_string(), r.duration_micros.to_json()),
                     ("gauges".to_string(), r.gauges.to_json()),
@@ -247,6 +253,7 @@ fn runtime_json(rt: &RuntimeCounters) -> Json {
         ("frames", rt.frames.to_json()),
         ("bytes_on_wire", rt.bytes_on_wire.to_json()),
         ("max_channel_depth", rt.max_channel_depth.to_json()),
+        ("frames_suppressed", rt.frames_suppressed.to_json()),
     ])
 }
 
@@ -268,6 +275,7 @@ impl<S> Observer<S> for MetricsCollector<S> {
         self.rounds.push(RoundRecord {
             round: stats.round,
             privileged: stats.privileged,
+            evaluated: stats.evaluated,
             moves_per_rule: stats.moves_per_rule.clone(),
             duration_micros: stats.duration_micros,
             gauges,
@@ -290,6 +298,7 @@ mod tests {
         RoundStats {
             round,
             privileged,
+            evaluated: privileged,
             moves_per_rule: vec![privileged as u64],
             duration_micros: micros,
             beacon: None,
@@ -316,8 +325,8 @@ mod tests {
         // 3 µs lands in log2 bucket 2.
         assert_eq!(c.latency_histogram().count(2), 1);
         let table = c.render_table();
-        assert!(table.contains("| 0 (init) | — | — | 2 |"), "{table}");
-        assert!(table.contains("| 1 | 1 | 1 | 4 |"), "{table}");
+        assert!(table.contains("| 0 (init) | — | — | — | 2 |"), "{table}");
+        assert!(table.contains("| 1 | 1 | 1 | 1 | 4 |"), "{table}");
         let json = c.to_json();
         assert_eq!(
             json.get("outcome").and_then(Json::as_str),

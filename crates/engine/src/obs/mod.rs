@@ -75,6 +75,10 @@ pub struct RuntimeCounters {
     /// The deepest any cross-shard channel got this round (a backpressure
     /// gauge: values near the channel capacity mean senders were blocked).
     pub max_channel_depth: u64,
+    /// Boundary beacons *not* sent this round because the node's state did
+    /// not change (delta-beacon suppression under the active schedule; 0
+    /// under the full schedule, which re-broadcasts every boundary state).
+    pub frames_suppressed: u64,
 }
 
 /// What happened in one observed round.
@@ -90,6 +94,11 @@ pub struct RoundStats {
     /// synchronous daemon every one of them moved; in the beacon simulator
     /// this counts the nodes that changed state during the period).
     pub privileged: usize,
+    /// Number of guard evaluations the round cost: `n` under the full
+    /// sweep, the active-set size under active scheduling (in the beacon
+    /// simulator, the rule evaluations performed during the period). The
+    /// decay of this count is the frontier of Lemmas 9–10.
+    pub evaluated: usize,
     /// Moves applied **in this round only**, indexed like
     /// [`crate::protocol::Protocol::rule_names`].
     pub moves_per_rule: Vec<u64>,
@@ -264,6 +273,7 @@ mod tests {
         let stats = RoundStats {
             round: 1,
             privileged: 1,
+            evaluated: 1,
             moves_per_rule: vec![1],
             duration_micros: 0,
             beacon: None,

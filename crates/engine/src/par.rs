@@ -12,6 +12,7 @@
 //! Guard evaluation is `O(Σ deg)` per round; parallelism pays off from a few
 //! tens of thousands of nodes (see the `throughput` bench, experiment E12).
 
+use crate::active::{ActiveSet, Schedule};
 use crate::protocol::{InitialState, Move, Protocol, View};
 use crate::sync::{Outcome, Run};
 use selfstab_graph::{Graph, Node};
@@ -22,10 +23,12 @@ pub struct ParSyncExecutor<'a, P: Protocol> {
     graph: &'a Graph,
     proto: &'a P,
     threads: NonZeroUsize,
+    schedule: Schedule,
 }
 
 impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
-    /// New executor using all available parallelism.
+    /// New executor using all available parallelism and the default
+    /// [`Schedule::Active`] evaluation pruning.
     pub fn new(graph: &'a Graph, proto: &'a P) -> Self {
         let threads = std::thread::available_parallelism()
             .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero"));
@@ -33,12 +36,20 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
             graph,
             proto,
             threads,
+            schedule: Schedule::default(),
         }
     }
 
     /// Override the worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero");
+        self
+    }
+
+    /// Choose between the full per-round sweep and active-set evaluation
+    /// pruning (identical results; see [`crate::active`]).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -86,15 +97,65 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
         partials.concat()
     }
 
+    /// Compute the privileged moves *among* `nodes` (sorted in node order),
+    /// chunking the worklist — not the node range — across scoped threads.
+    /// Sound whenever `nodes` is a superset of the privileged set.
+    fn privileged_moves_among(
+        &self,
+        states: &[P::State],
+        nodes: &[Node],
+    ) -> Vec<(Node, Move<P::State>)> {
+        let n = nodes.len();
+        let threads = self.threads.get().min(n.max(1));
+        if threads == 1 || n < 4096 {
+            return nodes
+                .iter()
+                .filter_map(|&v| {
+                    let view = View::new(v, self.graph.neighbors(v), states);
+                    self.proto.step(view).map(|m| (v, m))
+                })
+                .collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .chunks(chunk)
+                .map(|span| {
+                    let graph = self.graph;
+                    let proto = self.proto;
+                    scope.spawn(move || {
+                        span.iter()
+                            .filter_map(|&v| {
+                                let view = View::new(v, graph.neighbors(v), states);
+                                proto.step(view).map(|m| (v, m))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        });
+        partials.concat()
+    }
+
     /// Execute synchronously from `init` for at most `max_rounds` rounds.
     /// Semantics identical to [`crate::sync::SyncExecutor::run`] without
     /// tracing or cycle detection.
     pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
         let mut states = init.materialize(self.graph, self.proto);
         let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
+        let n = states.len();
+        let mut active =
+            (self.schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
         let mut round = 0usize;
         loop {
-            let moves = self.privileged_moves(&states);
+            let moves = match active.as_ref() {
+                Some((cur, _)) => self.privileged_moves_among(&states, cur.nodes()),
+                None => self.privileged_moves(&states),
+            };
             if moves.is_empty() {
                 return Run {
                     final_states: states,
@@ -116,6 +177,14 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
             for (v, m) in moves {
                 moves_per_rule[m.rule] += 1;
                 states[v.index()] = m.next;
+                if let Some((_, next)) = active.as_mut() {
+                    next.insert_closed(self.graph, v);
+                }
+            }
+            if let Some((cur, next)) = active.as_mut() {
+                next.seal();
+                cur.clear();
+                std::mem::swap(cur, next);
             }
             round += 1;
         }
@@ -155,6 +224,22 @@ mod tests {
         assert_eq!(serial.final_states, par.final_states);
         assert_eq!(serial.rounds, par.rounds);
         assert_eq!(serial.moves_per_rule, par.moves_per_rule);
+    }
+
+    #[test]
+    fn schedules_agree_above_parallel_threshold() {
+        let g = generators::grid(80, 80);
+        let mk = |s| {
+            ParSyncExecutor::new(&g, &MaxProto)
+                .with_threads(4)
+                .with_schedule(s)
+                .run(InitialState::Random { seed: 3 }, 10_000)
+        };
+        let full = mk(Schedule::Full);
+        let act = mk(Schedule::Active);
+        assert_eq!(full.final_states, act.final_states);
+        assert_eq!(full.rounds, act.rounds);
+        assert_eq!(full.moves_per_rule, act.moves_per_rule);
     }
 
     #[test]

@@ -173,6 +173,9 @@ pub enum WireError {
     TrailingBytes,
     /// A frame header field (version, round tag) did not match.
     Header(&'static str),
+    /// A value's encoding is too large for the frame field that carries its
+    /// length (the payload size in bytes is attached).
+    PayloadTooLarge(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -182,9 +185,17 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "undefined tag byte {t:#04x}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after value"),
             WireError::Header(what) => write!(f, "bad frame header: {what}"),
+            WireError::PayloadTooLarge(n) => {
+                write!(
+                    f,
+                    "state encoding of {n} bytes exceeds the frame payload field"
+                )
+            }
         }
     }
 }
+
+impl std::error::Error for WireError {}
 
 /// A state that can ride in a beacon frame: a compact little-endian binary
 /// encoding with a lossless decode. The message-passing runtime

@@ -11,6 +11,7 @@
 //! two exactly (used to *prove* the paper's C₄ counterexample oscillates
 //! rather than merely time out).
 
+use crate::active::{ActiveSet, Schedule};
 use crate::obs::{Observer, RoundStats};
 use crate::protocol::{InitialState, Move, Protocol, View};
 use selfstab_graph::{Graph, Node};
@@ -71,17 +72,29 @@ pub struct SyncExecutor<'a, P: Protocol> {
     proto: &'a P,
     trace: bool,
     detect_cycles: bool,
+    schedule: Schedule,
 }
 
 impl<'a, P: Protocol> SyncExecutor<'a, P> {
-    /// New executor with tracing and cycle detection disabled.
+    /// New executor with tracing and cycle detection disabled and the
+    /// default [`Schedule::Active`] evaluation pruning (identical results
+    /// to the full sweep; see [`crate::active`]).
     pub fn new(graph: &'a Graph, proto: &'a P) -> Self {
         SyncExecutor {
             graph,
             proto,
             trace: false,
             detect_cycles: false,
+            schedule: Schedule::default(),
         }
+    }
+
+    /// Choose between the full per-round sweep and active-set evaluation
+    /// pruning. Results are identical either way; only the number of guard
+    /// evaluations ([`RoundStats::evaluated`]) differs.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Record the full state history in the returned [`Run`].
@@ -117,6 +130,24 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
             .collect()
     }
 
+    /// Compute the moves of the privileged nodes *among* `nodes` (which must
+    /// be sorted in node order). Sound as a round step whenever `nodes` is a
+    /// superset of the privileged set — which the active-set invariant
+    /// guarantees (see [`crate::active`]).
+    fn privileged_moves_among(
+        &self,
+        states: &[P::State],
+        nodes: &[Node],
+    ) -> Vec<(Node, crate::protocol::Move<P::State>)> {
+        nodes
+            .iter()
+            .filter_map(|&v| {
+                let view = View::new(v, self.graph.neighbors(v), states);
+                self.proto.step(view).map(|m| (v, m))
+            })
+            .collect()
+    }
+
     /// Execute synchronously from `init` for at most `max_rounds` rounds.
     pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
         // `()` has `ENABLED == false`: monomorphization removes every
@@ -141,6 +172,10 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
         let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
         let mut trace = self.trace.then(|| vec![states.clone()]);
         let mut seen: Option<HashMap<Vec<P::State>, usize>> = self.detect_cycles.then(HashMap::new);
+        // Ping-pong pair of worklists; round 1 evaluates everything.
+        let n = states.len();
+        let mut active =
+            (self.schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
 
         let mut round = 0usize;
         loop {
@@ -164,7 +199,10 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 seen.insert(states.clone(), round);
             }
 
-            let moves = self.privileged_moves(&states);
+            let (moves, evaluated) = match active.as_ref() {
+                Some((cur, _)) => (self.privileged_moves_among(&states, cur.nodes()), cur.len()),
+                None => (self.privileged_moves(&states), n),
+            };
             if moves.is_empty() {
                 if O::ENABLED {
                     obs.on_finish(&Outcome::Stabilized, &states);
@@ -202,9 +240,17 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 }
                 let rule = m.rule;
                 states[v.index()] = m.next;
+                if let Some((_, next)) = active.as_mut() {
+                    next.insert_closed(self.graph, v);
+                }
                 if O::ENABLED {
                     obs.on_move(v, rule, &states[v.index()]);
                 }
+            }
+            if let Some((cur, next)) = active.as_mut() {
+                next.seal();
+                cur.clear();
+                std::mem::swap(cur, next);
             }
             round += 1;
             if let Some(trace) = trace.as_mut() {
@@ -214,6 +260,7 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 let stats = RoundStats {
                     round,
                     privileged,
+                    evaluated,
                     moves_per_rule: round_moves.take().unwrap_or_default(),
                     duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                     beacon: None,
@@ -373,6 +420,38 @@ mod tests {
         let run = exec.run(InitialState::Default, 17);
         assert_eq!(run.outcome, Outcome::RoundLimit);
         assert_eq!(run.rounds(), 17);
+    }
+
+    #[test]
+    fn active_schedule_matches_full_sweep() {
+        let g = generators::erdos_renyi_connected(24, 0.15, &mut StdRng::seed_from_u64(7));
+        let full = SyncExecutor::new(&g, &MaxProto).with_schedule(Schedule::Full);
+        let act = SyncExecutor::new(&g, &MaxProto).with_schedule(Schedule::Active);
+        for seed in 0..5 {
+            let a = full.run_random(seed, 200);
+            let b = act.run_random(seed, 200);
+            assert_eq!(a.final_states, b.final_states);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.moves_per_rule, b.moves_per_rule);
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn active_schedule_evaluated_decays_on_path() {
+        use crate::obs::MetricsCollector;
+        let g = generators::path(16);
+        let exec = SyncExecutor::new(&g, &MaxProto); // active by default
+        let mut m = MetricsCollector::new();
+        let mut init = vec![0u8; 16];
+        init[0] = 9;
+        let run = exec.run_observed(InitialState::Explicit(init), 100, &mut m);
+        assert!(run.stabilized());
+        let rounds = m.rounds();
+        assert_eq!(rounds[0].evaluated, 16, "round 1 is a full sweep");
+        // A single rightward-moving wave: the frontier is a closed
+        // neighborhood of the one mover, so at most 3 nodes after round 2.
+        assert!(rounds[2..].iter().all(|r| r.evaluated <= 3));
     }
 
     #[test]

@@ -178,6 +178,24 @@ impl<T> Receiver<T> {
     pub fn max_depth(&self) -> usize {
         self.shared.queue.lock().unwrap().max_depth
     }
+
+    /// Park on the channel's condvar until a message is available, every
+    /// sender is gone, or `timeout` elapses; returns whether the queue is
+    /// non-empty. The bounded-backoff primitive for pump loops that also
+    /// have *outbound* work to retry: a busy-wait burns a core, an unbounded
+    /// wait never retries the sends, this does neither.
+    pub fn wait_nonempty(&self, timeout: std::time::Duration) -> bool {
+        let q = self.shared.queue.lock().unwrap();
+        if !q.items.is_empty() || q.senders == 0 {
+            return !q.items.is_empty();
+        }
+        let (q, _) = self
+            .shared
+            .not_empty
+            .wait_timeout(q, timeout)
+            .expect("channel mutex");
+        !q.items.is_empty()
+    }
 }
 
 impl<T> Drop for Receiver<T> {
@@ -251,6 +269,25 @@ mod tests {
         got.dedup();
         assert_eq!(got.len(), 100, "no duplicates, nothing lost");
         assert!(rx.max_depth() <= 3, "bound respected");
+    }
+
+    #[test]
+    fn wait_nonempty_wakes_on_send_and_times_out_when_idle() {
+        let (tx, rx) = bounded(2);
+        // Empty and idle: times out false, promptly.
+        assert!(!rx.wait_nonempty(std::time::Duration::from_millis(5)));
+        let t = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(10));
+            tx.try_send(7u8).unwrap();
+        });
+        // Wakes well before the (generous) timeout once the send lands.
+        assert!(rx.wait_nonempty(std::time::Duration::from_secs(10)));
+        assert_eq!(rx.try_recv(), Some(7));
+        t.join().unwrap();
+        // All senders gone: returns immediately instead of sleeping.
+        let start = std::time::Instant::now();
+        assert!(!rx.wait_nonempty(std::time::Duration::from_secs(10)));
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! ([`selfstab_core::partition::Partition::coarsened`]); one worker thread
 //! owns each shard's node states. Every worker keeps a full-length state
 //! vector, but only its *owned* entries are authoritative — entries for
-//! boundary neighbors in other shards are ghosts, refreshed once per round
-//! by [`Beacon`] frames arriving through bounded channels. Interior entries
-//! of other shards go stale, which is harmless: a guard only ever reads the
-//! node itself (owned) and its neighbors (owned or ghost).
+//! boundary neighbors in other shards are ghosts, refreshed by [`Beacon`]
+//! frames arriving through bounded channels. Interior entries of other
+//! shards go stale, which is harmless: a guard only ever reads the node
+//! itself (owned) and its neighbors (owned or ghost).
 //!
 //! **A runtime round is exactly a paper round.** Per iteration every worker
 //! (1) evaluates the guards of its owned nodes against its current view,
@@ -20,33 +20,150 @@
 //! per-node disjoint, so the post-round global state is *identical* to the
 //! serial executor's, round for round, for any shard count.
 //!
+//! **Active scheduling becomes delta beacons.** Under the default
+//! [`Schedule::Active`] each worker keeps the engine's dirty-node worklist
+//! (see [`selfstab_engine::active`]) restricted to its owned nodes, and the
+//! wire protocol turns the same invariant into bandwidth: a boundary node's
+//! beacon is sent only in rounds where the node *moved*. Ghost entries are
+//! seeded from the shared initial state, so an unsent beacon means — and
+//! only ever means — "unchanged", and each received beacon marks the
+//! sender's closed neighborhood dirty on the receiving side. One batch
+//! message still travels per neighbor-shard pair per round (possibly
+//! empty), keeping the static `expected_in` accounting and the no-deadlock
+//! pump argument of the full schedule.
+//!
 //! **The exchange cannot deadlock.** Beacons bound for the same shard are
 //! batched into one message per round, and senders never block: each worker
 //! pumps — `try_send` its pending batch, drain everything in its own
 //! mailbox — until all batches are out and the expected number (a static
 //! property of the partition) has arrived. A full peer channel therefore
 //! never stops a worker from emptying its own mailbox, which is what
-//! unblocks the peer.
+//! unblocks the peer. An idle pump iteration parks on the mailbox condvar
+//! with a bounded timeout rather than spinning.
 //!
 //! **At most one round of frames is ever in flight.** A worker sends round
 //! r+1 frames only after the round-(r+1) barriers, which every peer reaches
 //! only after completely draining its round-r frames. The round tag in each
-//! frame turns this invariant into a checked assertion instead of silent
-//! state corruption.
+//! frame turns this invariant into a checked [`RuntimeError::RoundTag`]
+//! instead of silent state corruption.
+//!
+//! **Failures propagate; they do not hang or abort.** A worker that hits a
+//! wire error poisons the shared [`PoisonBarrier`] (waking peers parked on
+//! it) and drops its mailbox (failing peers' sends); peers fold into
+//! [`RuntimeError::Aborted`], the coordinator joins everyone, and
+//! [`RuntimeExecutor::run`] returns the most informative error. A panicking
+//! worker poisons the barrier from its drop guard and surfaces as
+//! [`RuntimeError::WorkerPanic`].
 
+use crate::barrier::PoisonBarrier;
 use crate::channel::{bounded, Receiver, Sender, TrySendError};
 use crate::wire::Beacon;
 use selfstab_core::partition::Partition;
+use selfstab_engine::active::{ActiveSet, Schedule};
 use selfstab_engine::obs::{Observer, RoundStats, RuntimeCounters};
-use selfstab_engine::protocol::{InitialState, Protocol, View, WireState};
+use selfstab_engine::protocol::{InitialState, Protocol, View, WireError, WireState};
 use selfstab_engine::sync::{Outcome, Run, SyncExecutor};
 use selfstab_graph::{Graph, Node};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::time::Duration;
 
 /// Default bound on each cross-shard channel (batch messages; one message
 /// carries every beacon one shard sends another for one round).
 pub const DEFAULT_CHANNEL_CAP: usize = 1024;
+
+/// Idle pump iterations spent yielding before parking on the mailbox.
+const SPIN_LIMIT: u32 = 16;
+
+/// How long an idle pump iteration parks on the mailbox condvar before
+/// re-checking its pending send and the abort flag.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Why a sharded run failed. The runtime returns errors instead of
+/// panicking worker threads: a malformed frame or an overflowing encode
+/// surfaces here, with every worker joined and no thread left behind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A beacon failed to encode or decode on a shard boundary.
+    Wire {
+        /// Shard that hit the error.
+        shard: usize,
+        /// The underlying wire-format error.
+        error: WireError,
+    },
+    /// A beacon carried a round tag other than the round being exchanged —
+    /// the "at most one round in flight" invariant was violated.
+    RoundTag {
+        /// Shard that received the frame.
+        shard: usize,
+        /// Round tag carried by the frame.
+        got: u32,
+        /// Round tag the exchange expected.
+        expected: u32,
+    },
+    /// `max_rounds` exceeds the `u32` beacon round-tag range.
+    MaxRoundsOverflow {
+        /// The requested round limit.
+        max_rounds: usize,
+    },
+    /// A worker thread panicked (the panic payload goes to stderr; the run
+    /// is torn down via the poisoned barrier).
+    WorkerPanic {
+        /// Shard whose worker panicked.
+        shard: usize,
+    },
+    /// A worker shut down because a peer failed first; the peer's error is
+    /// reported instead of this one whenever the coordinator has it.
+    Aborted {
+        /// Shard that observed the teardown.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Wire { shard, error } => {
+                write!(f, "shard {shard}: beacon wire error: {error}")
+            }
+            RuntimeError::RoundTag {
+                shard,
+                got,
+                expected,
+            } => write!(
+                f,
+                "shard {shard}: beacon round tag {got} arrived during round {expected}"
+            ),
+            RuntimeError::MaxRoundsOverflow { max_rounds } => write!(
+                f,
+                "max_rounds {max_rounds} exceeds the u32 beacon round-tag range"
+            ),
+            RuntimeError::WorkerPanic { shard } => write!(f, "shard {shard}: worker panicked"),
+            RuntimeError::Aborted { shard } => {
+                write!(f, "shard {shard}: aborted after a peer shard failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Wire { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// How much a worker's error explains about the root cause; the
+/// coordinator reports the highest-ranked one.
+fn error_rank(e: &RuntimeError) -> u8 {
+    match e {
+        RuntimeError::Wire { .. } | RuntimeError::RoundTag { .. } => 3,
+        RuntimeError::MaxRoundsOverflow { .. } => 2,
+        RuntimeError::WorkerPanic { .. } => 1,
+        RuntimeError::Aborted { .. } => 0,
+    }
+}
 
 /// Sharded message-passing executor with [`SyncExecutor`]-identical
 /// synchronous-round semantics.
@@ -58,6 +175,7 @@ where
     proto: &'a P,
     partition: Partition,
     channel_cap: usize,
+    schedule: Schedule,
 }
 
 /// Everything a worker thread needs to run its shard.
@@ -68,7 +186,8 @@ struct ShardPlan {
     /// round, in deterministic (shard, node) order.
     sends: Vec<(usize, Vec<Node>)>,
     /// Batch messages this shard receives per round (= number of shards
-    /// with an edge into it; static for a fixed partition).
+    /// with an edge into it; static for a fixed partition, under either
+    /// schedule — delta rounds send empty batches rather than none).
     expected_in: usize,
 }
 
@@ -76,7 +195,9 @@ struct ShardPlan {
 struct RoundJournal<S> {
     moves: Vec<(Node, usize, S)>,
     moves_per_rule: Vec<u64>,
+    evaluated: usize,
     frames: u64,
+    suppressed: u64,
     bytes: u64,
     max_depth: u64,
     duration_micros: u64,
@@ -97,7 +218,8 @@ where
     P::State: WireState,
 {
     /// New executor over `shards` worker shards (coarsening-based
-    /// partition, default channel capacity).
+    /// partition, default channel capacity, [`Schedule::Active`] delta
+    /// beacons).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
@@ -107,6 +229,7 @@ where
             proto,
             partition: Partition::coarsened(graph, shards),
             channel_cap: DEFAULT_CHANNEL_CAP,
+            schedule: Schedule::default(),
         }
     }
 
@@ -117,6 +240,14 @@ where
     pub fn with_channel_cap(mut self, cap: usize) -> Self {
         assert!(cap > 0, "channel capacity must be positive");
         self.channel_cap = cap;
+        self
+    }
+
+    /// Choose between full per-round re-evaluation/re-broadcast and the
+    /// active schedule (dirty-node evaluation + delta beacons). Results are
+    /// identical; only evaluations and wire traffic differ.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -186,7 +317,11 @@ where
     }
 
     /// Execute from `init` for at most `max_rounds` rounds.
-    pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+    pub fn run(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+    ) -> Result<Run<P::State>, RuntimeError> {
         self.run_observed(init, max_rounds, &mut ())
     }
 
@@ -204,7 +339,12 @@ where
         init: InitialState<P::State>,
         max_rounds: usize,
         obs: &mut O,
-    ) -> Run<P::State> {
+    ) -> Result<Run<P::State>, RuntimeError> {
+        // Beacon round tags are u32; rounds never exceed max_rounds, so
+        // checking the limit once makes every later cast exact.
+        if u32::try_from(max_rounds).is_err() {
+            return Err(RuntimeError::MaxRoundsOverflow { max_rounds });
+        }
         let initial = init.materialize(self.graph, self.proto);
         let k = self.partition.k();
         let plans = self.plans();
@@ -219,14 +359,15 @@ where
             receivers.push(rx);
         }
 
-        let barrier = Barrier::new(k);
+        let barrier = PoisonBarrier::new(k);
         // Parity-indexed global move accumulators: round r adds to slot
         // r % 2; the slot is re-zeroed (by the second barrier's leader)
         // only after every worker has read it.
         let accum = [AtomicU64::new(0), AtomicU64::new(0)];
         let journal_enabled = O::ENABLED;
+        let schedule = self.schedule;
 
-        let mut outs: Vec<WorkerOut<P::State>> = std::thread::scope(|scope| {
+        let results: Vec<Result<WorkerOut<P::State>, RuntimeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = plans
                 .into_iter()
                 .zip(receivers)
@@ -248,6 +389,7 @@ where
                                 barrier,
                                 accum,
                                 max_rounds,
+                                schedule,
                                 journal_enabled,
                             },
                             states,
@@ -261,9 +403,31 @@ where
             drop(senders);
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .enumerate()
+                .map(|(shard, h)| match h.join() {
+                    Ok(result) => result,
+                    // The drop guard already poisoned the barrier.
+                    Err(_) => Err(RuntimeError::WorkerPanic { shard }),
+                })
                 .collect()
         });
+
+        let mut outs: Vec<WorkerOut<P::State>> = Vec::with_capacity(k);
+        let mut error: Option<RuntimeError> = None;
+        for result in results {
+            match result {
+                Ok(out) => outs.push(out),
+                Err(e) => {
+                    error = Some(match error.take() {
+                        Some(prev) if error_rank(&prev) >= error_rank(&e) => prev,
+                        _ => e,
+                    })
+                }
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
         outs.sort_by_key(|o| o.shard);
 
         // All workers take identical termination decisions.
@@ -288,13 +452,13 @@ where
             replay_journals(obs, &initial, &final_states, &outcome, rounds, &outs);
         }
 
-        Run {
+        Ok(Run {
             final_states,
             rounds,
             moves_per_rule,
             outcome,
             trace: None,
-        }
+        })
     }
 }
 
@@ -306,15 +470,49 @@ struct ShardCtx<'scope, P: Protocol> {
     plan: ShardPlan,
     senders: Vec<Sender<Vec<u8>>>,
     mailbox: Receiver<Vec<u8>>,
-    barrier: &'scope Barrier,
+    barrier: &'scope PoisonBarrier,
     accum: &'scope [AtomicU64; 2],
     max_rounds: usize,
+    schedule: Schedule,
     journal_enabled: bool,
+}
+
+/// Poisons the barrier if the worker unwinds, so peers parked on it fail
+/// over to [`RuntimeError::Aborted`] instead of hanging.
+struct PanicGuard<'a>(&'a PoisonBarrier);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// The worker entry point: run the loop, and on *any* failure poison the
+/// barrier before returning so no peer is left parked.
+fn run_shard<P: Protocol>(
+    ctx: ShardCtx<'_, P>,
+    states: Vec<P::State>,
+) -> Result<WorkerOut<P::State>, RuntimeError>
+where
+    P::State: WireState,
+{
+    let guard = PanicGuard(ctx.barrier);
+    let result = shard_loop(ctx, states);
+    if let Err(e) = &result {
+        guard.0.poison();
+        debug_assert!(!matches!(e, RuntimeError::WorkerPanic { .. }));
+    }
+    result
 }
 
 /// The worker loop: evaluate → agree on the global move count → decide →
 /// apply → exchange.
-fn run_shard<P: Protocol>(ctx: ShardCtx<'_, P>, mut states: Vec<P::State>) -> WorkerOut<P::State>
+fn shard_loop<P: Protocol>(
+    ctx: ShardCtx<'_, P>,
+    mut states: Vec<P::State>,
+) -> Result<WorkerOut<P::State>, RuntimeError>
 where
     P::State: WireState,
 {
@@ -328,28 +526,60 @@ where
         barrier,
         accum,
         max_rounds,
+        schedule,
         journal_enabled,
     } = ctx;
+    let n = states.len();
+    let mut owned_mask = vec![false; n];
+    for &v in &plan.owned {
+        owned_mask[v.index()] = true;
+    }
+    // Active-mode worklists (ping-pong pair), plus a per-round moved mask
+    // driving delta-beacon suppression. The sets span all n nodes: marking
+    // a ghost is how a received beacon dirties its owned neighbors, and
+    // evaluation filters through `owned_mask`.
+    let mut active = (schedule == Schedule::Active)
+        .then(|| (ActiveSet::full(n), ActiveSet::empty(n), vec![false; n]));
+    let mut moved_list: Vec<Node> = Vec::new();
+
     let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
     let mut journal = Vec::new();
     let mut round = 0usize;
+    let abort = |shard| RuntimeError::Aborted { shard };
     let outcome = loop {
         let timer = journal_enabled.then(std::time::Instant::now);
 
-        let moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = plan
-            .owned
-            .iter()
-            .filter_map(|&v| {
-                let view = View::new(v, graph.neighbors(v), &states);
-                proto.step(view).map(|m| (v, m))
-            })
-            .collect();
+        let mut evaluated = 0usize;
+        let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
+        match active.as_ref() {
+            Some((cur, _, _)) => {
+                for &v in cur.nodes() {
+                    if !owned_mask[v.index()] {
+                        continue;
+                    }
+                    evaluated += 1;
+                    let view = View::new(v, graph.neighbors(v), &states);
+                    if let Some(m) = proto.step(view) {
+                        moves.push((v, m));
+                    }
+                }
+            }
+            None => {
+                evaluated = plan.owned.len();
+                for &v in &plan.owned {
+                    let view = View::new(v, graph.neighbors(v), &states);
+                    if let Some(m) = proto.step(view) {
+                        moves.push((v, m));
+                    }
+                }
+            }
+        }
 
         let slot = &accum[round % 2];
         slot.fetch_add(moves.len() as u64, Ordering::SeqCst);
-        barrier.wait();
+        barrier.wait().map_err(|_| abort(shard))?;
         let total = slot.load(Ordering::SeqCst);
-        if barrier.wait().is_leader() {
+        if barrier.wait().map_err(|_| abort(shard))? {
             // Safe: every worker has read `slot`, and its next write is two
             // rounds away, behind the next barrier.
             slot.store(0, Ordering::SeqCst);
@@ -374,16 +604,47 @@ where
                 jm.push((v, m.rule, m.next.clone()));
             }
             states[v.index()] = m.next;
+            if let Some((_, next, moved)) = active.as_mut() {
+                next.insert_closed(graph, v);
+                moved[v.index()] = true;
+                moved_list.push(v);
+            }
         }
         round += 1;
 
-        let xch = exchange::<P>(round, &plan, &senders, &mailbox, &mut states);
+        let (moved_mask, next_active) = match active.as_mut() {
+            Some((_, next, moved)) => (Some(&moved[..]), Some(next)),
+            None => (None, None),
+        };
+        let xch = exchange::<P>(
+            shard,
+            graph,
+            round,
+            &plan,
+            &senders,
+            &mailbox,
+            barrier,
+            &mut states,
+            moved_mask,
+            next_active,
+        )?;
+
+        if let Some((cur, next, moved)) = active.as_mut() {
+            next.seal();
+            cur.clear();
+            std::mem::swap(cur, next);
+            for v in moved_list.drain(..) {
+                moved[v.index()] = false;
+            }
+        }
 
         if journal_enabled {
             journal.push(RoundJournal {
                 moves: journal_moves.unwrap_or_default(),
                 moves_per_rule: round_moves.unwrap_or_default(),
+                evaluated,
                 frames: xch.frames,
+                suppressed: xch.suppressed,
                 bytes: xch.bytes,
                 max_depth: xch.max_depth,
                 duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
@@ -391,7 +652,7 @@ where
         }
     };
 
-    WorkerOut {
+    Ok(WorkerOut {
         shard,
         owned_final: plan
             .owned
@@ -402,36 +663,51 @@ where
         rounds: round,
         outcome,
         journal,
-    }
+    })
 }
 
 struct ExchangeStats {
     frames: u64,
+    suppressed: u64,
     bytes: u64,
     max_depth: u64,
 }
 
 /// Pump the post-round boundary states out and the neighbors' in. Never
 /// blocks on a full peer channel: a stalled send always falls through to
-/// draining our own mailbox, which is what un-stalls the peer.
+/// draining our own mailbox, which is what un-stalls the peer. When
+/// `moved` is given (active schedule), unmoved boundary nodes are
+/// suppressed from the batch — an empty batch still travels, so
+/// `expected_in` stays static — and every received beacon dirties its
+/// closed neighborhood in `next_active`.
+#[allow(clippy::too_many_arguments)]
 fn exchange<P: Protocol>(
+    shard: usize,
+    graph: &Graph,
     round: usize,
     plan: &ShardPlan,
     senders: &[Sender<Vec<u8>>],
     mailbox: &Receiver<Vec<u8>>,
+    barrier: &PoisonBarrier,
     states: &mut [P::State],
-) -> ExchangeStats
+    moved: Option<&[bool]>,
+    mut next_active: Option<&mut ActiveSet>,
+) -> Result<ExchangeStats, RuntimeError>
 where
     P::State: WireState,
 {
     let mut stats = ExchangeStats {
         frames: 0,
+        suppressed: 0,
         bytes: 0,
         max_depth: 0,
     };
+    // Exact: run_observed rejects max_rounds beyond u32 up front.
+    let round_tag = round as u32;
     let mut next = 0usize;
     let mut pending: Option<(usize, u64, Vec<u8>)> = None;
     let mut received = 0usize;
+    let mut idle_spins = 0u32;
     while pending.is_some() || next < plan.sends.len() || received < plan.expected_in {
         let mut progress = false;
 
@@ -440,15 +716,24 @@ where
             let (t, nodes) = &plan.sends[next];
             next += 1;
             let mut batch = Vec::with_capacity(nodes.len() * (crate::wire::HEADER_LEN + 8));
+            let mut frames = 0u64;
             for &v in nodes {
+                if let Some(moved) = moved {
+                    if !moved[v.index()] {
+                        stats.suppressed += 1;
+                        continue;
+                    }
+                }
                 Beacon {
-                    round: round as u32,
+                    round: round_tag,
                     node: v,
                     state: states[v.index()].clone(),
                 }
-                .encode_into(&mut batch);
+                .encode_into(&mut batch)
+                .map_err(|error| RuntimeError::Wire { shard, error })?;
+                frames += 1;
             }
-            pending = Some((*t, nodes.len() as u64, batch));
+            pending = Some((*t, frames, batch));
         }
         if let Some((t, frames, bytes)) = pending.take() {
             let len = bytes.len() as u64;
@@ -460,9 +745,9 @@ where
                     progress = true;
                 }
                 Err(TrySendError::Full(bytes)) => pending = Some((t, frames, bytes)),
-                Err(TrySendError::Disconnected(_)) => {
-                    unreachable!("peer mailboxes outlive the exchange")
-                }
+                // A peer tearing down dropped its mailbox; fold into the
+                // abort path (the peer's own error outranks ours).
+                Err(TrySendError::Disconnected(_)) => return Err(RuntimeError::Aborted { shard }),
             }
         }
 
@@ -470,24 +755,44 @@ where
             let mut rest = &bytes[..];
             while !rest.is_empty() {
                 let (beacon, used) = Beacon::<P::State>::decode_prefix(rest)
-                    .expect("malformed beacon frame on shard channel");
-                assert_eq!(
-                    beacon.round as usize, round,
-                    "beacon from a different round in flight"
-                );
+                    .map_err(|error| RuntimeError::Wire { shard, error })?;
+                if beacon.round != round_tag {
+                    return Err(RuntimeError::RoundTag {
+                        shard,
+                        got: beacon.round,
+                        expected: round_tag,
+                    });
+                }
                 states[beacon.node.index()] = beacon.state;
+                if let Some(next_active) = next_active.as_deref_mut() {
+                    // Receipt == the sender moved this round: its closed
+                    // neighborhood (our side of it) is dirty for the next.
+                    next_active.insert_closed(graph, beacon.node);
+                }
                 rest = &rest[used..];
             }
             received += 1;
             progress = true;
         }
 
-        if !progress {
-            std::thread::yield_now();
+        if progress {
+            idle_spins = 0;
+        } else {
+            if barrier.is_poisoned() {
+                return Err(RuntimeError::Aborted { shard });
+            }
+            idle_spins += 1;
+            if idle_spins <= SPIN_LIMIT {
+                std::thread::yield_now();
+            } else {
+                // Park on the mailbox condvar; the bound keeps pending
+                // sends retried and the poison flag observed.
+                mailbox.wait_nonempty(IDLE_PARK);
+            }
         }
     }
     debug_assert_eq!(received, plan.expected_in);
-    stats
+    Ok(stats)
 }
 
 /// Re-fire the observer hooks on the coordinator from the workers'
@@ -519,6 +824,7 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             obs.on_move(v, rule, &states[v.index()]);
         }
         let mut moves_per_rule = vec![0u64; n_rules];
+        let mut evaluated = 0usize;
         let mut runtime = RuntimeCounters {
             shard_moves: vec![0; outs.len()],
             ..RuntimeCounters::default()
@@ -529,8 +835,10 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             for (acc, &m) in moves_per_rule.iter_mut().zip(&j.moves_per_rule) {
                 *acc += m;
             }
+            evaluated += j.evaluated;
             runtime.shard_moves[out.shard] = j.moves_per_rule.iter().sum();
             runtime.frames += j.frames;
+            runtime.frames_suppressed += j.suppressed;
             runtime.bytes_on_wire += j.bytes;
             runtime.max_channel_depth = runtime.max_channel_depth.max(j.max_depth);
             duration = duration.max(j.duration_micros);
@@ -539,6 +847,7 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             &RoundStats {
                 round: r + 1,
                 privileged,
+                evaluated,
                 moves_per_rule,
                 duration_micros: duration,
                 beacon: None,
@@ -552,7 +861,9 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
 }
 
 /// Convenience: assert a runtime run matches the serial executor on the
-/// same inputs (used by tests and the CI smoke target).
+/// same inputs (used by tests and the CI smoke target). The serial run is
+/// done under both schedules and the runtime under its default (active)
+/// schedule, so a pass pins all three to the same execution.
 pub fn assert_matches_sync<P: Protocol>(
     graph: &Graph,
     proto: &P,
@@ -562,8 +873,21 @@ pub fn assert_matches_sync<P: Protocol>(
 ) where
     P::State: WireState,
 {
-    let serial = SyncExecutor::new(graph, proto).run(init.clone(), max_rounds);
-    let sharded = RuntimeExecutor::new(graph, proto, shards).run(init, max_rounds);
+    let serial = SyncExecutor::new(graph, proto)
+        .with_schedule(Schedule::Full)
+        .run(init.clone(), max_rounds);
+    let serial_active = SyncExecutor::new(graph, proto)
+        .with_schedule(Schedule::Active)
+        .run(init.clone(), max_rounds);
+    assert_eq!(serial.outcome, serial_active.outcome, "outcome (schedule)");
+    assert_eq!(serial.rounds, serial_active.rounds, "rounds (schedule)");
+    assert_eq!(
+        serial.final_states, serial_active.final_states,
+        "final states (schedule)"
+    );
+    let sharded = RuntimeExecutor::new(graph, proto, shards)
+        .run(init, max_rounds)
+        .expect("runtime run failed");
     assert_eq!(serial.outcome, sharded.outcome, "outcome (shards={shards})");
     assert_eq!(serial.rounds, sharded.rounds, "rounds (shards={shards})");
     assert_eq!(
@@ -605,13 +929,85 @@ mod tests {
     }
 
     #[test]
+    fn full_schedule_matches_active_schedule() {
+        let g = generators::grid(6, 6);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        for seed in 0..3 {
+            let init = InitialState::Random { seed };
+            let full = RuntimeExecutor::new(&g, &smm, 4)
+                .with_schedule(Schedule::Full)
+                .run(init.clone(), g.n() + 1)
+                .unwrap();
+            let active = RuntimeExecutor::new(&g, &smm, 4)
+                .with_schedule(Schedule::Active)
+                .run(init, g.n() + 1)
+                .unwrap();
+            assert_eq!(full.final_states, active.final_states);
+            assert_eq!(full.rounds, active.rounds);
+            assert_eq!(full.moves_per_rule, active.moves_per_rule);
+        }
+    }
+
+    #[test]
+    fn active_schedule_suppresses_beacons_and_matches_serial_evaluated() {
+        let g = generators::grid(8, 8);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let init = InitialState::Random { seed: 9 };
+
+        let mut serial_m = MetricsCollector::new();
+        SyncExecutor::new(&g, &smm).run_observed(init.clone(), g.n() + 1, &mut serial_m);
+
+        let mut full_m = MetricsCollector::new();
+        RuntimeExecutor::new(&g, &smm, 4)
+            .with_schedule(Schedule::Full)
+            .run_observed(init.clone(), g.n() + 1, &mut full_m)
+            .unwrap();
+        let mut active_m = MetricsCollector::new();
+        RuntimeExecutor::new(&g, &smm, 4)
+            .with_schedule(Schedule::Active)
+            .run_observed(init, g.n() + 1, &mut active_m)
+            .unwrap();
+
+        assert_eq!(serial_m.rounds().len(), active_m.rounds().len());
+        for ((s, f), a) in serial_m
+            .rounds()
+            .iter()
+            .zip(full_m.rounds())
+            .zip(active_m.rounds())
+        {
+            // The sharded active worklists partition the serial one.
+            assert_eq!(a.evaluated, s.evaluated, "round {}", s.round);
+            assert_eq!(f.evaluated, g.n(), "full schedule sweeps all nodes");
+            let frt = f.runtime.as_ref().unwrap();
+            let art = a.runtime.as_ref().unwrap();
+            assert_eq!(frt.frames_suppressed, 0);
+            assert_eq!(
+                art.frames + art.frames_suppressed,
+                frt.frames,
+                "every boundary beacon is either sent or suppressed"
+            );
+            assert!(art.bytes_on_wire <= frt.bytes_on_wire);
+        }
+        // Convergence tail: some rounds must actually suppress traffic.
+        assert!(
+            active_m
+                .rounds()
+                .iter()
+                .any(|r| r.runtime.as_ref().unwrap().frames_suppressed > 0),
+            "active schedule never suppressed a beacon"
+        );
+    }
+
+    #[test]
     fn fixpoint_start_is_zero_rounds() {
         let g = generators::path(8);
         let smi = Smi::new(Ids::identity(g.n()));
         // All-true on a path is not independent; all nodes in with no
         // neighbors out — use a stabilized state instead.
         let stable = SyncExecutor::new(&g, &smi).run_random(1, 100).final_states;
-        let run = RuntimeExecutor::new(&g, &smi, 4).run(InitialState::Explicit(stable), 100);
+        let run = RuntimeExecutor::new(&g, &smi, 4)
+            .run(InitialState::Explicit(stable), 100)
+            .unwrap();
         assert!(run.stabilized());
         assert_eq!(run.rounds, 0);
         assert_eq!(run.total_moves(), 0);
@@ -634,6 +1030,28 @@ mod tests {
     }
 
     #[test]
+    fn max_rounds_beyond_round_tag_range_is_rejected() {
+        if usize::BITS <= 32 {
+            return; // the overflow cannot be expressed on this target
+        }
+        let g = generators::path(4);
+        let smi = Smi::new(Ids::identity(g.n()));
+        let err = RuntimeExecutor::new(&g, &smi, 2)
+            .run(InitialState::Default, (u32::MAX as usize) + 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::MaxRoundsOverflow {
+                max_rounds: (u32::MAX as usize) + 1
+            }
+        );
+        // The boundary itself is fine.
+        assert!(RuntimeExecutor::new(&g, &smi, 2)
+            .run(InitialState::Random { seed: 1 }, u32::MAX as usize)
+            .is_ok());
+    }
+
+    #[test]
     fn tiny_channel_capacity_still_completes() {
         // Capacity 1 forces maximal backpressure; the pump must still
         // deliver every frame without deadlock.
@@ -641,7 +1059,8 @@ mod tests {
         let smm = Smm::paper(Ids::identity(g.n()));
         let run_small = RuntimeExecutor::new(&g, &smm, 4)
             .with_channel_cap(1)
-            .run(InitialState::Random { seed: 5 }, g.n() + 1);
+            .run(InitialState::Random { seed: 5 }, g.n() + 1)
+            .unwrap();
         let serial = SyncExecutor::new(&g, &smm).run(InitialState::Random { seed: 5 }, g.n() + 1);
         assert_eq!(run_small.final_states, serial.final_states);
         assert_eq!(run_small.rounds, serial.rounds);
@@ -657,14 +1076,16 @@ mod tests {
         let serial =
             SyncExecutor::new(&g, &smm).run_observed(init.clone(), g.n() + 1, &mut serial_m);
         let mut sharded_m = MetricsCollector::new();
-        let sharded =
-            RuntimeExecutor::new(&g, &smm, 4).run_observed(init, g.n() + 1, &mut sharded_m);
+        let sharded = RuntimeExecutor::new(&g, &smm, 4)
+            .run_observed(init, g.n() + 1, &mut sharded_m)
+            .unwrap();
 
         assert_eq!(serial.final_states, sharded.final_states);
         assert_eq!(serial_m.rounds().len(), sharded_m.rounds().len());
         for (a, b) in serial_m.rounds().iter().zip(sharded_m.rounds()) {
             assert_eq!(a.round, b.round);
             assert_eq!(a.privileged, b.privileged);
+            assert_eq!(a.evaluated, b.evaluated);
             assert_eq!(a.moves_per_rule, b.moves_per_rule);
             let rt = b.runtime.as_ref().expect("runtime counters present");
             assert_eq!(
@@ -673,11 +1094,6 @@ mod tests {
                 "shard moves partition the round's moves"
             );
         }
-        // Frames flowed (4 shards on a connected grid must have cut edges).
-        assert!(sharded_m
-            .rounds()
-            .iter()
-            .all(|r| r.runtime.as_ref().unwrap().frames > 0));
         assert_eq!(serial_m.outcome(), sharded_m.outcome());
     }
 

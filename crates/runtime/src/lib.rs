@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod channel;
 pub mod executor;
 pub mod wire;
 
-pub use executor::{assert_matches_sync, RuntimeExecutor, DEFAULT_CHANNEL_CAP};
+pub use barrier::{PoisonBarrier, Poisoned};
+pub use executor::{assert_matches_sync, RuntimeError, RuntimeExecutor, DEFAULT_CHANNEL_CAP};
 pub use wire::{Beacon, HEADER_LEN, WIRE_VERSION};

@@ -42,17 +42,23 @@ pub struct Beacon<S> {
 }
 
 impl<S: WireState> Beacon<S> {
-    /// Encode the frame into a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode the frame into a fresh buffer. Errors (leaving nothing
+    /// observable) if the state encoding overflows the u16 payload field.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut buf = Vec::with_capacity(HEADER_LEN + 8);
-        self.encode_into(&mut buf);
-        buf
+        self.encode_into(&mut buf)?;
+        Ok(buf)
     }
 
     /// Append the frame to `buf` — frames concatenate into batch messages
     /// (one per neighbor shard per round) and split back out with
     /// [`Beacon::decode_prefix`].
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+    ///
+    /// A state encoding longer than the u16 payload field can express is
+    /// reported as [`WireError::PayloadTooLarge`]; `buf` is rolled back to
+    /// its prior length, so a batch under construction stays valid.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), WireError> {
+        let start = buf.len();
         buf.push(WIRE_VERSION);
         buf.extend_from_slice(&self.round.to_le_bytes());
         buf.extend_from_slice(&self.node.0.to_le_bytes());
@@ -60,10 +66,12 @@ impl<S: WireState> Beacon<S> {
         buf.extend_from_slice(&0u16.to_le_bytes());
         self.state.encode(buf);
         let payload = buf.len() - len_at - 2;
-        let payload: u16 = payload
-            .try_into()
-            .expect("state encoding exceeds u16 frame payload");
+        let Ok(payload) = u16::try_from(payload) else {
+            buf.truncate(start);
+            return Err(WireError::PayloadTooLarge(payload));
+        };
         buf[len_at..len_at + 2].copy_from_slice(&payload.to_le_bytes());
+        Ok(())
     }
 
     /// Decode a frame that must span `bytes` exactly.
@@ -121,7 +129,7 @@ mod tests {
             },
         ];
         for f in frames {
-            let bytes = f.encode();
+            let bytes = f.encode().unwrap();
             assert_eq!(Beacon::<Pointer>::decode(&bytes), Ok(f));
         }
         // And for the other protocol state types the runtime carries.
@@ -130,13 +138,16 @@ mod tests {
             node: Node(9),
             state: true,
         };
-        assert_eq!(Beacon::<bool>::decode(&smi.encode()), Ok(smi));
+        assert_eq!(Beacon::<bool>::decode(&smi.encode().unwrap()), Ok(smi));
         let coloring = Beacon {
             round: 1,
             node: Node(2),
             state: 0xDEAD_BEEFu32,
         };
-        assert_eq!(Beacon::<u32>::decode(&coloring.encode()), Ok(coloring));
+        assert_eq!(
+            Beacon::<u32>::decode(&coloring.encode().unwrap()),
+            Ok(coloring)
+        );
     }
 
     #[test]
@@ -160,7 +171,7 @@ mod tests {
         ];
         let mut batch = Vec::new();
         for f in &frames {
-            f.encode_into(&mut batch);
+            f.encode_into(&mut batch).unwrap();
         }
         let mut rest = &batch[..];
         let mut decoded = Vec::new();
@@ -184,7 +195,7 @@ mod tests {
             node: Node(0x0A0B_0C0D),
             state: Pointer(Some(Node(5))),
         };
-        let bytes = f.encode();
+        let bytes = f.encode().unwrap();
         assert_eq!(
             bytes,
             vec![
@@ -215,7 +226,8 @@ mod tests {
             node: Node(1),
             state: Pointer(Some(Node(4))),
         }
-        .encode();
+        .encode()
+        .unwrap();
 
         // Wrong version byte.
         let mut bad = good.clone();
@@ -258,5 +270,40 @@ mod tests {
             Beacon::<Pointer>::decode(&badtag),
             Err(WireError::BadTag(7))
         );
+    }
+
+    /// A state whose encoding is wider than the u16 payload field.
+    struct Oversized;
+    impl WireState for Oversized {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.resize(buf.len() + 70_000, 0xAB);
+        }
+        fn decode_prefix(_: &[u8]) -> Result<(Self, usize), WireError> {
+            Err(WireError::Truncated)
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_an_error_not_a_panic() {
+        let frame = Beacon {
+            round: 1,
+            node: Node(0),
+            state: Oversized,
+        };
+        assert_eq!(frame.encode(), Err(WireError::PayloadTooLarge(70_000)));
+        // A batch under construction is rolled back, not corrupted.
+        let mut batch = Beacon {
+            round: 1,
+            node: Node(1),
+            state: 5u32,
+        }
+        .encode()
+        .unwrap();
+        let before = batch.clone();
+        assert_eq!(
+            frame.encode_into(&mut batch),
+            Err(WireError::PayloadTooLarge(70_000))
+        );
+        assert_eq!(batch, before, "failed append leaves the batch intact");
     }
 }

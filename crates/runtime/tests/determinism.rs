@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_core::smi::Smi;
 use selfstab_core::smm::Smm;
+use selfstab_engine::active::Schedule;
 use selfstab_engine::obs::{Observer, RoundStats};
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
 use selfstab_engine::sync::SyncExecutor;
@@ -42,11 +43,30 @@ where
     let init = InitialState::Random { seed };
 
     let mut serial_trace = StateTrace::new();
-    let serial =
-        SyncExecutor::new(g, proto).run_observed(init.clone(), max_rounds, &mut serial_trace);
+    let serial = SyncExecutor::new(g, proto)
+        .with_schedule(Schedule::Full)
+        .run_observed(init.clone(), max_rounds, &mut serial_trace);
+    // The serial active schedule must be indistinguishable from the full
+    // sweep before the sharded runtime (active by default) is compared.
+    let active = SyncExecutor::new(g, proto)
+        .with_schedule(Schedule::Active)
+        .run(init.clone(), max_rounds);
+    prop_assert_eq!(serial.rounds, active.rounds, "active schedule rounds");
+    prop_assert_eq!(&serial.outcome, &active.outcome, "active schedule outcome");
+    prop_assert_eq!(
+        &serial.moves_per_rule,
+        &active.moves_per_rule,
+        "active schedule moves per rule"
+    );
+    prop_assert_eq!(
+        &serial.final_states,
+        &active.final_states,
+        "active schedule final states"
+    );
     let mut sharded_trace = StateTrace::new();
-    let sharded =
-        RuntimeExecutor::new(g, proto, shards).run_observed(init, max_rounds, &mut sharded_trace);
+    let sharded = RuntimeExecutor::new(g, proto, shards)
+        .run_observed(init, max_rounds, &mut sharded_trace)
+        .expect("sharded run failed");
 
     prop_assert_eq!(
         serial.rounds,

@@ -1,0 +1,188 @@
+//! Failure-path coverage for the sharded runtime: a malformed beacon, an
+//! oversized state encoding, or a panicking worker must surface as a typed
+//! [`RuntimeError`] from `run` — with every worker joined — rather than
+//! aborting the process or hanging peers on the round barrier.
+
+use rand::rngs::StdRng;
+use selfstab_engine::protocol::{InitialState, Move, Protocol, View, WireError, WireState};
+use selfstab_engine::sync::Outcome;
+use selfstab_graph::{generators, Node};
+use selfstab_runtime::{RuntimeError, RuntimeExecutor};
+
+/// Flip-once dynamics shared by the adversarial states below: a `false`
+/// node moves to `true`, a `true` node is silent. Guarantees exactly one
+/// round of moves (and hence boundary beacons) from the default start.
+fn flip_step<S: FlipState>(view: View<'_, S>) -> Option<Move<S>> {
+    (!view.own().get()).then(|| Move {
+        rule: 0,
+        next: S::new(true),
+    })
+}
+
+trait FlipState: Clone + PartialEq + Eq + std::hash::Hash + std::fmt::Debug + Send + Sync {
+    fn new(v: bool) -> Self;
+    fn get(&self) -> bool;
+}
+
+macro_rules! flip_protocol {
+    ($proto:ident, $state:ty) => {
+        struct $proto;
+        impl Protocol for $proto {
+            type State = $state;
+            fn rule_names(&self) -> &'static [&'static str] {
+                &["flip"]
+            }
+            fn default_state(&self) -> Self::State {
+                FlipState::new(false)
+            }
+            fn arbitrary_state(&self, _: Node, _: &[Node], _: &mut StdRng) -> Self::State {
+                FlipState::new(false)
+            }
+            fn enumerate_states(&self, _: Node, _: &[Node]) -> Vec<Self::State> {
+                vec![FlipState::new(false), FlipState::new(true)]
+            }
+            fn step(&self, view: View<'_, Self::State>) -> Option<Move<Self::State>> {
+                flip_step(view)
+            }
+        }
+    };
+}
+
+/// A state whose encoding is a byte its own decoder rejects: every frame
+/// that crosses a shard boundary is malformed on arrival.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct EvilState(bool);
+
+impl FlipState for EvilState {
+    fn new(v: bool) -> Self {
+        EvilState(v)
+    }
+    fn get(&self) -> bool {
+        self.0
+    }
+}
+
+impl WireState for EvilState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(0x07); // deliberately not a tag `decode_prefix` accepts
+    }
+    fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), WireError> {
+        match bytes.first() {
+            None => Err(WireError::Truncated),
+            Some(0) => Ok((EvilState(false), 1)),
+            Some(1) => Ok((EvilState(true), 1)),
+            Some(&t) => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+flip_protocol!(EvilProto, EvilState);
+
+/// A state whose encoding overflows the u16 payload-length field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct HugeState(bool);
+
+impl FlipState for HugeState {
+    fn new(v: bool) -> Self {
+        HugeState(v)
+    }
+    fn get(&self) -> bool {
+        self.0
+    }
+}
+
+impl WireState for HugeState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.resize(buf.len() + 70_000, 0xAB);
+    }
+    fn decode_prefix(_: &[u8]) -> Result<(Self, usize), WireError> {
+        unreachable!("encode always fails first")
+    }
+}
+
+flip_protocol!(HugeProto, HugeState);
+
+#[test]
+fn malformed_beacon_is_a_wire_error_not_a_worker_panic() {
+    let g = generators::grid(4, 4);
+    let err = RuntimeExecutor::new(&g, &EvilProto, 4)
+        .run(InitialState::Default, 10)
+        .unwrap_err();
+    match &err {
+        RuntimeError::Wire { error, .. } => assert_eq!(*error, WireError::BadTag(0x07)),
+        other => panic!("expected a wire error, got {other:?}"),
+    }
+    assert!(err.to_string().contains("undefined tag byte"));
+}
+
+#[test]
+fn malformed_encoding_is_harmless_without_boundaries() {
+    // One shard sends no beacons, so the same protocol runs to completion:
+    // the failure above is the wire path, not the protocol.
+    let g = generators::grid(4, 4);
+    let run = RuntimeExecutor::new(&g, &EvilProto, 1)
+        .run(InitialState::Default, 10)
+        .expect("no boundary traffic, no wire error");
+    assert_eq!(run.outcome, Outcome::Stabilized);
+    assert_eq!(run.rounds, 1);
+    assert!(run.final_states.iter().all(|s| s.0));
+}
+
+#[test]
+fn oversized_state_encoding_is_a_payload_error() {
+    let g = generators::path(8);
+    let err = RuntimeExecutor::new(&g, &HugeProto, 2)
+        .run(InitialState::Default, 10)
+        .unwrap_err();
+    match err {
+        RuntimeError::Wire { error, .. } => {
+            assert_eq!(error, WireError::PayloadTooLarge(70_000))
+        }
+        other => panic!("expected a payload error, got {other:?}"),
+    }
+}
+
+/// Guards are pure functions in the model, but an implementation bug can
+/// still panic; the runtime must report it, not hang or abort.
+struct PanicProto;
+
+impl Protocol for PanicProto {
+    type State = bool;
+    fn rule_names(&self) -> &'static [&'static str] {
+        &["flip"]
+    }
+    fn default_state(&self) -> bool {
+        false
+    }
+    fn arbitrary_state(&self, _: Node, _: &[Node], _: &mut StdRng) -> bool {
+        false
+    }
+    fn enumerate_states(&self, _: Node, _: &[Node]) -> Vec<bool> {
+        vec![false, true]
+    }
+    fn step(&self, view: View<'_, bool>) -> Option<Move<bool>> {
+        if *view.own() && view.node() == Node(0) {
+            panic!("injected guard bug on node 0");
+        }
+        (!view.own()).then_some(Move {
+            rule: 0,
+            next: true,
+        })
+    }
+}
+
+#[test]
+fn panicking_worker_is_reported_and_peers_are_released() {
+    // Round 1 flips everyone; round 2 re-evaluates node 0 (it moved, so it
+    // stays on the active worklist) and hits the injected panic. The other
+    // three workers must shut down instead of deadlocking on the barrier.
+    // (The worker's panic message on stderr is expected test output.)
+    let g = generators::grid(4, 4);
+    let err = RuntimeExecutor::new(&g, &PanicProto, 4)
+        .run(InitialState::Default, 10)
+        .unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::WorkerPanic { .. }),
+        "expected WorkerPanic, got {err:?}"
+    );
+}

@@ -56,7 +56,9 @@ fn main() {
         let exec = RuntimeExecutor::new(&g, &smm, shards);
         let cut = exec.partition().cut_edges(&g).len();
         let mut wire = WireTotals::default();
-        let run = exec.run_observed(init.clone(), g.n() + 1, &mut wire);
+        let run = exec
+            .run_observed(init.clone(), g.n() + 1, &mut wire)
+            .expect("sharded run failed");
 
         // The barrier is the paper's round: identical result, any shard count.
         assert_eq!(run.rounds(), serial.rounds());

@@ -1,0 +1,204 @@
+//! Property: the active-set schedule is pure evaluation pruning.
+//!
+//! For any connected random graph, any arbitrary initial state, and any
+//! protocol (SMM, SMI, Hsu–Huang), the engine must produce the same
+//! execution — rounds, outcome, per-rule move counts, per-round states, and
+//! final states — under `Schedule::Full` and `Schedule::Active`, on the
+//! serial executor, the chunked-parallel executor, and the sharded mailbox
+//! runtime at every shard count. Soundness argument: the round-(r+1)
+//! worklist is `⋃ N[u]` over round-r movers, and a node privileged in round
+//! r+1 either moved in round r (it is in its own closed neighborhood) or
+//! had its view changed by a moving neighbor — so pruning never skips a
+//! privileged node (`selfstab::engine::active` module docs; the shrinking
+//! frontier is the paper's Lemmas 9–10).
+//!
+//! The serial full sweep additionally pins `evaluated`: full = n per round,
+//! active ≤ n, and the runtime's per-shard `owned ∩ active` worklists must
+//! partition the serial active set exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab::core::hsu_huang::HsuHuang;
+use selfstab::core::smm::Smm;
+use selfstab::core::Smi;
+use selfstab::engine::active::Schedule;
+use selfstab::engine::obs::{MetricsCollector, Observer, RoundStats};
+use selfstab::engine::par::ParSyncExecutor;
+use selfstab::engine::protocol::{InitialState, Protocol, WireState};
+use selfstab::engine::sync::{Run, SyncExecutor};
+use selfstab::graph::{generators, Graph, Ids};
+use selfstab::runtime::RuntimeExecutor;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-round states plus metrics, for exact cross-executor comparison.
+struct Trace<S> {
+    states: Vec<Vec<S>>,
+    evaluated: Vec<usize>,
+}
+
+impl<S> Trace<S> {
+    fn new() -> Self {
+        Trace {
+            states: Vec::new(),
+            evaluated: Vec::new(),
+        }
+    }
+}
+
+impl<S: Clone> Observer<S> for Trace<S> {
+    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
+        self.states.push(states.to_vec());
+        self.evaluated.push(stats.evaluated);
+    }
+}
+
+fn assert_same_run<S: Clone + PartialEq + std::fmt::Debug>(
+    label: &str,
+    a: &Run<S>,
+    b: &Run<S>,
+) -> TestCaseResult {
+    prop_assert_eq!(a.rounds, b.rounds, "rounds differ: {}", label);
+    prop_assert_eq!(&a.outcome, &b.outcome, "outcome differs: {}", label);
+    prop_assert_eq!(
+        &a.moves_per_rule,
+        &b.moves_per_rule,
+        "moves per rule differ: {}",
+        label
+    );
+    prop_assert_eq!(
+        &a.final_states,
+        &b.final_states,
+        "final states differ: {}",
+        label
+    );
+    Ok(())
+}
+
+/// The full cross-product for one protocol instance on one graph: serial
+/// full is the reference; serial active, parallel full/active, and the
+/// runtime under both schedules at every shard count must reproduce it.
+fn check<P: Protocol>(g: &Graph, proto: &P, seed: u64) -> TestCaseResult
+where
+    P::State: WireState,
+{
+    let max_rounds = 4 * g.n() + 8;
+    let init = InitialState::Random { seed };
+
+    let mut full_trace = Trace::new();
+    let reference = SyncExecutor::new(g, proto)
+        .with_schedule(Schedule::Full)
+        .run_observed(init.clone(), max_rounds, &mut full_trace);
+    let mut active_trace = Trace::new();
+    let active = SyncExecutor::new(g, proto)
+        .with_schedule(Schedule::Active)
+        .run_observed(init.clone(), max_rounds, &mut active_trace);
+    assert_same_run("serial active vs full", &reference, &active)?;
+    prop_assert_eq!(
+        &full_trace.states,
+        &active_trace.states,
+        "serial per-round states"
+    );
+    for (r, (&f, &a)) in full_trace
+        .evaluated
+        .iter()
+        .zip(&active_trace.evaluated)
+        .enumerate()
+    {
+        prop_assert_eq!(f, g.n(), "full sweep evaluates everyone (round {})", r + 1);
+        prop_assert!(a <= f, "active can only shrink work (round {})", r + 1);
+    }
+
+    for schedule in [Schedule::Full, Schedule::Active] {
+        let par = ParSyncExecutor::new(g, proto)
+            .with_schedule(schedule)
+            .run(init.clone(), max_rounds);
+        assert_same_run(&format!("parallel {schedule}"), &reference, &par)?;
+    }
+
+    for shards in SHARD_COUNTS {
+        for schedule in [Schedule::Full, Schedule::Active] {
+            let mut rt_trace = Trace::new();
+            let rt = RuntimeExecutor::new(g, proto, shards)
+                .with_schedule(schedule)
+                .run_observed(init.clone(), max_rounds, &mut rt_trace)
+                .expect("sharded run failed");
+            let label = format!("runtime {schedule} shards={shards}");
+            assert_same_run(&label, &reference, &rt)?;
+            prop_assert_eq!(&full_trace.states, &rt_trace.states, "states: {}", &label);
+            // The per-shard owned ∩ active worklists partition the serial
+            // active set: both mark v iff some u ∈ N[v] moved last round.
+            let serial = match schedule {
+                Schedule::Full => &full_trace.evaluated,
+                Schedule::Active => &active_trace.evaluated,
+            };
+            prop_assert_eq!(&rt_trace.evaluated, serial, "evaluated: {}", &label);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn smm_schedules_and_executors_agree(
+        n in 4usize..40,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        check(&g, &Smm::paper(Ids::identity(g.n())), state_seed)?;
+    }
+
+    #[test]
+    fn smi_schedules_and_executors_agree(
+        n in 4usize..40,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        check(&g, &Smi::new(Ids::identity(g.n())), state_seed)?;
+    }
+
+    #[test]
+    fn hsu_huang_schedules_and_executors_agree(
+        n in 4usize..32,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        // Hsu–Huang under the synchronous daemon may oscillate (it needs a
+        // central daemon to stabilize) — equivalence must hold for
+        // round-limited executions too, not just converging ones.
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        check(&g, &HsuHuang::classic(g.n()), state_seed)?;
+    }
+}
+
+/// Deterministic spot-check on structured topologies where the active set
+/// decays fast — and a direct look at the decay itself.
+#[test]
+fn active_set_decays_on_structured_topologies() {
+    for g in [
+        generators::path(64),
+        generators::star(64),
+        generators::grid(8, 8),
+    ] {
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let mut m = MetricsCollector::new();
+        let run = SyncExecutor::new(&g, &smm).run_observed(
+            InitialState::Random { seed: 7 },
+            g.n() + 2,
+            &mut m,
+        );
+        assert!(run.stabilized());
+        let evaluated: Vec<usize> = m.rounds().iter().map(|r| r.evaluated).collect();
+        assert_eq!(evaluated[0], g.n(), "round 1 sweeps everyone");
+        let tail_max = evaluated.iter().skip(2).max().copied().unwrap_or(0);
+        assert!(
+            tail_max < g.n(),
+            "after two rounds the worklist must have shrunk (got {evaluated:?})"
+        );
+    }
+}
