@@ -56,4 +56,27 @@ cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
     | grep -F "round limit hit" >/dev/null \
     || { echo "sharded C4/clockwise should not converge under --schedule active" >&2; exit 1; }
 
+echo "==> chaos smoke (lossy channels keep Theorem 1; value-preserving chaos keeps the C4 livelock)"
+# Min-ID SMM on C4 must still reach a legitimate matching with 20% of all
+# beacon frames dropped (senders re-broadcast until ghosts are confirmed).
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --shards 4 --chaos drop=0.2 \
+    --max-rounds 40 --format json \
+    | grep -F '"legitimate": true' >/dev/null \
+    || { echo "C4/min-id should converge legitimately under drop=0.2" >&2; exit 1; }
+# The clockwise-C4 oscillation survives *value-preserving* chaos: duplicated
+# frames never change any ghost, so the lockstep livelock persists. (Lossy
+# chaos would break the symmetry and let it escape — asserted in
+# crates/runtime/tests/chaos.rs.)
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --propose clockwise --shards 4 \
+    --chaos dup=0.3 --max-rounds 12 \
+    | grep -F "round limit hit" >/dev/null \
+    || { echo "C4/clockwise should still livelock under dup-only chaos" >&2; exit 1; }
+
+echo "==> harness --quick e20 (chaos resilience gate: every cell asserted legitimate)"
+cargo run --release -p selfstab-bench --bin harness -- --quick e20 \
+    | grep -F "E20 completed" >/dev/null \
+    || { echo "E20 quick sweep failed" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

@@ -26,29 +26,61 @@ pub struct RandomWaypoint {
     rng: StdRng,
 }
 
+/// Rejection-sampling budget for a connected deployment: for feasible
+/// `(n, radius, region)` combinations a connected draw appears within a
+/// handful of attempts, so exhausting this many means the density is
+/// (almost surely) below the connectivity threshold.
+const MAX_DEPLOY_ATTEMPTS: usize = 1024;
+
 impl RandomWaypoint {
     /// Deploy `n` hosts uniformly at random; resamples deployments until the
     /// initial unit-disk graph (radio range `radius`) is connected.
     ///
-    /// `speed` is distance per time unit.
+    /// `speed` is distance per time unit. Panics if no connected deployment
+    /// is found within the attempt budget — use [`RandomWaypoint::try_new`]
+    /// to handle infeasible densities gracefully.
     pub fn new(n: usize, region: Region, radius: f64, speed: f64, seed: u64) -> Self {
-        assert!(n >= 1);
+        Self::try_new(n, region, radius, speed, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible deployment: rejection-samples up to a fixed attempt budget
+    /// and reports failure instead of looping forever when the requested
+    /// radio range cannot plausibly yield a connected unit-disk graph.
+    pub fn try_new(
+        n: usize,
+        region: Region,
+        radius: f64,
+        speed: f64,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if n == 0 {
+            return Err("random waypoint mobility needs at least one host".into());
+        }
         let mut rng = StdRng::seed_from_u64(seed);
-        let positions = loop {
+        let mut positions = None;
+        for _ in 0..MAX_DEPLOY_ATTEMPTS {
             let pts: Vec<Point> = (0..n).map(|_| region.sample(&mut rng)).collect();
             if is_connected(&udg(&pts, radius)) {
-                break pts;
+                positions = Some(pts);
+                break;
             }
+        }
+        let Some(positions) = positions else {
+            return Err(format!(
+                "no connected deployment of {n} hosts at radius {radius} found in \
+                 {MAX_DEPLOY_ATTEMPTS} attempts — the density is below the connectivity \
+                 threshold; increase the radius or the host count"
+            ));
         };
         let waypoints = (0..n).map(|_| region.sample(&mut rng)).collect();
-        RandomWaypoint {
+        Ok(RandomWaypoint {
             region,
             radius,
             speed,
             positions,
             waypoints,
             rng,
-        }
+        })
     }
 
     /// Current host positions.
@@ -143,6 +175,18 @@ mod tests {
             rw.step(1.0);
         }
         assert_eq!(rw.graph().n(), 1);
+    }
+
+    #[test]
+    fn infeasible_density_is_an_error_not_a_hang() {
+        // A vanishing radius (vs the ~0.59 connectivity threshold for n=8)
+        // can essentially never connect the deployment: try_new must give
+        // up after its attempt budget instead of rejection-sampling forever.
+        let err = RandomWaypoint::try_new(8, Region::unit(), 1e-6, 0.1, 5).unwrap_err();
+        assert!(err.contains("no connected deployment"), "{err}");
+        assert!(RandomWaypoint::try_new(0, Region::unit(), 0.5, 0.1, 5).is_err());
+        // Feasible parameters still succeed through the fallible path.
+        assert!(RandomWaypoint::try_new(10, Region::unit(), 0.5, 0.1, 5).is_ok());
     }
 
     #[test]

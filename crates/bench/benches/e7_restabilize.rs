@@ -30,7 +30,8 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                let (_, recovery) = corrupt_and_recover(&g, &smm, k, seed, n + 1);
+                let (_, recovery) =
+                    corrupt_and_recover(&g, &smm, k, seed, n + 1).expect("must stabilize");
                 assert!(recovery.run.stabilized());
                 black_box(recovery.run.rounds())
             });

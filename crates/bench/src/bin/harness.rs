@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [--metrics] [e1 e2 … e19 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e20 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
@@ -15,7 +15,7 @@ use selfstab_bench::experiments::{
     e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample, e06_baseline,
     e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality, e13_coloring, e14_anonymous,
     e15_bfs_tree, e16_contention, e17_observability, e18_runtime_scaling, e19_active_schedule,
-    Report,
+    e20_chaos, Report,
 };
 use std::io::Write;
 
@@ -106,6 +106,15 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
             e18_runtime_scaling::run(if q { &[2_000] } else { &[10_000, 100_000] }, &[1, 2, 4, 8])
         }
         "e19" => e19_active_schedule::run(if q { 2_000 } else { 100_000 }, 4),
+        "e20" => e20_chaos::run(
+            if q { &[500] } else { &[10_000, 100_000] },
+            if q {
+                &[0.0, 0.2]
+            } else {
+                &[0.0, 0.1, 0.2, 0.3]
+            },
+            if q { &[0, 6] } else { &[0, 8] },
+        ),
         _ => return None,
     })
 }
@@ -128,6 +137,7 @@ fn main() {
         ids.push("e17".to_string());
         ids.push("e18".to_string());
         ids.push("e19".to_string());
+        ids.push("e20".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -152,7 +162,7 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e19 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e20 or all)");
                 std::process::exit(2);
             }
         }

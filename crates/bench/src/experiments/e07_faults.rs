@@ -42,13 +42,15 @@ fn sweep<P: Protocol + Clone>(
                 let max_rounds = 4 * inst.graph.n() + 16;
                 if churn {
                     let (_, _, initial, recovery) =
-                        churn_and_recover(&inst.graph, &proto, k, seed, max_rounds);
+                        churn_and_recover(&inst.graph, &proto, k, seed, max_rounds)
+                            .expect("initial run must stabilize");
                     rec_rounds.push(recovery.run.rounds());
                     perturbed.push(recovery.perturbed_nodes);
                     scratch.push(initial.rounds());
                 } else {
                     let (initial, recovery) =
-                        corrupt_and_recover(&inst.graph, &proto, k, seed, max_rounds);
+                        corrupt_and_recover(&inst.graph, &proto, k, seed, max_rounds)
+                            .expect("initial run must stabilize");
                     rec_rounds.push(recovery.run.rounds());
                     perturbed.push(recovery.perturbed_nodes);
                     scratch.push(initial.rounds());

@@ -18,6 +18,7 @@ pub mod e16_contention;
 pub mod e17_observability;
 pub mod e18_runtime_scaling;
 pub mod e19_active_schedule;
+pub mod e20_chaos;
 
 /// An experiment's rendered report section.
 pub struct Report {

@@ -8,13 +8,15 @@ use selfstab_core::coloring::Coloring;
 use selfstab_core::smm::{SelectPolicy, Smm};
 use selfstab_core::Smi;
 use selfstab_engine::active::Schedule;
+use selfstab_engine::chaos::{run_churned_serial_observed, ChurnSchedule};
 use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
 use selfstab_engine::obs::{ChromeTraceWriter, Gauge, MetricsCollector};
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
 use selfstab_engine::sync::{Outcome, SyncExecutor};
+use selfstab_graph::mutate::TopologyEvent;
 use selfstab_graph::{dot, generators, Graph, Ids};
 use selfstab_json::{Json, ToJson};
-use selfstab_runtime::RuntimeExecutor;
+use selfstab_runtime::{run_churned_sharded, CrashSpec, FaultPlan, RuntimeExecutor};
 
 /// Usage text shown by `help` and on errors.
 pub const USAGE: &str = "\
@@ -27,6 +29,9 @@ USAGE:
                   [--metrics] [--trace-out <file>]
                   [--schedule full|active]
                   [--shards <K> [--channel-cap <M>]]
+                  [--chaos drop=P,dup=P,delay=K,corrupt=P[,delayp=P][,until=R]]
+                  [--crash-shard S@R[,S@R…]]       (chaos flags require --shards)
+                  [--churn-every <N> [--churn-events <K>] [--churn-epochs <E>]]
                   [--propose min-id|max-id|first|clockwise|hashed]   (smm only)
   selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
                   [--jitter <frac>] [--loss <prob>] [--mobility <speed>]
@@ -43,7 +48,14 @@ USAGE:
   states and round counts to the in-process executor; under the active
   schedule only moved boundary states are re-broadcast (delta beacons).
   --propose overrides SMM's R2 selection (the paper's min-id is what makes
-  SMM stabilize; clockwise reproduces the C4 counterexample).
+  SMM stabilize; clockwise reproduces the C4 counterexample). --chaos
+  injects a seeded fault plan at the shard channel boundary: beacon frames
+  are dropped, duplicated, delayed K rounds, or bit-corrupted (detected
+  and skipped by the wire layer; receivers fall back to the last cached
+  beacon). --crash-shard kills worker S entering round R and respawns it
+  from arbitrary states. --churn-every applies connectivity-preserving
+  link churn every N rounds on any executor; legitimacy is then judged on
+  the final, mutated topology. All chaos is deterministic given --seed.
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
@@ -95,6 +107,57 @@ fn parse_shards(args: &Args) -> Result<Option<(usize, usize)>, String> {
     Ok(Some((shards, cap)))
 }
 
+/// Parse `--chaos` / `--crash-shard` into a [`FaultPlan`] seeded from the
+/// run's `--seed`; `None` means "no fault injection".
+fn parse_chaos(args: &Args, seed: u64) -> Result<Option<FaultPlan>, String> {
+    let spec = args.get("chaos");
+    let crash = args.get("crash-shard");
+    if spec.is_none() && crash.is_none() {
+        return Ok(None);
+    }
+    let mut plan = match spec {
+        Some(s) => {
+            FaultPlan::parse_spec(s, seed ^ 0xfa17).map_err(|e| format!("flag --chaos: {e}"))?
+        }
+        None => FaultPlan::new(seed ^ 0xfa17),
+    };
+    if let Some(specs) = crash {
+        for part in specs.split(',') {
+            let c =
+                CrashSpec::parse(part.trim()).map_err(|e| format!("flag --crash-shard: {e}"))?;
+            plan = plan.with_crash(c.shard, c.round);
+        }
+    }
+    Ok(Some(plan))
+}
+
+/// Parse `--churn-every`/`--churn-events`/`--churn-epochs` into a seeded
+/// [`ChurnSchedule`]; `None` means "static topology".
+fn parse_churn(args: &Args, seed: u64) -> Result<Option<ChurnSchedule>, String> {
+    let Some(raw) = args.get("churn-every") else {
+        for dep in ["churn-events", "churn-epochs"] {
+            if args.get(dep).is_some() {
+                return Err(format!("--{dep} requires --churn-every"));
+            }
+        }
+        return Ok(None);
+    };
+    let every: usize = raw
+        .parse()
+        .map_err(|_| format!("flag --churn-every: cannot parse '{raw}'"))?;
+    let schedule = ChurnSchedule::new(every, seed ^ 0xc4c4)
+        .with_events(args.parse_or("churn-events", 1)?)
+        .with_epochs(args.parse_or("churn-epochs", 1)?);
+    schedule
+        .validate()
+        .map_err(|e| format!("flag --churn-every: {e}"))?;
+    Ok(Some(schedule))
+}
+
+/// What a churned run leaves behind: the final (mutated) topology, the
+/// applied `(round, event)` log, and the re-stabilization round count.
+type ChurnedOutcome = (Graph, Vec<(usize, TopologyEvent)>, Option<usize>);
+
 fn parse_propose_policy(args: &Args) -> Result<SelectPolicy, String> {
     Ok(match args.str_or("propose", "min-id") {
         "min-id" => SelectPolicy::MinId,
@@ -128,6 +191,8 @@ struct RunReport {
     states: Vec<String>,
     metrics: Option<Json>,
     shards: Option<usize>,
+    chaos: Option<String>,
+    churn: Option<Json>,
 }
 
 impl ToJson for RunReport {
@@ -146,6 +211,12 @@ impl ToJson for RunReport {
         ];
         if let Some(k) = self.shards {
             fields.push(("shards".to_string(), k.to_json()));
+        }
+        if let Some(c) = &self.chaos {
+            fields.push(("chaos".to_string(), c.to_json()));
+        }
+        if let Some(c) = &self.churn {
+            fields.push(("churn".to_string(), c.clone()));
         }
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.clone()));
@@ -180,6 +251,11 @@ where
         other => return Err(format!("unknown init '{other}'")),
     };
     let shards = parse_shards(args)?;
+    let chaos = parse_chaos(args, seed)?;
+    if chaos.is_some() && shards.is_none() {
+        return Err("--chaos/--crash-shard require --shards".into());
+    }
+    let churn = parse_churn(args, seed)?;
     let schedule = Schedule::parse(args.str_or("schedule", "active"))
         .map_err(|e| format!("flag --schedule: {e}"))?;
     let trace_out = args.get("trace-out").map(str::to_string);
@@ -189,11 +265,35 @@ where
     let mut chrome = trace_out
         .as_ref()
         .map(|_| ChromeTraceWriter::with_rule_names(proto.rule_names()));
-    let (run, runtime_note) = match shards {
-        Some((k, cap)) => {
-            let exec = RuntimeExecutor::new(g, proto, k)
+    // Set for churned runs: the final (mutated) graph, the applied events,
+    // and the re-stabilization time after the last event.
+    let mut churned: Option<ChurnedOutcome> = None;
+    let (run, runtime_note) = match (shards, &churn) {
+        (Some((k, cap)), Some(sched)) => {
+            let out = run_churned_sharded(
+                g,
+                proto,
+                k,
+                schedule,
+                Some(cap),
+                chaos.as_ref(),
+                sched,
+                init,
+                max_rounds,
+                &mut (metrics.as_mut(), chrome.as_mut()),
+            )
+            .map_err(|e| format!("runtime: {e}"))?;
+            let recovery = out.recovery_rounds();
+            churned = Some((out.graph, out.events, recovery));
+            (out.run, Some(format!("{k} shards, channel cap {cap}")))
+        }
+        (Some((k, cap)), None) => {
+            let mut exec = RuntimeExecutor::new(g, proto, k)
                 .with_channel_cap(cap)
                 .with_schedule(schedule);
+            if let Some(plan) = chaos.clone() {
+                exec = exec.with_chaos(plan);
+            }
             let cut = exec.partition().cut_edges(g).len();
             let run = exec
                 .run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()))
@@ -203,7 +303,21 @@ where
                 Some(format!("{k} shards, channel cap {cap}, {cut} cut edges")),
             )
         }
-        None => {
+        (None, Some(sched)) => {
+            let out = run_churned_serial_observed(
+                g,
+                proto,
+                schedule,
+                sched,
+                init,
+                max_rounds,
+                &mut (metrics.as_mut(), chrome.as_mut()),
+            )?;
+            let recovery = out.recovery_rounds();
+            churned = Some((out.graph, out.events, recovery));
+            (out.run, None)
+        }
+        (None, None) => {
             let exec = SyncExecutor::new(g, proto)
                 .with_cycle_detection()
                 .with_schedule(schedule);
@@ -223,7 +337,44 @@ where
         Outcome::Cycle { period, .. } => format!("oscillates (period {period})"),
         Outcome::RoundLimit => "round limit hit".to_string(),
     };
-    let legitimate = run.stabilized() && proto.is_legitimate(g, &run.final_states);
+    // Legitimacy of the final states is a property of the topology they
+    // ended on: for churned runs that is the mutated graph.
+    let final_graph: &Graph = churned.as_ref().map(|(fg, _, _)| fg).unwrap_or(g);
+    let legitimate = run.stabilized() && proto.is_legitimate(final_graph, &run.final_states);
+    let chaos_note = chaos.as_ref().map(|plan| {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(spec) = args.get("chaos") {
+            parts.push(spec.to_string());
+        }
+        if !plan.crashes.is_empty() {
+            parts.push(format!(
+                "crash {}",
+                plan.crashes
+                    .iter()
+                    .map(|c| format!("{}@{}", c.shard, c.round))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        parts.join(", ")
+    });
+    let churn_note = churned
+        .as_ref()
+        .zip(churn.as_ref())
+        .map(|((fg, events, recovery), sched)| {
+            let mut s = format!(
+                "{} link events over {} epoch(s), every {} rounds; final m={}",
+                events.len(),
+                sched.epochs,
+                sched.every,
+                fg.m()
+            );
+            if let Some(r) = recovery {
+                s.push_str(&format!("; re-stabilized {r} rounds after last event"));
+            }
+            s
+        });
+    let fault_recovery = metrics.as_ref().and_then(|m| m.recovery_rounds());
     match args.str_or("format", "text") {
         "text" => {
             let mut out = format!(
@@ -234,7 +385,7 @@ where
                  moves: {}",
                 g.m(),
                 run.rounds(),
-                summarize(g, &run.final_states),
+                summarize(final_graph, &run.final_states),
                 proto
                     .rule_names()
                     .iter()
@@ -246,6 +397,17 @@ where
             if let Some(note) = &runtime_note {
                 out.push_str(&format!("\nruntime: {note}"));
             }
+            if let Some(c) = &chaos_note {
+                out.push_str(&format!("\nchaos: {c}"));
+            }
+            if let Some(c) = &churn_note {
+                out.push_str(&format!("\nchurn: {c}"));
+            }
+            if let Some(r) = fault_recovery {
+                out.push_str(&format!(
+                    "\nrecovery: stabilized {r} rounds after the last injected fault"
+                ));
+            }
             if let Some(m) = &metrics {
                 out.push_str("\n\nper-round convergence metrics\n");
                 out.push_str(&m.render_table());
@@ -253,6 +415,37 @@ where
             Ok(out)
         }
         "json" => {
+            let churn_json = churned.as_ref().map(|(fg, events, recovery)| {
+                let mut fields = vec![
+                    (
+                        "events".to_string(),
+                        Json::Array(
+                            events
+                                .iter()
+                                .map(|(round, ev)| {
+                                    let e = ev.edge();
+                                    let kind = if matches!(ev, TopologyEvent::LinkUp { .. }) {
+                                        "up"
+                                    } else {
+                                        "down"
+                                    };
+                                    Json::Object(vec![
+                                        ("round".to_string(), round.to_json()),
+                                        ("kind".to_string(), kind.to_json()),
+                                        ("a".to_string(), e.a.index().to_json()),
+                                        ("b".to_string(), e.b.index().to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("final_m".to_string(), fg.m().to_json()),
+                ];
+                if let Some(r) = recovery {
+                    fields.push(("recovery_rounds".to_string(), r.to_json()));
+                }
+                Json::Object(fields)
+            });
             let report = RunReport {
                 protocol: protocol_name.into(),
                 topology: topology_name.into(),
@@ -267,16 +460,18 @@ where
                     .zip(run.moves_per_rule.iter().copied())
                     .collect(),
                 legitimate,
-                result_summary: summarize(g, &run.final_states),
+                result_summary: summarize(final_graph, &run.final_states),
                 states: run.final_states.iter().map(&render_state).collect(),
                 metrics: metrics.as_ref().map(MetricsCollector::to_json),
                 shards: shards.map(|(k, _)| k),
+                chaos: chaos_note,
+                churn: churn_json,
             };
             Ok(report.to_json().to_string_pretty())
         }
         "dot" => {
-            let (edges, nodes) = highlight(g, &run.final_states);
-            Ok(dot::to_dot(g, None, &edges, &nodes))
+            let (edges, nodes) = highlight(final_graph, &run.final_states);
+            Ok(dot::to_dot(final_graph, None, &edges, &nodes))
         }
         other => Err(format!("unknown format '{other}'")),
     }
@@ -805,6 +1000,204 @@ mod tests {
             "xyz",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn run_chaos_flags_require_shards_and_validate() {
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--chaos",
+            "drop=0.1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("require --shards"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "2",
+            "--chaos",
+            "drop=x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--chaos"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "2",
+            "--crash-shard",
+            "1-5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--crash-shard"), "{err}");
+        // Probabilities summing past 1 are rejected when parsing the spec;
+        // out-of-range crash shards by the runtime up front.
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "2",
+            "--chaos",
+            "drop=0.7,corrupt=0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("sum to"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--shards",
+            "2",
+            "--crash-shard",
+            "5@3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("runtime"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--churn-events",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires --churn-every"), "{err}");
+        let err = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "path",
+            "--n",
+            "6",
+            "--churn-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--churn-every"), "{err}");
+    }
+
+    #[test]
+    fn run_chaos_is_deterministic_and_reported() {
+        let base = [
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "36",
+            "--shards",
+            "4",
+            "--chaos",
+            "drop=0.2,dup=0.05,delay=1",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+        ];
+        let a = run(&args(&base)).unwrap();
+        let b = run(&args(&base)).unwrap();
+        assert_eq!(a, b, "seeded chaos runs must be bit-identical");
+        let v = Json::parse(&a).unwrap();
+        assert_eq!(
+            v.get("chaos").and_then(Json::as_str),
+            Some("drop=0.2,dup=0.05,delay=1")
+        );
+        assert_eq!(v.get("legitimate").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn run_crash_shard_restarts_and_recovers() {
+        let out = run(&args(&[
+            "--protocol",
+            "smi",
+            "--topology",
+            "grid",
+            "--n",
+            "25",
+            "--shards",
+            "3",
+            "--crash-shard",
+            "1@3",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("chaos: crash 1@3"), "{out}");
+        assert!(out.contains("legitimate: true"), "{out}");
+        assert!(out.contains("restarts |"), "{out}");
+        assert!(out.contains("recovery: stabilized"), "{out}");
+    }
+
+    #[test]
+    fn run_churn_serial_and_sharded_agree() {
+        let base = [
+            "--protocol",
+            "smm",
+            "--topology",
+            "cycle",
+            "--n",
+            "24",
+            "--churn-every",
+            "4",
+            "--churn-events",
+            "2",
+            "--churn-epochs",
+            "2",
+            "--seed",
+            "3",
+            "--format",
+            "json",
+        ];
+        let serial = Json::parse(&run(&args(&base)).unwrap()).unwrap();
+        let mut sharded_args = base.to_vec();
+        sharded_args.extend_from_slice(&["--shards", "3"]);
+        let sharded = Json::parse(&run(&args(&sharded_args)).unwrap()).unwrap();
+        for field in ["rounds", "outcome", "legitimate", "states", "churn"] {
+            assert_eq!(
+                serial.get(field).map(Json::to_string),
+                sharded.get(field).map(Json::to_string),
+                "field {field} must match between serial and sharded churn"
+            );
+        }
+        let events = serial
+            .get("churn")
+            .and_then(|c| c.get("events"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(!events.is_empty(), "churn fired at least one event");
+        assert_eq!(
+            serial.get("legitimate").and_then(Json::as_bool),
+            Some(true),
+            "legitimate on the final mutated topology"
+        );
+        // Text format carries the churn note.
+        let text_args = base[..base.len() - 2].to_vec();
+        let out = run(&args(&text_args)).unwrap();
+        assert!(out.contains("churn: "), "{out}");
+        assert!(out.contains("final m="), "{out}");
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! Live mid-run topology churn: the paper's mobility fault model applied
+//! *while the protocol executes*, not just between runs.
+//!
+//! [`crate::faults::churn_and_recover`] perturbs a stabilized configuration
+//! once and then measures recovery on a frozen graph. This module instead
+//! drives a [`ChurnSchedule`]: every `every` rounds a batch of
+//! connectivity-preserving [`TopologyEvent`]s is applied to the live graph
+//! and execution continues on the mutated topology — the self-stabilization
+//! claim under test is that the protocol re-converges *through* the churn,
+//! not merely after it.
+//!
+//! Semantics at a churn boundary (entering round `k·every`):
+//!
+//! * the events are drawn from the schedule's own seeded RNG, so a run is
+//!   reproducible from `(graph, init, schedule)`;
+//! * both endpoints of every churned edge re-enter the active worklist with
+//!   their *closed neighborhoods* (on the mutated graph) — a link change
+//!   can newly privilege the endpoints or any of their neighbors, exactly
+//!   the active-set invariant of [`crate::active`];
+//! * if the run stabilizes before the next boundary with epochs still
+//!   pending, the quiescent gap is fast-forwarded (no node is privileged,
+//!   so those rounds are move-free by definition) and churn fires at the
+//!   boundary round.
+//!
+//! The sharded runtime applies the same schedule by segmenting the run at
+//! churn boundaries (see `selfstab-runtime`); the serial core here is the
+//! reference semantics its equivalence tests compare against.
+
+use crate::active::{ActiveSet, Schedule};
+use crate::obs::{Observer, RoundStats};
+use crate::par::{par_privileged_moves, par_privileged_moves_among};
+use crate::protocol::{InitialState, Move, Protocol, View};
+use crate::sync::{Outcome, Run};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_graph::mutate::{Churn, TopologyEvent};
+use selfstab_graph::{Graph, Node};
+
+/// A seeded schedule of live topology churn: `events` connectivity-
+/// preserving edge changes every `every` rounds, for `epochs` batches.
+#[derive(Clone, Debug)]
+pub struct ChurnSchedule {
+    /// Rounds between churn batches (a batch fires entering round
+    /// `k·every`, `k = 1..=epochs`). Must be ≥ 1.
+    pub every: usize,
+    /// Edge changes per batch. Must be ≥ 1.
+    pub events: usize,
+    /// Number of batches.
+    pub epochs: usize,
+    /// The event generator (link-failure probability, etc.).
+    pub churn: Churn,
+    /// Seed of the schedule's private RNG.
+    pub seed: u64,
+}
+
+impl ChurnSchedule {
+    /// A schedule of one single-event batch every `every` rounds.
+    pub fn new(every: usize, seed: u64) -> Self {
+        ChurnSchedule {
+            every,
+            events: 1,
+            epochs: 1,
+            churn: Churn::default(),
+            seed,
+        }
+    }
+
+    /// Set the number of edge changes per batch.
+    pub fn with_events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Set the number of batches.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Replace the event generator.
+    pub fn with_churn(mut self, churn: Churn) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Check the schedule is well-formed.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.every == 0 {
+            return Err("churn interval (every) must be >= 1".into());
+        }
+        if self.events == 0 {
+            return Err("churn batch size (events) must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The result of a churned execution: the run, the *final* (mutated)
+/// topology, and the applied events with the round each fired at.
+#[derive(Clone, Debug)]
+pub struct ChaosRun<S> {
+    /// The execution outcome, rounds, moves and final states.
+    pub run: Run<S>,
+    /// The topology after all churn (legitimacy of `run.final_states` must
+    /// be judged against *this* graph, not the starting one).
+    pub graph: Graph,
+    /// Applied topology events, tagged with the round they fired entering.
+    pub events: Vec<(usize, TopologyEvent)>,
+    /// The round the last fault event fired at (0 when none fired).
+    pub last_fault_round: usize,
+}
+
+impl<S> ChaosRun<S> {
+    /// Rounds between the last applied fault and stabilization — the
+    /// re-stabilization time. `None` if the run did not stabilize or no
+    /// event was ever applied.
+    pub fn recovery_rounds(&self) -> Option<usize> {
+        (self.run.outcome == Outcome::Stabilized && !self.events.is_empty())
+            .then(|| self.run.rounds - self.last_fault_round)
+    }
+}
+
+/// Serial churned execution (reference semantics).
+pub fn run_churned_serial<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    schedule: Schedule,
+    plan: &ChurnSchedule,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+) -> Result<ChaosRun<P::State>, String> {
+    churned_core(
+        graph,
+        proto,
+        schedule,
+        plan,
+        init,
+        max_rounds,
+        None,
+        &mut (),
+    )
+}
+
+/// Serial churned execution with [`Observer`] hooks: the same per-round
+/// hook sequence as [`crate::sync::SyncExecutor::run_observed`], on the
+/// live (mutating) graph.
+pub fn run_churned_serial_observed<P: Protocol, O: Observer<P::State>>(
+    graph: &Graph,
+    proto: &P,
+    schedule: Schedule,
+    plan: &ChurnSchedule,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    obs: &mut O,
+) -> Result<ChaosRun<P::State>, String> {
+    churned_core(graph, proto, schedule, plan, init, max_rounds, None, obs)
+}
+
+/// Data-parallel churned execution; bit-identical to the serial form (the
+/// round step is a pure function of the previous state vector either way).
+pub fn run_churned_par<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    schedule: Schedule,
+    plan: &ChurnSchedule,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    threads: usize,
+) -> Result<ChaosRun<P::State>, String> {
+    churned_core(
+        graph,
+        proto,
+        schedule,
+        plan,
+        init,
+        max_rounds,
+        Some(threads.max(1)),
+        &mut (),
+    )
+}
+
+/// The shared churned round loop. `threads: None` evaluates serially in
+/// node order; `Some(t)` uses the chunked scoped-thread evaluation of
+/// [`crate::par`] (identical results).
+#[allow(clippy::too_many_arguments)]
+fn churned_core<P: Protocol, O: Observer<P::State>>(
+    graph: &Graph,
+    proto: &P,
+    schedule: Schedule,
+    plan: &ChurnSchedule,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    threads: Option<usize>,
+    obs: &mut O,
+) -> Result<ChaosRun<P::State>, String> {
+    plan.validate()?;
+    let mut graph = graph.clone();
+    let mut states = init.materialize(&graph, proto);
+    let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
+    let n = states.len();
+    let mut active =
+        (schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut events: Vec<(usize, TopologyEvent)> = Vec::new();
+    let mut last_fault_round = 0usize;
+    let mut epochs_done = 0usize;
+    let mut round = 0usize;
+
+    loop {
+        if round > 0 && round.is_multiple_of(plan.every) && epochs_done < plan.epochs {
+            let applied = plan.churn.apply(&mut graph, plan.events, &mut rng);
+            epochs_done += 1;
+            if !applied.is_empty() {
+                last_fault_round = round;
+            }
+            for ev in applied {
+                let e = ev.edge();
+                if let Some((cur, _)) = active.as_mut() {
+                    // A link change can newly privilege either endpoint or
+                    // any neighbor of one: dirty both closed neighborhoods
+                    // on the *mutated* graph. (For a removed edge the two
+                    // closed neighborhoods no longer overlap — that is the
+                    // point.)
+                    cur.insert_closed(&graph, e.a);
+                    cur.insert_closed(&graph, e.b);
+                    cur.seal();
+                }
+                events.push((round, ev));
+            }
+        }
+
+        let moves = evaluate(
+            &graph,
+            proto,
+            &states,
+            active.as_ref().map(|(cur, _)| cur.nodes()),
+            threads,
+        );
+        if moves.is_empty() {
+            if epochs_done < plan.epochs {
+                // Stabilized with churn still scheduled: fast-forward the
+                // quiescent gap to the next boundary (those rounds are
+                // move-free by definition, no node being privileged).
+                let boundary = (round / plan.every + 1) * plan.every;
+                if boundary <= max_rounds {
+                    round = boundary;
+                    continue;
+                }
+                // The remaining epochs cannot fire within the budget.
+            }
+            if O::ENABLED {
+                obs.on_finish(&Outcome::Stabilized, &states);
+            }
+            return Ok(finishing(
+                Outcome::Stabilized,
+                states,
+                round,
+                moves_per_rule,
+                graph,
+                events,
+                last_fault_round,
+            ));
+        }
+        if round >= max_rounds {
+            if O::ENABLED {
+                obs.on_finish(&Outcome::RoundLimit, &states);
+            }
+            return Ok(finishing(
+                Outcome::RoundLimit,
+                states,
+                round,
+                moves_per_rule,
+                graph,
+                events,
+                last_fault_round,
+            ));
+        }
+        let timer = O::ENABLED.then(std::time::Instant::now);
+        let mut round_moves = O::ENABLED.then(|| vec![0u64; moves_per_rule.len()]);
+        if O::ENABLED {
+            obs.on_round_start(round + 1, &states);
+        }
+        let privileged = moves.len();
+        let evaluated = active
+            .as_ref()
+            .map(|(cur, _)| cur.nodes().len())
+            .unwrap_or(n);
+        for (v, m) in moves {
+            moves_per_rule[m.rule] += 1;
+            if let Some(per) = round_moves.as_mut() {
+                per[m.rule] += 1;
+            }
+            let rule = m.rule;
+            states[v.index()] = m.next;
+            if let Some((_, next)) = active.as_mut() {
+                next.insert_closed(&graph, v);
+            }
+            if O::ENABLED {
+                obs.on_move(v, rule, &states[v.index()]);
+            }
+        }
+        if let Some((cur, next)) = active.as_mut() {
+            next.seal();
+            cur.clear();
+            std::mem::swap(cur, next);
+        }
+        round += 1;
+        if O::ENABLED {
+            let stats = RoundStats {
+                round,
+                privileged,
+                evaluated,
+                moves_per_rule: round_moves.take().unwrap_or_default(),
+                duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
+                beacon: None,
+                runtime: None,
+            };
+            obs.on_round_end(&stats, &states);
+        }
+    }
+}
+
+fn evaluate<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    states: &[P::State],
+    worklist: Option<&[Node]>,
+    threads: Option<usize>,
+) -> Vec<(Node, Move<P::State>)> {
+    match (worklist, threads) {
+        (Some(nodes), Some(t)) => par_privileged_moves_among(graph, proto, t, states, nodes),
+        (None, Some(t)) => par_privileged_moves(graph, proto, t, states),
+        (Some(nodes), None) => nodes
+            .iter()
+            .filter_map(|&v| {
+                let view = View::new(v, graph.neighbors(v), states);
+                proto.step(view).map(|m| (v, m))
+            })
+            .collect(),
+        (None, None) => graph
+            .nodes()
+            .filter_map(|v| {
+                let view = View::new(v, graph.neighbors(v), states);
+                proto.step(view).map(|m| (v, m))
+            })
+            .collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finishing<S>(
+    outcome: Outcome,
+    states: Vec<S>,
+    rounds: usize,
+    moves_per_rule: Vec<u64>,
+    graph: Graph,
+    events: Vec<(usize, TopologyEvent)>,
+    last_fault_round: usize,
+) -> ChaosRun<S> {
+    ChaosRun {
+        run: Run {
+            final_states: states,
+            rounds,
+            moves_per_rule,
+            outcome,
+            trace: None,
+        },
+        graph,
+        events,
+        last_fault_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MaxProto;
+    use selfstab_graph::generators;
+    use selfstab_graph::traversal::is_connected;
+
+    #[test]
+    fn churned_run_is_deterministic_and_stays_connected() {
+        let g = generators::cycle(24);
+        let plan = ChurnSchedule::new(4, 9).with_events(2).with_epochs(3);
+        let a = run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &plan,
+            InitialState::Random { seed: 1 },
+            500,
+        )
+        .unwrap();
+        let b = run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &plan,
+            InitialState::Random { seed: 1 },
+            500,
+        )
+        .unwrap();
+        assert_eq!(a.run.final_states, b.run.final_states);
+        assert_eq!(a.run.rounds, b.run.rounds);
+        assert_eq!(a.events, b.events);
+        assert!(is_connected(&a.graph));
+        assert!(a.run.stabilized());
+        // MaxProto's fixpoint is everyone at the max — churn cannot change
+        // that, but the run must end on the *mutated* graph.
+        let max = a.run.final_states.iter().max().copied().unwrap();
+        assert!(a.run.final_states.iter().all(|&s| s == max));
+    }
+
+    #[test]
+    fn serial_and_par_agree_and_schedules_agree() {
+        let g = generators::grid(6, 6);
+        let plan = ChurnSchedule::new(3, 17).with_events(2).with_epochs(4);
+        let serial_active = run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &plan,
+            InitialState::Random { seed: 7 },
+            500,
+        )
+        .unwrap();
+        let serial_full = run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Full,
+            &plan,
+            InitialState::Random { seed: 7 },
+            500,
+        )
+        .unwrap();
+        let par = run_churned_par(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &plan,
+            InitialState::Random { seed: 7 },
+            500,
+            4,
+        )
+        .unwrap();
+        for other in [&serial_full, &par] {
+            assert_eq!(serial_active.run.final_states, other.run.final_states);
+            assert_eq!(serial_active.run.rounds, other.run.rounds);
+            assert_eq!(serial_active.run.moves_per_rule, other.run.moves_per_rule);
+            assert_eq!(serial_active.events, other.events);
+        }
+    }
+
+    #[test]
+    fn early_stabilization_fast_forwards_to_pending_epochs() {
+        // MaxProto on a path stabilizes quickly; with a late churn boundary
+        // the run must still fire every epoch (quiescent gap skipped).
+        let g = generators::path(8);
+        let plan = ChurnSchedule::new(50, 3).with_epochs(2);
+        let out = run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &plan,
+            InitialState::Random { seed: 2 },
+            1_000,
+        )
+        .unwrap();
+        assert!(out.run.stabilized());
+        assert_eq!(
+            out.events.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec![50, 100],
+            "both epochs fired at their boundaries"
+        );
+        assert!(out.recovery_rounds().is_some());
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected() {
+        let g = generators::path(4);
+        let bad = ChurnSchedule::new(0, 1);
+        assert!(run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &bad,
+            InitialState::Default,
+            10,
+        )
+        .is_err());
+        let bad = ChurnSchedule::new(2, 1).with_events(0);
+        assert!(run_churned_serial(
+            &g,
+            &MaxProto,
+            Schedule::Active,
+            &bad,
+            InitialState::Default,
+            10,
+        )
+        .is_err());
+    }
+}

@@ -14,6 +14,33 @@ use rand::{RngExt, SeedableRng};
 use selfstab_graph::mutate::{Churn, TopologyEvent};
 use selfstab_graph::{Graph, Node};
 
+/// Why a fault-recovery experiment could not run (consistent with the
+/// runtime's typed `RuntimeError`: experiment preconditions are reported,
+/// not panicked).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// The pre-fault run did not stabilize within the round budget; there
+    /// is no legitimate configuration to perturb. Oscillating protocols
+    /// (e.g. the clockwise-C4 ablation) land here instead of panicking.
+    InitialRunNotStabilized {
+        /// The round budget that was exhausted.
+        max_rounds: usize,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::InitialRunNotStabilized { max_rounds } => write!(
+                f,
+                "protocol did not stabilize within {max_rounds} rounds before fault injection"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// Overwrite the states of `k` distinct random nodes with arbitrary states.
 /// Returns the corrupted nodes.
 pub fn corrupt_random_nodes<P: Protocol>(
@@ -48,23 +75,27 @@ pub struct Recovery<S> {
     pub perturbed_nodes: usize,
 }
 
+/// Everything `corrupt_and_recover` produces: the initial (pre-fault) run
+/// and the recovery from the corrupted configuration.
+pub type CorruptOutcome<S> = (Run<S>, Recovery<S>);
+
 /// Stabilize, corrupt `k` node states, and re-stabilize.
 ///
-/// Returns `(initial_run, recovery)`. Panics if the initial run does not
-/// stabilize within `max_rounds` — call this only for stabilizing protocols.
+/// Returns `(initial_run, recovery)`, or [`FaultError`] if the initial run
+/// does not stabilize within `max_rounds` (only stabilizing protocols have
+/// a legitimate configuration to perturb).
 pub fn corrupt_and_recover<P: Protocol>(
     graph: &Graph,
     proto: &P,
     k: usize,
     seed: u64,
     max_rounds: usize,
-) -> (Run<P::State>, Recovery<P::State>) {
+) -> Result<CorruptOutcome<P::State>, FaultError> {
     let exec = SyncExecutor::new(graph, proto);
     let initial = exec.run(InitialState::Random { seed }, max_rounds);
-    assert!(
-        initial.stabilized(),
-        "protocol must stabilize before fault injection"
-    );
+    if !initial.stabilized() {
+        return Err(FaultError::InitialRunNotStabilized { max_rounds });
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut states = initial.final_states.clone();
     corrupt_random_nodes(proto, graph, &mut states, k, &mut rng);
@@ -75,13 +106,13 @@ pub fn corrupt_and_recover<P: Protocol>(
         .zip(&initial.final_states)
         .filter(|(a, b)| a != b)
         .count();
-    (
+    Ok((
         initial,
         Recovery {
             run,
             perturbed_nodes,
         },
-    )
+    ))
 }
 
 /// Everything `churn_and_recover` produces: the post-churn graph, the
@@ -91,20 +122,19 @@ pub type ChurnOutcome<S> = (Graph, Vec<TopologyEvent>, Run<S>, Recovery<S>);
 /// Stabilize, apply `k` connectivity-preserving topology changes, and
 /// re-stabilize **on the new graph** keeping the old states (the paper's
 /// mobility fault). Returns the changed graph, the applied events, and the
-/// recovery.
+/// recovery, or [`FaultError`] if the initial run does not stabilize.
 pub fn churn_and_recover<P: Protocol>(
     graph: &Graph,
     proto: &P,
     k: usize,
     seed: u64,
     max_rounds: usize,
-) -> ChurnOutcome<P::State> {
+) -> Result<ChurnOutcome<P::State>, FaultError> {
     let exec = SyncExecutor::new(graph, proto);
     let initial = exec.run(InitialState::Random { seed }, max_rounds);
-    assert!(
-        initial.stabilized(),
-        "protocol must stabilize before churn injection"
-    );
+    if !initial.stabilized() {
+        return Err(FaultError::InitialRunNotStabilized { max_rounds });
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
     let mut new_graph = graph.clone();
     let events = Churn::default().apply(&mut new_graph, k, &mut rng);
@@ -119,7 +149,7 @@ pub fn churn_and_recover<P: Protocol>(
         .zip(&initial.final_states)
         .filter(|(a, b)| a != b)
         .count();
-    (
+    Ok((
         new_graph,
         events,
         initial.clone(),
@@ -127,7 +157,7 @@ pub fn churn_and_recover<P: Protocol>(
             run,
             perturbed_nodes,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -166,7 +196,7 @@ mod tests {
     #[test]
     fn recover_from_corruption() {
         let g = generators::grid(4, 4);
-        let (initial, recovery) = corrupt_and_recover(&g, &MaxProto, 3, 7, 1_000);
+        let (initial, recovery) = corrupt_and_recover(&g, &MaxProto, 3, 7, 1_000).unwrap();
         assert!(initial.stabilized());
         assert!(recovery.run.stabilized());
         // MaxProto's legitimate states are constant vectors at the max; the
@@ -178,10 +208,23 @@ mod tests {
     #[test]
     fn recover_from_churn() {
         let g = generators::cycle(12);
-        let (new_g, events, initial, recovery) = churn_and_recover(&g, &MaxProto, 5, 3, 1_000);
+        let (new_g, events, initial, recovery) =
+            churn_and_recover(&g, &MaxProto, 5, 3, 1_000).unwrap();
         assert!(is_connected(&new_g));
         assert!(!events.is_empty());
         assert!(initial.stabilized());
         assert!(recovery.run.stabilized());
+    }
+
+    #[test]
+    fn unstabilized_initial_run_is_a_typed_error_not_a_panic() {
+        // A budget of 0 rounds cannot stabilize from a random start on a
+        // grid, so both experiments must report the precondition failure.
+        let g = generators::grid(4, 4);
+        let err = corrupt_and_recover(&g, &MaxProto, 2, 5, 0).unwrap_err();
+        assert_eq!(err, FaultError::InitialRunNotStabilized { max_rounds: 0 });
+        assert!(err.to_string().contains("did not stabilize"), "{err}");
+        let err = churn_and_recover(&g, &MaxProto, 2, 5, 0).unwrap_err();
+        assert_eq!(err, FaultError::InitialRunNotStabilized { max_rounds: 0 });
     }
 }

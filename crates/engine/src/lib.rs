@@ -30,6 +30,7 @@
 
 pub mod active;
 pub mod central;
+pub mod chaos;
 pub mod compose;
 pub mod distributed;
 pub mod exhaustive;
@@ -44,6 +45,7 @@ pub mod sync;
 pub(crate) mod testutil;
 
 pub use active::{ActiveSet, Schedule};
+pub use chaos::{ChaosRun, ChurnSchedule};
 pub use obs::{Observer, RoundStats, RuntimeCounters};
 pub use protocol::{InitialState, Move, Protocol, View, WireError, WireState};
 pub use sync::{Outcome, Run, SyncExecutor};

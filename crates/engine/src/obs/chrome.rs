@@ -146,6 +146,26 @@ impl<S> Observer<S> for ChromeTraceWriter {
                     ]),
                 ),
             ]));
+            if rt.faults() > 0 {
+                // Injected-fault counter track: emitted only on rounds that
+                // recorded chaos events, so fault-free traces are unchanged.
+                self.events.push(Json::obj([
+                    ("name", "faults".to_json()),
+                    ("ph", "C".to_json()),
+                    ("ts", self.ts.to_json()),
+                    ("pid", 0u64.to_json()),
+                    (
+                        "args",
+                        Json::obj([
+                            ("dropped", rt.frames_dropped.to_json()),
+                            ("duped", rt.frames_duped.to_json()),
+                            ("delayed", rt.frames_delayed.to_json()),
+                            ("corrupted", rt.frames_corrupted.to_json()),
+                            ("restarts", rt.restarts.to_json()),
+                        ]),
+                    ),
+                ]));
+            }
         }
         self.ts += dur;
     }
@@ -216,6 +236,41 @@ mod tests {
             events[2].get("name").and_then(Json::as_str),
             Some("stabilized")
         );
+    }
+
+    #[test]
+    fn fault_counter_track_appears_only_on_chaotic_rounds() {
+        use super::super::RuntimeCounters;
+        let mut w = ChromeTraceWriter::new();
+        let states = [0u8];
+        let mk = |round: usize, dropped: u64| RoundStats {
+            round,
+            privileged: 1,
+            evaluated: 1,
+            moves_per_rule: vec![1],
+            duration_micros: 5,
+            beacon: None,
+            runtime: Some(RuntimeCounters {
+                shard_moves: vec![1],
+                frames: 4,
+                frames_dropped: dropped,
+                ..RuntimeCounters::default()
+            }),
+        };
+        w.on_round_end(&mk(1, 0), &states);
+        w.on_round_end(&mk(2, 3), &states);
+        let doc = w.to_json();
+        let faults: Vec<&Json> = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("faults"))
+            .collect();
+        assert_eq!(faults.len(), 1, "clean round emits no fault counter");
+        let args = faults[0].get("args").unwrap();
+        assert_eq!(args.get("dropped").and_then(Json::as_u64), Some(3));
+        assert_eq!(faults[0].get("ts").and_then(Json::as_u64), Some(5));
     }
 
     #[test]

@@ -131,11 +131,35 @@ impl<S> MetricsCollector<S> {
         self.gauge_fns.iter_mut().map(|f| f(states)).collect()
     }
 
+    /// Rounds between the last observed fault event (dropped, duplicated,
+    /// delayed or corrupted frame, or a shard restart) and stabilization —
+    /// the re-stabilization time under chaos. `None` when the run recorded
+    /// no fault events or did not stabilize.
+    pub fn recovery_rounds(&self) -> Option<usize> {
+        if self.outcome != Some(Outcome::Stabilized) {
+            return None;
+        }
+        let last_fault = self
+            .rounds
+            .iter()
+            .filter(|r| r.runtime.as_ref().is_some_and(|rt| rt.faults() > 0))
+            .map(|r| r.round)
+            .max()?;
+        let last = self.rounds.last().map(|r| r.round).unwrap_or(0);
+        Some(last - last_fault)
+    }
+
     /// Render a per-round Markdown table: round, privileged, moves, then
     /// one column per gauge, plus beacon counters when present.
     pub fn render_table(&self) -> String {
         let has_beacon = self.rounds.iter().any(|r| r.beacon.is_some());
         let has_runtime = self.rounds.iter().any(|r| r.runtime.is_some());
+        // Chaos columns appear only when some round actually recorded a
+        // fault event, so fault-free runs render byte-identical tables.
+        let has_chaos = self
+            .rounds
+            .iter()
+            .any(|r| r.runtime.as_ref().is_some_and(|rt| rt.faults() > 0));
         let mut out = String::from("| round | privileged | evaluated | moves |");
         for name in &self.gauge_names {
             out.push_str(&format!(" {name} |"));
@@ -146,8 +170,13 @@ impl<S> MetricsCollector<S> {
         if has_runtime {
             out.push_str(" frames | suppressed | wire bytes | max chan depth |");
         }
+        if has_chaos {
+            out.push_str(" dropped | duped | delayed | corrupted | restarts |");
+        }
         out.push('\n');
-        let extra = if has_beacon { 3 } else { 0 } + if has_runtime { 4 } else { 0 };
+        let extra = if has_beacon { 3 } else { 0 }
+            + if has_runtime { 4 } else { 0 }
+            + if has_chaos { 5 } else { 0 };
         out.push_str(&"|---".repeat(4 + self.gauge_names.len() + extra));
         out.push_str("|\n");
         if let Some(init) = &self.initial_gauges {
@@ -181,6 +210,17 @@ impl<S> MetricsCollector<S> {
                 out.push_str(&format!(
                     " {} | {} | {} | {} |",
                     rt.frames, rt.frames_suppressed, rt.bytes_on_wire, rt.max_channel_depth
+                ));
+            }
+            if has_chaos {
+                let rt = r.runtime.clone().unwrap_or_default();
+                out.push_str(&format!(
+                    " {} | {} | {} | {} | {} |",
+                    rt.frames_dropped,
+                    rt.frames_duped,
+                    rt.frames_delayed,
+                    rt.frames_corrupted,
+                    rt.restarts
                 ));
             }
             out.push('\n');
@@ -254,6 +294,11 @@ fn runtime_json(rt: &RuntimeCounters) -> Json {
         ("bytes_on_wire", rt.bytes_on_wire.to_json()),
         ("max_channel_depth", rt.max_channel_depth.to_json()),
         ("frames_suppressed", rt.frames_suppressed.to_json()),
+        ("frames_dropped", rt.frames_dropped.to_json()),
+        ("frames_duped", rt.frames_duped.to_json()),
+        ("frames_delayed", rt.frames_delayed.to_json()),
+        ("frames_corrupted", rt.frames_corrupted.to_json()),
+        ("restarts", rt.restarts.to_json()),
     ])
 }
 
@@ -336,6 +381,56 @@ mod tests {
             json.get("rounds").and_then(Json::as_array).unwrap().len(),
             1
         );
+    }
+
+    #[test]
+    fn chaos_columns_appear_only_when_faults_fired() {
+        let runtime_stats = |round: usize, dropped: u64, restarts: u64| {
+            let mut s = stats(round, 1, 1);
+            s.runtime = Some(RuntimeCounters {
+                shard_moves: vec![1],
+                frames: 2,
+                frames_dropped: dropped,
+                restarts,
+                ..RuntimeCounters::default()
+            });
+            s
+        };
+
+        // A fault-free sharded run keeps the legacy table byte-identical.
+        let mut clean: MetricsCollector<u8> = MetricsCollector::new();
+        clean.on_round_end(&runtime_stats(1, 0, 0), &[0u8]);
+        clean.on_finish(&Outcome::Stabilized, &[0u8]);
+        let table = clean.render_table();
+        assert!(
+            table.contains("| frames | suppressed | wire bytes | max chan depth |"),
+            "{table}"
+        );
+        assert!(!table.contains("dropped"), "{table}");
+        assert_eq!(clean.recovery_rounds(), None, "no faults, no recovery");
+
+        // With faults the chaos columns and the recovery measure appear.
+        let mut chaotic: MetricsCollector<u8> = MetricsCollector::new();
+        chaotic.on_round_end(&runtime_stats(1, 3, 1), &[0u8]);
+        chaotic.on_round_end(&runtime_stats(2, 0, 0), &[0u8]);
+        chaotic.on_round_end(&runtime_stats(3, 0, 0), &[0u8]);
+        chaotic.on_finish(&Outcome::Stabilized, &[0u8]);
+        let table = chaotic.render_table();
+        assert!(
+            table.contains("| dropped | duped | delayed | corrupted | restarts |"),
+            "{table}"
+        );
+        assert!(table.contains("| 3 | 0 | 0 | 0 | 1 |"), "{table}");
+        assert_eq!(
+            chaotic.recovery_rounds(),
+            Some(2),
+            "stabilized two rounds after the last fault event"
+        );
+        let json = chaotic.to_json();
+        let rounds = json.get("rounds").and_then(Json::as_array).unwrap();
+        let rt = rounds[0].get("runtime").unwrap();
+        assert_eq!(rt.get("frames_dropped").and_then(Json::as_u64), Some(3));
+        assert_eq!(rt.get("restarts").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -79,6 +79,34 @@ pub struct RuntimeCounters {
     /// not change (delta-beacon suppression under the active schedule; 0
     /// under the full schedule, which re-broadcasts every boundary state).
     pub frames_suppressed: u64,
+    /// Beacon frames dropped by chaos injection this round (the receiver
+    /// keeps its last cached ghost — a stale-view transient fault).
+    pub frames_dropped: u64,
+    /// Beacon frames duplicated by chaos injection this round (both copies
+    /// travel and decode; the second overwrite is idempotent).
+    pub frames_duped: u64,
+    /// Beacon frames delayed by chaos injection this round (re-delivered k
+    /// rounds later, tagged with the delivery round).
+    pub frames_delayed: u64,
+    /// Beacon frames bit-corrupted by chaos injection and *detected* by the
+    /// receiver's wire decode this round (discarded; cached ghost kept).
+    pub frames_corrupted: u64,
+    /// Shard workers that crashed and restarted with arbitrary rehydrated
+    /// state this round (chaos injection only).
+    pub restarts: u64,
+}
+
+impl RuntimeCounters {
+    /// Total chaos-injected fault events this round: dropped + duplicated +
+    /// delayed + corrupted frames plus worker restarts. Zero for every round
+    /// of a run with no chaos plan.
+    pub fn faults(&self) -> u64 {
+        self.frames_dropped
+            + self.frames_duped
+            + self.frames_delayed
+            + self.frames_corrupted
+            + self.restarts
+    }
 }
 
 /// What happened in one observed round.

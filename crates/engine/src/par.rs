@@ -56,45 +56,7 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
     /// Compute all privileged moves for `states`, in node order, using
     /// chunked scoped threads.
     fn privileged_moves(&self, states: &[P::State]) -> Vec<(Node, Move<P::State>)> {
-        let n = self.graph.n();
-        let threads = self.threads.get().min(n.max(1));
-        // Below this size, thread spawn overhead dominates; match the
-        // serial path exactly.
-        if threads == 1 || n < 4096 {
-            return self
-                .graph
-                .nodes()
-                .filter_map(|v| {
-                    let view = View::new(v, self.graph.neighbors(v), states);
-                    self.proto.step(view).map(|m| (v, m))
-                })
-                .collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    let graph = self.graph;
-                    let proto = self.proto;
-                    scope.spawn(move || {
-                        (lo..hi)
-                            .filter_map(|i| {
-                                let v = Node::from(i);
-                                let view = View::new(v, graph.neighbors(v), states);
-                                proto.step(view).map(|m| (v, m))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("worker panicked"));
-            }
-        });
-        partials.concat()
+        par_privileged_moves(self.graph, self.proto, self.threads.get(), states)
     }
 
     /// Compute the privileged moves *among* `nodes` (sorted in node order),
@@ -105,40 +67,7 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
         states: &[P::State],
         nodes: &[Node],
     ) -> Vec<(Node, Move<P::State>)> {
-        let n = nodes.len();
-        let threads = self.threads.get().min(n.max(1));
-        if threads == 1 || n < 4096 {
-            return nodes
-                .iter()
-                .filter_map(|&v| {
-                    let view = View::new(v, self.graph.neighbors(v), states);
-                    self.proto.step(view).map(|m| (v, m))
-                })
-                .collect();
-        }
-        let chunk = n.div_ceil(threads);
-        let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = nodes
-                .chunks(chunk)
-                .map(|span| {
-                    let graph = self.graph;
-                    let proto = self.proto;
-                    scope.spawn(move || {
-                        span.iter()
-                            .filter_map(|&v| {
-                                let view = View::new(v, graph.neighbors(v), states);
-                                proto.step(view).map(|m| (v, m))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("worker panicked"));
-            }
-        });
-        partials.concat()
+        par_privileged_moves_among(self.graph, self.proto, self.threads.get(), states, nodes)
     }
 
     /// Execute synchronously from `init` for at most `max_rounds` rounds.
@@ -189,6 +118,98 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
             round += 1;
         }
     }
+}
+
+/// Free-function form of the full-sweep evaluation, shared with the
+/// churned executor ([`crate::chaos`]) whose graph is owned and mutated
+/// between rounds. Below the threshold (or single-threaded) this is the
+/// serial path exactly.
+pub(crate) fn par_privileged_moves<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    threads: usize,
+    states: &[P::State],
+) -> Vec<(Node, Move<P::State>)> {
+    let n = graph.n();
+    let threads = threads.min(n.max(1));
+    // Below this size, thread spawn overhead dominates; match the
+    // serial path exactly.
+    if threads == 1 || n < 4096 {
+        return graph
+            .nodes()
+            .filter_map(|v| {
+                let view = View::new(v, graph.neighbors(v), states);
+                proto.step(view).map(|m| (v, m))
+            })
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || {
+                    (lo..hi)
+                        .filter_map(|i| {
+                            let v = Node::from(i);
+                            let view = View::new(v, graph.neighbors(v), states);
+                            proto.step(view).map(|m| (v, m))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    partials.concat()
+}
+
+/// Free-function form of the worklist evaluation (see
+/// [`par_privileged_moves`]). Sound whenever `nodes` is a sorted superset
+/// of the privileged set.
+pub(crate) fn par_privileged_moves_among<P: Protocol>(
+    graph: &Graph,
+    proto: &P,
+    threads: usize,
+    states: &[P::State],
+    nodes: &[Node],
+) -> Vec<(Node, Move<P::State>)> {
+    let n = nodes.len();
+    let threads = threads.min(n.max(1));
+    if threads == 1 || n < 4096 {
+        return nodes
+            .iter()
+            .filter_map(|&v| {
+                let view = View::new(v, graph.neighbors(v), states);
+                proto.step(view).map(|m| (v, m))
+            })
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Vec<(Node, Move<P::State>)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk)
+            .map(|span| {
+                scope.spawn(move || {
+                    span.iter()
+                        .filter_map(|&v| {
+                            let view = View::new(v, graph.neighbors(v), states);
+                            proto.step(view).map(|m| (v, m))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    partials.concat()
 }
 
 #[cfg(test)]

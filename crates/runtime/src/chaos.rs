@@ -1,0 +1,599 @@
+//! Deterministic chaos injection for the sharded runtime.
+//!
+//! A [`FaultPlan`] describes an adversary acting on the live execution: it
+//! drops, duplicates, delays, or bit-corrupts beacon frames at the channel
+//! boundary, and crashes shard workers mid-run (the worker loses *all* of
+//! its state and rehydrates every entry — owned and ghost — from
+//! [`Protocol::arbitrary_state`]).
+//! Stale cached beacons, garbage restart states, and re-ordered deliveries
+//! are exactly the transient faults the paper's self-stabilization theorems
+//! tolerate, so a legitimate run must re-converge from any of them.
+//!
+//! **Every decision is a pure hash.** The fate of a frame is a
+//! splitmix64-style hash of `(seed, round, node, target shard)` mapped to
+//! `[0, 1)` and partitioned into `[drop][dup][delay][corrupt][clean]`
+//! bands. No RNG state is threaded through the workers, so the injected
+//! fault sequence is identical regardless of thread interleaving, and a
+//! run with the same plan is reproducible frame for frame. When no plan is
+//! installed the executor never consults this module — the clean hot path
+//! is byte-for-byte the non-chaos executor.
+//!
+//! **Why the runtime still terminates correctly.** Under a plan, each
+//! sender tracks the value each receiver's ghost actually holds (it can:
+//! fates are sender-side and deterministic). A boundary beacon is sent
+//! whenever that model disagrees with the node's current state, so a
+//! dropped or corrupted frame is automatically re-broadcast until it
+//! lands, and the run is not allowed to report `Stabilized` while any
+//! ghost is known-stale, any delayed frame is still buffered, or any crash
+//! is still scheduled. See `DESIGN.md` §9.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_engine::active::Schedule;
+use selfstab_engine::chaos::{ChaosRun, ChurnSchedule};
+use selfstab_engine::obs::{Observer, RoundStats};
+use selfstab_engine::protocol::{InitialState, Protocol, WireState};
+use selfstab_engine::sync::{Outcome, Run};
+use selfstab_graph::{Graph, Node};
+
+use crate::executor::{RuntimeError, RuntimeExecutor};
+
+/// What the chaos layer decided to do with one outbound beacon frame.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Deliver normally.
+    Deliver,
+    /// Do not send; the receiver keeps its cached ghost.
+    Drop,
+    /// Send two identical copies.
+    Duplicate,
+    /// Buffer sender-side; deliver `delay_rounds` rounds later (tagged with
+    /// the delivery round, so the round-tag invariant still holds).
+    Delay,
+    /// Flip the version byte and XOR the payload; the receiver's strict
+    /// decode detects and discards the frame.
+    Corrupt,
+}
+
+/// One scheduled worker crash: at the start of round `round` (0-based, the
+/// same clock as `max_rounds`), shard `shard`'s worker loses its state and
+/// restarts with arbitrary rehydration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Shard whose worker crashes.
+    pub shard: usize,
+    /// Round at which the crash fires.
+    pub round: usize,
+}
+
+impl CrashSpec {
+    /// Parse the CLI form `SHARD@ROUND`, e.g. `1@5`.
+    pub fn parse(spec: &str) -> Result<CrashSpec, String> {
+        let (shard, round) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("bad crash spec '{spec}' (expected SHARD@ROUND, e.g. 1@5)"))?;
+        let shard = shard
+            .parse::<usize>()
+            .map_err(|_| format!("bad crash shard '{shard}' (expected a shard index)"))?;
+        let round = round
+            .parse::<usize>()
+            .map_err(|_| format!("bad crash round '{round}' (expected a round number)"))?;
+        Ok(CrashSpec { shard, round })
+    }
+}
+
+/// A deterministic, seeded description of the faults to inject into a run.
+///
+/// Probabilities are per-frame; `drop + dup + delay_p + corrupt` must not
+/// exceed 1. All round fields are in absolute rounds on the executor's
+/// clock (round 0 evaluates the initial states).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Per-frame probability of [`FrameFate::Drop`].
+    pub drop: f64,
+    /// Per-frame probability of [`FrameFate::Duplicate`].
+    pub dup: f64,
+    /// Per-frame probability of [`FrameFate::Delay`].
+    pub delay_p: f64,
+    /// How many rounds a delayed frame is buffered before delivery.
+    pub delay_rounds: usize,
+    /// Per-frame probability of [`FrameFate::Corrupt`].
+    pub corrupt: f64,
+    /// Frame chaos applies only while `round <= until`; `None` means the
+    /// whole run. (Crashes fire at their own rounds regardless.)
+    pub until: Option<usize>,
+    /// Scheduled worker crash-restarts.
+    pub crashes: Vec<CrashSpec>,
+    /// Seed mixed into every per-frame fate hash and every restart RNG.
+    pub seed: u64,
+    /// Added to relative rounds before hashing — composition hook for
+    /// drivers that run the plan in segments (mid-run churn rebuilds the
+    /// executor; the plan's clock must keep counting absolute rounds).
+    round_offset: usize,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (builder starting point).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            drop: 0.0,
+            dup: 0.0,
+            delay_p: 0.0,
+            delay_rounds: 0,
+            corrupt: 0.0,
+            until: None,
+            crashes: Vec::new(),
+            seed,
+            round_offset: 0,
+        }
+    }
+
+    /// Set the per-frame drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Set the per-frame duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// Set the per-frame delay probability and the delay length in rounds.
+    pub fn with_delay(mut self, p: f64, rounds: usize) -> Self {
+        self.delay_p = p;
+        self.delay_rounds = rounds;
+        self
+    }
+
+    /// Set the per-frame corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Stop injecting frame chaos after round `until` (inclusive).
+    pub fn with_until(mut self, until: usize) -> Self {
+        self.until = Some(until);
+        self
+    }
+
+    /// Schedule a worker crash-restart.
+    pub fn with_crash(mut self, shard: usize, round: usize) -> Self {
+        self.crashes.push(CrashSpec { shard, round });
+        self
+    }
+
+    /// Shift the plan's round clock: a driver running the plan in segments
+    /// (e.g. mid-run churn, which rebuilds the executor per epoch) passes
+    /// the segment's starting absolute round so hashes, `until`, and crash
+    /// rounds stay on the global clock.
+    pub fn with_round_offset(mut self, offset: usize) -> Self {
+        self.round_offset = offset;
+        self
+    }
+
+    /// Parse the CLI spec `key=value[,key=value...]` with keys `drop`,
+    /// `dup`, `delay` (rounds; enables delaying with probability 0.1 unless
+    /// `delayp` overrides it), `delayp`, `corrupt`, `until`.
+    pub fn parse_spec(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(seed);
+        let mut delay_p_explicit = false;
+        if spec.trim().is_empty() {
+            return Err("empty chaos spec (try e.g. drop=0.1,dup=0.02,delay=2)".into());
+        }
+        for part in spec.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad chaos spec item '{part}' (expected key=value)"))?;
+            let fprob = || {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad chaos probability '{value}' for '{key}'"))
+            };
+            match key.trim() {
+                "drop" => plan.drop = fprob()?,
+                "dup" => plan.dup = fprob()?,
+                "corrupt" => plan.corrupt = fprob()?,
+                "delayp" => {
+                    plan.delay_p = fprob()?;
+                    delay_p_explicit = true;
+                }
+                "delay" => {
+                    plan.delay_rounds = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad chaos delay '{value}' (expected rounds)"))?;
+                }
+                "until" => {
+                    plan.until = Some(value.parse::<usize>().map_err(|_| {
+                        format!("bad chaos until '{value}' (expected a round number)")
+                    })?);
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos key '{other}' (expected drop|dup|delay|delayp|corrupt|until)"
+                    ))
+                }
+            }
+        }
+        if plan.delay_rounds > 0 && !delay_p_explicit {
+            plan.delay_p = 0.1;
+        }
+        plan.check_probabilities()?;
+        Ok(plan)
+    }
+
+    /// Validate probability bands. Shard bounds are checked by the executor
+    /// (which knows its shard count).
+    pub fn check_probabilities(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("dup", self.dup),
+            ("delayp", self.delay_p),
+            ("corrupt", self.corrupt),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("chaos probability {name}={p} is not in [0, 1]"));
+            }
+        }
+        let total = self.drop + self.dup + self.delay_p + self.corrupt;
+        if total > 1.0 {
+            return Err(format!(
+                "chaos probabilities sum to {total} > 1 (drop + dup + delayp + corrupt)"
+            ));
+        }
+        if self.delay_p > 0.0 && self.delay_rounds == 0 {
+            return Err("chaos delayp > 0 requires delay=K rounds (K >= 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Whether any per-frame fault has nonzero probability.
+    pub fn has_frame_chaos(&self) -> bool {
+        self.drop > 0.0 || self.dup > 0.0 || self.delay_p > 0.0 || self.corrupt > 0.0
+    }
+
+    /// Whether frame chaos applies in (relative) round `round`.
+    pub fn frames_hot(&self, round: usize) -> bool {
+        self.has_frame_chaos() && self.until.is_none_or(|u| round + self.round_offset <= u)
+    }
+
+    /// The fate of the beacon `node` sends toward shard `target` in
+    /// (relative) round `round`. Pure in its inputs and the plan seed.
+    pub fn fate(&self, round: usize, node: Node, target: usize) -> FrameFate {
+        if !self.frames_hot(round) {
+            return FrameFate::Deliver;
+        }
+        let h = self.frame_hash(round, node, target);
+        // 53 uniform mantissa bits; the same draw is partitioned into the
+        // fault bands so band boundaries move smoothly with the rates.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.drop {
+            FrameFate::Drop
+        } else if u < self.drop + self.dup {
+            FrameFate::Duplicate
+        } else if u < self.drop + self.dup + self.delay_p {
+            FrameFate::Delay
+        } else if u < self.drop + self.dup + self.delay_p + self.corrupt {
+            FrameFate::Corrupt
+        } else {
+            FrameFate::Deliver
+        }
+    }
+
+    /// Corrupt an encoded frame in place: flip the version byte (so the
+    /// strict decode *must* reject the frame as [`WireError::Header`])
+    /// and XOR the payload with hash bytes for realism. The length field is
+    /// left intact so a chaos-aware receiver can skip the frame and keep
+    /// walking the batch (see [`crate::wire::frame_extent`]).
+    ///
+    /// [`WireError::Header`]: selfstab_engine::protocol::WireError::Header
+    pub fn corrupt_frame(&self, round: usize, node: Node, frame: &mut [u8]) {
+        debug_assert!(frame.len() >= crate::wire::HEADER_LEN);
+        frame[0] ^= 0xA5;
+        let mut h = self.frame_hash(round, node, usize::MAX);
+        for b in frame.iter_mut().skip(crate::wire::HEADER_LEN) {
+            *b ^= (h & 0xFF) as u8;
+            h = h.rotate_right(8);
+        }
+    }
+
+    /// Shards whose workers crash at (relative) round `round`.
+    pub fn crashes_at(&self, round: usize) -> impl Iterator<Item = usize> + '_ {
+        let abs = round + self.round_offset;
+        self.crashes
+            .iter()
+            .filter(move |c| c.round == abs)
+            .map(|c| c.shard)
+    }
+
+    /// Whether any crash is scheduled strictly after (relative) round
+    /// `round` — such a crash must keep the run alive even if the protocol
+    /// has already quiesced, so the fault actually fires.
+    pub fn crash_pending(&self, round: usize) -> bool {
+        let abs = round + self.round_offset;
+        self.crashes.iter().any(|c| c.round > abs)
+    }
+
+    /// Deterministic seed for shard `shard`'s arbitrary-state rehydration
+    /// after a crash at (relative) round `round`.
+    pub fn restart_seed(&self, shard: usize, round: usize) -> u64 {
+        let mut h = splitmix64(self.seed ^ 0xC3A5_C85C_97CB_3127);
+        h = splitmix64(h ^ (round + self.round_offset) as u64);
+        splitmix64(h ^ shard as u64)
+    }
+
+    fn frame_hash(&self, round: usize, node: Node, target: usize) -> u64 {
+        let mut h = splitmix64(self.seed);
+        h = splitmix64(h ^ (round + self.round_offset) as u64);
+        h = splitmix64(h ^ u64::from(node.0));
+        splitmix64(h ^ target as u64)
+    }
+}
+
+/// The splitmix64 output function: a cheap, statistically solid bijection
+/// on u64 (Steele et al., "Fast splittable pseudorandom number
+/// generators"). Used as a stateless hash so fault decisions need no RNG
+/// object and no ordering between workers.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Forwards observer hooks with the round index shifted by the absolute
+/// round of the current churn segment, and swallows per-segment
+/// `on_finish` calls (the driver fires the real one once, at the end).
+struct OffsetObserver<'a, O> {
+    inner: &'a mut O,
+    base: usize,
+}
+
+impl<S, O: Observer<S>> Observer<S> for OffsetObserver<'_, O> {
+    const ENABLED: bool = O::ENABLED;
+
+    fn on_round_start(&mut self, round: usize, states: &[S]) {
+        self.inner.on_round_start(self.base + round, states);
+    }
+
+    fn on_move(&mut self, node: Node, rule: usize, next: &S) {
+        self.inner.on_move(node, rule, next);
+    }
+
+    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
+        let mut shifted = stats.clone();
+        shifted.round += self.base;
+        self.inner.on_round_end(&shifted, states);
+    }
+
+    fn on_finish(&mut self, _outcome: &Outcome, _states: &[S]) {}
+}
+
+/// Sharded execution under live topology churn (and, optionally, a frame/
+/// crash [`FaultPlan`] on top).
+///
+/// The run is segmented at churn boundaries: each segment is a normal
+/// [`RuntimeExecutor`] run of at most `churn.every` rounds on the current
+/// graph, the final states carry over explicitly, and the fault plan's
+/// round offset is advanced so frame fates and crash rounds stay on the
+/// *absolute* round clock across segments. Between segments the schedule's
+/// connectivity-preserving [`TopologyEvent`]s mutate the owned graph;
+/// every segment starts from a full active worklist, a sound superset of
+/// the churned endpoints' closed neighborhoods.
+///
+/// Semantics (outcome, rounds, final states) match the serial reference
+/// [`selfstab_engine::chaos::run_churned_serial`] exactly when no fault
+/// plan is installed — asserted by tests at 1–8 shards.
+///
+/// [`TopologyEvent`]: selfstab_graph::mutate::TopologyEvent
+#[allow(clippy::too_many_arguments)]
+pub fn run_churned_sharded<P: Protocol, O: Observer<P::State>>(
+    graph: &Graph,
+    proto: &P,
+    shards: usize,
+    schedule: Schedule,
+    channel_cap: Option<usize>,
+    fault: Option<&FaultPlan>,
+    churn: &ChurnSchedule,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+    obs: &mut O,
+) -> Result<ChaosRun<P::State>, RuntimeError>
+where
+    P::State: WireState,
+{
+    churn
+        .validate()
+        .map_err(|reason| RuntimeError::InvalidPlan { reason })?;
+    let mut graph = graph.clone();
+    let mut states = init.materialize(&graph, proto);
+    let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
+    let mut rng = StdRng::seed_from_u64(churn.seed);
+    let mut events = Vec::new();
+    let mut last_fault_round = 0usize;
+    let mut epochs_done = 0usize;
+    let mut base = 0usize;
+
+    let (outcome, rounds) = loop {
+        let remaining = max_rounds - base;
+        let seg_cap = if epochs_done < churn.epochs {
+            churn.every.min(remaining)
+        } else {
+            remaining
+        };
+        let mut exec = RuntimeExecutor::new(&graph, proto, shards).with_schedule(schedule);
+        if let Some(cap) = channel_cap {
+            exec = exec.with_channel_cap(cap);
+        }
+        if let Some(f) = fault {
+            exec = exec.with_chaos(f.clone().with_round_offset(base));
+        }
+        let mut seg_obs = OffsetObserver { inner: obs, base };
+        let run = exec.run_observed(InitialState::Explicit(states), seg_cap, &mut seg_obs)?;
+        for (acc, &m) in moves_per_rule.iter_mut().zip(&run.moves_per_rule) {
+            *acc += m;
+        }
+        states = run.final_states;
+
+        if epochs_done >= churn.epochs || base + churn.every > max_rounds {
+            // Final stretch, or the next boundary is beyond the budget: the
+            // segment outcome is the run outcome (a RoundLimit here is a
+            // real one — the absolute budget is exhausted).
+            break (run.outcome, base + run.rounds);
+        }
+        // Advance to the churn boundary. A stabilized segment fast-forwards
+        // the quiescent gap (those rounds are move-free by definition); a
+        // segment-capped RoundLimit simply reached the boundary with moves
+        // still pending.
+        base += churn.every;
+        let applied = churn.churn.apply(&mut graph, churn.events, &mut rng);
+        epochs_done += 1;
+        if !applied.is_empty() {
+            last_fault_round = base;
+        }
+        for ev in applied {
+            events.push((base, ev));
+        }
+    };
+    obs.on_finish(&outcome, &states);
+    Ok(ChaosRun {
+        run: Run {
+            final_states: states,
+            rounds,
+            moves_per_rule,
+            outcome,
+            trace: None,
+        },
+        graph,
+        events,
+        last_fault_round,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{frame_extent, Beacon, HEADER_LEN};
+    use selfstab_engine::protocol::WireError;
+
+    #[test]
+    fn parse_spec_full_form() {
+        let p = FaultPlan::parse_spec("drop=0.1,dup=0.02,delay=2,corrupt=0.01,until=40", 7)
+            .expect("valid spec");
+        assert_eq!(p.drop, 0.1);
+        assert_eq!(p.dup, 0.02);
+        assert_eq!(p.delay_rounds, 2);
+        assert_eq!(p.delay_p, 0.1, "delay=K implies delayp=0.1 by default");
+        assert_eq!(p.corrupt, 0.01);
+        assert_eq!(p.until, Some(40));
+        assert_eq!(p.seed, 7);
+        let q = FaultPlan::parse_spec("delay=3,delayp=0.5", 0).expect("valid spec");
+        assert_eq!((q.delay_p, q.delay_rounds), (0.5, 3));
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed() {
+        assert!(FaultPlan::parse_spec("", 0).is_err());
+        assert!(FaultPlan::parse_spec("drop", 0).is_err());
+        assert!(FaultPlan::parse_spec("drop=x", 0).is_err());
+        assert!(FaultPlan::parse_spec("warp=0.1", 0).is_err());
+        assert!(FaultPlan::parse_spec("drop=1.5", 0).is_err());
+        assert!(FaultPlan::parse_spec("drop=0.6,dup=0.6", 0).is_err());
+        assert!(
+            FaultPlan::parse_spec("delayp=0.1", 0).is_err(),
+            "delayp without delay rounds"
+        );
+    }
+
+    #[test]
+    fn crash_spec_parses() {
+        assert_eq!(
+            CrashSpec::parse("1@5"),
+            Ok(CrashSpec { shard: 1, round: 5 })
+        );
+        assert!(CrashSpec::parse("15").is_err());
+        assert!(CrashSpec::parse("a@5").is_err());
+        assert!(CrashSpec::parse("1@b").is_err());
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_respect_until() {
+        let p = FaultPlan::new(42).with_drop(0.5).with_until(10);
+        let a: Vec<_> = (0..64).map(|r| p.fate(r, Node(3), 1)).collect();
+        let b: Vec<_> = (0..64).map(|r| p.fate(r, Node(3), 1)).collect();
+        assert_eq!(a, b, "pure hash: same inputs, same fates");
+        assert!(a[..11].contains(&FrameFate::Drop), "50% drop hits");
+        assert!(
+            a[11..].iter().all(|f| *f == FrameFate::Deliver),
+            "no chaos after until"
+        );
+        // The offset shifts the clock: relative round 0 at offset 11 is
+        // absolute round 11, past `until`.
+        let shifted = p.clone().with_round_offset(11);
+        assert_eq!(shifted.fate(0, Node(3), 1), FrameFate::Deliver);
+        assert_eq!(
+            shifted.clone().with_round_offset(4).fate(2, Node(3), 1),
+            p.fate(6, Node(3), 1)
+        );
+    }
+
+    #[test]
+    fn band_partition_covers_all_fates() {
+        let p = FaultPlan::new(1)
+            .with_drop(0.25)
+            .with_dup(0.25)
+            .with_delay(0.25, 2)
+            .with_corrupt(0.2);
+        let mut seen = [0usize; 5];
+        for r in 0..400 {
+            let idx = match p.fate(r, Node(0), 0) {
+                FrameFate::Drop => 0,
+                FrameFate::Duplicate => 1,
+                FrameFate::Delay => 2,
+                FrameFate::Corrupt => 3,
+                FrameFate::Deliver => 4,
+            };
+            seen[idx] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all bands drawn: {seen:?}");
+    }
+
+    #[test]
+    fn corrupt_frame_is_detected_and_skippable() {
+        let beacon = Beacon {
+            round: 3,
+            node: Node(9),
+            state: 0xDEAD_BEEFu32,
+        };
+        let mut bytes = beacon.encode().unwrap();
+        let clean_len = bytes.len();
+        let p = FaultPlan::new(5).with_corrupt(1.0);
+        p.corrupt_frame(3, Node(9), &mut bytes);
+        // The strict decode rejects the frame through the Wire error path.
+        assert_eq!(
+            Beacon::<u32>::decode_prefix(&bytes),
+            Err(WireError::Header("version"))
+        );
+        // But the length field is intact, so a batch walker can skip it.
+        assert_eq!(frame_extent(&bytes), Some(clean_len));
+        assert!(bytes[HEADER_LEN..] != beacon.encode().unwrap()[HEADER_LEN..]);
+    }
+
+    #[test]
+    fn crash_queries() {
+        let p = FaultPlan::new(0).with_crash(1, 5).with_crash(0, 9);
+        assert_eq!(p.crashes_at(5).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.crashes_at(4).count(), 0);
+        assert!(p.crash_pending(5), "crash at 9 still pending");
+        assert!(!p.crash_pending(9));
+        let shifted = p.with_round_offset(4);
+        assert_eq!(shifted.crashes_at(1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            shifted.restart_seed(1, 1),
+            FaultPlan::new(0).restart_seed(1, 5),
+            "restart seeds are on the absolute clock"
+        );
+    }
+}

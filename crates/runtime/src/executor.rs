@@ -57,7 +57,10 @@
 
 use crate::barrier::PoisonBarrier;
 use crate::channel::{bounded, Receiver, Sender, TrySendError};
-use crate::wire::Beacon;
+use crate::chaos::{FaultPlan, FrameFate};
+use crate::wire::{frame_extent, Beacon};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfstab_core::partition::Partition;
 use selfstab_engine::active::{ActiveSet, Schedule};
 use selfstab_engine::obs::{Observer, RoundStats, RuntimeCounters};
@@ -117,6 +120,13 @@ pub enum RuntimeError {
         /// Shard that observed the teardown.
         shard: usize,
     },
+    /// The configured [`FaultPlan`] is inconsistent with this executor
+    /// (out-of-range probabilities or a crash aimed at a nonexistent
+    /// shard); rejected before any worker spawns.
+    InvalidPlan {
+        /// What was wrong with the plan.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -141,6 +151,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Aborted { shard } => {
                 write!(f, "shard {shard}: aborted after a peer shard failed")
             }
+            RuntimeError::InvalidPlan { reason } => write!(f, "invalid fault plan: {reason}"),
         }
     }
 }
@@ -158,7 +169,9 @@ impl std::error::Error for RuntimeError {
 /// coordinator reports the highest-ranked one.
 fn error_rank(e: &RuntimeError) -> u8 {
     match e {
-        RuntimeError::Wire { .. } | RuntimeError::RoundTag { .. } => 3,
+        RuntimeError::Wire { .. }
+        | RuntimeError::RoundTag { .. }
+        | RuntimeError::InvalidPlan { .. } => 3,
         RuntimeError::MaxRoundsOverflow { .. } => 2,
         RuntimeError::WorkerPanic { .. } => 1,
         RuntimeError::Aborted { .. } => 0,
@@ -176,6 +189,7 @@ where
     partition: Partition,
     channel_cap: usize,
     schedule: Schedule,
+    chaos: Option<FaultPlan>,
 }
 
 /// Everything a worker thread needs to run its shard.
@@ -201,6 +215,14 @@ struct RoundJournal<S> {
     bytes: u64,
     max_depth: u64,
     duration_micros: u64,
+    /// Chaos counters for this round's exchange (all zero without a plan).
+    dropped: u64,
+    duped: u64,
+    delayed: u64,
+    corrupted: u64,
+    /// The rehydrated owned states, when this worker crash-restarted at the
+    /// top of this round (replay applies them before the round's moves).
+    restart: Option<Vec<(Node, S)>>,
 }
 
 /// What a worker hands back to the coordinator.
@@ -230,6 +252,7 @@ where
             partition: Partition::coarsened(graph, shards),
             channel_cap: DEFAULT_CHANNEL_CAP,
             schedule: Schedule::default(),
+            chaos: None,
         }
     }
 
@@ -248,6 +271,19 @@ where
     /// identical; only evaluations and wire traffic differ.
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Install a deterministic chaos [`FaultPlan`]: dropped / duplicated /
+    /// delayed / bit-corrupted boundary beacons and scheduled shard
+    /// crash-restarts. With no plan the executor is byte-for-byte the clean
+    /// runtime (no per-frame decision is ever consulted); with a plan the
+    /// run stays fully deterministic in the plan's seed. The plan is
+    /// validated by [`RuntimeExecutor::run`], which returns
+    /// [`RuntimeError::InvalidPlan`] for out-of-range probabilities or a
+    /// crash aimed at a nonexistent shard.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -345,8 +381,18 @@ where
         if u32::try_from(max_rounds).is_err() {
             return Err(RuntimeError::MaxRoundsOverflow { max_rounds });
         }
-        let initial = init.materialize(self.graph, self.proto);
         let k = self.partition.k();
+        if let Some(fault) = &self.chaos {
+            fault
+                .check_probabilities()
+                .map_err(|reason| RuntimeError::InvalidPlan { reason })?;
+            if let Some(c) = fault.crashes.iter().find(|c| c.shard >= k) {
+                return Err(RuntimeError::InvalidPlan {
+                    reason: format!("crash shard {} out of range (shards = {k})", c.shard),
+                });
+            }
+        }
+        let initial = init.materialize(self.graph, self.proto);
         let plans = self.plans();
 
         // One bounded mailbox per shard; every worker can send to every
@@ -366,6 +412,7 @@ where
         let accum = [AtomicU64::new(0), AtomicU64::new(0)];
         let journal_enabled = O::ENABLED;
         let schedule = self.schedule;
+        let fault = self.chaos.as_ref();
 
         let results: Vec<Result<WorkerOut<P::State>, RuntimeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = plans
@@ -391,6 +438,7 @@ where
                                 max_rounds,
                                 schedule,
                                 journal_enabled,
+                                fault,
                             },
                             states,
                         )
@@ -475,6 +523,37 @@ struct ShardCtx<'scope, P: Protocol> {
     max_rounds: usize,
     schedule: Schedule,
     journal_enabled: bool,
+    fault: Option<&'scope FaultPlan>,
+}
+
+/// A delayed beacon buffered sender-side by chaos injection.
+struct DelayedFrame<S> {
+    deliver_round: usize,
+    /// Index into `ShardPlan::sends`.
+    slot: usize,
+    /// Index of the node within that send entry's node list.
+    pos: usize,
+    node: Node,
+    state: S,
+}
+
+/// Per-worker chaos bookkeeping, allocated only when a plan is installed.
+///
+/// `acked[slot][pos]` models the value the target shard's ghost of that
+/// boundary node *actually* holds, maintained from the sender-side fate
+/// decisions (which are deterministic, so the model is exact): delivered
+/// and duplicated frames update it, dropped and corrupted frames leave it,
+/// delayed frames update it at delivery. `None` means unknown (the target
+/// crashed and rehydrated arbitrary ghosts). A boundary beacon is
+/// (re-)sent whenever the model disagrees with the node's current state,
+/// which is what repairs chaos losses; and the run may not report
+/// `Stabilized` while any entry disagrees — that is the signal preventing
+/// false stabilization on stale ghosts.
+struct ChaosState<S> {
+    acked: Vec<Vec<Option<S>>>,
+    delayed: Vec<DelayedFrame<S>>,
+    /// Whether the last exchange left any `acked` entry out of sync.
+    lagging: bool,
 }
 
 /// Poisons the barrier if the worker unwinds, so peers parked on it fail
@@ -528,8 +607,25 @@ where
         max_rounds,
         schedule,
         journal_enabled,
+        fault,
     } = ctx;
     let n = states.len();
+    // Chaos bookkeeping; ghosts are seeded from the shared initial state,
+    // so every modeled ghost starts in sync.
+    let mut chaos: Option<ChaosState<P::State>> = fault.map(|_| ChaosState {
+        acked: plan
+            .sends
+            .iter()
+            .map(|(_, nodes)| {
+                nodes
+                    .iter()
+                    .map(|&v| Some(states[v.index()].clone()))
+                    .collect()
+            })
+            .collect(),
+        delayed: Vec::new(),
+        lagging: false,
+    });
     let mut owned_mask = vec![false; n];
     for &v in &plan.owned {
         owned_mask[v.index()] = true;
@@ -548,6 +644,62 @@ where
     let abort = |shard| RuntimeError::Aborted { shard };
     let outcome = loop {
         let timer = journal_enabled.then(std::time::Instant::now);
+
+        // Injected crash-restarts fire at the top of the round, before
+        // evaluation. Every worker consults the same plan, so the peers of
+        // a crashed shard know to distrust their model of its ghosts. An
+        // injected crash never touches the barrier: the round protocol
+        // resumes with the rehydrated worker, while a *real* panic still
+        // poisons the barrier through the PanicGuard.
+        let mut pending_restart: Option<Vec<(Node, P::State)>> = None;
+        if let (Some(f), Some(ch)) = (fault, chaos.as_mut()) {
+            if round < max_rounds {
+                for crashed in f.crashes_at(round) {
+                    if crashed == shard {
+                        // This worker "crashes": it loses every state entry
+                        // — owned and ghost — and rehydrates arbitrarily,
+                        // exactly the adversarial restart of the paper's
+                        // fault model.
+                        let mut rng = StdRng::seed_from_u64(f.restart_seed(shard, round));
+                        for v in graph.nodes() {
+                            states[v.index()] =
+                                proto.arbitrary_state(v, graph.neighbors(v), &mut rng);
+                        }
+                        // A restarted node has no memory of who it told
+                        // what: rebroadcast everything until re-acked.
+                        for row in &mut ch.acked {
+                            row.fill(None);
+                        }
+                        ch.delayed.clear();
+                        ch.lagging = true;
+                        // Every owned node must re-enter evaluation.
+                        if let Some((cur, _, _)) = active.as_mut() {
+                            for &v in &plan.owned {
+                                cur.insert(v);
+                            }
+                            cur.seal();
+                        }
+                        if journal_enabled {
+                            pending_restart = Some(
+                                plan.owned
+                                    .iter()
+                                    .map(|&v| (v, states[v.index()].clone()))
+                                    .collect(),
+                            );
+                        }
+                    } else {
+                        // A peer crashed: its ghosts of our boundary nodes
+                        // are garbage now, whatever we delivered before.
+                        for (si, (t, _)) in plan.sends.iter().enumerate() {
+                            if *t == crashed {
+                                ch.acked[si].fill(None);
+                                ch.lagging = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
         let mut evaluated = 0usize;
         let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
@@ -575,8 +727,17 @@ where
             }
         }
 
+        // Under a chaos plan a worker must keep the run alive — even with
+        // zero privileged nodes anywhere — while a receiver's ghost is
+        // known-stale (lost frames awaiting re-broadcast), a delayed frame
+        // is still buffered, or a crash is still scheduled. Otherwise the
+        // run could report `Stabilized` from views the faults made stale.
+        let signal = match (fault, chaos.as_ref()) {
+            (Some(f), Some(ch)) => ch.lagging || !ch.delayed.is_empty() || f.crash_pending(round),
+            _ => false,
+        };
         let slot = &accum[round % 2];
-        slot.fetch_add(moves.len() as u64, Ordering::SeqCst);
+        slot.fetch_add(moves.len() as u64 + u64::from(signal), Ordering::SeqCst);
         barrier.wait().map_err(|_| abort(shard))?;
         let total = slot.load(Ordering::SeqCst);
         if barrier.wait().map_err(|_| abort(shard))? {
@@ -627,6 +788,8 @@ where
             &mut states,
             moved_mask,
             next_active,
+            fault,
+            chaos.as_mut(),
         )?;
 
         if let Some((cur, next, moved)) = active.as_mut() {
@@ -648,6 +811,11 @@ where
                 bytes: xch.bytes,
                 max_depth: xch.max_depth,
                 duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
+                dropped: xch.dropped,
+                duped: xch.duped,
+                delayed: xch.delayed,
+                corrupted: xch.corrupted,
+                restart: pending_restart,
             });
         }
     };
@@ -671,6 +839,10 @@ struct ExchangeStats {
     suppressed: u64,
     bytes: u64,
     max_depth: u64,
+    dropped: u64,
+    duped: u64,
+    delayed: u64,
+    corrupted: u64,
 }
 
 /// Pump the post-round boundary states out and the neighbors' in. Never
@@ -692,6 +864,8 @@ fn exchange<P: Protocol>(
     states: &mut [P::State],
     moved: Option<&[bool]>,
     mut next_active: Option<&mut ActiveSet>,
+    fault: Option<&FaultPlan>,
+    mut chaos: Option<&mut ChaosState<P::State>>,
 ) -> Result<ExchangeStats, RuntimeError>
 where
     P::State: WireState,
@@ -701,6 +875,10 @@ where
         suppressed: 0,
         bytes: 0,
         max_depth: 0,
+        dropped: 0,
+        duped: 0,
+        delayed: 0,
+        corrupted: 0,
     };
     // Exact: run_observed rejects max_rounds beyond u32 up front.
     let round_tag = round as u32;
@@ -713,25 +891,108 @@ where
 
         if pending.is_none() && next < plan.sends.len() {
             // Batch every beacon bound for shard `t` into one message.
-            let (t, nodes) = &plan.sends[next];
+            let si = next;
+            let (t, nodes) = &plan.sends[si];
             next += 1;
             let mut batch = Vec::with_capacity(nodes.len() * (crate::wire::HEADER_LEN + 8));
             let mut frames = 0u64;
-            for &v in nodes {
-                if let Some(moved) = moved {
-                    if !moved[v.index()] {
+            if let (Some(f), Some(ch)) = (fault, chaos.as_deref_mut()) {
+                // Chaos path. First re-deliver any frames whose delay
+                // expires this round, *before* fresh frames, so a fresh
+                // value for the same node deterministically wins.
+                let mut di = 0;
+                while di < ch.delayed.len() {
+                    if ch.delayed[di].slot == si && ch.delayed[di].deliver_round == round {
+                        let d = ch.delayed.remove(di);
+                        Beacon {
+                            // Tagged with the *delivery* round: the staleness
+                            // is in the value, the frame itself obeys the
+                            // one-round-in-flight invariant.
+                            round: round_tag,
+                            node: d.node,
+                            state: d.state.clone(),
+                        }
+                        .encode_into(&mut batch)
+                        .map_err(|error| RuntimeError::Wire { shard, error })?;
+                        frames += 1;
+                        ch.acked[si][d.pos] = Some(d.state);
+                    } else {
+                        di += 1;
+                    }
+                }
+                // Fresh frames: under the active schedule, a beacon is sent
+                // iff the modeled receiver ghost disagrees with the current
+                // state — which both restores delta suppression *and*
+                // re-broadcasts anything chaos lost until it lands. The
+                // full schedule stays paper-literal and sends everything.
+                for (j, &v) in nodes.iter().enumerate() {
+                    let cur = &states[v.index()];
+                    if moved.is_some() && ch.acked[si][j].as_ref() == Some(cur) {
                         stats.suppressed += 1;
                         continue;
                     }
+                    match f.fate(round, v, *t) {
+                        FrameFate::Drop => stats.dropped += 1,
+                        FrameFate::Delay => {
+                            ch.delayed.push(DelayedFrame {
+                                deliver_round: round + f.delay_rounds,
+                                slot: si,
+                                pos: j,
+                                node: v,
+                                state: cur.clone(),
+                            });
+                            stats.delayed += 1;
+                        }
+                        fate @ (FrameFate::Deliver | FrameFate::Duplicate) => {
+                            let copies = if fate == FrameFate::Duplicate { 2 } else { 1 };
+                            for _ in 0..copies {
+                                Beacon {
+                                    round: round_tag,
+                                    node: v,
+                                    state: cur.clone(),
+                                }
+                                .encode_into(&mut batch)
+                                .map_err(|error| RuntimeError::Wire { shard, error })?;
+                                frames += 1;
+                            }
+                            if copies == 2 {
+                                stats.duped += 1;
+                            }
+                            ch.acked[si][j] = Some(cur.clone());
+                        }
+                        FrameFate::Corrupt => {
+                            let start = batch.len();
+                            Beacon {
+                                round: round_tag,
+                                node: v,
+                                state: cur.clone(),
+                            }
+                            .encode_into(&mut batch)
+                            .map_err(|error| RuntimeError::Wire { shard, error })?;
+                            f.corrupt_frame(round, v, &mut batch[start..]);
+                            frames += 1;
+                            // The receiver detects and discards the frame;
+                            // `acked` stays stale, forcing a re-broadcast.
+                        }
+                    }
                 }
-                Beacon {
-                    round: round_tag,
-                    node: v,
-                    state: states[v.index()].clone(),
+            } else {
+                for &v in nodes {
+                    if let Some(moved) = moved {
+                        if !moved[v.index()] {
+                            stats.suppressed += 1;
+                            continue;
+                        }
+                    }
+                    Beacon {
+                        round: round_tag,
+                        node: v,
+                        state: states[v.index()].clone(),
+                    }
+                    .encode_into(&mut batch)
+                    .map_err(|error| RuntimeError::Wire { shard, error })?;
+                    frames += 1;
                 }
-                .encode_into(&mut batch)
-                .map_err(|error| RuntimeError::Wire { shard, error })?;
-                frames += 1;
             }
             pending = Some((*t, frames, batch));
         }
@@ -754,8 +1015,25 @@ where
         while let Some(bytes) = mailbox.try_recv() {
             let mut rest = &bytes[..];
             while !rest.is_empty() {
-                let (beacon, used) = Beacon::<P::State>::decode_prefix(rest)
-                    .map_err(|error| RuntimeError::Wire { shard, error })?;
+                let (beacon, used) = match Beacon::<P::State>::decode_prefix(rest) {
+                    Ok(decoded) => decoded,
+                    Err(error) => {
+                        // Under a fault plan a bit-corrupted frame is an
+                        // *expected* event: strict decoding is the detection
+                        // mechanism, and the untouched length field lets us
+                        // discard exactly the bad frame and keep walking the
+                        // batch. Without a plan (or if the extent itself is
+                        // gone) a malformed frame is still fatal.
+                        if fault.is_some() {
+                            if let Some(extent) = frame_extent(rest) {
+                                stats.corrupted += 1;
+                                rest = &rest[extent..];
+                                continue;
+                            }
+                        }
+                        return Err(RuntimeError::Wire { shard, error });
+                    }
+                };
                 if beacon.round != round_tag {
                     return Err(RuntimeError::RoundTag {
                         shard,
@@ -792,6 +1070,19 @@ where
         }
     }
     debug_assert_eq!(received, plan.expected_in);
+    if let (Some(_), Some(ch)) = (fault, chaos) {
+        // A ghost we model as stale (or unknown, after a crash) means the
+        // global state is not yet coherent: raise the lagging signal so
+        // this round cannot report stabilization. Receiving beacons above
+        // only wrote *ghost* entries, never this worker's owned boundary
+        // states, so the `acked` rows compared here are still current.
+        ch.lagging = plan.sends.iter().enumerate().any(|(si, (_, nodes))| {
+            nodes
+                .iter()
+                .enumerate()
+                .any(|(j, &v)| ch.acked[si][j].as_ref() != Some(&states[v.index()]))
+        });
+    }
     Ok(stats)
 }
 
@@ -813,6 +1104,16 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
     let mut states = initial.to_vec();
     for r in 0..rounds {
         obs.on_round_start(r + 1, &states);
+        // An injected crash rehydrated the shard's owned states to
+        // arbitrary values *before* this round's evaluation; the journal
+        // carries them so the replayed trajectory matches the run.
+        for out in outs {
+            if let Some(rehydrated) = &out.journal[r].restart {
+                for (v, s) in rehydrated {
+                    states[v.index()] = s.clone();
+                }
+            }
+        }
         let mut moves: Vec<&(Node, usize, S)> = outs
             .iter()
             .flat_map(|o| o.journal[r].moves.iter())
@@ -841,6 +1142,11 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             runtime.frames_suppressed += j.suppressed;
             runtime.bytes_on_wire += j.bytes;
             runtime.max_channel_depth = runtime.max_channel_depth.max(j.max_depth);
+            runtime.frames_dropped += j.dropped;
+            runtime.frames_duped += j.duped;
+            runtime.frames_delayed += j.delayed;
+            runtime.frames_corrupted += j.corrupted;
+            runtime.restarts += u64::from(j.restart.is_some());
             duration = duration.max(j.duration_micros);
         }
         obs.on_round_end(

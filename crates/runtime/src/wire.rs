@@ -104,6 +104,25 @@ impl<S: WireState> Beacon<S> {
     }
 }
 
+/// The total extent (header + declared payload length) of the frame at the
+/// front of `bytes`, if the buffer holds at least that many bytes — without
+/// validating the version byte or decoding the payload.
+///
+/// This is the chaos-tolerant receiver's skip rule: a bit-corrupted frame
+/// fails [`Beacon::decode_prefix`] (strict decoding is the detection
+/// mechanism), but the injector never touches the length field, so the
+/// receiver can discard exactly the corrupted frame and keep walking the
+/// batch. Returns `None` when even the claimed extent is not present, in
+/// which case the batch is unrecoverable.
+pub fn frame_extent(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    let len = u16::from_le_bytes(bytes[9..11].try_into().expect("2 bytes")) as usize;
+    let extent = HEADER_LEN + len;
+    (bytes.len() >= extent).then_some(extent)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +300,29 @@ mod tests {
         fn decode_prefix(_: &[u8]) -> Result<(Self, usize), WireError> {
             Err(WireError::Truncated)
         }
+    }
+
+    #[test]
+    fn frame_extent_reads_the_length_field_only() {
+        let good = Beacon {
+            round: 2,
+            node: Node(1),
+            state: Pointer(Some(Node(4))),
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(frame_extent(&good), Some(good.len()));
+        // A frame with a mangled version byte still reports its extent.
+        let mut bad = good.clone();
+        bad[0] ^= 0xA5;
+        assert_eq!(frame_extent(&bad), Some(good.len()));
+        // Short buffers and truncated payloads do not.
+        assert_eq!(frame_extent(&good[..HEADER_LEN - 1]), None);
+        assert_eq!(frame_extent(&good[..good.len() - 1]), None);
+        // Extra bytes after the frame are a batch, not an error.
+        let mut batch = good.clone();
+        batch.extend_from_slice(&good);
+        assert_eq!(frame_extent(&batch), Some(good.len()));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property: from *any* seeded chaos trace (drop + duplicate + delay active
+//! until a cutoff round, then a clean network), SMM and SMI re-stabilize to
+//! a legitimate configuration within the theoretical budget at every shard
+//! count. This is the self-stabilization claim stated over the in-flight
+//! fault model: once faults stop, the current global state is just another
+//! arbitrary initial state (plus ghosts at most `delay` rounds stale), so
+//! convergence must complete within cutoff + delay + O(n) rounds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_core::smi::Smi;
+use selfstab_core::smm::Smm;
+use selfstab_engine::protocol::{InitialState, Protocol, WireState};
+use selfstab_graph::{generators, Graph, Ids};
+use selfstab_runtime::{FaultPlan, RuntimeExecutor};
+
+const CUTOFF: usize = 6;
+const DELAY: usize = 2;
+
+fn chaos_until_cutoff(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    plan.drop = 0.25;
+    plan.dup = 0.1;
+    plan.delay_p = 0.1;
+    plan.delay_rounds = DELAY;
+    plan.until = Some(CUTOFF);
+    plan
+}
+
+fn check_restabilizes<P: Protocol>(
+    g: &Graph,
+    proto: &P,
+    state_seed: u64,
+    chaos_seed: u64,
+    shards: usize,
+) -> TestCaseResult
+where
+    P::State: WireState,
+{
+    // After the cutoff the state vector is arbitrary and ghosts are at most
+    // DELAY rounds stale; a self-stabilizing protocol then needs O(n)
+    // rounds (the repo's working bound is 2n + 8 with slack for ghost
+    // refresh), so the whole chaotic execution must fit in this budget.
+    let budget = CUTOFF + DELAY + 2 * g.n() + 8;
+    let run = RuntimeExecutor::new(g, proto, shards)
+        .with_chaos(chaos_until_cutoff(chaos_seed))
+        .run(InitialState::Random { seed: state_seed }, budget)
+        .expect("chaotic run failed");
+    prop_assert!(
+        run.stabilized(),
+        "must re-stabilize within {} rounds after chaos cutoff {} (shards={}, n={}, rounds={})",
+        budget,
+        CUTOFF,
+        shards,
+        g.n(),
+        run.rounds()
+    );
+    prop_assert!(
+        proto.is_legitimate(g, &run.final_states),
+        "final configuration must be legitimate (shards={}, n={})",
+        shards,
+        g.n()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn smm_restabilizes_from_any_chaos_trace(
+        n in 4usize..40,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+        chaos_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.2, &mut StdRng::seed_from_u64(graph_seed));
+        let smm = Smm::paper(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            check_restabilizes(&g, &smm, state_seed, chaos_seed, shards)?;
+        }
+    }
+
+    #[test]
+    fn smi_restabilizes_from_any_chaos_trace(
+        n in 4usize..40,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+        chaos_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.2, &mut StdRng::seed_from_u64(graph_seed));
+        let smi = Smi::new(Ids::identity(g.n()));
+        for shards in [1, 2, 4, 8] {
+            check_restabilizes(&g, &smi, state_seed, chaos_seed, shards)?;
+        }
+    }
+}

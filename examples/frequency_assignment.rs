@@ -57,7 +57,8 @@ fn main() {
     // Interference events: random transmitters lose their assignment.
     println!("\nrecovery from plan corruption:");
     for k in [1usize, 4, 16] {
-        let (_, recovery) = corrupt_and_recover(&g, &sc, k, 7 + k as u64, n + 2);
+        let (_, recovery) =
+            corrupt_and_recover(&g, &sc, k, 7 + k as u64, n + 2).expect("SC must stabilize");
         assert!(recovery.run.stabilized());
         assert!(Coloring::is_proper(&g, &recovery.run.final_states));
         println!(
