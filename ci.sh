@@ -79,4 +79,34 @@ cargo run --release -p selfstab-bench --bin harness -- --quick e20 \
     | grep -F "E20 completed" >/dev/null \
     || { echo "E20 quick sweep failed" >&2; exit 1; }
 
+echo "==> profiling + analyze smoke (record an artifact, report on it, reject a truncated one)"
+# A profiled 4-shard run on C4 records a JSONL artifact next to the Chrome
+# trace; analyze must exit 0 on it, name a straggler shard, and pass the
+# Theorem 1 / monotone-|M| bound checks on a fault-free SMM recording.
+PROFILE_DIR="$(mktemp -d)"
+trap 'rm -rf "$PROFILE_DIR"' EXIT
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 4 --init default --shards 4 --max-rounds 5 \
+    --profile --trace-out "$PROFILE_DIR/run.json" --metrics \
+    | grep -F "profile:" >/dev/null \
+    || { echo "profiled run should report its artifact path" >&2; exit 1; }
+ANALYZE_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/run.jsonl")" \
+    || { echo "analyze should exit 0 on a clean artifact" >&2; exit 1; }
+echo "$ANALYZE_OUT" | grep -F "straggler shard:" >/dev/null \
+    || { echo "analyze should name the straggler shard" >&2; exit 1; }
+echo "$ANALYZE_OUT" | grep -F "PASS rounds" >/dev/null \
+    || { echo "analyze should check Theorem 1's round bound" >&2; exit 1; }
+# A truncated artifact (finish event cut off) must be rejected with exit 2.
+head -n 3 "$PROFILE_DIR/run.jsonl" > "$PROFILE_DIR/truncated.jsonl"
+if cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/truncated.jsonl" >/dev/null 2>&1; then
+    echo "analyze should reject a truncated artifact" >&2; exit 1
+fi
+
+echo "==> harness --quick e21 (shard-skew profiling gate: every round must carry a profile)"
+cargo run --release -p selfstab-bench --bin harness -- --quick e21 \
+    | grep -F "E21 completed" >/dev/null \
+    || { echo "E21 quick sweep failed" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

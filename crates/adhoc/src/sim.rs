@@ -526,6 +526,7 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             duration_micros: self.config.beacon_interval,
             beacon: Some(beacon),
             runtime: None,
+            profile: None,
         };
         obs.on_round_end(&stats, &self.states);
     }

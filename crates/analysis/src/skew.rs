@@ -1,0 +1,154 @@
+//! Cross-round shard-skew aggregation for profiled runs.
+//!
+//! [`SkewAccumulator`] folds per-round, per-lane samples — round time and
+//! inbox high-water mark — into the totals the offline `analyze` report
+//! prints: which lane is the overall straggler, how uneven the rounds were
+//! on average, and where backpressure peaked. It is pure data (plain
+//! integers in, summaries out) so it can be fed from a live observer or
+//! from a parsed JSONL artifact alike.
+
+/// Per-lane running totals, as accumulated by [`SkewAccumulator`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneTotals {
+    /// Sum of this lane's round times, µs.
+    pub total_micros: u64,
+    /// Rounds in which this lane was the slowest.
+    pub straggler_rounds: usize,
+    /// Deepest the lane's inbox ever got.
+    pub max_inbox_depth: u64,
+    /// 1-based round where `max_inbox_depth` was observed.
+    pub peak_round: usize,
+}
+
+/// Accumulates per-round `(lane, round_micros, inbox_max_depth)` samples
+/// into per-lane totals and a mean per-round skew.
+#[derive(Clone, Debug, Default)]
+pub struct SkewAccumulator {
+    lanes: Vec<LaneTotals>,
+    rounds: usize,
+    skew_sum: f64,
+}
+
+impl SkewAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SkewAccumulator::default()
+    }
+
+    /// Fold in one round's samples: `(lane index, round µs, inbox peak)`.
+    /// Lanes may appear in any order; unseen lane indices grow the table.
+    pub fn record_round(&mut self, round: usize, samples: &[(usize, u64, u64)]) {
+        if samples.is_empty() {
+            return;
+        }
+        self.rounds += 1;
+        let max = samples.iter().map(|&(_, us, _)| us).max().unwrap_or(0);
+        let mean = samples.iter().map(|&(_, us, _)| us).sum::<u64>() as f64 / samples.len() as f64;
+        self.skew_sum += if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        // Ties go to the lowest lane index, matching the engine's
+        // per-round straggler choice.
+        let straggler = samples
+            .iter()
+            .filter(|&&(_, us, _)| us == max)
+            .map(|&(lane, _, _)| lane)
+            .min();
+        for &(lane, micros, depth) in samples {
+            if lane >= self.lanes.len() {
+                self.lanes.resize(lane + 1, LaneTotals::default());
+            }
+            let t = &mut self.lanes[lane];
+            t.total_micros += micros;
+            if Some(lane) == straggler {
+                t.straggler_rounds += 1;
+            }
+            if depth > t.max_inbox_depth {
+                t.max_inbox_depth = depth;
+                t.peak_round = round;
+            }
+        }
+    }
+
+    /// Rounds folded in so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Per-lane totals, indexed by lane.
+    pub fn lanes(&self) -> &[LaneTotals] {
+        &self.lanes
+    }
+
+    /// The lane that was the slowest most often (ties to the lower index);
+    /// `None` before any round is recorded.
+    pub fn straggler(&self) -> Option<usize> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                (a.straggler_rounds, std::cmp::Reverse(*ia))
+                    .cmp(&(b.straggler_rounds, std::cmp::Reverse(*ib)))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Mean over rounds of (slowest lane time / mean lane time); 1.0 for a
+    /// perfectly balanced run, or when nothing was recorded.
+    pub fn mean_skew(&self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.skew_sum / self.rounds as f64
+        }
+    }
+
+    /// Lanes sorted by inbox high-water mark, deepest first — the
+    /// "hot channels" list. Only lanes that ever saw a queued message.
+    pub fn hot_channels(&self) -> Vec<(usize, u64, usize)> {
+        let mut hot: Vec<(usize, u64, usize)> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.max_inbox_depth > 0)
+            .map(|(i, t)| (i, t.max_inbox_depth, t.peak_round))
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_stragglers_and_skew() {
+        let mut acc = SkewAccumulator::new();
+        acc.record_round(1, &[(0, 10, 3), (1, 2, 0)]);
+        acc.record_round(2, &[(0, 4, 1), (1, 8, 5)]);
+        acc.record_round(3, &[(0, 9, 0), (1, 3, 2)]);
+        assert_eq!(acc.rounds(), 3);
+        assert_eq!(acc.straggler(), Some(0), "lane 0 slowest in 2 of 3 rounds");
+        assert_eq!(acc.lanes()[0].total_micros, 23);
+        assert_eq!(acc.lanes()[1].straggler_rounds, 1);
+        // Round skews: 10/6, 8/6, 9/6 → mean 1.5.
+        assert!((acc.mean_skew() - 1.5).abs() < 1e-9);
+        // Lane 1 peaked deeper (5, in round 2) than lane 0 (3, round 1).
+        assert_eq!(acc.hot_channels(), vec![(1, 5, 2), (0, 3, 1)]);
+    }
+
+    #[test]
+    fn empty_and_tied_rounds_are_well_defined() {
+        let mut acc = SkewAccumulator::new();
+        assert_eq!(acc.straggler(), None);
+        assert_eq!(acc.mean_skew(), 1.0);
+        acc.record_round(1, &[]);
+        assert_eq!(acc.rounds(), 0, "empty sample set is not a round");
+        // A tie bills the straggler round to the lowest lane index.
+        acc.record_round(1, &[(0, 5, 0), (1, 5, 0)]);
+        assert_eq!(acc.straggler(), Some(0));
+        assert_eq!(acc.mean_skew(), 1.0);
+        // All-zero round times count as perfectly balanced, not NaN.
+        acc.record_round(2, &[(0, 0, 0), (1, 0, 0)]);
+        assert!(acc.mean_skew().is_finite());
+    }
+}

@@ -19,6 +19,7 @@ pub mod e17_observability;
 pub mod e18_runtime_scaling;
 pub mod e19_active_schedule;
 pub mod e20_chaos;
+pub mod e21_shard_skew;
 
 /// An experiment's rendered report section.
 pub struct Report {

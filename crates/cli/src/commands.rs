@@ -10,7 +10,8 @@ use selfstab_core::Smi;
 use selfstab_engine::active::Schedule;
 use selfstab_engine::chaos::{run_churned_serial_observed, ChurnSchedule};
 use selfstab_engine::exhaustive::{all_connected_graphs, verify_all_initial_states};
-use selfstab_engine::obs::{ChromeTraceWriter, Gauge, MetricsCollector};
+use selfstab_engine::faults::CrashAt;
+use selfstab_engine::obs::{ChromeTraceWriter, Gauge, JsonlEventLog, MetricsCollector};
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
 use selfstab_engine::sync::{Outcome, SyncExecutor};
 use selfstab_graph::mutate::TopologyEvent;
@@ -27,6 +28,8 @@ USAGE:
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--max-rounds <N>] [--format text|json|dot]
                   [--metrics] [--trace-out <file>]
+                  [--profile [--profile-out <file>]]
+                  [--crash-at <round>:<frac>]       (serial executors only)
                   [--schedule full|active]
                   [--shards <K> [--channel-cap <M>]]
                   [--chaos drop=P,dup=P,delay=K,corrupt=P[,delayp=P][,until=R]]
@@ -56,7 +59,19 @@ USAGE:
   from arbitrary states. --churn-every applies connectivity-preserving
   link churn every N rounds on any executor; legitimacy is then judged on
   the final, mutated topology. All chaos is deterministic given --seed.
+  --profile records a JSONL artifact of the run (per-round phase spans,
+  per-shard skew, backpressure gauges, post-round states) to --profile-out,
+  defaulting to the --trace-out stem with a .jsonl extension, else
+  selfstab-profile.jsonl. --crash-at <round>:<frac> re-randomizes a seeded
+  ⌈frac·n⌉-node subset entering the given round on the serial executor —
+  the non-sharded mirror of --crash-shard.
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
+  selfstab analyze <artifact.jsonl>   offline report over a --profile
+                  artifact: per-phase critical path, shard skew (straggler
+                  lane), backpressure hot channels, chaos recovery timeline,
+                  and paper bound checks (SMM rounds ≤ n+1, monotone |M|,
+                  moves vs. the Manne et al. O(m) yardstick). Exits 1 on a
+                  bound violation, 2 on an unreadable artifact.
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
 topologies: path cycle star complete grid binary-tree hypercube
@@ -240,7 +255,7 @@ fn execute<P: Protocol>(
     highlight: impl Fn(&Graph, &[P::State]) -> (Vec<selfstab_graph::Edge>, Vec<bool>),
 ) -> Result<String, String>
 where
-    P::State: WireState,
+    P::State: WireState + ToJson,
 {
     let n = g.n();
     let seed: u64 = args.parse_or("seed", 0)?;
@@ -256,15 +271,46 @@ where
         return Err("--chaos/--crash-shard require --shards".into());
     }
     let churn = parse_churn(args, seed)?;
+    let crash_at = match args.get("crash-at") {
+        Some(spec) => {
+            let c = CrashAt::parse(spec).map_err(|e| format!("flag --crash-at: {e}"))?;
+            if shards.is_some() {
+                return Err(
+                    "--crash-at drives the serial executor; use --crash-shard S@R with --shards"
+                        .into(),
+                );
+            }
+            if churn.is_some() {
+                return Err("--crash-at cannot be combined with --churn-every".into());
+            }
+            Some(c.with_seed(seed ^ 0xc4a5))
+        }
+        None => None,
+    };
     let schedule = Schedule::parse(args.str_or("schedule", "active"))
         .map_err(|e| format!("flag --schedule: {e}"))?;
     let trace_out = args.get("trace-out").map(str::to_string);
+    let profile_out = (args.bool_flag("profile") || args.get("profile-out").is_some()).then(|| {
+        match args.get("profile-out") {
+            Some(p) => p.to_string(),
+            // Default the artifact next to the Chrome trace (same stem,
+            // .jsonl), or to a fixed name when no trace was requested.
+            None => match &trace_out {
+                Some(t) => std::path::Path::new(t)
+                    .with_extension("jsonl")
+                    .to_string_lossy()
+                    .into_owned(),
+                None => "selfstab-profile.jsonl".to_string(),
+            },
+        }
+    });
     let mut metrics = args
         .bool_flag("metrics")
         .then(|| MetricsCollector::new().with_gauges(gauges));
     let mut chrome = trace_out
         .as_ref()
         .map(|_| ChromeTraceWriter::with_rule_names(proto.rule_names()));
+    let mut jsonl = profile_out.as_ref().map(|_| JsonlEventLog::new());
     // Set for churned runs: the final (mutated) graph, the applied events,
     // and the re-stabilization time after the last event.
     let mut churned: Option<ChurnedOutcome> = None;
@@ -280,7 +326,7 @@ where
                 sched,
                 init,
                 max_rounds,
-                &mut (metrics.as_mut(), chrome.as_mut()),
+                &mut (metrics.as_mut(), (chrome.as_mut(), jsonl.as_mut())),
             )
             .map_err(|e| format!("runtime: {e}"))?;
             let recovery = out.recovery_rounds();
@@ -296,7 +342,11 @@ where
             }
             let cut = exec.partition().cut_edges(g).len();
             let run = exec
-                .run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut()))
+                .run_observed(
+                    init,
+                    max_rounds,
+                    &mut (metrics.as_mut(), (chrome.as_mut(), jsonl.as_mut())),
+                )
                 .map_err(|e| format!("runtime: {e}"))?;
             (
                 run,
@@ -311,18 +361,25 @@ where
                 sched,
                 init,
                 max_rounds,
-                &mut (metrics.as_mut(), chrome.as_mut()),
+                &mut (metrics.as_mut(), (chrome.as_mut(), jsonl.as_mut())),
             )?;
             let recovery = out.recovery_rounds();
             churned = Some((out.graph, out.events, recovery));
             (out.run, None)
         }
         (None, None) => {
-            let exec = SyncExecutor::new(g, proto)
+            let mut exec = SyncExecutor::new(g, proto)
                 .with_cycle_detection()
                 .with_schedule(schedule);
+            if let Some(c) = crash_at.clone() {
+                exec = exec.with_crash(c);
+            }
             (
-                exec.run_observed(init, max_rounds, &mut (metrics.as_mut(), chrome.as_mut())),
+                exec.run_observed(
+                    init,
+                    max_rounds,
+                    &mut (metrics.as_mut(), (chrome.as_mut(), jsonl.as_mut())),
+                ),
                 None,
             )
         }
@@ -331,6 +388,32 @@ where
         writer
             .write_to(path)
             .map_err(|e| format!("--trace-out {path}: {e}"))?;
+    }
+    if let (Some(path), Some(log)) = (&profile_out, jsonl.as_mut()) {
+        // The meta line is what lets `analyze` pick the right bound checks
+        // (Theorem 1 and the |M| monotonicity only hold fault-free).
+        log.push_meta([
+            ("protocol".to_string(), protocol_name.to_json()),
+            ("topology".to_string(), topology_name.to_json()),
+            ("n".to_string(), n.to_json()),
+            ("m".to_string(), g.m().to_json()),
+            (
+                "shards".to_string(),
+                shards.map(|(k, _)| k).unwrap_or(1).to_json(),
+            ),
+            ("seed".to_string(), seed.to_json()),
+            ("max_rounds".to_string(), max_rounds.to_json()),
+            (
+                "rules".to_string(),
+                Json::Array(proto.rule_names().iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "faults".to_string(),
+                (chaos.is_some() || crash_at.is_some() || churn.is_some()).to_json(),
+            ),
+        ]);
+        log.write_to(path)
+            .map_err(|e| format!("--profile-out {path}: {e}"))?;
     }
     let outcome = match run.outcome {
         Outcome::Stabilized => "stabilized".to_string(),
@@ -341,23 +424,34 @@ where
     // ended on: for churned runs that is the mutated graph.
     let final_graph: &Graph = churned.as_ref().map(|(fg, _, _)| fg).unwrap_or(g);
     let legitimate = run.stabilized() && proto.is_legitimate(final_graph, &run.final_states);
-    let chaos_note = chaos.as_ref().map(|plan| {
-        let mut parts: Vec<String> = Vec::new();
-        if let Some(spec) = args.get("chaos") {
-            parts.push(spec.to_string());
-        }
-        if !plan.crashes.is_empty() {
-            parts.push(format!(
-                "crash {}",
-                plan.crashes
-                    .iter()
-                    .map(|c| format!("{}@{}", c.shard, c.round))
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ));
-        }
-        parts.join(", ")
-    });
+    let chaos_note = chaos
+        .as_ref()
+        .map(|plan| {
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(spec) = args.get("chaos") {
+                parts.push(spec.to_string());
+            }
+            if !plan.crashes.is_empty() {
+                parts.push(format!(
+                    "crash {}",
+                    plan.crashes
+                        .iter()
+                        .map(|c| format!("{}@{}", c.shard, c.round))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+            parts.join(", ")
+        })
+        .or_else(|| {
+            crash_at.as_ref().map(|c| {
+                format!(
+                    "crash-at round {}: re-randomized {:.0}% of nodes",
+                    c.round,
+                    c.frac * 100.0
+                )
+            })
+        });
     let churn_note = churned
         .as_ref()
         .zip(churn.as_ref())
@@ -396,6 +490,9 @@ where
             );
             if let Some(note) = &runtime_note {
                 out.push_str(&format!("\nruntime: {note}"));
+            }
+            if let Some(p) = &profile_out {
+                out.push_str(&format!("\nprofile: {p}"));
             }
             if let Some(c) = &chaos_note {
                 out.push_str(&format!("\nchaos: {c}"));
@@ -1439,6 +1536,87 @@ mod topology_tests {
             "nope"
         ]))
         .is_err());
+    }
+}
+
+#[cfg(test)]
+mod profile_and_crash_tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn profile_artifact_roundtrips_through_analyze() {
+        let profile =
+            std::env::temp_dir().join(format!("selfstab-cli-profile-{}.jsonl", std::process::id()));
+        let path = profile.to_str().unwrap();
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+            "--shards",
+            "2",
+            "--profile-out",
+            path,
+        ]))
+        .unwrap();
+        assert!(out.contains(&format!("profile: {path}")), "{out}");
+        let mut buf = Vec::new();
+        let code = crate::main_with(&["analyze".to_string(), path.to_string()], &mut buf);
+        let report = String::from_utf8(buf).unwrap();
+        std::fs::remove_file(&profile).ok();
+        assert_eq!(code, 0, "{report}");
+        assert!(report.contains("critical path"), "{report}");
+        assert!(report.contains("straggler shard:"), "{report}");
+        assert!(report.contains("PASS rounds"), "{report}");
+        assert!(report.contains("PASS |M| monotone"), "{report}");
+        assert!(report.contains("Manne"), "{report}");
+    }
+
+    #[test]
+    fn analyze_exits_nonzero_on_unreadable_artifact() {
+        let mut buf = Vec::new();
+        let code = crate::main_with(
+            &["analyze".to_string(), "/nonexistent/artifact.jsonl".into()],
+            &mut buf,
+        );
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn crash_at_serial_recovers_and_is_reported() {
+        let out = run(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+            "--crash-at",
+            "3:0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("crash-at round 3"), "{out}");
+        assert!(out.contains("legitimate: true"), "{out}");
+    }
+
+    #[test]
+    fn crash_at_rejects_sharded_and_churned_runs() {
+        let base = ["--protocol", "smm", "--topology", "path", "--n", "8"];
+        let mut sharded = base.to_vec();
+        sharded.extend_from_slice(&["--crash-at", "1:0.5", "--shards", "2"]);
+        assert!(run(&args(&sharded)).unwrap_err().contains("--crash-shard"));
+        let mut churned = base.to_vec();
+        churned.extend_from_slice(&["--crash-at", "1:0.5", "--churn-every", "5"]);
+        assert!(run(&args(&churned)).unwrap_err().contains("--churn-every"));
+        let mut bad = base.to_vec();
+        bad.extend_from_slice(&["--crash-at", "oops"]);
+        assert!(run(&args(&bad)).unwrap_err().contains("--crash-at"));
     }
 }
 

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod args;
 pub mod commands;
 
@@ -25,7 +26,13 @@ pub fn main_with(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         let _ = writeln!(out, "{}", commands::USAGE);
         return 2;
     };
-    let rest: Vec<String> = it.cloned().collect();
+    let mut rest: Vec<String> = it.cloned().collect();
+    // `analyze` takes its artifact as a leading positional argument
+    // (`selfstab analyze run.jsonl`); every other flag stays `--key value`.
+    let mut artifact: Option<String> = None;
+    if cmd == "analyze" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        artifact = Some(rest.remove(0));
+    }
     let args = match Args::parse(&rest) {
         Ok(a) => a,
         Err(e) => {
@@ -33,6 +40,19 @@ pub fn main_with(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
             return 2;
         }
     };
+    if cmd == "analyze" {
+        return match analyze::analyze(artifact.as_deref(), &args) {
+            Ok((report, ok)) => {
+                let _ = writeln!(out, "{report}");
+                // Bound violations exit 1 so a recorded artifact can gate CI.
+                i32::from(!ok)
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}\n\n{}", commands::USAGE);
+                2
+            }
+        };
+    }
     let result = match cmd.as_str() {
         "run" => commands::run(&args),
         "sim" => commands::sim(&args),

@@ -197,6 +197,7 @@ impl<'a, P: Protocol> CentralExecutor<'a, P> {
                     duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                     beacon: None,
                     runtime: None,
+                    profile: None,
                 };
                 obs.on_round_end(&stats, &states);
             }

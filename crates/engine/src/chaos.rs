@@ -314,6 +314,10 @@ fn churned_core<P: Protocol, O: Observer<P::State>>(
                 duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
                 beacon: None,
                 runtime: None,
+                // Churned serial runs do not carry phase spans: the churn
+                // loop restructures the round and the spans would not be
+                // comparable to the plain executors'.
+                profile: None,
             };
             obs.on_round_end(&stats, &states);
         }

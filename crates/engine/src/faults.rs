@@ -41,6 +41,98 @@ impl std::fmt::Display for FaultError {
 
 impl std::error::Error for FaultError {}
 
+/// A crash-restart scheduled *inside* a run, for the in-process executors
+/// ([`SyncExecutor`] / `ParSyncExecutor`): entering round `round` (0-based,
+/// counting applied rounds — the same clock as the sharded runtime's
+/// `CrashSpec`), `ceil(frac · n)` nodes lose their state and rehydrate with
+/// arbitrary values, the paper's adversarial-restart fault fired mid-run
+/// instead of between runs ([`corrupt_and_recover`]).
+///
+/// Victims are chosen by a partial Fisher–Yates over a selection stream
+/// derived from `seed`, then rehydrated **in ascending node order** from a
+/// fresh generator seeded with `seed` itself. With `frac = 1.0` the
+/// selection stream is unused and the procedure is exactly the sharded
+/// runtime's crash-restart of one shard holding the whole graph, so the
+/// equivalence suite pins serial crash semantics against the runtime's at
+/// 1 shard by passing `FaultPlan::restart_seed(0, round)` as `seed`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashAt {
+    /// Round at whose top the crash fires (0-based applied-round count).
+    pub round: usize,
+    /// Fraction of the nodes that crash, in `(0, 1]`.
+    pub frac: f64,
+    /// Seed for victim selection and state rehydration.
+    pub seed: u64,
+}
+
+impl CrashAt {
+    /// Parse a CLI-style `<round>:<frac>` spec (seed 0; attach one with
+    /// [`CrashAt::with_seed`]).
+    pub fn parse(spec: &str) -> Result<CrashAt, String> {
+        let (round, frac) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad crash spec '{spec}' (expected <round>:<frac>)"))?;
+        let round: usize = round
+            .parse()
+            .map_err(|_| format!("bad crash round '{round}' in '{spec}'"))?;
+        let frac: f64 = frac
+            .parse()
+            .map_err(|_| format!("bad crash fraction '{frac}' in '{spec}'"))?;
+        if !(frac > 0.0 && frac <= 1.0) {
+            return Err(format!(
+                "crash fraction must be in (0, 1], got {frac} in '{spec}'"
+            ));
+        }
+        Ok(CrashAt {
+            round,
+            frac,
+            seed: 0,
+        })
+    }
+
+    /// Replace the rehydration seed.
+    pub fn with_seed(mut self, seed: u64) -> CrashAt {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of victims on an `n`-node graph: `ceil(frac · n)`, clamped
+    /// to `1..=n` (for `n > 0`).
+    pub fn victims(&self, n: usize) -> usize {
+        ((self.frac * n as f64).ceil() as usize).clamp(1, n.max(1))
+    }
+
+    /// Fire the crash: overwrite the victims' states with arbitrary ones,
+    /// in ascending node order. Returns the victims, sorted.
+    pub fn apply<P: Protocol>(
+        &self,
+        proto: &P,
+        graph: &Graph,
+        states: &mut [P::State],
+    ) -> Vec<Node> {
+        assert_eq!(states.len(), graph.n());
+        let n = graph.n();
+        let k = self.victims(n);
+        let mut victims: Vec<Node> = graph.nodes().collect();
+        if k < n {
+            let mut pick = StdRng::seed_from_u64(self.seed ^ 0x7c7a_15eb_ca5e_5eed);
+            for i in 0..k {
+                let j = pick.random_range(i..victims.len());
+                victims.swap(i, j);
+            }
+            victims.truncate(k);
+            victims.sort();
+        }
+        // A fresh generator, consumed in node order: with every node a
+        // victim this is byte-for-byte the runtime's shard rehydration.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for &v in &victims {
+            states[v.index()] = proto.arbitrary_state(v, graph.neighbors(v), &mut rng);
+        }
+        victims
+    }
+}
+
 /// Overwrite the states of `k` distinct random nodes with arbitrary states.
 /// Returns the corrupted nodes.
 pub fn corrupt_random_nodes<P: Protocol>(
@@ -166,6 +258,52 @@ mod tests {
     use crate::testutil::MaxProto;
     use selfstab_graph::generators;
     use selfstab_graph::traversal::is_connected;
+
+    #[test]
+    fn crash_at_parses_and_validates() {
+        assert_eq!(
+            CrashAt::parse("3:0.5"),
+            Ok(CrashAt {
+                round: 3,
+                frac: 0.5,
+                seed: 0,
+            })
+        );
+        assert_eq!(CrashAt::parse("7:1").unwrap().with_seed(9).seed, 9);
+        assert!(CrashAt::parse("3").is_err());
+        assert!(CrashAt::parse("x:0.5").is_err());
+        assert!(CrashAt::parse("3:nope").is_err());
+        assert!(CrashAt::parse("3:0").is_err());
+        assert!(CrashAt::parse("3:1.5").is_err());
+        assert!(CrashAt::parse("3:-0.1").is_err());
+    }
+
+    #[test]
+    fn crash_at_rehydrates_sorted_victims() {
+        let g = generators::cycle(10);
+        let crash = CrashAt {
+            round: 0,
+            frac: 0.4,
+            seed: 42,
+        };
+        assert_eq!(crash.victims(10), 4);
+        let mut states = vec![9u8; 10];
+        let victims = crash.apply(&MaxProto, &g, &mut states);
+        assert_eq!(victims.len(), 4);
+        assert!(
+            victims.windows(2).all(|w| w[0] < w[1]),
+            "sorted: {victims:?}"
+        );
+        // Only victims may change, and the same spec replays identically.
+        for v in g.nodes() {
+            if !victims.contains(&v) {
+                assert_eq!(states[v.index()], 9);
+            }
+        }
+        let mut again = vec![9u8; 10];
+        assert_eq!(crash.apply(&MaxProto, &g, &mut again), victims);
+        assert_eq!(again, states, "deterministic in the seed");
+    }
 
     #[test]
     fn corruption_hits_exactly_k_distinct_nodes() {

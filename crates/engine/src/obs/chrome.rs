@@ -12,7 +12,7 @@
 //! synchronous-engine traces show wall-clock rounds and beacon-simulator
 //! traces show simulated beacon periods.
 
-use super::{Observer, RoundStats};
+use super::{Observer, RoundStats, PHASES};
 use crate::sync::Outcome;
 use selfstab_json::{Json, ToJson};
 
@@ -24,6 +24,9 @@ pub struct ChromeTraceWriter {
     events: Vec<Json>,
     /// Cumulative timeline position, µs.
     ts: u64,
+    /// Lanes that already got a `process_name` metadata event (emitted once
+    /// per shard, on the first profiled round that mentions it).
+    named_lanes: std::collections::BTreeSet<usize>,
 }
 
 impl ChromeTraceWriter {
@@ -167,6 +170,72 @@ impl<S> Observer<S> for ChromeTraceWriter {
                 ]));
             }
         }
+        if let Some(profile) = &stats.profile {
+            // One nested track per executor lane: pid = shard + 1 keeps the
+            // aggregate round track (pid 0) on top, and the B/E span pairs
+            // lay the lane's phases out sequentially inside this round's
+            // ts window. Span sums are accumulated per phase, so the track
+            // shows *where* the lane's round went, not individual calls.
+            for lane in &profile.shards {
+                let pid = (lane.shard + 1) as u64;
+                if self.named_lanes.insert(lane.shard) {
+                    self.events.push(Json::obj([
+                        ("name", "process_name".to_json()),
+                        ("ph", "M".to_json()),
+                        ("pid", pid.to_json()),
+                        (
+                            "args",
+                            Json::obj([("name", format!("shard {}", lane.shard).to_json())]),
+                        ),
+                    ]));
+                }
+                let mut cursor = self.ts;
+                for phase in PHASES {
+                    let micros = lane.spans.micros(phase);
+                    if micros == 0 {
+                        continue;
+                    }
+                    self.events.push(Json::obj([
+                        ("name", phase.label().to_json()),
+                        ("cat", "phase".to_json()),
+                        ("ph", "B".to_json()),
+                        ("ts", cursor.to_json()),
+                        ("pid", pid.to_json()),
+                        ("tid", 0u64.to_json()),
+                        (
+                            "args",
+                            Json::obj([("count", lane.spans.count(phase).to_json())]),
+                        ),
+                    ]));
+                    cursor += micros;
+                    self.events.push(Json::obj([
+                        ("name", phase.label().to_json()),
+                        ("cat", "phase".to_json()),
+                        ("ph", "E".to_json()),
+                        ("ts", cursor.to_json()),
+                        ("pid", pid.to_json()),
+                        ("tid", 0u64.to_json()),
+                    ]));
+                }
+                if stats.runtime.is_some() {
+                    // Backpressure gauge: this lane's inbox, sampled (and
+                    // re-armed) at the end of the round's exchange.
+                    self.events.push(Json::obj([
+                        ("name", "inbox depth".to_json()),
+                        ("ph", "C".to_json()),
+                        ("ts", self.ts.to_json()),
+                        ("pid", pid.to_json()),
+                        (
+                            "args",
+                            Json::obj([
+                                ("depth", lane.inbox_depth.to_json()),
+                                ("max_depth", lane.inbox_max_depth.to_json()),
+                            ]),
+                        ),
+                    ]));
+                }
+            }
+        }
         self.ts += dur;
     }
 
@@ -216,6 +285,7 @@ mod tests {
                 duration_micros: 7,
                 beacon: None,
                 runtime: None,
+                profile: None,
             },
             &states,
         );
@@ -256,6 +326,7 @@ mod tests {
                 frames_dropped: dropped,
                 ..RuntimeCounters::default()
             }),
+            profile: None,
         };
         w.on_round_end(&mk(1, 0), &states);
         w.on_round_end(&mk(2, 3), &states);
@@ -274,6 +345,88 @@ mod tests {
     }
 
     #[test]
+    fn profiled_rounds_emit_per_shard_phase_tracks() {
+        use super::super::{Phase, PhaseSpans, RoundProfile, RuntimeCounters, ShardProfile};
+        let mut w = ChromeTraceWriter::new();
+        let states = [0u8; 2];
+        let lane = |shard: usize, compute_us: u64| {
+            let mut spans = PhaseSpans::new();
+            spans.add_micros(Phase::Compute, compute_us, 1);
+            spans.add_micros(Phase::BarrierWait, 3, 2);
+            ShardProfile {
+                shard,
+                spans,
+                round_micros: compute_us + 3,
+                inbox_max_depth: 2,
+                inbox_depth: 1,
+            }
+        };
+        let mk = |round: usize| RoundStats {
+            round,
+            privileged: 1,
+            evaluated: 2,
+            moves_per_rule: vec![1],
+            duration_micros: 20,
+            beacon: None,
+            runtime: Some(RuntimeCounters {
+                shard_moves: vec![1, 0],
+                ..RuntimeCounters::default()
+            }),
+            profile: Some(RoundProfile {
+                shards: vec![lane(0, 10), lane(1, 4)],
+            }),
+        };
+        w.on_round_end(&mk(1), &states);
+        w.on_round_end(&mk(2), &states);
+        let doc = w.to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let by = |ph: &str| -> Vec<&Json> {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+                .collect()
+        };
+        // process_name metadata once per lane, not once per round.
+        let meta = by("M");
+        assert_eq!(meta.len(), 2);
+        assert_eq!(
+            meta[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("shard 0")
+        );
+        // Two phases per lane, two lanes, two rounds: 8 B/E pairs, and the
+        // span pairs stay inside each round's ts window on pid = shard + 1.
+        let begins = by("B");
+        let ends = by("E");
+        assert_eq!(begins.len(), 8);
+        assert_eq!(ends.len(), 8);
+        assert_eq!(
+            begins[0].get("name").and_then(Json::as_str),
+            Some("compute")
+        );
+        assert_eq!(begins[0].get("pid").and_then(Json::as_u64), Some(1));
+        assert_eq!(begins[0].get("ts").and_then(Json::as_u64), Some(0));
+        assert_eq!(ends[0].get("ts").and_then(Json::as_u64), Some(10));
+        // Round 2's spans start at the round-2 window (ts = 20).
+        assert_eq!(begins[4].get("ts").and_then(Json::as_u64), Some(20));
+        // One inbox-depth counter per lane per round.
+        let depth: Vec<&Json> = by("C")
+            .into_iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("inbox depth"))
+            .collect();
+        assert_eq!(depth.len(), 4);
+        assert_eq!(
+            depth[0]
+                .get("args")
+                .and_then(|a| a.get("max_depth"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
     fn timeline_is_monotone() {
         let mut w = ChromeTraceWriter::new();
         let states = [0u8];
@@ -288,6 +441,7 @@ mod tests {
                     duration_micros: 10,
                     beacon: None,
                     runtime: None,
+                    profile: None,
                 },
                 &states,
             );

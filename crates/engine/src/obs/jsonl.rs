@@ -9,7 +9,7 @@
 //! captured from a live observed run can be re-validated offline with
 //! [`crate::record::validate_trace`], exactly like a recorded trace.
 
-use super::{Observer, RoundStats};
+use super::{profile_json, Observer, RoundStats};
 use crate::sync::Outcome;
 use selfstab_graph::Node;
 use selfstab_json::{FromJson, Json, JsonError, ToJson};
@@ -24,6 +24,16 @@ impl JsonlEventLog {
     /// An empty log.
     pub fn new() -> Self {
         JsonlEventLog::default()
+    }
+
+    /// Prepend a `meta` event describing the run (protocol, graph size,
+    /// shard count, …) for offline consumers. Values are free-form; the
+    /// `analyze` report reads known keys and ignores the rest. Call before
+    /// the run so the event lands first in the file.
+    pub fn push_meta(&mut self, fields: impl IntoIterator<Item = (String, Json)>) {
+        let mut obj = vec![("event".to_string(), "meta".to_json())];
+        obj.extend(fields);
+        self.lines.insert(0, Json::Object(obj).to_string());
     }
 
     /// The buffered lines, in emission order.
@@ -96,6 +106,26 @@ impl<S: ToJson> Observer<S> for JsonlEventLog {
                 ]),
             ));
         }
+        if let Some(rt) = &stats.runtime {
+            fields.push((
+                "runtime".to_string(),
+                Json::obj([
+                    ("shard_moves", rt.shard_moves.to_json()),
+                    ("frames", rt.frames.to_json()),
+                    ("frames_suppressed", rt.frames_suppressed.to_json()),
+                    ("bytes_on_wire", rt.bytes_on_wire.to_json()),
+                    ("max_channel_depth", rt.max_channel_depth.to_json()),
+                    ("frames_dropped", rt.frames_dropped.to_json()),
+                    ("frames_duped", rt.frames_duped.to_json()),
+                    ("frames_delayed", rt.frames_delayed.to_json()),
+                    ("frames_corrupted", rt.frames_corrupted.to_json()),
+                    ("restarts", rt.restarts.to_json()),
+                ]),
+            ));
+        }
+        if let Some(p) = &stats.profile {
+            fields.push(("profile".to_string(), profile_json(p)));
+        }
         self.push(Json::Object(fields));
     }
 
@@ -144,7 +174,7 @@ pub fn trace_from_jsonl<S: FromJson>(text: &str) -> Result<(Vec<Vec<S>>, bool), 
                     saw_init = true;
                 }
             }
-            Some("move") => {}
+            Some("move") | Some("meta") => {}
             _ => return Err(JsonError::new("unknown event type in JSONL log")),
         }
     }
@@ -174,6 +204,7 @@ mod tests {
                 duration_micros: 2,
                 beacon: None,
                 runtime: None,
+                profile: None,
             },
             &s1,
         );
@@ -182,6 +213,69 @@ mod tests {
         let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
         assert!(stabilized);
         assert_eq!(trace, vec![vec![0, 5], vec![5, 5]]);
+    }
+
+    #[test]
+    fn meta_runtime_and_profile_ride_along_without_breaking_replay() {
+        use super::super::{Phase, PhaseSpans, RoundProfile, RuntimeCounters, ShardProfile};
+        let mut log = JsonlEventLog::new();
+        let s1 = [1u8];
+        log.on_round_start(1, &[0u8]);
+        let mut spans = PhaseSpans::new();
+        spans.add_micros(Phase::Compute, 5, 1);
+        log.on_round_end(
+            &RoundStats {
+                round: 1,
+                privileged: 1,
+                evaluated: 1,
+                moves_per_rule: vec![1],
+                duration_micros: 5,
+                beacon: None,
+                runtime: Some(RuntimeCounters {
+                    shard_moves: vec![1],
+                    frames: 3,
+                    ..RuntimeCounters::default()
+                }),
+                profile: Some(RoundProfile {
+                    shards: vec![ShardProfile {
+                        shard: 0,
+                        spans,
+                        round_micros: 5,
+                        inbox_max_depth: 2,
+                        inbox_depth: 0,
+                    }],
+                }),
+            },
+            &s1,
+        );
+        log.on_finish(&Outcome::Stabilized, &s1);
+        log.push_meta([
+            ("protocol".to_string(), "smm".to_json()),
+            ("shards".to_string(), 1u64.to_json()),
+        ]);
+        // Meta lands first; the round_end carries runtime and profile.
+        let first = Json::parse(&log.lines()[0]).unwrap();
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("meta"));
+        assert_eq!(first.get("protocol").and_then(Json::as_str), Some("smm"));
+        let round = Json::parse(&log.lines()[2]).unwrap();
+        assert_eq!(
+            round
+                .get("runtime")
+                .and_then(|rt| rt.get("frames"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            round
+                .get("profile")
+                .and_then(|p| p.get("straggler"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        // The replay path tolerates (skips) the meta event.
+        let (trace, stabilized) = trace_from_jsonl::<u8>(&log.to_jsonl()).unwrap();
+        assert!(stabilized);
+        assert_eq!(trace, vec![vec![0], vec![1]]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! matched-pair count |M|), and an SMI set-size gauge is a one-line
 //! closure.
 
-use super::{BeaconCounters, Observer, RoundStats, RuntimeCounters};
+use super::{BeaconCounters, Observer, RoundProfile, RoundStats, RuntimeCounters, PHASES};
 use crate::sync::Outcome;
 use selfstab_analysis::Histogram;
 use selfstab_json::{Json, ToJson};
@@ -38,6 +38,8 @@ pub struct RoundRecord {
     pub beacon: Option<BeaconCounters>,
     /// Shard/wire counters (sharded-runtime runs only).
     pub runtime: Option<RuntimeCounters>,
+    /// Per-lane phase profile (executors that profile their rounds only).
+    pub profile: Option<RoundProfile>,
 }
 
 /// Collects per-round convergence metrics during an observed run.
@@ -160,6 +162,12 @@ impl<S> MetricsCollector<S> {
             .rounds
             .iter()
             .any(|r| r.runtime.as_ref().is_some_and(|rt| rt.faults() > 0));
+        // Skew columns only make sense with more than one lane: a serial
+        // (single-lane) profile renders the legacy table unchanged.
+        let has_skew = self
+            .rounds
+            .iter()
+            .any(|r| r.profile.as_ref().is_some_and(|p| p.shards.len() > 1));
         let mut out = String::from("| round | privileged | evaluated | moves |");
         for name in &self.gauge_names {
             out.push_str(&format!(" {name} |"));
@@ -173,10 +181,14 @@ impl<S> MetricsCollector<S> {
         if has_chaos {
             out.push_str(" dropped | duped | delayed | corrupted | restarts |");
         }
+        if has_skew {
+            out.push_str(" max lane µs | skew | straggler | barrier share |");
+        }
         out.push('\n');
         let extra = if has_beacon { 3 } else { 0 }
             + if has_runtime { 4 } else { 0 }
-            + if has_chaos { 5 } else { 0 };
+            + if has_chaos { 5 } else { 0 }
+            + if has_skew { 4 } else { 0 };
         out.push_str(&"|---".repeat(4 + self.gauge_names.len() + extra));
         out.push_str("|\n");
         if let Some(init) = &self.initial_gauges {
@@ -223,6 +235,20 @@ impl<S> MetricsCollector<S> {
                     rt.restarts
                 ));
             }
+            if has_skew {
+                match &r.profile {
+                    Some(p) => out.push_str(&format!(
+                        " {} | {:.2} | {} | {:.2} |",
+                        p.max_round_micros(),
+                        p.skew(),
+                        p.straggler()
+                            .map(|s| s.shard.to_string())
+                            .unwrap_or_else(|| "—".to_string()),
+                        p.barrier_wait_share(),
+                    )),
+                    None => out.push_str(" — | — | — | — |"),
+                }
+            }
             out.push('\n');
         }
         out
@@ -247,6 +273,9 @@ impl<S> MetricsCollector<S> {
                 }
                 if let Some(rt) = &r.runtime {
                     fields.push(("runtime".to_string(), runtime_json(rt)));
+                }
+                if let Some(p) = &r.profile {
+                    fields.push(("profile".to_string(), profile_json(p)));
                 }
                 Json::Object(fields)
             })
@@ -302,6 +331,52 @@ fn runtime_json(rt: &RuntimeCounters) -> Json {
     ])
 }
 
+/// Serialize a [`RoundProfile`] — per-lane phase spans plus the derived
+/// skew summary (max/mean lane time, straggler lane, barrier-wait share).
+/// Shared by [`MetricsCollector::to_json`] and the JSONL event log so the
+/// offline `analyze` report reads one schema regardless of the artifact.
+pub fn profile_json(p: &RoundProfile) -> Json {
+    let shards: Vec<Json> = p
+        .shards
+        .iter()
+        .map(|lane| {
+            let spans: Vec<(String, Json)> = PHASES
+                .iter()
+                .filter(|&&ph| lane.spans.micros(ph) > 0 || lane.spans.count(ph) > 0)
+                .map(|&ph| {
+                    (
+                        ph.label().to_string(),
+                        Json::obj([
+                            ("micros", lane.spans.micros(ph).to_json()),
+                            ("count", lane.spans.count(ph).to_json()),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::obj([
+                ("shard", lane.shard.to_json()),
+                ("round_micros", lane.round_micros.to_json()),
+                ("inbox_max_depth", lane.inbox_max_depth.to_json()),
+                ("inbox_depth", lane.inbox_depth.to_json()),
+                ("spans", Json::Object(spans)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("shards", Json::Array(shards)),
+        ("max_round_micros", p.max_round_micros().to_json()),
+        ("mean_round_micros", p.mean_round_micros().to_json()),
+        ("skew", p.skew().to_json()),
+        (
+            "straggler",
+            p.straggler()
+                .map(|s| s.shard.to_json())
+                .unwrap_or(Json::Null),
+        ),
+        ("barrier_wait_share", p.barrier_wait_share().to_json()),
+    ])
+}
+
 fn log2_bucket(micros: u64) -> usize {
     (u64::BITS - micros.leading_zeros()) as usize
 }
@@ -326,6 +401,7 @@ impl<S> Observer<S> for MetricsCollector<S> {
             gauges,
             beacon: stats.beacon.clone(),
             runtime: stats.runtime.clone(),
+            profile: stats.profile.clone(),
         });
     }
 
@@ -348,6 +424,7 @@ mod tests {
             duration_micros: micros,
             beacon: None,
             runtime: None,
+            profile: None,
         }
     }
 
@@ -431,6 +508,70 @@ mod tests {
         let rt = rounds[0].get("runtime").unwrap();
         assert_eq!(rt.get("frames_dropped").and_then(Json::as_u64), Some(3));
         assert_eq!(rt.get("restarts").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn skew_columns_appear_only_with_multiple_lanes() {
+        use super::super::{Phase, PhaseSpans, ShardProfile};
+        let lane = |shard: usize, micros: u64, barrier: u64| {
+            let mut spans = PhaseSpans::new();
+            spans.add_micros(Phase::Compute, micros - barrier, 1);
+            spans.add_micros(Phase::BarrierWait, barrier, 2);
+            ShardProfile {
+                shard,
+                spans,
+                round_micros: micros,
+                inbox_max_depth: shard as u64,
+                inbox_depth: 0,
+            }
+        };
+
+        // Single-lane (serial) profile: the legacy table is unchanged.
+        let mut serial: MetricsCollector<u8> = MetricsCollector::new();
+        let mut s = stats(1, 1, 5);
+        s.profile = Some(RoundProfile {
+            shards: vec![lane(0, 5, 0)],
+        });
+        serial.on_round_end(&s, &[0u8]);
+        assert!(!serial.render_table().contains("skew"));
+
+        // Two lanes: skew columns name the straggler.
+        let mut sharded: MetricsCollector<u8> = MetricsCollector::new();
+        let mut s = stats(1, 1, 10);
+        s.profile = Some(RoundProfile {
+            shards: vec![lane(0, 10, 2), lane(1, 4, 2)],
+        });
+        sharded.on_round_end(&s, &[0u8]);
+        let table = sharded.render_table();
+        assert!(
+            table.contains("| max lane µs | skew | straggler | barrier share |"),
+            "{table}"
+        );
+        // max 10, mean 7 → skew 1.43; straggler is lane 0.
+        assert!(table.contains("| 10 | 1.43 | 0 |"), "{table}");
+
+        let json = sharded.to_json();
+        let p = json.get("rounds").and_then(Json::as_array).unwrap()[0]
+            .get("profile")
+            .unwrap();
+        assert_eq!(p.get("straggler").and_then(Json::as_u64), Some(0));
+        assert_eq!(p.get("max_round_micros").and_then(Json::as_u64), Some(10));
+        let shards = p.get("shards").and_then(Json::as_array).unwrap();
+        let spans = shards[0].get("spans").unwrap();
+        assert_eq!(
+            spans
+                .get("compute")
+                .and_then(|s| s.get("micros"))
+                .and_then(Json::as_u64),
+            Some(8)
+        );
+        assert_eq!(
+            spans
+                .get("barrier_wait")
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]

@@ -35,10 +35,12 @@ use selfstab_graph::Node;
 pub mod chrome;
 pub mod jsonl;
 pub mod metrics;
+pub mod profile;
 
 pub use chrome::ChromeTraceWriter;
 pub use jsonl::{trace_from_jsonl, JsonlEventLog};
-pub use metrics::{Gauge, MetricsCollector, RoundRecord};
+pub use metrics::{profile_json, Gauge, MetricsCollector, RoundRecord};
+pub use profile::{Phase, PhaseSpans, RoundProfile, ShardProfile, PHASES};
 
 /// Beacon-layer counters for one observation period, reported only by the
 /// `selfstab-adhoc` beacon simulator (`None` in [`RoundStats::beacon`] for
@@ -137,6 +139,9 @@ pub struct RoundStats {
     pub beacon: Option<BeaconCounters>,
     /// Shard/wire counters (sharded runtime only).
     pub runtime: Option<RuntimeCounters>,
+    /// Intra-round phase profile, one [`ShardProfile`] per executor lane
+    /// (executors that profile their rounds only; `None` elsewhere).
+    pub profile: Option<RoundProfile>,
 }
 
 /// Execution hooks, called by `run_observed` on every executor.
@@ -306,6 +311,7 @@ mod tests {
             duration_micros: 0,
             beacon: None,
             runtime: None,
+            profile: None,
         };
         let mut pair = (Count::default(), Some(Count::default()));
         let mut none: Option<Count> = None;

@@ -13,6 +13,8 @@
 //! tens of thousands of nodes (see the `throughput` bench, experiment E12).
 
 use crate::active::{ActiveSet, Schedule};
+use crate::faults::CrashAt;
+use crate::obs::{Observer, Phase, PhaseSpans, RoundProfile, RoundStats, ShardProfile};
 use crate::protocol::{InitialState, Move, Protocol, View};
 use crate::sync::{Outcome, Run};
 use selfstab_graph::{Graph, Node};
@@ -24,6 +26,7 @@ pub struct ParSyncExecutor<'a, P: Protocol> {
     proto: &'a P,
     threads: NonZeroUsize,
     schedule: Schedule,
+    crash: Option<CrashAt>,
 }
 
 impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
@@ -37,6 +40,7 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
             proto,
             threads,
             schedule: Schedule::default(),
+            crash: None,
         }
     }
 
@@ -50,6 +54,13 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
     /// pruning (identical results; see [`crate::active`]).
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Schedule a mid-run crash-restart ([`CrashAt`]); semantics identical
+    /// to [`crate::sync::SyncExecutor::with_crash`].
+    pub fn with_crash(mut self, crash: CrashAt) -> Self {
+        self.crash = Some(crash);
         self
     }
 
@@ -74,6 +85,22 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
     /// Semantics identical to [`crate::sync::SyncExecutor::run`] without
     /// tracing or cycle detection.
     pub fn run(&self, init: InitialState<P::State>, max_rounds: usize) -> Run<P::State> {
+        self.run_observed(init, max_rounds, &mut ())
+    }
+
+    /// Execute synchronously, firing the [`Observer`] hooks with the same
+    /// call order and [`RoundStats`] schema as
+    /// [`crate::sync::SyncExecutor::run_observed`] (this executor's single
+    /// lane reports the serial span taxonomy: `guard_eval`, `apply`,
+    /// `gauges`, plus `rehydrate` when a crash fires). Guarded by
+    /// [`Observer::ENABLED`]: `run` delegates here with `()` and compiles
+    /// to the unobserved loop.
+    pub fn run_observed<O: Observer<P::State>>(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+        obs: &mut O,
+    ) -> Run<P::State> {
         let mut states = init.materialize(self.graph, self.proto);
         let mut moves_per_rule = vec![0u64; self.proto.rule_names().len()];
         let n = states.len();
@@ -81,11 +108,39 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
             (self.schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
         let mut round = 0usize;
         loop {
+            // See SyncExecutor::run_observed: a scheduled crash keeps the
+            // run alive through its round.
+            let crash_pending = self.crash.as_ref().is_some_and(|c| round <= c.round);
+            let mut rehydrate_nanos = 0u64;
+            if let Some(c) = self.crash.as_ref().filter(|c| c.round == round) {
+                if round < max_rounds {
+                    let t0 = O::ENABLED.then(std::time::Instant::now);
+                    let victims = c.apply(self.proto, self.graph, &mut states);
+                    if let Some((cur, _)) = active.as_mut() {
+                        for &v in &victims {
+                            cur.insert_closed(self.graph, v);
+                        }
+                        cur.seal();
+                    }
+                    if let Some(t0) = t0 {
+                        rehydrate_nanos = t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+
+            let guard_timer = O::ENABLED.then(std::time::Instant::now);
             let moves = match active.as_ref() {
                 Some((cur, _)) => self.privileged_moves_among(&states, cur.nodes()),
                 None => self.privileged_moves(&states),
             };
-            if moves.is_empty() {
+            let evaluated = active.as_ref().map(|(cur, _)| cur.len()).unwrap_or(n);
+            let guard_nanos = guard_timer
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            if moves.is_empty() && !crash_pending {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::Stabilized, &states);
+                }
                 return Run {
                     final_states: states,
                     rounds: round,
@@ -95,6 +150,9 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
                 };
             }
             if round >= max_rounds {
+                if O::ENABLED {
+                    obs.on_finish(&Outcome::RoundLimit, &states);
+                }
                 return Run {
                     final_states: states,
                     rounds: round,
@@ -103,11 +161,31 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
                     trace: None,
                 };
             }
+            let timer = O::ENABLED.then(std::time::Instant::now);
+            let mut round_moves = O::ENABLED.then(|| vec![0u64; moves_per_rule.len()]);
+            let mut hook_nanos = 0u64;
+            if O::ENABLED {
+                let t0 = std::time::Instant::now();
+                obs.on_round_start(round + 1, &states);
+                hook_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            let privileged = moves.len();
+            let apply_timer = O::ENABLED.then(std::time::Instant::now);
+            let mut move_hook_nanos = 0u64;
             for (v, m) in moves {
                 moves_per_rule[m.rule] += 1;
+                if let Some(rm) = round_moves.as_mut() {
+                    rm[m.rule] += 1;
+                }
+                let rule = m.rule;
                 states[v.index()] = m.next;
                 if let Some((_, next)) = active.as_mut() {
                     next.insert_closed(self.graph, v);
+                }
+                if O::ENABLED {
+                    let t0 = std::time::Instant::now();
+                    obs.on_move(v, rule, &states[v.index()]);
+                    move_hook_nanos += t0.elapsed().as_nanos() as u64;
                 }
             }
             if let Some((cur, next)) = active.as_mut() {
@@ -116,6 +194,39 @@ impl<'a, P: Protocol> ParSyncExecutor<'a, P> {
                 std::mem::swap(cur, next);
             }
             round += 1;
+            if O::ENABLED {
+                let apply_nanos = apply_timer
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0)
+                    .saturating_sub(move_hook_nanos);
+                hook_nanos += move_hook_nanos;
+                let mut spans = PhaseSpans::new();
+                if rehydrate_nanos > 0 {
+                    spans.add_nanos(Phase::Rehydrate, rehydrate_nanos);
+                }
+                spans.add_nanos(Phase::GuardEval, guard_nanos);
+                spans.add_nanos(Phase::Apply, apply_nanos);
+                spans.add_nanos(Phase::Gauges, hook_nanos);
+                let duration_micros = timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
+                let lane = ShardProfile {
+                    shard: 0,
+                    spans,
+                    round_micros: duration_micros + (guard_nanos + rehydrate_nanos) / 1_000,
+                    inbox_max_depth: 0,
+                    inbox_depth: 0,
+                };
+                let stats = RoundStats {
+                    round,
+                    privileged,
+                    evaluated,
+                    moves_per_rule: round_moves.take().unwrap_or_default(),
+                    duration_micros,
+                    beacon: None,
+                    runtime: None,
+                    profile: Some(RoundProfile { shards: vec![lane] }),
+                };
+                obs.on_round_end(&stats, &states);
+            }
         }
     }
 }

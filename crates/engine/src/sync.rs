@@ -12,7 +12,8 @@
 //! rather than merely time out).
 
 use crate::active::{ActiveSet, Schedule};
-use crate::obs::{Observer, RoundStats};
+use crate::faults::CrashAt;
+use crate::obs::{Observer, Phase, PhaseSpans, RoundProfile, RoundStats, ShardProfile};
 use crate::protocol::{InitialState, Move, Protocol, View};
 use selfstab_graph::{Graph, Node};
 use std::collections::HashMap;
@@ -73,6 +74,7 @@ pub struct SyncExecutor<'a, P: Protocol> {
     trace: bool,
     detect_cycles: bool,
     schedule: Schedule,
+    crash: Option<CrashAt>,
 }
 
 impl<'a, P: Protocol> SyncExecutor<'a, P> {
@@ -86,6 +88,7 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
             trace: false,
             detect_cycles: false,
             schedule: Schedule::default(),
+            crash: None,
         }
     }
 
@@ -94,6 +97,17 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
     /// evaluations ([`RoundStats::evaluated`]) differs.
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Schedule a mid-run crash-restart ([`CrashAt`]): at the top of the
+    /// crash round a fraction of the nodes rehydrate with arbitrary
+    /// states, and the run is kept alive up to that round even if the
+    /// protocol has already quiesced — mirroring the sharded runtime's
+    /// `CrashSpec` semantics, so the equivalence suite can pin the two
+    /// against each other at 1 shard.
+    pub fn with_crash(mut self, crash: CrashAt) -> Self {
+        self.crash = Some(crash);
         self
     }
 
@@ -179,7 +193,19 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
 
         let mut round = 0usize;
         loop {
+            // A scheduled crash keeps the run alive through its round — the
+            // sharded runtime does the same (`FaultPlan::crash_pending`) —
+            // so a quiesced pre-crash configuration cannot report
+            // `Stabilized` before the fault actually fires.
+            let crash_pending = self.crash.as_ref().is_some_and(|c| round <= c.round);
             if let Some(seen) = seen.as_mut() {
+                if crash_pending {
+                    // The crash mutates state outside the transition
+                    // function: a repeat before it is a keep-alive round,
+                    // not an oscillation, and history crossing the crash
+                    // proves nothing. Detection restarts after it fires.
+                    seen.clear();
+                }
                 if let Some(&first_seen) = seen.get(&states) {
                     let outcome = Outcome::Cycle {
                         first_seen,
@@ -199,11 +225,37 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 seen.insert(states.clone(), round);
             }
 
+            // An injected crash fires at the top of its round, before
+            // evaluation, exactly like the runtime's worker crash-restart.
+            let mut rehydrate_nanos = 0u64;
+            if let Some(c) = self.crash.as_ref().filter(|c| c.round == round) {
+                if round < max_rounds {
+                    let t0 = O::ENABLED.then(std::time::Instant::now);
+                    let victims = c.apply(self.proto, self.graph, &mut states);
+                    if let Some((cur, _)) = active.as_mut() {
+                        // Every victim's closed neighborhood re-enters
+                        // evaluation: the rehydrated state changes its own
+                        // guards and its neighbors'.
+                        for &v in &victims {
+                            cur.insert_closed(self.graph, v);
+                        }
+                        cur.seal();
+                    }
+                    if let Some(t0) = t0 {
+                        rehydrate_nanos = t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+
+            let guard_timer = O::ENABLED.then(std::time::Instant::now);
             let (moves, evaluated) = match active.as_ref() {
                 Some((cur, _)) => (self.privileged_moves_among(&states, cur.nodes()), cur.len()),
                 None => (self.privileged_moves(&states), n),
             };
-            if moves.is_empty() {
+            let guard_nanos = guard_timer
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            if moves.is_empty() && !crash_pending {
                 if O::ENABLED {
                     obs.on_finish(&Outcome::Stabilized, &states);
                 }
@@ -229,10 +281,18 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
             }
             let timer = O::ENABLED.then(std::time::Instant::now);
             let mut round_moves = O::ENABLED.then(|| vec![0u64; moves_per_rule.len()]);
+            // Observer-hook time is accumulated separately so the `gauges`
+            // span reports the observation overhead itself, and the `apply`
+            // span stays pure state-writing.
+            let mut hook_nanos = 0u64;
             if O::ENABLED {
+                let t0 = std::time::Instant::now();
                 obs.on_round_start(round + 1, &states);
+                hook_nanos += t0.elapsed().as_nanos() as u64;
             }
             let privileged = moves.len();
+            let apply_timer = O::ENABLED.then(std::time::Instant::now);
+            let mut move_hook_nanos = 0u64;
             for (v, m) in moves {
                 moves_per_rule[m.rule] += 1;
                 if let Some(rm) = round_moves.as_mut() {
@@ -244,7 +304,9 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                     next.insert_closed(self.graph, v);
                 }
                 if O::ENABLED {
+                    let t0 = std::time::Instant::now();
                     obs.on_move(v, rule, &states[v.index()]);
+                    move_hook_nanos += t0.elapsed().as_nanos() as u64;
                 }
             }
             if let Some((cur, next)) = active.as_mut() {
@@ -257,14 +319,38 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 trace.push(states.clone());
             }
             if O::ENABLED {
+                let apply_nanos = apply_timer
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0)
+                    .saturating_sub(move_hook_nanos);
+                hook_nanos += move_hook_nanos;
+                let mut spans = PhaseSpans::new();
+                if rehydrate_nanos > 0 {
+                    spans.add_nanos(Phase::Rehydrate, rehydrate_nanos);
+                }
+                spans.add_nanos(Phase::GuardEval, guard_nanos);
+                spans.add_nanos(Phase::Apply, apply_nanos);
+                spans.add_nanos(Phase::Gauges, hook_nanos);
+                let duration_micros = timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
+                let lane = ShardProfile {
+                    shard: 0,
+                    spans,
+                    // The round timer starts after guard evaluation (so
+                    // `duration_micros` keeps its historical meaning); the
+                    // lane's wall-clock adds the pre-timer phases back in.
+                    round_micros: duration_micros + (guard_nanos + rehydrate_nanos) / 1_000,
+                    inbox_max_depth: 0,
+                    inbox_depth: 0,
+                };
                 let stats = RoundStats {
                     round,
                     privileged,
                     evaluated,
                     moves_per_rule: round_moves.take().unwrap_or_default(),
-                    duration_micros: timer.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0),
+                    duration_micros,
                     beacon: None,
                     runtime: None,
+                    profile: Some(RoundProfile { shards: vec![lane] }),
                 };
                 obs.on_round_end(&stats, &states);
             }
@@ -565,8 +651,24 @@ mod observer_tests {
         assert!(run.stabilized());
         let (metrics, chrome) = pair;
         assert_eq!(metrics.rounds().len(), run.rounds());
-        // 2 events per round + 2 finish events.
-        assert_eq!(chrome.len(), 2 * run.rounds() + 2);
+        // 2 aggregate events per round + 2 finish events, plus the serial
+        // lane's profile track (metadata + B/E spans, whose count depends
+        // on how many sub-µs phases round up to a visible width).
+        assert!(chrome.len() >= 2 * run.rounds() + 2);
+        let doc = chrome.to_json();
+        let events = doc
+            .get("traceEvents")
+            .and_then(selfstab_json::Json::as_array)
+            .unwrap();
+        let ph_count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(selfstab_json::Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(ph_count("X"), run.rounds());
+        assert_eq!(ph_count("i"), 1);
+        assert_eq!(ph_count("M"), 1, "serial lane named once");
         // RoundLimit also notifies.
         let mut m = MetricsCollector::new();
         let limited =

@@ -179,6 +179,18 @@ impl<T> Receiver<T> {
         self.shared.queue.lock().unwrap().max_depth
     }
 
+    /// Read *and reset* the high-water mark: returns the deepest the queue
+    /// got since the last call (or creation), then re-arms the mark at the
+    /// current depth. Sampling [`Receiver::max_depth`] every round reports
+    /// a cumulative maximum — one early burst shadows every later round —
+    /// so per-round backpressure gauges must consume the mark instead.
+    pub fn take_max_depth(&self) -> usize {
+        let mut q = self.shared.queue.lock().unwrap();
+        let max = q.max_depth;
+        q.max_depth = q.items.len();
+        max
+    }
+
     /// Park on the channel's condvar until a message is available, every
     /// sender is gone, or `timeout` elapses; returns whether the queue is
     /// non-empty. The bounded-backoff primitive for pump loops that also
@@ -224,6 +236,27 @@ mod tests {
         );
         assert_eq!(rx.try_recv(), None);
         assert_eq!(rx.max_depth(), 4);
+    }
+
+    #[test]
+    fn take_max_depth_resets_the_high_water_mark() {
+        let (tx, rx) = bounded(8);
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        for _ in 0..4 {
+            rx.try_recv().unwrap();
+        }
+        // First take sees the burst; the second starts from a clean mark
+        // (the cumulative `max_depth` would report 4 forever).
+        assert_eq!(rx.take_max_depth(), 4);
+        assert_eq!(rx.take_max_depth(), 0);
+        tx.try_send(9).unwrap();
+        tx.try_send(10).unwrap();
+        assert_eq!(rx.take_max_depth(), 2);
+        // Re-armed at the *current* depth, not zero: the two queued items
+        // are still the deepest the next window has seen.
+        assert_eq!(rx.max_depth(), 2);
     }
 
     #[test]

@@ -63,7 +63,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_core::partition::Partition;
 use selfstab_engine::active::{ActiveSet, Schedule};
-use selfstab_engine::obs::{Observer, RoundStats, RuntimeCounters};
+use selfstab_engine::obs::{
+    Observer, Phase, PhaseSpans, RoundProfile, RoundStats, RuntimeCounters, ShardProfile,
+};
 use selfstab_engine::protocol::{InitialState, Protocol, View, WireError, WireState};
 use selfstab_engine::sync::{Outcome, Run, SyncExecutor};
 use selfstab_graph::{Graph, Node};
@@ -223,6 +225,14 @@ struct RoundJournal<S> {
     /// The rehydrated owned states, when this worker crash-restarted at the
     /// top of this round (replay applies them before the round's moves).
     restart: Option<Vec<(Node, S)>>,
+    /// Phase spans for this round (compute / encode / send / recv_wait /
+    /// barrier_wait / rehydrate).
+    spans: PhaseSpans,
+    /// This worker's mailbox high-water mark for the round (consumed and
+    /// reset at the round boundary via `Receiver::take_max_depth`).
+    inbox_max_depth: u64,
+    /// Mailbox depth left after the round's exchange drained (normally 0).
+    inbox_depth: u64,
 }
 
 /// What a worker hands back to the coordinator.
@@ -644,6 +654,7 @@ where
     let abort = |shard| RuntimeError::Aborted { shard };
     let outcome = loop {
         let timer = journal_enabled.then(std::time::Instant::now);
+        let mut spans = journal_enabled.then(PhaseSpans::new);
 
         // Injected crash-restarts fire at the top of the round, before
         // evaluation. Every worker consults the same plan, so the peers of
@@ -652,6 +663,8 @@ where
         // resumes with the rehydrated worker, while a *real* panic still
         // poisons the barrier through the PanicGuard.
         let mut pending_restart: Option<Vec<(Node, P::State)>> = None;
+        let t_rehydrate = journal_enabled.then(std::time::Instant::now);
+        let mut rehydrated = false;
         if let (Some(f), Some(ch)) = (fault, chaos.as_mut()) {
             if round < max_rounds {
                 for crashed in f.crashes_at(round) {
@@ -679,6 +692,7 @@ where
                             }
                             cur.seal();
                         }
+                        rehydrated = true;
                         if journal_enabled {
                             pending_restart = Some(
                                 plan.owned
@@ -701,9 +715,15 @@ where
             }
         }
 
+        if rehydrated {
+            if let (Some(t0), Some(sp)) = (t_rehydrate, spans.as_mut()) {
+                sp.add_nanos(Phase::Rehydrate, t0.elapsed().as_nanos() as u64);
+            }
+        }
+
         let mut evaluated = 0usize;
         let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
-        match active.as_ref() {
+        span(spans.as_mut(), Phase::Compute, || match active.as_ref() {
             Some((cur, _, _)) => {
                 for &v in cur.nodes() {
                     if !owned_mask[v.index()] {
@@ -725,7 +745,7 @@ where
                     }
                 }
             }
-        }
+        });
 
         // Under a chaos plan a worker must keep the run alive — even with
         // zero privileged nodes anywhere — while a receiver's ghost is
@@ -738,9 +758,9 @@ where
         };
         let slot = &accum[round % 2];
         slot.fetch_add(moves.len() as u64 + u64::from(signal), Ordering::SeqCst);
-        barrier.wait().map_err(|_| abort(shard))?;
+        span(spans.as_mut(), Phase::BarrierWait, || barrier.wait()).map_err(|_| abort(shard))?;
         let total = slot.load(Ordering::SeqCst);
-        if barrier.wait().map_err(|_| abort(shard))? {
+        if span(spans.as_mut(), Phase::BarrierWait, || barrier.wait()).map_err(|_| abort(shard))? {
             // Safe: every worker has read `slot`, and its next write is two
             // rounds away, behind the next barrier.
             slot.store(0, Ordering::SeqCst);
@@ -790,6 +810,7 @@ where
             next_active,
             fault,
             chaos.as_mut(),
+            spans.as_mut(),
         )?;
 
         if let Some((cur, next, moved)) = active.as_mut() {
@@ -816,6 +837,9 @@ where
                 delayed: xch.delayed,
                 corrupted: xch.corrupted,
                 restart: pending_restart,
+                spans: spans.unwrap_or_default(),
+                inbox_max_depth: xch.inbox_max_depth,
+                inbox_depth: xch.inbox_depth,
             });
         }
     };
@@ -843,6 +867,24 @@ struct ExchangeStats {
     duped: u64,
     delayed: u64,
     corrupted: u64,
+    inbox_max_depth: u64,
+    inbox_depth: u64,
+}
+
+/// Run `f`, attributing its wall-clock to `phase` when profiling is on
+/// (`spans` is `Some` exactly when the observer is enabled — the
+/// unobserved path takes the `None` arm and never reads a clock).
+#[inline]
+fn span<T>(spans: Option<&mut PhaseSpans>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match spans {
+        Some(spans) => {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            spans.add_nanos(phase, t0.elapsed().as_nanos() as u64);
+            out
+        }
+        None => f(),
+    }
 }
 
 /// Pump the post-round boundary states out and the neighbors' in. Never
@@ -866,6 +908,7 @@ fn exchange<P: Protocol>(
     mut next_active: Option<&mut ActiveSet>,
     fault: Option<&FaultPlan>,
     mut chaos: Option<&mut ChaosState<P::State>>,
+    mut prof: Option<&mut PhaseSpans>,
 ) -> Result<ExchangeStats, RuntimeError>
 where
     P::State: WireState,
@@ -879,6 +922,8 @@ where
         duped: 0,
         delayed: 0,
         corrupted: 0,
+        inbox_max_depth: 0,
+        inbox_depth: 0,
     };
     // Exact: run_observed rejects max_rounds beyond u32 up front.
     let round_tag = round as u32;
@@ -890,6 +935,7 @@ where
         let mut progress = false;
 
         if pending.is_none() && next < plan.sends.len() {
+            let t_enc = prof.is_some().then(std::time::Instant::now);
             // Batch every beacon bound for shard `t` into one message.
             let si = next;
             let (t, nodes) = &plan.sends[si];
@@ -995,8 +1041,12 @@ where
                 }
             }
             pending = Some((*t, frames, batch));
+            if let (Some(t0), Some(sp)) = (t_enc, prof.as_mut()) {
+                sp.add_nanos(Phase::Encode, t0.elapsed().as_nanos() as u64);
+            }
         }
         if let Some((t, frames, bytes)) = pending.take() {
+            let t_send = prof.is_some().then(std::time::Instant::now);
             let len = bytes.len() as u64;
             match senders[t].try_send(bytes) {
                 Ok(()) => {
@@ -1010,8 +1060,12 @@ where
                 // abort path (the peer's own error outranks ours).
                 Err(TrySendError::Disconnected(_)) => return Err(RuntimeError::Aborted { shard }),
             }
+            if let (Some(t0), Some(sp)) = (t_send, prof.as_mut()) {
+                sp.add_nanos(Phase::Send, t0.elapsed().as_nanos() as u64);
+            }
         }
 
+        let t_recv = prof.is_some().then(std::time::Instant::now);
         while let Some(bytes) = mailbox.try_recv() {
             let mut rest = &bytes[..];
             while !rest.is_empty() {
@@ -1068,6 +1122,12 @@ where
                 mailbox.wait_nonempty(IDLE_PARK);
             }
         }
+        if let (Some(t0), Some(sp)) = (t_recv, prof.as_mut()) {
+            // Draining, decoding, and idle parking all bill to `recv_wait`:
+            // from the shard's point of view it is the time spent waiting
+            // on (or absorbing) the rest of the cluster.
+            sp.add_nanos(Phase::RecvWait, t0.elapsed().as_nanos() as u64);
+        }
     }
     debug_assert_eq!(received, plan.expected_in);
     if let (Some(_), Some(ch)) = (fault, chaos) {
@@ -1082,6 +1142,12 @@ where
                 .enumerate()
                 .any(|(j, &v)| ch.acked[si][j].as_ref() != Some(&states[v.index()]))
         });
+    }
+    if prof.is_some() {
+        // Consume (and re-arm) the inbox high-water mark so each round's
+        // gauge reflects that round's backpressure, not a cumulative max.
+        stats.inbox_max_depth = mailbox.take_max_depth() as u64;
+        stats.inbox_depth = mailbox.depth() as u64;
     }
     Ok(stats)
 }
@@ -1131,6 +1197,9 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             ..RuntimeCounters::default()
         };
         let mut duration = 0u64;
+        let mut profile = RoundProfile {
+            shards: Vec::with_capacity(outs.len()),
+        };
         for out in outs {
             let j = &out.journal[r];
             for (acc, &m) in moves_per_rule.iter_mut().zip(&j.moves_per_rule) {
@@ -1148,7 +1217,15 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             runtime.frames_corrupted += j.corrupted;
             runtime.restarts += u64::from(j.restart.is_some());
             duration = duration.max(j.duration_micros);
+            profile.shards.push(ShardProfile {
+                shard: out.shard,
+                spans: j.spans.clone(),
+                round_micros: j.duration_micros,
+                inbox_max_depth: j.inbox_max_depth,
+                inbox_depth: j.inbox_depth,
+            });
         }
+        profile.shards.sort_by_key(|s| s.shard);
         obs.on_round_end(
             &RoundStats {
                 round: r + 1,
@@ -1158,6 +1235,7 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
                 duration_micros: duration,
                 beacon: None,
                 runtime: Some(runtime),
+                profile: Some(profile),
             },
             &states,
         );

@@ -23,12 +23,15 @@ use selfstab::core::hsu_huang::HsuHuang;
 use selfstab::core::smm::Smm;
 use selfstab::core::Smi;
 use selfstab::engine::active::Schedule;
-use selfstab::engine::obs::{MetricsCollector, Observer, RoundStats};
+use selfstab::engine::faults::CrashAt;
+use selfstab::engine::obs::{
+    ChromeTraceWriter, JsonlEventLog, MetricsCollector, Observer, RoundStats,
+};
 use selfstab::engine::par::ParSyncExecutor;
 use selfstab::engine::protocol::{InitialState, Protocol, WireState};
 use selfstab::engine::sync::{Run, SyncExecutor};
 use selfstab::graph::{generators, Graph, Ids};
-use selfstab::runtime::RuntimeExecutor;
+use selfstab::runtime::{FaultPlan, RuntimeExecutor};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -173,6 +176,166 @@ proptest! {
         // round-limited executions too, not just converging ones.
         let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
         check(&g, &HsuHuang::classic(g.n()), state_seed)?;
+    }
+}
+
+/// Satellite (crash-at): an injected serial full restart must be
+/// byte-identical to the runtime's crash-restart of a single shard holding
+/// the whole graph. `CrashAt { frac: 1.0 }` rehydrates every node in
+/// ascending order from `seed`, and the runtime worker does exactly the
+/// same with `FaultPlan::restart_seed(0, round)` — so seeding the serial
+/// crash from the plan pins the two code paths against each other.
+#[test]
+fn serial_crash_at_matches_runtime_single_shard_restart() {
+    let g = generators::erdos_renyi_connected(24, 0.25, &mut StdRng::seed_from_u64(1105));
+    let smm = Smm::paper(Ids::identity(g.n()));
+    let max_rounds = 4 * g.n() + 8;
+    let init = InitialState::Random { seed: 5 };
+    for crash_round in [0usize, 2, 5] {
+        for schedule in [Schedule::Full, Schedule::Active] {
+            let plan = FaultPlan::new(77).with_crash(0, crash_round);
+            let crash = CrashAt {
+                round: crash_round,
+                frac: 1.0,
+                seed: plan.restart_seed(0, crash_round),
+            };
+            let mut serial_trace = Trace::new();
+            let serial = SyncExecutor::new(&g, &smm)
+                .with_schedule(schedule)
+                .with_crash(crash)
+                .run_observed(init.clone(), max_rounds, &mut serial_trace);
+            let mut rt_trace = Trace::new();
+            let rt = RuntimeExecutor::new(&g, &smm, 1)
+                .with_schedule(schedule)
+                .with_chaos(plan)
+                .run_observed(init.clone(), max_rounds, &mut rt_trace)
+                .expect("sharded crash run failed");
+            let label = format!("crash@{crash_round} {schedule}");
+            assert_eq!(serial.rounds, rt.rounds, "rounds: {label}");
+            assert_eq!(serial.outcome, rt.outcome, "outcome: {label}");
+            assert_eq!(serial.moves_per_rule, rt.moves_per_rule, "moves: {label}");
+            assert_eq!(
+                serial.final_states, rt.final_states,
+                "final states: {label}"
+            );
+            assert_eq!(
+                serial_trace.states, rt_trace.states,
+                "per-round states: {label}"
+            );
+        }
+    }
+}
+
+/// Satellite (crash-at): the chunked-parallel executor's crash must replay
+/// the serial one exactly, including partial crashes where victim selection
+/// exercises the Fisher–Yates stream.
+#[test]
+fn parallel_crash_at_matches_serial() {
+    let g = generators::erdos_renyi_connected(30, 0.2, &mut StdRng::seed_from_u64(2206));
+    let smm = Smm::paper(Ids::identity(g.n()));
+    let max_rounds = 4 * g.n() + 8;
+    let init = InitialState::Random { seed: 9 };
+    for frac in [0.3, 1.0] {
+        for schedule in [Schedule::Full, Schedule::Active] {
+            let crash = CrashAt {
+                round: 3,
+                frac,
+                seed: 99,
+            };
+            let serial = SyncExecutor::new(&g, &smm)
+                .with_schedule(schedule)
+                .with_crash(crash.clone())
+                .run(init.clone(), max_rounds);
+            let par = ParSyncExecutor::new(&g, &smm)
+                .with_schedule(schedule)
+                .with_crash(crash)
+                .run(init.clone(), max_rounds);
+            let label = format!("crash frac={frac} {schedule}");
+            assert_eq!(serial.rounds, par.rounds, "rounds: {label}");
+            assert_eq!(serial.outcome, par.outcome, "outcome: {label}");
+            assert_eq!(serial.moves_per_rule, par.moves_per_rule, "moves: {label}");
+            assert_eq!(serial.final_states, par.final_states, "states: {label}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite (profiling is inert): a run observed by the full profiling
+    /// stack — metrics, Chrome trace, and JSONL artifact — must be
+    /// state-for-state identical to an unobserved run, at every shard count
+    /// and on the serial executor. Spans read clocks, never state.
+    #[test]
+    fn profiling_observers_do_not_perturb_execution(
+        n in 4usize..32,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let max_rounds = 4 * g.n() + 8;
+        let init = InitialState::Random { seed: state_seed };
+
+        let serial_bare = SyncExecutor::new(&g, &smm).run(init.clone(), max_rounds);
+        let mut m = MetricsCollector::new();
+        let mut c = ChromeTraceWriter::new();
+        let mut j = JsonlEventLog::new();
+        let serial_profiled = SyncExecutor::new(&g, &smm).run_observed(
+            init.clone(),
+            max_rounds,
+            &mut (&mut m, (&mut c, &mut j)),
+        );
+        prop_assert_eq!(&serial_bare.rounds, &serial_profiled.rounds, "serial rounds");
+        prop_assert_eq!(&serial_bare.outcome, &serial_profiled.outcome, "serial outcome");
+        prop_assert_eq!(
+            &serial_bare.final_states,
+            &serial_profiled.final_states,
+            "serial final states"
+        );
+
+        for shards in SHARD_COUNTS {
+            let bare = RuntimeExecutor::new(&g, &smm, shards)
+                .run(init.clone(), max_rounds)
+                .expect("unobserved run failed");
+            let mut metrics = MetricsCollector::new();
+            let mut chrome = ChromeTraceWriter::new();
+            let mut jsonl = JsonlEventLog::new();
+            let profiled = RuntimeExecutor::new(&g, &smm, shards)
+                .run_observed(
+                    init.clone(),
+                    max_rounds,
+                    &mut (&mut metrics, (&mut chrome, &mut jsonl)),
+                )
+                .expect("profiled run failed");
+            prop_assert_eq!(&bare.rounds, &profiled.rounds, "rounds: shards={}", shards);
+            prop_assert_eq!(&bare.outcome, &profiled.outcome, "outcome: shards={}", shards);
+            prop_assert_eq!(
+                &bare.moves_per_rule,
+                &profiled.moves_per_rule,
+                "moves: shards={}",
+                shards
+            );
+            prop_assert_eq!(
+                &bare.final_states,
+                &profiled.final_states,
+                "final states: shards={}",
+                shards
+            );
+            // And the observed run actually carried per-lane profiles: one
+            // lane per shard, every round.
+            for (r, rec) in metrics.rounds().iter().enumerate() {
+                let p = rec.profile.as_ref();
+                prop_assert!(p.is_some(), "round {} missing profile (shards={})", r + 1, shards);
+                prop_assert_eq!(
+                    p.unwrap().shards.len(),
+                    shards,
+                    "lane count: round {} shards={}",
+                    r + 1,
+                    shards
+                );
+            }
+        }
     }
 }
 
