@@ -109,4 +109,20 @@ cargo run --release -p selfstab-bench --bin harness -- --quick e21 \
     | grep -F "E21 completed" >/dev/null \
     || { echo "E21 quick sweep failed" >&2; exit 1; }
 
+echo "==> selfstab bench --quick + self-compare (observatory smoke: zero deltas, exit 0)"
+cargo run --release -p selfstab-cli --bin selfstab-cli -- bench --quick \
+    --out "$PROFILE_DIR/bench.json" \
+    | grep -F "wrote " >/dev/null \
+    || { echo "bench --quick should report its artifact path" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- bench \
+    --compare "$PROFILE_DIR/bench.json" "$PROFILE_DIR/bench.json" >/dev/null \
+    || { echo "bench self-compare must exit 0" >&2; exit 1; }
+# The committed baseline artifact must stay parseable and self-consistent.
+BENCH_BASELINE="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1)"
+if [ -n "$BENCH_BASELINE" ]; then
+    cargo run --release -p selfstab-cli --bin selfstab-cli -- bench \
+        --compare "$BENCH_BASELINE" "$BENCH_BASELINE" >/dev/null \
+        || { echo "committed $BENCH_BASELINE must self-compare clean" >&2; exit 1; }
+fi
+
 echo "ci.sh: all gates passed"

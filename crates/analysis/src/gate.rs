@@ -1,0 +1,209 @@
+//! Noise-aware regression gating for bench trajectories.
+//!
+//! The bench observatory records, per matrix cell, a median and an
+//! interquartile range over its repetitions. Comparing two artifacts cell
+//! by cell needs a *noise model*, or every run-to-run wobble becomes a CI
+//! failure: [`NoiseGate::judge`] flags a delta only when it clears **both**
+//! a relative bound (so microscopic absolute changes on fast cells don't
+//! trip) **and** the pooled IQR of the two samples (so a delta inside the
+//! measured run-to-run spread is called noise, not a regression). The gate
+//! is pure data — medians and IQRs in, a [`Verdict`] out — so the same
+//! logic serves the CLI comparator and the test fixtures.
+
+use selfstab_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::stats::Summary;
+
+/// One metric's measurement: the median over repetitions and the spread.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricPoint {
+    /// Median over repetitions.
+    pub median: f64,
+    /// Interquartile range over repetitions (0 for a single rep, which
+    /// makes the gate purely relative-bound for deterministic quantities).
+    pub iqr: f64,
+}
+
+impl MetricPoint {
+    /// The point a [`Summary`] measured.
+    pub fn of(summary: &Summary) -> MetricPoint {
+        MetricPoint {
+            median: summary.median,
+            iqr: summary.iqr(),
+        }
+    }
+}
+
+impl ToJson for MetricPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("median", self.median.to_json()),
+            ("iqr", self.iqr.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MetricPoint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(MetricPoint {
+            median: value.parse_field("median")?,
+            iqr: value.parse_field("iqr")?,
+        })
+    }
+}
+
+/// Which direction of change is an improvement for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style metrics: a *drop* is a regression.
+    HigherIsBetter,
+    /// Cost-style metrics (bytes per round, rounds): a *rise* is a
+    /// regression.
+    LowerIsBetter,
+}
+
+/// The comparator's cell-level verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Delta inside the noise gate (or exactly zero).
+    Unchanged,
+    /// Delta cleared the gate in the good direction.
+    Improved,
+    /// Delta cleared the gate in the bad direction.
+    Regressed,
+}
+
+/// The noise model: a delta is *significant* only when it exceeds both the
+/// relative bound and the pooled IQR of the two samples.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseGate {
+    /// Relative bound on `|current − baseline| / baseline` (e.g. `0.10`
+    /// for 10 %).
+    pub rel_threshold: f64,
+}
+
+impl Default for NoiseGate {
+    fn default() -> Self {
+        NoiseGate {
+            rel_threshold: 0.10,
+        }
+    }
+}
+
+impl NoiseGate {
+    /// A gate with an explicit relative bound.
+    pub fn with_threshold(rel_threshold: f64) -> Self {
+        NoiseGate { rel_threshold }
+    }
+
+    /// Pooled spread of the two samples: the mean of the two IQRs. A delta
+    /// below it is within the run-to-run wobble either artifact measured.
+    pub fn pooled_iqr(base: MetricPoint, current: MetricPoint) -> f64 {
+        (base.iqr + current.iqr) / 2.0
+    }
+
+    /// Relative delta `(current − baseline) / baseline`; 0 when the
+    /// baseline median is 0 or either median is not finite.
+    pub fn rel_delta(base: MetricPoint, current: MetricPoint) -> f64 {
+        if !base.median.is_finite() || !current.median.is_finite() || base.median == 0.0 {
+            return 0.0;
+        }
+        (current.median - base.median) / base.median
+    }
+
+    /// Judge one metric's delta between two artifacts.
+    pub fn judge(&self, base: MetricPoint, current: MetricPoint, dir: Direction) -> Verdict {
+        let rel = Self::rel_delta(base, current);
+        let abs = (current.median - base.median).abs();
+        if rel.abs() <= self.rel_threshold || abs <= Self::pooled_iqr(base, current) {
+            return Verdict::Unchanged;
+        }
+        let worse = match dir {
+            Direction::HigherIsBetter => rel < 0.0,
+            Direction::LowerIsBetter => rel > 0.0,
+        };
+        if worse {
+            Verdict::Regressed
+        } else {
+            Verdict::Improved
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(median: f64, iqr: f64) -> MetricPoint {
+        MetricPoint { median, iqr }
+    }
+
+    #[test]
+    fn clean_regression_and_improvement_are_flagged() {
+        let gate = NoiseGate::default();
+        // 2× rounds/sec drop: far past 10 % and past the (tiny) IQRs.
+        let base = pt(1000.0, 10.0);
+        let halved = pt(500.0, 10.0);
+        assert_eq!(
+            gate.judge(base, halved, Direction::HigherIsBetter),
+            Verdict::Regressed
+        );
+        assert_eq!(
+            gate.judge(halved, base, Direction::HigherIsBetter),
+            Verdict::Improved
+        );
+        // For a cost metric the same doubling flips sign.
+        assert_eq!(
+            gate.judge(halved, base, Direction::LowerIsBetter),
+            Verdict::Regressed
+        );
+    }
+
+    #[test]
+    fn noise_inside_either_bound_is_unchanged() {
+        let gate = NoiseGate::default();
+        // 5 % delta: inside the relative bound.
+        assert_eq!(
+            gate.judge(pt(1000.0, 0.0), pt(950.0, 0.0), Direction::HigherIsBetter),
+            Verdict::Unchanged
+        );
+        // 20 % delta but the pooled IQR covers it: noisy cell, not a
+        // regression.
+        assert_eq!(
+            gate.judge(
+                pt(1000.0, 300.0),
+                pt(800.0, 200.0),
+                Direction::HigherIsBetter
+            ),
+            Verdict::Unchanged
+        );
+        // Same medians are always unchanged, IQR or not.
+        assert_eq!(
+            gate.judge(pt(7.0, 0.0), pt(7.0, 0.0), Direction::LowerIsBetter),
+            Verdict::Unchanged
+        );
+    }
+
+    #[test]
+    fn degenerate_baselines_never_flag() {
+        let gate = NoiseGate::default();
+        assert_eq!(
+            gate.judge(pt(0.0, 0.0), pt(100.0, 0.0), Direction::LowerIsBetter),
+            Verdict::Unchanged
+        );
+        assert_eq!(
+            gate.judge(pt(f64::NAN, 0.0), pt(100.0, 0.0), Direction::HigherIsBetter),
+            Verdict::Unchanged
+        );
+    }
+
+    #[test]
+    fn metric_point_roundtrips_and_reads_summaries() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let p = MetricPoint::of(&s);
+        assert_eq!(p.median, 3.0);
+        assert_eq!(p.iqr, 2.0);
+        let back = MetricPoint::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+}

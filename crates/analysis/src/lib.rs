@@ -6,11 +6,13 @@
 //! [`table`] rendering for EXPERIMENTS.md, deterministic [`seeds`]
 //! spreading so every experiment cell is reproducible in isolation, and
 //! [`skew`] aggregation of per-shard profile samples for the offline
-//! `analyze` report.
+//! `analyze` report, and the [`gate`] noise model the bench comparator
+//! uses to separate regressions from run-to-run wobble.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod histogram;
 pub mod regression;
 pub mod seeds;
@@ -18,6 +20,7 @@ pub mod skew;
 pub mod stats;
 pub mod table;
 
+pub use gate::{Direction, MetricPoint, NoiseGate, Verdict};
 pub use histogram::Histogram;
 pub use regression::linear_fit;
 pub use skew::{LaneTotals, SkewAccumulator};

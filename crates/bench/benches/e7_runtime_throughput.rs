@@ -6,19 +6,21 @@
 //! barriers plus beacon serialization across the partition cut in exchange
 //! for parallel guard evaluation. Besides the criterion output, each
 //! configuration emits one machine-readable `BENCH {...}` JSON line on
-//! stdout for trend tracking.
+//! stdout for trend tracking — the same schema-versioned record the
+//! `selfstab bench` observatory writes into `BENCH_<pr>.json`, produced by
+//! the same [`measure_record`] runner.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use selfstab_bench::observatory::{measure_record, ExecKind, SCHEMA, SHARD_COUNTS};
 use selfstab_core::smm::Smm;
+use selfstab_engine::active::Schedule;
 use selfstab_engine::par::ParSyncExecutor;
 use selfstab_engine::protocol::InitialState;
 use selfstab_engine::sync::SyncExecutor;
 use selfstab_graph::{generators, Graph, Ids};
+use selfstab_json::ToJson;
 use selfstab_runtime::RuntimeExecutor;
 use std::hint::black_box;
-use std::time::Instant;
-
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn init() -> InitialState<selfstab_core::smm::Pointer> {
     InitialState::Random { seed: 7 }
@@ -68,43 +70,31 @@ fn bench(c: &mut Criterion) {
 }
 
 /// Print one `BENCH {...}` JSON line per executor configuration (skipped in
-/// `cargo test` smoke mode, where cargo passes `--test`).
+/// `cargo test` smoke mode, where cargo passes `--test`). Each line is a
+/// [`selfstab_bench::observatory::BenchRecord`] in the `BENCH_<pr>.json`
+/// schema, so e7's trend lines and `selfstab bench` artifacts are the one
+/// bench record format in the repo.
 fn emit_bench_points(g: &Graph, smm: &Smm) {
     if std::env::args().any(|a| a == "--test") {
         return;
     }
-    let n = g.n();
-    let point = |executor: &str, shards: usize, run_once: &dyn Fn() -> usize| {
-        // One warmup, then the mean of three timed runs.
-        let rounds = run_once();
-        let start = Instant::now();
-        for _ in 0..3 {
-            black_box(run_once());
-        }
-        let secs = start.elapsed().as_secs_f64() / 3.0;
-        let rate = (n * rounds) as f64 / secs.max(f64::MIN_POSITIVE);
-        println!(
-            "BENCH {{\"bench\":\"e7_runtime_throughput\",\"executor\":\"{executor}\",\
-             \"shards\":{shards},\"n\":{n},\"rounds\":{rounds},\"secs\":{secs:.6},\
-             \"node_rounds_per_sec\":{rate:.0}}}"
+    println!("BENCH-SCHEMA {SCHEMA}");
+    let mut execs = vec![ExecKind::Serial, ExecKind::Parallel];
+    execs.extend(SHARD_COUNTS.map(ExecKind::Runtime));
+    for exec in execs {
+        let record = measure_record(
+            g,
+            smm,
+            "smm",
+            "grid",
+            exec,
+            Schedule::Active,
+            7,
+            g.n() + 2,
+            3,
         );
-    };
-    point("serial", 0, &|| serial_rounds(g, smm, n));
-    point("parallel", 0, &|| {
-        ParSyncExecutor::new(g, smm).run(init(), n + 2).rounds()
-    });
-    for shards in SHARD_COUNTS {
-        point("runtime", shards, &|| {
-            RuntimeExecutor::new(g, smm, shards)
-                .run(init(), n + 2)
-                .expect("sharded run failed")
-                .rounds()
-        });
+        println!("BENCH {}", record.to_json());
     }
-}
-
-fn serial_rounds(g: &Graph, smm: &Smm, n: usize) -> usize {
-    SyncExecutor::new(g, smm).run(init(), n + 2).rounds()
 }
 
 criterion_group!(benches, bench);

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observatory;
 pub mod suite;
 
+pub use observatory::{BenchArtifact, BenchRecord, Tier};
 pub use suite::{Instance, Suite};

@@ -1,0 +1,135 @@
+//! Property tests for the bench-artifact schema: any artifact the types
+//! can express (with finite floats — non-finite medians round-trip to NaN
+//! by design and NaN breaks equality) survives
+//! serialize → parse → serialize unchanged, and the comparator is exact on
+//! self-comparison.
+//!
+//! Strategies are built from the vendored proptest subset: integer ranges
+//! mapped into floats/labels (no regex or float-range strategies there).
+
+use proptest::prelude::*;
+use selfstab_analysis::gate::{MetricPoint, NoiseGate, Verdict};
+use selfstab_bench::observatory::{
+    compare, BenchArtifact, BenchRecord, MachineMeta, WireSummary, SCHEMA,
+};
+use selfstab_json::ToJson;
+
+/// A finite, exactly round-trippable float (f64 serializes via `{:?}`).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (0u64..1_000_000_000_000).prop_map(|x| x as f64 / 1024.0)
+}
+
+fn arb_point() -> impl Strategy<Value = MetricPoint> {
+    (arb_f64(), arb_f64()).prop_map(|(median, iqr)| MetricPoint { median, iqr })
+}
+
+fn pick(choices: &'static [&'static str]) -> impl Strategy<Value = String> {
+    (0..choices.len()).prop_map(|i| choices[i].to_string())
+}
+
+fn arb_wire() -> impl Strategy<Value = Option<WireSummary>> {
+    (
+        (any::<bool>(), arb_f64(), 0u64..1_000_000, 0u64..1_000_000),
+        (0u64..10_000, arb_f64(), arb_f64()),
+        (0usize..9, collection::vec(0u64..1_000_000u64, 1..8)),
+    )
+        .prop_map(
+            |((present, bytes, frames, suppressed), (peak, skew, barrier), (straggler, lanes))| {
+                present.then(|| WireSummary {
+                    bytes_per_round: bytes,
+                    frames,
+                    frames_suppressed: suppressed,
+                    peak_inbox: peak,
+                    mean_skew: skew,
+                    barrier_share: barrier,
+                    // 0 stands in for "no straggler recorded".
+                    straggler: straggler.checked_sub(1),
+                    lane_inbox: lanes.iter().map(|&x| x / 2).collect(),
+                    lane_micros: lanes,
+                })
+            },
+        )
+}
+
+fn arb_record() -> impl Strategy<Value = BenchRecord> {
+    (
+        (
+            pick(&["smm", "smi", "hsu-huang"]),
+            pick(&["path", "star", "unit-disk", "grid"]),
+            pick(&["serial", "parallel", "runtime@2", "runtime@8"]),
+            pick(&["full", "active"]),
+        ),
+        (1usize..1_000_000, 0usize..2_000_000, 1usize..10),
+        (0usize..5_000, any::<bool>(), 0u64..u64::MAX / 2),
+        ((arb_point(), arb_point()), arb_wire()),
+    )
+        .prop_map(
+            |(
+                (protocol, topology, exec, schedule),
+                (n, m, reps),
+                (rounds, stabilized, guard_evals),
+                ((rounds_per_sec, guard_evals_per_sec), wire),
+            )| BenchRecord {
+                protocol,
+                topology,
+                exec,
+                schedule,
+                n,
+                m,
+                reps,
+                rounds,
+                stabilized,
+                guard_evals,
+                rounds_per_sec,
+                guard_evals_per_sec,
+                wire,
+            },
+        )
+}
+
+fn arb_artifact() -> impl Strategy<Value = BenchArtifact> {
+    (
+        (0u64..1_000_000, pick(&["quick", "default"]), any::<u64>()),
+        (1usize..256, 0u32..100, 0u32..100),
+        collection::vec(arb_record(), 0..12),
+    )
+        .prop_map(
+            |((pr, tier, master_seed), (cpus, major, minor), records)| BenchArtifact {
+                schema: SCHEMA.to_string(),
+                pr: pr.to_string(),
+                tier,
+                master_seed,
+                machine: MachineMeta {
+                    os: std::env::consts::OS.to_string(),
+                    arch: std::env::consts::ARCH.to_string(),
+                    cpus,
+                    crate_version: format!("{major}.{minor}.0"),
+                },
+                records,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn artifact_roundtrips_through_json(artifact in arb_artifact()) {
+        let text = artifact.to_json().to_string_pretty();
+        let back = BenchArtifact::parse(&text).unwrap();
+        prop_assert_eq!(&back, &artifact);
+        // Serialization is canonical: a second trip is byte-identical.
+        prop_assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn self_compare_never_flags(artifact in arb_artifact()) {
+        // Cell ids may collide across random records; dedup to a valid matrix.
+        let mut seen = std::collections::HashSet::new();
+        let mut unique = artifact.clone();
+        unique.records.retain(|r| seen.insert(r.cell_id()));
+        let report = compare(&unique, &unique, &NoiseGate::default()).unwrap();
+        prop_assert_eq!(report.count(Verdict::Regressed), 0);
+        prop_assert_eq!(report.count(Verdict::Improved), 0);
+    }
+}

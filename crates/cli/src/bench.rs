@@ -1,0 +1,235 @@
+//! The `bench` subcommand: run the standing performance observatory and
+//! gate artifacts against each other.
+//!
+//! `selfstab bench [--quick] [--out <file>] [--pr <id>]` runs the pinned
+//! matrix from [`selfstab_bench::observatory`] and writes a
+//! schema-versioned `BENCH_<pr>.json`. `selfstab bench --compare
+//! <old.json> [<new.json>]` diffs two artifacts cell-by-cell under the
+//! noise gate — with only a baseline given, the matrix runs first and the
+//! fresh artifact is the comparison's current side. Exit codes mirror
+//! `selfstab analyze`: 0 clean, 1 at least one regression beyond noise,
+//! 2 unreadable artifact / schema or matrix mismatch / bad flags.
+
+use crate::args::Args;
+use selfstab_analysis::gate::{NoiseGate, Verdict};
+use selfstab_bench::observatory::{self, BenchArtifact, CompareReport, Tier};
+
+/// Split `bench`'s argv into `--key value` flag tokens and trailing
+/// positionals (the current-artifact path of `--compare <old> <new>`),
+/// which the shared [`Args`] parser would otherwise reject.
+fn split_positionals(rest: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut flags = Vec::new();
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i].starts_with("--") {
+            flags.push(rest[i].clone());
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                flags.push(rest[i + 1].clone());
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else {
+            positionals.push(rest[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positionals)
+}
+
+/// Render the comparison as a human-readable delta table.
+fn render_report(base: &BenchArtifact, current: &BenchArtifact, report: &CompareReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench compare: baseline pr {} ({}) vs current pr {} ({})\n",
+        base.pr, base.tier, current.pr, current.tier
+    ));
+    if base.machine != current.machine {
+        out.push_str(&format!(
+            "warning: artifacts measured on different environments ({}/{} {} cpus vs {}/{} {} cpus) — deltas may reflect hardware, not code\n",
+            base.machine.os,
+            base.machine.arch,
+            base.machine.cpus,
+            current.machine.os,
+            current.machine.arch,
+            current.machine.cpus,
+        ));
+    }
+    let total: usize = report.cells.iter().map(|c| c.deltas.len()).sum();
+    let regressed = report.count(Verdict::Regressed);
+    let improved = report.count(Verdict::Improved);
+    out.push_str(&format!(
+        "{total} metric deltas over {} cells: {regressed} regressed, {improved} improved, {} within noise\n",
+        report.cells.len(),
+        total - regressed - improved,
+    ));
+    let flagged = report.flagged();
+    if flagged.is_empty() {
+        out.push_str("no deltas beyond the noise gate\n");
+    } else {
+        out.push_str("\n| cell | metric | baseline | current | Δ | verdict |\n");
+        out.push_str("|---|---|---|---|---|---|\n");
+        for (id, d) in flagged {
+            out.push_str(&format!(
+                "| {id} | {} | {:.1} | {:.1} | {:+.1}% | {} |\n",
+                d.metric,
+                d.base.median,
+                d.current.median,
+                100.0 * d.rel,
+                match d.verdict {
+                    Verdict::Regressed => "REGRESSED",
+                    Verdict::Improved => "improved",
+                    Verdict::Unchanged => "unchanged",
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Entry point for `selfstab bench`. Writes progress and the report to
+/// `out`; returns the process exit code.
+pub fn bench_main(rest: &[String], out: &mut dyn std::io::Write) -> i32 {
+    let (flag_tokens, positionals) = split_positionals(rest);
+    let args = match Args::parse(&flag_tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    match bench_inner(&args, &positionals, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+fn bench_inner(
+    args: &Args,
+    positionals: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<i32, String> {
+    if positionals.len() > 1 {
+        return Err(format!(
+            "too many positional arguments ({}): expected at most one (the current artifact of --compare <old> <new>)",
+            positionals.len()
+        ));
+    }
+    let baseline_path = args.get("compare");
+    if baseline_path.is_none() && !positionals.is_empty() {
+        return Err(format!(
+            "unexpected positional argument '{}' (did you mean --compare <old> <new>?)",
+            positionals[0]
+        ));
+    }
+    let gate = NoiseGate::with_threshold(args.parse_or("rel-threshold", 0.10)?);
+
+    // Pure compare: both artifacts already on disk, nothing runs.
+    if let (Some(base_path), Some(cur_path)) = (baseline_path, positionals.first()) {
+        let base = BenchArtifact::read_from(base_path)?;
+        let current = BenchArtifact::read_from(cur_path)?;
+        let report = observatory::compare(&base, &current, &gate)?;
+        let _ = writeln!(out, "{}", render_report(&base, &current, &report));
+        return Ok(i32::from(report.count(Verdict::Regressed) > 0));
+    }
+
+    // Measurement: run the pinned matrix, write the artifact, optionally
+    // gate it against the baseline.
+    let tier = if args.bool_flag("quick") {
+        Tier::Quick
+    } else {
+        Tier::Default
+    };
+    let n = match args.get("n") {
+        Some(_) => Some(args.parse_or("n", 0usize)?),
+        None => None,
+    };
+    let reps = match args.get("reps") {
+        Some(_) => Some(args.parse_or("reps", 0usize)?),
+        None => None,
+    };
+    if reps == Some(0) {
+        return Err("--reps must be at least 1".into());
+    }
+    let pr = args.str_or("pr", "dev").to_string();
+    let default_out = format!("BENCH_{pr}.json");
+    let out_path = args.str_or("out", &default_out).to_string();
+
+    let _ = writeln!(
+        out,
+        "bench: tier {} (n={}, reps={}), {} schema, matrix {} cells",
+        tier.name(),
+        n.unwrap_or_else(|| tier.n()),
+        reps.unwrap_or_else(|| tier.reps()),
+        observatory::SCHEMA,
+        3 * 3 * (2 + observatory::SHARD_COUNTS.len()) * 2,
+    );
+    let mut progress = |line: &str| {
+        let _ = writeln!(out, "  {line}");
+    };
+    let artifact = observatory::run_matrix(tier, n, reps, &pr, &mut progress);
+    artifact
+        .write_to(&out_path)
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    let _ = writeln!(out, "wrote {out_path} ({} records)", artifact.records.len());
+
+    if let Some(base_path) = baseline_path {
+        let base = BenchArtifact::read_from(base_path)?;
+        let report = observatory::compare(&base, &artifact, &gate)?;
+        let _ = writeln!(out, "{}", render_report(&base, &artifact, &report));
+        return Ok(i32::from(report.count(Verdict::Regressed) > 0));
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_split_from_flags() {
+        let (flags, pos) = split_positionals(&sv(&["--compare", "a.json", "b.json", "--quick"]));
+        assert_eq!(flags, sv(&["--compare", "a.json", "--quick"]));
+        assert_eq!(pos, sv(&["b.json"]));
+        let (flags, pos) = split_positionals(&sv(&["--quick", "--out", "f.json"]));
+        assert_eq!(flags, sv(&["--quick", "--out", "f.json"]));
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn bad_flags_and_stray_positionals_exit_2() {
+        let mut buf = Vec::new();
+        assert_eq!(bench_main(&sv(&["stray.json"]), &mut buf), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("unexpected positional"), "{text}");
+
+        let mut buf = Vec::new();
+        assert_eq!(
+            bench_main(&sv(&["--compare", "a.json", "b.json", "c.json"]), &mut buf),
+            2
+        );
+
+        let mut buf = Vec::new();
+        assert_eq!(
+            bench_main(
+                &sv(&[
+                    "--compare",
+                    "/nonexistent/base.json",
+                    "/nonexistent/cur.json"
+                ]),
+                &mut buf
+            ),
+            2
+        );
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cannot read"), "{text}");
+    }
+}

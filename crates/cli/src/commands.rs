@@ -72,6 +72,22 @@ USAGE:
                   and paper bound checks (SMM rounds ≤ n+1, monotone |M|,
                   moves vs. the Manne et al. O(m) yardstick). Exits 1 on a
                   bound violation, 2 on an unreadable artifact.
+  selfstab bench  [--quick] [--out <file>] [--pr <id>] [--n <N>] [--reps <R>]
+                  [--compare <old.json> [<new.json>]] [--rel-threshold <frac>]
+                  standing performance observatory: runs the pinned matrix
+                  (SMM/SMI/Hsu-Huang x path/star/unit-disk x serial/parallel/
+                  runtime@1,2,4,8 x full/active) over the seeded suite grid and
+                  writes a schema-versioned BENCH_<pr>.json (rounds/sec,
+                  guard-evals/sec, wire bytes/round, suppressed frames, inbox
+                  depth, shard skew; repetition count + median + IQR per cell).
+                  --quick is the CI tier (small n, 1 rep); the default tier
+                  measures the 10^5-node cells. --compare diffs two artifacts
+                  cell-by-cell under a noise gate (flags only deltas beyond
+                  both --rel-threshold, default 10%, AND the pooled IQR);
+                  with one path the matrix runs first and is gated against
+                  that baseline. Exits 1 on a regression, 2 on an unreadable
+                  artifact or a mismatched matrix. `selfstab analyze` accepts
+                  the same artifacts and renders the wire/skew columns.
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
 
 topologies: path cycle star complete grid binary-tree hypercube

@@ -1,0 +1,137 @@
+//! End-to-end exit-code fixtures for `selfstab bench`: the measurement
+//! path, self-compare (must exit 0), an injected 2× rounds/sec regression
+//! (must exit 1), an improvement (exit 0 but rendered), and the error
+//! paths — missing baseline and mismatched matrix (exit 2), matching the
+//! `selfstab analyze` gating convention.
+
+use selfstab_bench::observatory::BenchArtifact;
+use selfstab_cli::main_with;
+
+fn sv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn run(parts: &[&str]) -> (i32, String) {
+    let mut buf = Vec::new();
+    let code = main_with(&sv(parts), &mut buf);
+    (code, String::from_utf8(buf).unwrap())
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("selfstab-bench-cli-{name}-{}", std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// One small quick-tier artifact per test process, measured once.
+fn fixture() -> &'static str {
+    use std::sync::OnceLock;
+    static PATH: OnceLock<String> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let path = tmp("base.json");
+        let (code, out) = run(&[
+            "bench", "--quick", "--n", "24", "--reps", "1", "--pr", "t", "--out", &path,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote "), "{out}");
+        path
+    })
+}
+
+#[test]
+fn self_compare_exits_0() {
+    let base = fixture();
+    let (code, out) = run(&["bench", "--compare", base, base]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("0 regressed, 0 improved"), "{out}");
+    assert!(out.contains("no deltas beyond the noise gate"), "{out}");
+}
+
+#[test]
+fn injected_regression_exits_1_and_improvement_exits_0() {
+    let base = fixture();
+    let mut cur = BenchArtifact::read_from(base).unwrap();
+    // 2× rounds/sec drop in one cell: past the 10 % bound and the IQR.
+    cur.records[0].rounds_per_sec.median /= 2.0;
+    let cur_path = tmp("regressed.json");
+    cur.write_to(&cur_path).unwrap();
+    let (code, out) = run(&["bench", "--compare", base, &cur_path]);
+    std::fs::remove_file(&cur_path).ok();
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("1 regressed"), "{out}");
+    assert!(out.contains("REGRESSED"), "{out}");
+    assert!(out.contains("rounds_per_sec"), "{out}");
+
+    // The same delta in the other direction is an improvement: rendered in
+    // the table, but not a failure.
+    let (code, out) = run(&[
+        "bench",
+        "--compare",
+        &{
+            let p = tmp("improved.json");
+            cur.write_to(&p).unwrap();
+            p
+        },
+        base,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("1 improved"), "{out}");
+
+    // A custom relative threshold above the delta silences it.
+    let reg_path = tmp("regressed2.json");
+    cur.write_to(&reg_path).unwrap();
+    let (code, out) = run(&[
+        "bench",
+        "--compare",
+        base,
+        &reg_path,
+        "--rel-threshold",
+        "1.5",
+    ]);
+    std::fs::remove_file(&reg_path).ok();
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn missing_baseline_and_mismatched_matrix_exit_2() {
+    let base = fixture();
+    let (code, out) = run(&["bench", "--compare", "/nonexistent/old.json", base]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("cannot read"), "{out}");
+
+    // Dropping a cell from the baseline refuses to compare.
+    let mut short = BenchArtifact::read_from(base).unwrap();
+    short.records.pop();
+    let short_path = tmp("short.json");
+    short.write_to(&short_path).unwrap();
+    let (code, out) = run(&["bench", "--compare", &short_path, base]);
+    std::fs::remove_file(&short_path).ok();
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("mismatched matrix"), "{out}");
+
+    // A schema we don't read is refused, not misparsed.
+    let wrong_path = tmp("wrong-schema.json");
+    std::fs::write(&wrong_path, "{\"schema\": \"selfstab-bench/v0\"}\n").unwrap();
+    let (code, out) = run(&["bench", "--compare", &wrong_path, base]);
+    std::fs::remove_file(&wrong_path).ok();
+    assert_eq!(code, 2, "{out}");
+    assert!(
+        out.contains("schema mismatch") || out.contains("invalid bench artifact"),
+        "{out}"
+    );
+}
+
+#[test]
+fn analyze_renders_bench_artifacts() {
+    let base = fixture();
+    let (code, out) = run(&["analyze", base]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("bench artifact"), "{out}");
+    assert!(out.contains("wire traffic and shard skew"), "{out}");
+    assert!(out.contains("bytes/round"), "{out}");
+    assert!(out.contains("all cells stabilized"), "{out}");
+    // Runtime cells appear with their skew columns.
+    assert!(out.contains("runtime@8"), "{out}");
+}

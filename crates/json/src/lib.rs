@@ -93,6 +93,14 @@ impl Json {
             .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
     }
 
+    /// Typed field lookup: `field` + [`FromJson`], with the key name
+    /// prepended to any shape error (so a deep record mismatch says *which*
+    /// field, not just "expected u64").
+    pub fn parse_field<T: FromJson>(&self, key: &str) -> Result<T> {
+        T::from_json(self.field(key)?)
+            .map_err(|e| JsonError::new(format!("field `{key}`: {}", e.message)))
+    }
+
     /// `true` iff the value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
@@ -728,6 +736,17 @@ mod tests {
         assert_eq!(f64::NAN.to_json(), Json::Null);
         assert!(f64::from_json(&Json::Null).unwrap().is_nan());
         assert_eq!(f64::from_json(&Json::F64(2.5)).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn parse_field_names_the_offending_key() {
+        let v = Json::obj([("n", "oops".to_json())]);
+        assert_eq!(v.parse_field::<String>("n").unwrap(), "oops".to_string());
+        let err = v.parse_field::<u64>("n").unwrap_err();
+        assert!(err.to_string().contains("field `n`"), "{err}");
+        assert!(err.to_string().contains("expected u64"), "{err}");
+        let err = v.parse_field::<u64>("absent").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"), "{err}");
     }
 
     #[test]
