@@ -125,4 +125,54 @@ if [ -n "$BENCH_BASELINE" ]; then
         || { echo "committed $BENCH_BASELINE must self-compare clean" >&2; exit 1; }
 fi
 
+echo "==> service smoke (sim backend: scripted mutations, census/membership asserted, clean exit)"
+# The resident service replays a deterministic mutation/query script through
+# the sim environment: cut an edge of the C6 matching, crash and rejoin a
+# node, then assert the census and membership answers and a settled exit.
+cat > "$PROFILE_DIR/service-script.jsonl" <<'EOF'
+{"op":"query","what":"status","tag":"boot"}
+{"op":"mutate","kind":"edge-down","a":0,"b":1}
+{"op":"mutate","kind":"node-leave","v":3}
+{"op":"mutate","kind":"node-join","v":3,"attach":[2,4]}
+{"op":"query","what":"membership","node":2}
+{"op":"query","what":"census"}
+{"op":"shutdown"}
+EOF
+SERVE_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smm --topology cycle --n 6 --script "$PROFILE_DIR/service-script.jsonl" \
+    --metrics --snapshot-out "$PROFILE_DIR/service-snap.json")" \
+    || { echo "service sim session should exit 0" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -F '"tag":"boot"' >/dev/null \
+    || { echo "service should echo the request tag" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -F '"node":2,"matched":true' >/dev/null \
+    || { echo "node 2 should be matched after the churn script" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -F '"M":4,"A0":2,"A1":0,"PA":0,"PM":0,"PP":0,"DANGLING":0,"matched_pairs":2' >/dev/null \
+    || { echo "census should report the deterministic post-churn Fig. 2 counts" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -F "session: outcome=client-shutdown" >/dev/null \
+    || { echo "service should exit via client shutdown" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -F "legitimate=true" >/dev/null \
+    || { echo "service must settle legitimate before exit" >&2; exit 1; }
+grep -F '"format":"selfstab-snapshot/v1"' "$PROFILE_DIR/service-snap.json" >/dev/null \
+    || { echo "shutdown should flush a versioned snapshot" >&2; exit 1; }
+
+echo "==> service smoke (UDS backend: daemon + scripted client over a real socket)"
+SERVICE_SOCK="$PROFILE_DIR/service.sock"
+cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smi --topology star --n 8 --socket "$SERVICE_SOCK" \
+    > "$PROFILE_DIR/service-uds.out" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVICE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVICE_SOCK" ] || { echo "service socket never appeared" >&2; exit 1; }
+CLIENT_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$SERVICE_SOCK" --send '{"op":"query","what":"census","tag":"c"}')" \
+    || { kill "$SERVE_PID" 2>/dev/null; echo "client query should exit 0" >&2; exit 1; }
+echo "$CLIENT_OUT" | grep -F '"in_set":7' >/dev/null \
+    || { kill "$SERVE_PID" 2>/dev/null; echo "star MIS census should be the 7 leaves" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$SERVICE_SOCK" --send '{"op":"shutdown"}' >/dev/null \
+    || { kill "$SERVE_PID" 2>/dev/null; echo "client shutdown should exit 0" >&2; exit 1; }
+wait "$SERVE_PID" || { echo "service daemon should exit 0 after client shutdown" >&2; exit 1; }
+grep -F "session: outcome=client-shutdown" "$PROFILE_DIR/service-uds.out" >/dev/null \
+    || { echo "daemon report should record the client shutdown" >&2; exit 1; }
+
 echo "ci.sh: all gates passed"

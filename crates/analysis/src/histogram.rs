@@ -86,6 +86,24 @@ impl Histogram {
         below as f64 / self.total as f64
     }
 
+    /// The smallest value whose cumulative share of samples is at least
+    /// `q` (inverse-CDF quantile; `q` clamped to `[0, 1]`). `quantile(0.5)`
+    /// is the median, `quantile(0.99)` the p99; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let need = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (value, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= need {
+                return Some(value);
+            }
+        }
+        self.max_value()
+    }
+
     /// A compact sparkline-ish text rendering, e.g. `0:3 1:10 2:4`.
     pub fn render(&self) -> String {
         self.counts
@@ -121,6 +139,20 @@ mod tests {
         assert_eq!(h.cdf(3), 1.0);
         assert_eq!(h.cdf(100), 1.0);
         assert!(Histogram::new().cdf(1).is_nan());
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Histogram::of([1, 2, 2, 5]);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.75), Some(2));
+        assert_eq!(h.quantile(0.99), Some(5));
+        assert_eq!(h.quantile(1.0), Some(5));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let single = Histogram::of([7]);
+        assert_eq!(single.quantile(0.5), Some(7));
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! E22 (extension) — the resident service under sustained churn: mutation
+//! ingest throughput, query throughput, and per-event re-stabilization
+//! latency.
+//!
+//! The overlay-maintenance service (`selfstab-service`) keeps a matching
+//! or independent set continuously legitimate while the topology mutates
+//! underneath it, re-running the daemon only on the closed neighborhoods
+//! an event perturbed. This experiment drives a long seeded event stream
+//! (random edge toggles with occasional node leave/rejoin) through
+//! [`OverlayService`] on the paper's topologies and measures what a
+//! deployment would ask: how many mutations per second the service
+//! absorbs, how fast queries answer while churn is in flight, and the
+//! per-event recovery-round distribution (p50/p99/max — Theorem 1/2 says
+//! max ≤ n+2, the table shows the observed tail is *constant*, because a
+//! single event only perturbs a bounded region).
+
+use super::e18_runtime_scaling::geometric_radius;
+use super::Report;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use selfstab_analysis::Table;
+use selfstab_core::{Smi, Smm};
+use selfstab_engine::protocol::InitialState;
+use selfstab_graph::{generators, Graph, Ids};
+use selfstab_service::{Mutation, OverlayProtocol, OverlayService, SimClock};
+use std::time::Instant;
+
+fn topology(name: &str, n: usize) -> Graph {
+    match name {
+        "path" => generators::path(n),
+        "star" => generators::star(n),
+        "unit-disk" => generators::random_geometric_connected(
+            n,
+            geometric_radius(n),
+            &mut StdRng::seed_from_u64(0xe22),
+        ),
+        other => unreachable!("unknown E22 topology {other}"),
+    }
+}
+
+/// Draw the next valid mutation against the live graph: mostly edge
+/// toggles, with an occasional node crash and rejoin — the ad-hoc churn
+/// model from the paper's motivation.
+fn next_mutation(g: &Graph, rng: &mut StdRng) -> Mutation {
+    let n = g.n();
+    match rng.random_range(0..10u32) {
+        8 => Mutation::NodeLeave {
+            v: rng.random_range(0..n),
+        },
+        9 => {
+            let v = rng.random_range(0..n);
+            let attach: Vec<usize> = (0..2)
+                .map(|_| rng.random_range(0..n))
+                .filter(|w| *w != v)
+                .collect();
+            Mutation::NodeJoin { v, attach }
+        }
+        _ => loop {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a == b {
+                continue;
+            }
+            break if g.has_edge(a.into(), b.into()) {
+                Mutation::EdgeDown { a, b }
+            } else {
+                Mutation::EdgeUp { a, b }
+            };
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn churn_cell<P: OverlayProtocol>(
+    table: &mut Table,
+    proto: &P,
+    topo: &str,
+    n: usize,
+    events: usize,
+    queries: usize,
+    rng: &mut StdRng,
+) {
+    let g = topology(topo, n);
+    let (n, m0) = (g.n(), g.m());
+    let clock = SimClock::new();
+    let mut svc = OverlayService::new(g, proto, InitialState::Default, 0);
+    svc.stabilize(&clock, &mut ());
+    assert!(svc.is_converged(), "bootstrap must converge");
+
+    let mut perturbed_sum = 0usize;
+    let start = Instant::now();
+    for _ in 0..events {
+        let mutation = next_mutation(svc.graph(), rng);
+        svc.enqueue(mutation);
+        for r in svc.drain(&clock, &mut ()) {
+            let rec = r.expect("generated mutations are valid");
+            assert!(rec.converged, "per-event recovery within budget");
+            perturbed_sum += rec.perturbed;
+        }
+    }
+    let mutate_time = start.elapsed();
+
+    // Query throughput over the final (still churned-into) structure:
+    // membership point lookups plus the status probe a monitoring client
+    // would poll. The O(n) census is timed once, separately.
+    let start = Instant::now();
+    for i in 0..queries {
+        let node = (i * 7919) % n;
+        let member = svc.membership_json(Some(node)).expect("node in range");
+        assert!(member.get("node").is_some());
+        let status = svc.status_json();
+        assert!(status.get("converged").is_some());
+    }
+    let query_time = start.elapsed();
+    let start = Instant::now();
+    let census = svc.census_json();
+    let census_time = start.elapsed();
+    assert!(matches!(census, selfstab_json::Json::Object(_)));
+
+    assert!(
+        proto.is_legitimate(svc.graph(), svc.states()),
+        "service is legitimate after the full event stream"
+    );
+    let h = svc.recovery_hist();
+    table.row_strings(vec![
+        proto.name().to_string(),
+        topo.to_string(),
+        format!("{n}"),
+        format!("{m0}"),
+        format!("{events}"),
+        format!("{:.0}", events as f64 / mutate_time.as_secs_f64()),
+        format!("{:.1}", perturbed_sum as f64 / events as f64),
+        format!("{}", h.quantile(0.5).unwrap_or(0)),
+        format!("{}", h.quantile(0.99).unwrap_or(0)),
+        format!("{}", h.max_value().unwrap_or(0)),
+        format!("{:.0}", (2 * queries) as f64 / query_time.as_secs_f64()),
+        format!("{:.1}", census_time.as_secs_f64() * 1e3),
+    ]);
+}
+
+/// Run E22: sustained churn × query throughput for SMM and SMI on the
+/// paper topologies.
+pub fn run(sizes: &[usize], events: usize, queries: usize) -> Report {
+    let mut table = Table::new(&[
+        "protocol",
+        "topology",
+        "n",
+        "m₀",
+        "events",
+        "events/s",
+        "mean perturbed",
+        "p50 rounds",
+        "p99 rounds",
+        "max rounds",
+        "queries/s",
+        "census ms",
+    ]);
+    for &n in sizes {
+        let smm = Smm::paper(Ids::identity(n));
+        let smi = Smi::new(Ids::identity(n));
+        for topo in ["path", "star", "unit-disk"] {
+            let mut rng = StdRng::seed_from_u64(0x22);
+            churn_cell(&mut table, &smm, topo, n, events, queries, &mut rng);
+            let mut rng = StdRng::seed_from_u64(0x22);
+            churn_cell(&mut table, &smi, topo, n, events, queries, &mut rng);
+        }
+    }
+    let body = format!(
+        "The resident overlay service under a seeded churn stream (80% random edge\n\
+         toggles, 10% node crash, 10% rejoin with two attach links), default states,\n\
+         per-event budget n+2. `events/s` counts full ingest→re-stabilize cycles;\n\
+         `mean perturbed` is the average active-set seed size (nodes whose closed\n\
+         neighborhood an event touched); the round quantiles come from the service's\n\
+         recovery histogram. `queries/s` interleaves membership point lookups with\n\
+         status probes against the live structure; the O(n) census is timed once.\n\
+         SMM recovery is local: a single event flips a bounded region, so its p99\n\
+         stays constant as n grows — that locality is what makes the resident\n\
+         service viable at 10\u{2075} nodes. SMI is *not* always local: on the path,\n\
+         cutting an edge next to a member can re-alternate the independent set in\n\
+         a domino chain down the line, and the p99 grows with n (still within the\n\
+         Theorem 2 budget, and still cheap per round because the active set tracks\n\
+         only the moving frontier).\n\n{}",
+        table.to_markdown()
+    );
+    Report {
+        id: "E22",
+        title: "Extension: resident service — churn ingest and query throughput",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e22_runs_and_reports_bounded_recovery() {
+        let r = super::run(&[300], 40, 20);
+        assert!(r.body.contains("events/s"), "{}", r.body);
+        // 6 cells: 2 protocols × 3 topologies.
+        assert_eq!(r.body.matches("| 300 |").count(), 6, "{}", r.body);
+    }
+}

@@ -20,6 +20,7 @@ pub mod e18_runtime_scaling;
 pub mod e19_active_schedule;
 pub mod e20_chaos;
 pub mod e21_shard_skew;
+pub mod e22_service;
 
 /// An experiment's rendered report section.
 pub struct Report {

@@ -89,11 +89,33 @@ USAGE:
                   artifact or a mismatched matrix. `selfstab analyze` accepts
                   the same artifacts and renders the wire/skew columns.
   selfstab topology --topology <name> --n <N> [--seed <u64>] [--format text|graph6|dot]
+  selfstab serve  --protocol smm|smi --topology <name> --n <N>
+                  (--script <file> | --socket <path>)
+                  [--ids identity|reversed|random] [--init default|random]
+                  [--seed <u64>] [--budget <rounds>] [--metrics]
+                  [--snapshot-out <file>] [--profile-out <file>]
+                  resident overlay-maintenance daemon: stabilizes the
+                  protocol, then ingests mutation events (edge-up/down,
+                  node-join/leave) and answers queries (membership, census,
+                  status, latency) as line-delimited JSON, re-converging
+                  only the perturbed closed neighborhoods after each event
+                  (budget defaults to the paper bound n+2). --script replays
+                  a request file through the deterministic sim environment
+                  and prints each reply; --socket listens on a Unix domain
+                  socket until a client sends {\"op\":\"shutdown\"} or SIGINT
+                  — shutdown drains the queue and settles before exit, so
+                  --snapshot-out always captures a legitimate configuration.
+                  --metrics appends the per-event recovery table (rounds and
+                  moves per mutation); --profile-out writes the JSONL spine
+                  with per-event records in the meta line.
+  selfstab client --socket <path> (--script <file> | --send <line>)
+                  scripted client for a --socket daemon; prints one reply
+                  line per request.
 
 topologies: path cycle star complete grid binary-tree hypercube
             unit-disk gnp tree petersen";
 
-fn build_topology(name: &str, n: usize, rng: &mut StdRng) -> Result<Graph, String> {
+pub(crate) fn build_topology(name: &str, n: usize, rng: &mut StdRng) -> Result<Graph, String> {
     Ok(match name {
         "path" => generators::path(n),
         "cycle" => generators::cycle(n.max(3)),
@@ -200,7 +222,7 @@ fn parse_propose_policy(args: &Args) -> Result<SelectPolicy, String> {
     })
 }
 
-fn build_ids(kind: &str, n: usize, rng: &mut StdRng) -> Result<Ids, String> {
+pub(crate) fn build_ids(kind: &str, n: usize, rng: &mut StdRng) -> Result<Ids, String> {
     Ok(match kind {
         "identity" => Ids::identity(n),
         "reversed" => Ids::reversed(n),

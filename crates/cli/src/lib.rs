@@ -16,6 +16,7 @@ pub mod analyze;
 pub mod args;
 pub mod bench;
 pub mod commands;
+pub mod serve;
 
 pub use args::Args;
 
@@ -64,6 +65,8 @@ pub fn main_with(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         "sim" => commands::sim(&args),
         "verify" => commands::verify(&args),
         "topology" => commands::topology(&args),
+        "serve" => serve::serve(&args),
+        "client" => serve::client(&args),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", commands::USAGE);
             return 0;

@@ -1,0 +1,272 @@
+//! The `serve` and `client` subcommands: the resident overlay-maintenance
+//! daemon and a scripted line client for it.
+//!
+//! `serve` builds a topology, stabilizes the chosen protocol on it, and
+//! then runs the service loop against one of two backends: `--script FILE`
+//! replays a mutation/query script through the deterministic sim
+//! environment (virtual clock, captured replies — the CI backend), while
+//! `--socket PATH` listens on a Unix domain socket with the real clock
+//! until a client sends `shutdown` or the process gets SIGINT. Both paths
+//! run the *same* `selfstab_service::serve` loop body.
+
+use crate::args::Args;
+use crate::commands::{build_ids, build_topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_core::{Smi, Smm};
+use selfstab_engine::obs::JsonlEventLog;
+use selfstab_engine::protocol::{InitialState, WireState};
+use selfstab_graph::Graph;
+use selfstab_json::{Json, ToJson};
+use selfstab_service::{
+    serve as serve_loop, OverlayProtocol, OverlayService, ServeSummary, ShutdownFlag, SimClock,
+    SimTransport,
+};
+
+/// `selfstab serve`: run the resident service against a scripted sim
+/// session or a Unix-socket listener.
+pub fn serve(args: &Args) -> Result<String, String> {
+    let protocol = args.required("protocol")?;
+    let n: usize = args.parse_or("n", 16)?;
+    let seed: u64 = args.parse_or("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = build_topology(args.str_or("topology", "path"), n, &mut rng)?;
+    let n = g.n();
+    let ids = build_ids(args.str_or("ids", "identity"), n, &mut rng)?;
+    match protocol {
+        "smm" => serve_with(&Smm::paper(ids), g, args, seed),
+        "smi" => serve_with(&Smi::new(ids), g, args, seed),
+        other => Err(format!(
+            "unknown protocol '{other}' (serve supports smm|smi)"
+        )),
+    }
+}
+
+fn serve_with<P>(proto: &P, g: Graph, args: &Args, seed: u64) -> Result<String, String>
+where
+    P: OverlayProtocol,
+    P::State: WireState + ToJson,
+{
+    let init = match args.str_or("init", "default") {
+        "default" => InitialState::Default,
+        "random" => InitialState::Random { seed },
+        other => return Err(format!("unknown init '{other}'")),
+    };
+    let budget: usize = args.parse_or("budget", 0)?;
+    let script = args.get("script");
+    let socket = args.get("socket");
+    let (topology, n, m) = (args.str_or("topology", "path").to_string(), g.n(), g.m());
+
+    let mut jsonl = args.get("profile-out").map(|_| JsonlEventLog::new());
+    let mut svc = OverlayService::new(g, proto, init, budget);
+    let mut report = Vec::new();
+
+    let summary = match (script, socket) {
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--script {path}: {e}"))?;
+            let clock = SimClock::new();
+            let boot = svc.stabilize(&clock, &mut jsonl.as_mut());
+            report.push(format!(
+                "service: protocol={} topology={topology} n={n} m={m} backend=sim",
+                proto.name()
+            ));
+            report.push(format!(
+                "bootstrap: rounds={} moves={}",
+                boot.recovery_rounds, boot.moves
+            ));
+            let mut transport = SimTransport::scripted(text.lines());
+            let shutdown = ShutdownFlag::new();
+            let summary = serve_loop(
+                &mut svc,
+                &mut transport,
+                &clock,
+                &shutdown,
+                1_000,
+                &mut jsonl.as_mut(),
+            );
+            report.extend(transport.replies().iter().cloned());
+            summary
+        }
+        (None, Some(path)) => {
+            serve_socket(&mut svc, proto, path, &mut jsonl, &mut report, &topology)?
+        }
+        _ => return Err("serve needs exactly one backend: --script FILE or --socket PATH".into()),
+    };
+
+    render_outcome(&mut report, &svc, &summary, args);
+
+    if let Some(path) = args.get("snapshot-out") {
+        let doc = selfstab_service::snapshot::write_snapshot(
+            proto.name(),
+            svc.graph(),
+            svc.states(),
+            svc.clock_rounds(),
+        );
+        std::fs::write(path, doc).map_err(|e| format!("--snapshot-out {path}: {e}"))?;
+        report.push(format!("snapshot: {path}"));
+    }
+    if let (Some(path), Some(log)) = (args.get("profile-out"), jsonl.as_mut()) {
+        log.push_meta([
+            ("mode".to_string(), "service".to_json()),
+            ("protocol".to_string(), proto.name().to_json()),
+            ("topology".to_string(), topology.to_json()),
+            ("n".to_string(), n.to_json()),
+            ("m".to_string(), m.to_json()),
+            ("seed".to_string(), seed.to_json()),
+            (
+                "rules".to_string(),
+                Json::Array(proto.rule_names().iter().map(|r| r.to_json()).collect()),
+            ),
+            (
+                "service_events".to_string(),
+                Json::Array(svc.records().iter().map(|r| r.to_json()).collect()),
+            ),
+        ]);
+        log.write_to(path)
+            .map_err(|e| format!("--profile-out {path}: {e}"))?;
+        report.push(format!("profile: {path}"));
+    }
+    Ok(report.join("\n"))
+}
+
+#[cfg(unix)]
+fn serve_socket<P>(
+    svc: &mut OverlayService<'_, P>,
+    proto: &P,
+    path: &str,
+    jsonl: &mut Option<JsonlEventLog>,
+    report: &mut Vec<String>,
+    topology: &str,
+) -> Result<ServeSummary, String>
+where
+    P: OverlayProtocol,
+    P::State: WireState + ToJson,
+{
+    use selfstab_service::{RealClock, UdsTransport};
+    selfstab_service::signal::install_sigint();
+    let clock = RealClock::new();
+    let (n, m) = (svc.graph().n(), svc.graph().m());
+    let boot = svc.stabilize(&clock, &mut jsonl.as_mut());
+    let (boot_rounds, boot_moves) = (boot.recovery_rounds, boot.moves);
+    report.push(format!(
+        "service: protocol={} topology={topology} n={n} m={m} backend=uds socket={path}",
+        proto.name(),
+    ));
+    report.push(format!(
+        "bootstrap: rounds={boot_rounds} moves={boot_moves}"
+    ));
+    let mut transport = UdsTransport::bind(std::path::Path::new(path))
+        .map_err(|e| format!("--socket {path}: {e}"))?;
+    let shutdown = ShutdownFlag::new();
+    let summary = serve_loop(
+        svc,
+        &mut transport,
+        &clock,
+        &shutdown,
+        20_000,
+        &mut jsonl.as_mut(),
+    );
+    transport.shutdown();
+    let _ = std::fs::remove_file(path);
+    Ok(summary)
+}
+
+#[cfg(not(unix))]
+fn serve_socket<P>(
+    _svc: &mut OverlayService<'_, P>,
+    _proto: &P,
+    _path: &str,
+    _jsonl: &mut Option<JsonlEventLog>,
+    _report: &mut Vec<String>,
+    _topology: &str,
+) -> Result<ServeSummary, String>
+where
+    P: OverlayProtocol,
+    P::State: WireState + ToJson,
+{
+    Err("--socket requires a Unix platform (use --script)".into())
+}
+
+fn render_outcome<P: OverlayProtocol>(
+    report: &mut Vec<String>,
+    svc: &OverlayService<'_, P>,
+    summary: &ServeSummary,
+    args: &Args,
+) {
+    report.push(format!(
+        "session: outcome={} requests={} mutations={} queries={} errors={} drained={}",
+        summary.outcome.name(),
+        summary.requests,
+        summary.mutations,
+        summary.queries,
+        summary.errors,
+        summary.drained
+    ));
+    let legitimate = svc.proto().is_legitimate(svc.graph(), svc.states());
+    report.push(format!(
+        "state: clock_rounds={} events={} converged={} legitimate={}",
+        svc.clock_rounds(),
+        svc.events_applied(),
+        svc.is_converged(),
+        legitimate
+    ));
+    let h = svc.recovery_hist();
+    report.push(format!(
+        "latency: events={} p50={} p99={} max={}",
+        h.total(),
+        h.quantile(0.5).unwrap_or(0),
+        h.quantile(0.99).unwrap_or(0),
+        h.max_value().unwrap_or(0)
+    ));
+    if args.bool_flag("metrics") {
+        report.push("per-event recovery:".to_string());
+        report.push(format!(
+            "  {:>4}  {:<10}  {:>6}  {:>9}  {:>8}  {:>6}  {:<5}  detail",
+            "seq", "kind", "round", "perturbed", "recovery", "moves", "conv"
+        ));
+        for r in svc.records() {
+            report.push(format!(
+                "  {:>4}  {:<10}  {:>6}  {:>9}  {:>8}  {:>6}  {:<5}  {}",
+                r.seq,
+                r.kind,
+                r.round,
+                r.perturbed,
+                r.recovery_rounds,
+                r.moves,
+                r.converged,
+                r.detail
+            ));
+        }
+    }
+}
+
+/// `selfstab client`: a scripted session against a running `--socket`
+/// daemon. Sends each line of `--script FILE` (or the single `--send`
+/// line) and prints one reply line per request.
+pub fn client(args: &Args) -> Result<String, String> {
+    #[cfg(unix)]
+    {
+        let socket = args.required("socket")?;
+        let lines: Vec<String> = match (args.get("script"), args.get("send")) {
+            (Some(path), None) => std::fs::read_to_string(path)
+                .map_err(|e| format!("--script {path}: {e}"))?
+                .lines()
+                .map(str::to_string)
+                .collect(),
+            (None, Some(line)) => vec![line.to_string()],
+            _ => return Err("client needs exactly one of --script FILE or --send LINE".into()),
+        };
+        let mut replies = Vec::new();
+        selfstab_service::uds_client_session(std::path::Path::new(socket), &lines, |r| {
+            replies.push(r.to_string())
+        })
+        .map_err(|e| format!("client session on {socket}: {e}"))?;
+        Ok(replies.join("\n"))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = args;
+        Err("client requires a Unix platform".into())
+    }
+}

@@ -93,6 +93,90 @@ impl ChurnSchedule {
         }
         Ok(())
     }
+
+    /// Open an incremental cursor over this schedule (validates first).
+    ///
+    /// The feed is the *online* form of the batch plan: callers pull the
+    /// next batch boundary with [`ChurnFeed::next_boundary`] and apply the
+    /// batch with [`ChurnFeed::next_events`] when their round clock reaches
+    /// it. Both the serial churned loop and the sharded segmented driver run
+    /// on this cursor, so the boundary arithmetic lives in exactly one
+    /// place.
+    pub fn feed(&self) -> Result<ChurnFeed<'_>, String> {
+        self.validate()?;
+        Ok(ChurnFeed {
+            plan: self,
+            rng: StdRng::seed_from_u64(self.seed),
+            epochs_done: 0,
+            events: Vec::new(),
+            last_fault_round: 0,
+        })
+    }
+}
+
+/// An incremental cursor over a [`ChurnSchedule`]: yields churn batches one
+/// boundary at a time against a live graph, recording what fired where.
+///
+/// Invariant: boundaries fire in order (`every`, `2·every`, …,
+/// `epochs·every`) and each fires at most once; the RNG draw order is
+/// identical to the original batch loop, so a feed-driven run is
+/// event-for-event reproducible from `(graph, schedule)` alone.
+#[derive(Clone, Debug)]
+pub struct ChurnFeed<'a> {
+    plan: &'a ChurnSchedule,
+    rng: StdRng,
+    epochs_done: usize,
+    events: Vec<(usize, TopologyEvent)>,
+    last_fault_round: usize,
+}
+
+impl ChurnFeed<'_> {
+    /// The next round a churn batch fires entering, or `None` when every
+    /// epoch has fired.
+    pub fn next_boundary(&self) -> Option<usize> {
+        (self.epochs_done < self.plan.epochs).then(|| (self.epochs_done + 1) * self.plan.every)
+    }
+
+    /// Whether all scheduled epochs have fired.
+    pub fn is_exhausted(&self) -> bool {
+        self.epochs_done >= self.plan.epochs
+    }
+
+    /// Fire the batch scheduled for `round`, mutating `graph` in place, and
+    /// return the applied events. A no-op (empty vec) unless `round` is
+    /// exactly the pending boundary — callers may poll every round.
+    pub fn next_events(&mut self, round: usize, graph: &mut Graph) -> Vec<TopologyEvent> {
+        if self.next_boundary() != Some(round) {
+            return Vec::new();
+        }
+        let applied = self
+            .plan
+            .churn
+            .apply(graph, self.plan.events, &mut self.rng);
+        self.epochs_done += 1;
+        if !applied.is_empty() {
+            self.last_fault_round = round;
+        }
+        for &ev in &applied {
+            self.events.push((round, ev));
+        }
+        applied
+    }
+
+    /// All events applied so far, tagged with the round they fired entering.
+    pub fn events(&self) -> &[(usize, TopologyEvent)] {
+        &self.events
+    }
+
+    /// Consume the feed, returning the applied-event log.
+    pub fn into_events(self) -> Vec<(usize, TopologyEvent)> {
+        self.events
+    }
+
+    /// The round the last non-empty batch fired at (0 when none fired).
+    pub fn last_fault_round(&self) -> usize {
+        self.last_fault_round
+    }
 }
 
 /// The result of a churned execution: the run, the *final* (mutated)
@@ -193,39 +277,27 @@ fn churned_core<P: Protocol, O: Observer<P::State>>(
     threads: Option<usize>,
     obs: &mut O,
 ) -> Result<ChaosRun<P::State>, String> {
-    plan.validate()?;
+    let mut feed = plan.feed()?;
     let mut graph = graph.clone();
     let mut states = init.materialize(&graph, proto);
     let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
     let n = states.len();
     let mut active =
         (schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
-    let mut rng = StdRng::seed_from_u64(plan.seed);
-    let mut events: Vec<(usize, TopologyEvent)> = Vec::new();
-    let mut last_fault_round = 0usize;
-    let mut epochs_done = 0usize;
     let mut round = 0usize;
 
     loop {
-        if round > 0 && round.is_multiple_of(plan.every) && epochs_done < plan.epochs {
-            let applied = plan.churn.apply(&mut graph, plan.events, &mut rng);
-            epochs_done += 1;
-            if !applied.is_empty() {
-                last_fault_round = round;
-            }
-            for ev in applied {
-                let e = ev.edge();
-                if let Some((cur, _)) = active.as_mut() {
-                    // A link change can newly privilege either endpoint or
-                    // any neighbor of one: dirty both closed neighborhoods
-                    // on the *mutated* graph. (For a removed edge the two
-                    // closed neighborhoods no longer overlap — that is the
-                    // point.)
-                    cur.insert_closed(&graph, e.a);
-                    cur.insert_closed(&graph, e.b);
-                    cur.seal();
-                }
-                events.push((round, ev));
+        for ev in feed.next_events(round, &mut graph) {
+            let e = ev.edge();
+            if let Some((cur, _)) = active.as_mut() {
+                // A link change can newly privilege either endpoint or
+                // any neighbor of one: dirty both closed neighborhoods
+                // on the *mutated* graph. (For a removed edge the two
+                // closed neighborhoods no longer overlap — that is the
+                // point.)
+                cur.insert_closed(&graph, e.a);
+                cur.insert_closed(&graph, e.b);
+                cur.seal();
             }
         }
 
@@ -237,11 +309,10 @@ fn churned_core<P: Protocol, O: Observer<P::State>>(
             threads,
         );
         if moves.is_empty() {
-            if epochs_done < plan.epochs {
+            if let Some(boundary) = feed.next_boundary() {
                 // Stabilized with churn still scheduled: fast-forward the
                 // quiescent gap to the next boundary (those rounds are
                 // move-free by definition, no node being privileged).
-                let boundary = (round / plan.every + 1) * plan.every;
                 if boundary <= max_rounds {
                     round = boundary;
                     continue;
@@ -251,13 +322,14 @@ fn churned_core<P: Protocol, O: Observer<P::State>>(
             if O::ENABLED {
                 obs.on_finish(&Outcome::Stabilized, &states);
             }
+            let last_fault_round = feed.last_fault_round();
             return Ok(finishing(
                 Outcome::Stabilized,
                 states,
                 round,
                 moves_per_rule,
                 graph,
-                events,
+                feed.into_events(),
                 last_fault_round,
             ));
         }
@@ -265,13 +337,14 @@ fn churned_core<P: Protocol, O: Observer<P::State>>(
             if O::ENABLED {
                 obs.on_finish(&Outcome::RoundLimit, &states);
             }
+            let last_fault_round = feed.last_fault_round();
             return Ok(finishing(
                 Outcome::RoundLimit,
                 states,
                 round,
                 moves_per_rule,
                 graph,
-                events,
+                feed.into_events(),
                 last_fault_round,
             ));
         }

@@ -45,7 +45,7 @@ pub mod sync;
 pub(crate) mod testutil;
 
 pub use active::{ActiveSet, Schedule};
-pub use chaos::{ChaosRun, ChurnSchedule};
+pub use chaos::{ChaosRun, ChurnFeed, ChurnSchedule};
 pub use obs::{Observer, RoundStats, RuntimeCounters};
 pub use protocol::{InitialState, Move, Protocol, View, WireError, WireState};
 pub use sync::{Outcome, Run, SyncExecutor};

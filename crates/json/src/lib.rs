@@ -750,6 +750,31 @@ mod tests {
     }
 
     #[test]
+    fn parse_field_round_trips_escaped_protocol_strings() {
+        // Protocol messages carry client-controlled strings (tags, error
+        // text) in object fields; a full render → parse → parse_field
+        // cycle must preserve every escape class, and keys themselves may
+        // need escaping.
+        let hostile = "tag with \"quotes\", back\\slash,\nnewline, \r\t\u{0} control, \u{1F600}é";
+        let msg = Json::obj([
+            ("op", "mutate".to_json()),
+            ("tag", hostile.to_json()),
+            ("weird \"key\"\n", 7u64.to_json()),
+        ]);
+        let line = msg.to_string();
+        assert!(
+            !line.contains('\n'),
+            "a wire message stays one line: {line:?}"
+        );
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.parse_field::<String>("op").unwrap(), "mutate");
+        assert_eq!(back.parse_field::<String>("tag").unwrap(), hostile);
+        assert_eq!(back.parse_field::<u64>("weird \"key\"\n").unwrap(), 7);
+        // Idempotent: re-render the parsed value and parse again.
+        assert_eq!(Json::parse(&back.to_string()).unwrap(), back);
+    }
+
+    #[test]
     fn option_and_field_access() {
         let v = Json::obj([("a", None::<u32>.to_json()), ("b", Some(9u32).to_json())]);
         assert_eq!(

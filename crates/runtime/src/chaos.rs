@@ -27,16 +27,15 @@
 //! ghost is known-stale, any delayed frame is still buffered, or any crash
 //! is still scheduled. See `DESIGN.md` §9.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use selfstab_engine::active::Schedule;
 use selfstab_engine::chaos::{ChaosRun, ChurnSchedule};
-use selfstab_engine::obs::{Observer, RoundStats};
+use selfstab_engine::obs::Observer;
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
-use selfstab_engine::sync::{Outcome, Run};
+use selfstab_engine::sync::Run;
 use selfstab_graph::{Graph, Node};
 
-use crate::executor::{RuntimeError, RuntimeExecutor};
+use crate::executor::RuntimeError;
+use crate::session::ResidentSession;
 
 /// What the chaos layer decided to do with one outbound beacon frame.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -343,50 +342,23 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Forwards observer hooks with the round index shifted by the absolute
-/// round of the current churn segment, and swallows per-segment
-/// `on_finish` calls (the driver fires the real one once, at the end).
-struct OffsetObserver<'a, O> {
-    inner: &'a mut O,
-    base: usize,
-}
-
-impl<S, O: Observer<S>> Observer<S> for OffsetObserver<'_, O> {
-    const ENABLED: bool = O::ENABLED;
-
-    fn on_round_start(&mut self, round: usize, states: &[S]) {
-        self.inner.on_round_start(self.base + round, states);
-    }
-
-    fn on_move(&mut self, node: Node, rule: usize, next: &S) {
-        self.inner.on_move(node, rule, next);
-    }
-
-    fn on_round_end(&mut self, stats: &RoundStats, states: &[S]) {
-        let mut shifted = stats.clone();
-        shifted.round += self.base;
-        self.inner.on_round_end(&shifted, states);
-    }
-
-    fn on_finish(&mut self, _outcome: &Outcome, _states: &[S]) {}
-}
-
 /// Sharded execution under live topology churn (and, optionally, a frame/
 /// crash [`FaultPlan`] on top).
 ///
-/// The run is segmented at churn boundaries: each segment is a normal
-/// [`RuntimeExecutor`] run of at most `churn.every` rounds on the current
-/// graph, the final states carry over explicitly, and the fault plan's
-/// round offset is advanced so frame fates and crash rounds stay on the
-/// *absolute* round clock across segments. Between segments the schedule's
-/// connectivity-preserving [`TopologyEvent`]s mutate the owned graph;
-/// every segment starts from a full active worklist, a sound superset of
-/// the churned endpoints' closed neighborhoods.
+/// The run is segmented at churn boundaries pulled from the schedule's
+/// [`ChurnFeed`] cursor: each segment is one convergence wave of a
+/// [`ResidentSession`] (graph, states, and partition stay resident; the
+/// fault plan's round offset and the observer's round indices advance on
+/// the absolute clock across segments). Between waves the feed's
+/// connectivity-preserving [`TopologyEvent`]s mutate the session's graph;
+/// every wave starts from a full active worklist, a sound superset of the
+/// churned endpoints' closed neighborhoods.
 ///
 /// Semantics (outcome, rounds, final states) match the serial reference
 /// [`selfstab_engine::chaos::run_churned_serial`] exactly when no fault
 /// plan is installed — asserted by tests at 1–8 shards.
 ///
+/// [`ChurnFeed`]: selfstab_engine::chaos::ChurnFeed
 /// [`TopologyEvent`]: selfstab_graph::mutate::TopologyEvent
 #[allow(clippy::too_many_arguments)]
 pub fn run_churned_sharded<P: Protocol, O: Observer<P::State>>(
@@ -404,70 +376,47 @@ pub fn run_churned_sharded<P: Protocol, O: Observer<P::State>>(
 where
     P::State: WireState,
 {
-    churn
-        .validate()
+    let mut feed = churn
+        .feed()
         .map_err(|reason| RuntimeError::InvalidPlan { reason })?;
-    let mut graph = graph.clone();
-    let mut states = init.materialize(&graph, proto);
-    let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
-    let mut rng = StdRng::seed_from_u64(churn.seed);
-    let mut events = Vec::new();
-    let mut last_fault_round = 0usize;
-    let mut epochs_done = 0usize;
-    let mut base = 0usize;
+    let mut session = ResidentSession::new(graph, proto, shards, schedule, channel_cap, init);
 
-    let (outcome, rounds) = loop {
-        let remaining = max_rounds - base;
-        let seg_cap = if epochs_done < churn.epochs {
-            churn.every.min(remaining)
-        } else {
-            remaining
+    let outcome = loop {
+        let remaining = max_rounds - session.clock();
+        let budget = match feed.next_boundary() {
+            Some(b) => (b - session.clock()).min(remaining),
+            None => remaining,
         };
-        let mut exec = RuntimeExecutor::new(&graph, proto, shards).with_schedule(schedule);
-        if let Some(cap) = channel_cap {
-            exec = exec.with_channel_cap(cap);
-        }
-        if let Some(f) = fault {
-            exec = exec.with_chaos(f.clone().with_round_offset(base));
-        }
-        let mut seg_obs = OffsetObserver { inner: obs, base };
-        let run = exec.run_observed(InitialState::Explicit(states), seg_cap, &mut seg_obs)?;
-        for (acc, &m) in moves_per_rule.iter_mut().zip(&run.moves_per_rule) {
-            *acc += m;
-        }
-        states = run.final_states;
+        let outcome = session.converge(budget, fault, obs)?;
 
-        if epochs_done >= churn.epochs || base + churn.every > max_rounds {
+        let boundary = match feed.next_boundary() {
             // Final stretch, or the next boundary is beyond the budget: the
-            // segment outcome is the run outcome (a RoundLimit here is a
-            // real one — the absolute budget is exhausted).
-            break (run.outcome, base + run.rounds);
-        }
-        // Advance to the churn boundary. A stabilized segment fast-forwards
+            // wave outcome is the run outcome (a RoundLimit here is a real
+            // one — the absolute budget is exhausted).
+            None => break outcome,
+            Some(b) if b > max_rounds => break outcome,
+            Some(b) => b,
+        };
+        // Advance to the churn boundary. A stabilized wave fast-forwards
         // the quiescent gap (those rounds are move-free by definition); a
-        // segment-capped RoundLimit simply reached the boundary with moves
+        // budget-capped RoundLimit simply reached the boundary with moves
         // still pending.
-        base += churn.every;
-        let applied = churn.churn.apply(&mut graph, churn.events, &mut rng);
-        epochs_done += 1;
-        if !applied.is_empty() {
-            last_fault_round = base;
-        }
-        for ev in applied {
-            events.push((base, ev));
-        }
+        session.advance_clock_to(boundary);
+        feed.next_events(boundary, session.graph_mut());
     };
-    obs.on_finish(&outcome, &states);
+    obs.on_finish(&outcome, session.states());
+    let (graph, final_states, moves_per_rule, rounds) = session.into_parts();
+    let last_fault_round = feed.last_fault_round();
     Ok(ChaosRun {
         run: Run {
-            final_states: states,
+            final_states,
             rounds,
             moves_per_rule,
             outcome,
             trace: None,
         },
         graph,
-        events,
+        events: feed.into_events(),
         last_fault_round,
     })
 }

@@ -284,6 +284,25 @@ where
         self
     }
 
+    /// Reuse a precomputed shard assignment instead of re-running the
+    /// coarsening partitioner. The node→shard map is a function of node
+    /// identity only, so a partition stays valid across edge churn on a
+    /// fixed node set — resident sessions exploit this to skip the O(n+m)
+    /// re-partition on every mutation epoch (send/receive plans are still
+    /// re-derived from the current graph each run).
+    ///
+    /// # Panics
+    /// Panics if the partition was built for a different node count.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        assert_eq!(
+            partition.shard_of.len(),
+            self.graph.n(),
+            "partition covers a different node set"
+        );
+        self.partition = partition;
+        self
+    }
+
     /// Install a deterministic chaos [`FaultPlan`]: dropped / duplicated /
     /// delayed / bit-corrupted boundary beacons and scheduled shard
     /// crash-restarts. With no plan the executor is byte-for-byte the clean

@@ -1,0 +1,311 @@
+//! The serve loop: one poll-dispatch-reply cycle, generic over the
+//! environment.
+//!
+//! This is the code the whole subsystem exists to keep *singular*: the
+//! same [`serve`] body runs under ([`SimClock`](crate::env::SimClock) +
+//! [`SimTransport`](crate::transport::SimTransport)) in proptests and CI,
+//! and under ([`RealClock`](crate::env::RealClock) +
+//! [`UdsTransport`](crate::transport::UdsTransport)) behind
+//! `selfstab serve`. Only the environment values change.
+
+use selfstab_engine::obs::Observer;
+use selfstab_json::{Json, ToJson};
+
+use crate::env::{Clock, ShutdownFlag};
+use crate::overlay::OverlayProtocol;
+use crate::proto::{Mutation, QueryKind, Request};
+use crate::service::{EventRecord, OverlayService};
+use crate::transport::{Polled, Transport};
+
+/// Why the serve loop exited.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A client sent the `shutdown` op.
+    ClientShutdown,
+    /// The shutdown flag (SIGINT or a programmatic request) was raised.
+    SignalShutdown,
+    /// The transport reported [`Polled::Closed`] (script exhausted, or the
+    /// listener died).
+    TransportClosed,
+}
+
+impl ServeOutcome {
+    /// Status-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeOutcome::ClientShutdown => "client-shutdown",
+            ServeOutcome::SignalShutdown => "signal-shutdown",
+            ServeOutcome::TransportClosed => "transport-closed",
+        }
+    }
+}
+
+/// What one serve session did.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Request lines dispatched (including malformed ones).
+    pub requests: u64,
+    /// Mutations successfully applied.
+    pub mutations: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Error responses sent (parse failures and invalid mutations).
+    pub errors: u64,
+    /// Pending mutations force-drained at shutdown.
+    pub drained: u64,
+    /// Why the loop exited.
+    pub outcome: ServeOutcome,
+}
+
+fn mutate_response(record: &EventRecord, tag: Option<&str>) -> Json {
+    crate::proto::resp_ok(
+        vec![
+            ("seq".to_string(), record.seq.to_json()),
+            ("round".to_string(), record.round.to_json()),
+            ("perturbed".to_string(), record.perturbed.to_json()),
+            (
+                "recovery_rounds".to_string(),
+                record.recovery_rounds.to_json(),
+            ),
+            ("moves".to_string(), record.moves.to_json()),
+            ("converged".to_string(), record.converged.to_json()),
+        ],
+        tag,
+    )
+}
+
+/// Run the service against a transport until shutdown.
+///
+/// Per request line: parse → dispatch → exactly one response line.
+/// Mutations are enqueued and drained immediately (so the response carries
+/// the event's recovery metrics); queries drain any pending mutations
+/// first (read-your-writes). On any exit path the queue is drained and
+/// leftover repair work is settled, so the post-serve service state is
+/// legitimate and safe to snapshot.
+pub fn serve<P, T, O>(
+    svc: &mut OverlayService<'_, P>,
+    transport: &mut T,
+    clock: &dyn Clock,
+    shutdown: &ShutdownFlag,
+    idle_sleep_micros: u64,
+    obs: &mut O,
+) -> ServeSummary
+where
+    P: OverlayProtocol,
+    T: Transport,
+    O: Observer<P::State>,
+{
+    let mut summary = ServeSummary {
+        requests: 0,
+        mutations: 0,
+        queries: 0,
+        errors: 0,
+        drained: 0,
+        outcome: ServeOutcome::TransportClosed,
+    };
+    loop {
+        if shutdown.is_set() {
+            summary.outcome = ServeOutcome::SignalShutdown;
+            break;
+        }
+        let (client, line) = match transport.poll() {
+            Polled::Request { client, line } => (client, line),
+            Polled::Idle => {
+                clock.sleep_micros(idle_sleep_micros);
+                continue;
+            }
+            Polled::Closed => {
+                summary.outcome = ServeOutcome::TransportClosed;
+                break;
+            }
+        };
+        summary.requests += 1;
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                summary.errors += 1;
+                transport.reply(client, &crate::proto::resp_err(&e, None).to_string());
+                continue;
+            }
+        };
+        match request {
+            Request::Mutate { mutation, tag } => {
+                let response =
+                    apply_mutation(svc, mutation, clock, obs, &mut summary, tag.as_deref());
+                transport.reply(client, &response.to_string());
+            }
+            Request::Query { query, tag } => {
+                for r in svc.drain(clock, obs) {
+                    count_drained(&r, &mut summary);
+                }
+                summary.queries += 1;
+                let response = match answer(svc, &query) {
+                    Ok(fields) => crate::proto::resp_ok(fields, tag.as_deref()),
+                    Err(e) => {
+                        summary.errors += 1;
+                        crate::proto::resp_err(&e, tag.as_deref())
+                    }
+                };
+                transport.reply(client, &response.to_string());
+            }
+            Request::Shutdown { tag } => {
+                let response = crate::proto::resp_ok(
+                    vec![("stopping".to_string(), true.to_json())],
+                    tag.as_deref(),
+                );
+                transport.reply(client, &response.to_string());
+                summary.outcome = ServeOutcome::ClientShutdown;
+                break;
+            }
+        }
+    }
+    // Graceful exit: whatever is still queued gets applied, and any
+    // budget-capped leftover repair work converges, before the caller
+    // snapshots and tears the transport down.
+    for r in svc.drain(clock, obs) {
+        summary.drained += 1;
+        count_drained(&r, &mut summary);
+    }
+    svc.settle(clock, obs);
+    summary
+}
+
+fn apply_mutation<P: OverlayProtocol, O: Observer<P::State>>(
+    svc: &mut OverlayService<'_, P>,
+    mutation: Mutation,
+    clock: &dyn Clock,
+    obs: &mut O,
+    summary: &mut ServeSummary,
+    tag: Option<&str>,
+) -> Json {
+    svc.enqueue(mutation);
+    let mut last = None;
+    for r in svc.drain(clock, obs) {
+        count_drained(&r, summary);
+        last = Some(r);
+    }
+    match last {
+        Some(Ok(record)) => mutate_response(&record, tag),
+        Some(Err(e)) => crate::proto::resp_err(&e, tag),
+        None => crate::proto::resp_err("mutation queue empty after drain", tag),
+    }
+}
+
+fn count_drained(result: &Result<EventRecord, String>, summary: &mut ServeSummary) {
+    match result {
+        Ok(_) => summary.mutations += 1,
+        Err(_) => summary.errors += 1,
+    }
+}
+
+fn answer<P: OverlayProtocol>(
+    svc: &OverlayService<'_, P>,
+    query: &QueryKind,
+) -> Result<Vec<(String, Json)>, String> {
+    let body = match query {
+        QueryKind::Membership(node) => svc.membership_json(*node)?,
+        QueryKind::Census => svc.census_json(),
+        QueryKind::Status => svc.status_json(),
+        QueryKind::Latency => svc.latency_json(),
+    };
+    match body {
+        Json::Object(fields) => Ok(fields),
+        other => Ok(vec![("result".to_string(), other)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SimClock;
+    use crate::transport::SimTransport;
+    use selfstab_core::Smm;
+    use selfstab_engine::protocol::InitialState;
+    use selfstab_graph::{generators, Ids};
+
+    fn run_script(lines: &[&str]) -> (Vec<String>, ServeSummary) {
+        let g = generators::path(6);
+        let smm = Smm::paper(Ids::identity(6));
+        let clock = SimClock::new();
+        let mut svc = OverlayService::new(g, &smm, InitialState::Default, 0);
+        svc.stabilize(&clock, &mut ());
+        let mut transport = SimTransport::scripted(lines.iter().copied());
+        let shutdown = ShutdownFlag::new();
+        let summary = serve(&mut svc, &mut transport, &clock, &shutdown, 100, &mut ());
+        (transport.replies().to_vec(), summary)
+    }
+
+    #[test]
+    fn scripted_session_mutates_queries_and_stops() {
+        let (replies, summary) = run_script(&[
+            r#"{"op":"query","what":"status","tag":"s0"}"#,
+            r#"{"op":"mutate","kind":"edge-down","a":2,"b":3}"#,
+            r#"{"op":"query","what":"census"}"#,
+            r#"{"op":"query","what":"latency"}"#,
+            r#"{"op":"shutdown","tag":"bye"}"#,
+        ]);
+        assert_eq!(replies.len(), 5);
+        assert_eq!(summary.outcome, ServeOutcome::ClientShutdown);
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.mutations, 1);
+        assert_eq!(summary.queries, 3);
+        assert_eq!(summary.errors, 0);
+
+        let status = Json::parse(&replies[0]).unwrap();
+        assert_eq!(status.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(status.get("tag").and_then(Json::as_str), Some("s0"));
+        assert_eq!(status.get("legitimate").and_then(Json::as_bool), Some(true));
+
+        let mutated = Json::parse(&replies[1]).unwrap();
+        assert_eq!(mutated.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(mutated.get("converged").and_then(Json::as_bool), Some(true));
+        assert!(mutated
+            .get("recovery_rounds")
+            .and_then(Json::as_u64)
+            .is_some());
+
+        let bye = Json::parse(&replies[4]).unwrap();
+        assert_eq!(bye.get("tag").and_then(Json::as_str), Some("bye"));
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_loop() {
+        let (replies, summary) = run_script(&[
+            "not json at all",
+            r#"{"op":"mutate","kind":"edge-down","a":0,"b":5}"#, // not an edge
+            r#"{"op":"query","what":"status"}"#,
+        ]);
+        assert_eq!(replies.len(), 3);
+        assert_eq!(summary.errors, 2);
+        assert_eq!(summary.outcome, ServeOutcome::TransportClosed);
+        for r in &replies[..2] {
+            let v = Json::parse(r).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(v.get("error").and_then(Json::as_str).is_some());
+        }
+        let status = Json::parse(&replies[2]).unwrap();
+        assert_eq!(status.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn signal_shutdown_breaks_an_idle_loop() {
+        // A transport that idles forever: the shutdown flag must get us out.
+        struct IdleForever;
+        impl Transport for IdleForever {
+            fn poll(&mut self) -> Polled {
+                Polled::Idle
+            }
+            fn reply(&mut self, _client: u64, _line: &str) {}
+        }
+        let g = generators::path(3);
+        let smm = Smm::paper(Ids::identity(3));
+        let clock = SimClock::new();
+        let mut svc = OverlayService::new(g, &smm, InitialState::Default, 0);
+        svc.stabilize(&clock, &mut ());
+        let shutdown = ShutdownFlag::new();
+        shutdown.request();
+        let summary = serve(&mut svc, &mut IdleForever, &clock, &shutdown, 50, &mut ());
+        assert_eq!(summary.outcome, ServeOutcome::SignalShutdown);
+        assert_eq!(summary.requests, 0);
+    }
+}

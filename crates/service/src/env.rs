@@ -1,0 +1,146 @@
+//! The swappable environment: a clock the service loop tells time and
+//! sleeps through, with a **simulated** backend (virtual microseconds,
+//! advanced deterministically — the proptest/CI backend) and a **real**
+//! backend (monotonic wall clock + `thread::sleep` — the daemon backend).
+//!
+//! Everything in the service that touches time goes through [`Clock`], so
+//! the exact same loop body runs under the test harness and under
+//! `selfstab serve`. This is the `switchy`-style seam the whole subsystem
+//! hangs off: swap the environment, not the logic.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Time as the service sees it.
+///
+/// `&self` methods only: the clock is shared by the serve loop and any
+/// instrumentation hanging off it, and the simulated backend mutates
+/// through a [`Cell`].
+pub trait Clock {
+    /// Microseconds since the clock's epoch (service start).
+    fn now_micros(&self) -> u64;
+
+    /// Give up the CPU for (at least) `micros` microseconds. The simulated
+    /// backend advances virtual time instead of blocking.
+    fn sleep_micros(&self, micros: u64);
+}
+
+/// Deterministic virtual time: starts at 0, advances only via
+/// [`SimClock::advance`] or [`Clock::sleep_micros`]. Two runs that make the
+/// same calls read the same timestamps.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Cell<u64>,
+}
+
+impl SimClock {
+    /// A clock at virtual time 0.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Advance virtual time by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.set(self.now.get().saturating_add(micros));
+    }
+}
+
+impl Clock for SimClock {
+    fn now_micros(&self) -> u64 {
+        self.now.get()
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        self.advance(micros);
+    }
+}
+
+/// The real monotonic clock, epoch = construction time.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+}
+
+/// A cooperative shutdown latch shared between the serve loop, the client
+/// `shutdown` command, and the SIGINT handler.
+///
+/// [`ShutdownFlag::is_set`] also observes the process-wide SIGINT latch
+/// (see [`crate::signal`]), so a Ctrl-C lands even though the C signal
+/// handler cannot capture an `Arc`.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A flag that is not set.
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Request shutdown (idempotent).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested, by this flag or by SIGINT.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst) || crate::signal::sigint_received()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_is_deterministic() {
+        let c = SimClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(5);
+        c.sleep_micros(7);
+        assert_eq!(c.now_micros(), 12);
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = RealClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn shutdown_flag_latches_and_clones_share() {
+        let f = ShutdownFlag::new();
+        let g = f.clone();
+        assert!(!f.is_set());
+        g.request();
+        assert!(f.is_set());
+    }
+}

@@ -1,0 +1,570 @@
+//! The resident overlay engine: a live graph plus protocol state, kept
+//! continuously legitimate while topology mutations stream in.
+//!
+//! The paper's self-stabilization guarantee is exactly what makes this
+//! service cheap: after a mutation the global state is an *arbitrary*
+//! (well, mostly-legitimate) configuration, and Theorem 1/2 promise
+//! re-convergence from any such configuration. Because guards are pure
+//! functions of closed neighborhoods, only the perturbed region — the
+//! closed neighborhoods of the touched edges' endpoints — can become
+//! privileged, so each event re-runs the active-set scheduler seeded with
+//! just that region instead of restarting from scratch.
+//!
+//! [`OverlayService`] is deliberately environment-free: it takes a
+//! [`Clock`] per call and fires [`Observer`] hooks at an absolute round
+//! clock, so the same code runs under the deterministic sim harness
+//! (proptests, CI) and under the Unix-socket daemon.
+
+use std::collections::VecDeque;
+
+use selfstab_analysis::Histogram;
+use selfstab_engine::active::ActiveSet;
+use selfstab_engine::obs::{Observer, RoundStats};
+use selfstab_engine::protocol::{InitialState, View};
+use selfstab_graph::Graph;
+use selfstab_graph::Node;
+use selfstab_json::{Json, ToJson};
+
+use crate::env::Clock;
+use crate::overlay::OverlayProtocol;
+use crate::proto::Mutation;
+
+/// What one ingested event did to the structure: the perturbed-region size,
+/// the re-stabilization latency in rounds, and the repair work in moves.
+/// This is the per-mutation record the paper's Theorems 1/2 bound: the
+/// recovery rounds never exceed the repo's working convergence budget of
+/// `n + 2` rounds, however large the perturbation.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// 1-based ingest sequence number (0 = the bootstrap convergence).
+    pub seq: u64,
+    /// Wire `kind` of the mutation (`"bootstrap"` for seq 0).
+    pub kind: &'static str,
+    /// Human-readable event description.
+    pub detail: String,
+    /// Absolute service round at which the event was applied.
+    pub round: usize,
+    /// Dirty nodes seeded by the event (size of the perturbed region, plus
+    /// any still-dirty carry-over from a budget-capped predecessor).
+    pub perturbed: usize,
+    /// Rounds until the structure re-stabilized (or the budget, if not).
+    pub recovery_rounds: usize,
+    /// Moves the repair cost.
+    pub moves: u64,
+    /// Whether the structure was legitimate again when the event finished.
+    pub converged: bool,
+}
+
+impl EventRecord {
+    /// JSON form for the profile/metrics spine.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", self.seq.to_json()),
+            ("kind", self.kind.to_json()),
+            ("detail", self.detail.to_json()),
+            ("round", self.round.to_json()),
+            ("perturbed", self.perturbed.to_json()),
+            ("recovery_rounds", self.recovery_rounds.to_json()),
+            ("moves", self.moves.to_json()),
+            ("converged", self.converged.to_json()),
+        ])
+    }
+}
+
+/// The resident engine. See the [module docs](self).
+pub struct OverlayService<'a, P: OverlayProtocol> {
+    graph: Graph,
+    proto: &'a P,
+    states: Vec<P::State>,
+    cur: ActiveSet,
+    next: ActiveSet,
+    converged: bool,
+    clock_rounds: usize,
+    budget_per_event: usize,
+    pending: VecDeque<Mutation>,
+    seq: u64,
+    events_applied: u64,
+    records: Vec<EventRecord>,
+    recovery_hist: Histogram,
+    moves_per_rule: Vec<u64>,
+}
+
+impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
+    /// A service over `graph` running `proto`, seeded from `init`. The
+    /// whole node set starts dirty — call [`OverlayService::stabilize`]
+    /// before serving. `budget_per_event = 0` means the Theorem 1/2
+    /// convergence budget of `n + 2` rounds per event.
+    pub fn new(graph: Graph, proto: &'a P, init: InitialState<P::State>, budget: usize) -> Self {
+        let n = graph.n();
+        let states = init.materialize(&graph, proto);
+        let mut cur = ActiveSet::full(n);
+        cur.seal();
+        OverlayService {
+            graph,
+            proto,
+            states,
+            cur,
+            next: ActiveSet::empty(n),
+            converged: false,
+            clock_rounds: 0,
+            budget_per_event: budget,
+            pending: VecDeque::new(),
+            seq: 0,
+            events_applied: 0,
+            records: Vec::new(),
+            recovery_hist: Histogram::new(),
+            moves_per_rule: vec![0; proto.rule_names().len()],
+        }
+    }
+
+    fn budget(&self) -> usize {
+        if self.budget_per_event == 0 {
+            self.graph.n() + 2
+        } else {
+            self.budget_per_event
+        }
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The live global state vector.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The protocol instance.
+    pub fn proto(&self) -> &P {
+        self.proto
+    }
+
+    /// Absolute service round clock (total synchronous rounds executed).
+    pub fn clock_rounds(&self) -> usize {
+        self.clock_rounds
+    }
+
+    /// Mutations ingested so far (bootstrap excluded).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Mutations enqueued but not yet applied.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the structure is currently at a legitimate fixpoint.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Cumulative moves per protocol rule across the service lifetime.
+    pub fn moves_per_rule(&self) -> &[u64] {
+        &self.moves_per_rule
+    }
+
+    /// Per-event records, in ingest order (index 0 is the bootstrap).
+    pub fn records(&self) -> &[EventRecord] {
+        &self.records
+    }
+
+    /// The re-stabilization latency histogram (rounds per event; the
+    /// bootstrap convergence is excluded).
+    pub fn recovery_hist(&self) -> &Histogram {
+        &self.recovery_hist
+    }
+
+    /// Run the active-set scheduler until fixpoint or `budget` rounds, from
+    /// whatever is currently dirty. Returns `(rounds, moves)`.
+    fn converge<O: Observer<P::State>>(
+        &mut self,
+        budget: usize,
+        clock: &dyn Clock,
+        obs: &mut O,
+    ) -> (usize, u64) {
+        let mut rounds = 0usize;
+        let mut moves_total = 0u64;
+        let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
+        while rounds < budget && !self.cur.is_empty() {
+            let started = clock.now_micros();
+            let evaluated = self.cur.len();
+            moves.clear();
+            for &v in self.cur.nodes() {
+                let view = View::new(v, self.graph.neighbors(v), &self.states);
+                if let Some(mv) = self.proto.step(view) {
+                    moves.push((v, mv));
+                }
+            }
+            if moves.is_empty() {
+                self.cur.clear();
+                break;
+            }
+            let round = self.clock_rounds + 1;
+            if O::ENABLED {
+                obs.on_round_start(round, &self.states);
+            }
+            let mut per_rule = vec![0u64; self.proto.rule_names().len()];
+            self.next.clear();
+            for (v, mv) in &moves {
+                self.states[v.index()] = mv.next.clone();
+                per_rule[mv.rule] += 1;
+                self.next.insert_closed(&self.graph, *v);
+                if O::ENABLED {
+                    obs.on_move(*v, mv.rule, &mv.next);
+                }
+            }
+            self.next.seal();
+            self.cur.clear();
+            std::mem::swap(&mut self.cur, &mut self.next);
+            for (slot, c) in self.moves_per_rule.iter_mut().zip(&per_rule) {
+                *slot += c;
+            }
+            moves_total += moves.len() as u64;
+            self.clock_rounds = round;
+            rounds += 1;
+            if O::ENABLED {
+                let stats = RoundStats {
+                    round,
+                    privileged: moves.len(),
+                    evaluated,
+                    moves_per_rule: per_rule,
+                    duration_micros: clock.now_micros().saturating_sub(started),
+                    beacon: None,
+                    runtime: None,
+                    profile: None,
+                };
+                obs.on_round_end(&stats, &self.states);
+            }
+        }
+        self.converged = self.cur.is_empty();
+        (rounds, moves_total)
+    }
+
+    /// Bootstrap convergence from the initial (or snapshot-restored) state:
+    /// converge the full dirty set under the Theorem 1/2 budget and record it
+    /// as event 0. A restored legitimate snapshot converges in 0 rounds.
+    pub fn stabilize<O: Observer<P::State>>(
+        &mut self,
+        clock: &dyn Clock,
+        obs: &mut O,
+    ) -> &EventRecord {
+        let perturbed = self.cur.len();
+        let budget = self.graph.n() + 2;
+        let (rounds, moves) = self.converge(budget, clock, obs);
+        let record = EventRecord {
+            seq: 0,
+            kind: "bootstrap",
+            detail: format!("bootstrap n={} m={}", self.graph.n(), self.graph.m()),
+            round: self.clock_rounds,
+            perturbed,
+            recovery_rounds: rounds,
+            moves,
+            converged: self.converged,
+        };
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Queue a mutation for ingest. Validation happens at apply time, so
+    /// the error (if any) surfaces from [`OverlayService::drain`].
+    pub fn enqueue(&mut self, mutation: Mutation) {
+        self.pending.push_back(mutation);
+    }
+
+    /// Apply one mutation to the graph, returning the endpoints of every
+    /// link that actually changed.
+    fn apply_topology(&mut self, mutation: &Mutation) -> Result<Vec<(Node, Node)>, String> {
+        let n = self.graph.n();
+        let check = |i: usize| -> Result<Node, String> {
+            if i < n {
+                Ok(Node(i as u32))
+            } else {
+                Err(format!("node {i} out of range (n = {n})"))
+            }
+        };
+        match mutation {
+            Mutation::EdgeUp { a, b } => {
+                let (a, b) = (check(*a)?, check(*b)?);
+                if a == b {
+                    return Err("self-loops are not allowed".into());
+                }
+                if !self.graph.add_edge(a, b) {
+                    return Err(format!("edge {}-{} is already up", a.index(), b.index()));
+                }
+                Ok(vec![(a, b)])
+            }
+            Mutation::EdgeDown { a, b } => {
+                let (a, b) = (check(*a)?, check(*b)?);
+                if !self.graph.remove_edge(a, b) {
+                    return Err(format!("edge {}-{} is not up", a.index(), b.index()));
+                }
+                Ok(vec![(a, b)])
+            }
+            Mutation::NodeLeave { v } => {
+                let v = check(*v)?;
+                let dropped: Vec<Node> = self.graph.neighbors(v).to_vec();
+                for &w in &dropped {
+                    self.graph.remove_edge(v, w);
+                }
+                Ok(dropped.into_iter().map(|w| (v, w)).collect())
+            }
+            Mutation::NodeJoin { v, attach } => {
+                let v = check(*v)?;
+                let mut touched = Vec::new();
+                for &w in attach {
+                    let w = check(w)?;
+                    if w == v {
+                        return Err("self-loops are not allowed".into());
+                    }
+                    if self.graph.add_edge(v, w) {
+                        touched.push((v, w));
+                    }
+                }
+                Ok(touched)
+            }
+        }
+    }
+
+    /// Apply every queued mutation in order, re-converging after each one.
+    /// Returns the records of the drained events; a mutation that fails
+    /// validation produces an `Err` entry and perturbs nothing.
+    pub fn drain<O: Observer<P::State>>(
+        &mut self,
+        clock: &dyn Clock,
+        obs: &mut O,
+    ) -> Vec<Result<EventRecord, String>> {
+        let mut out = Vec::new();
+        while let Some(mutation) = self.pending.pop_front() {
+            out.push(self.apply_one(&mutation, clock, obs));
+        }
+        out
+    }
+
+    fn apply_one<O: Observer<P::State>>(
+        &mut self,
+        mutation: &Mutation,
+        clock: &dyn Clock,
+        obs: &mut O,
+    ) -> Result<EventRecord, String> {
+        let touched = self.apply_topology(mutation)?;
+        // Seed the perturbed region: the closed neighborhoods (in the
+        // *mutated* graph) of every endpoint of every changed link. Any
+        // leftover dirty set from a budget-capped predecessor stays marked,
+        // so repair work is never silently dropped.
+        for &(x, y) in &touched {
+            self.cur.insert_closed(&self.graph, x);
+            self.cur.insert_closed(&self.graph, y);
+        }
+        self.cur.seal();
+        self.converged = self.cur.is_empty();
+        let perturbed = self.cur.len();
+        self.seq += 1;
+        self.events_applied += 1;
+        let (rounds, moves) = self.converge(self.budget(), clock, obs);
+        let record = EventRecord {
+            seq: self.seq,
+            kind: mutation.kind(),
+            detail: mutation.describe(),
+            round: self.clock_rounds,
+            perturbed,
+            recovery_rounds: rounds,
+            moves,
+            converged: self.converged,
+        };
+        self.recovery_hist.add(rounds);
+        self.records.push(record.clone());
+        Ok(record)
+    }
+
+    /// Finish any carried-over repair work without ingesting an event:
+    /// converge the leftover dirty set under the Theorem 1/2 budget. Returns
+    /// the rounds spent (0 when already converged). The daemon calls this
+    /// on shutdown so the snapshot it writes is legitimate even when a
+    /// tight per-event budget left work pending.
+    pub fn settle<O: Observer<P::State>>(&mut self, clock: &dyn Clock, obs: &mut O) -> usize {
+        let budget = self.graph.n() + 2;
+        self.converge(budget, clock, obs).0
+    }
+
+    /// Status facts for the `status` query and shutdown summaries.
+    pub fn status_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.proto.name().to_json()),
+            ("n", self.graph.n().to_json()),
+            ("m", self.graph.m().to_json()),
+            ("clock_rounds", self.clock_rounds.to_json()),
+            ("events", self.events_applied.to_json()),
+            ("pending", self.pending.len().to_json()),
+            ("converged", self.converged.to_json()),
+            (
+                "legitimate",
+                self.proto
+                    .is_legitimate(&self.graph, &self.states)
+                    .to_json(),
+            ),
+        ])
+    }
+
+    /// The latency histogram as JSON: quantiles plus the dense counts.
+    pub fn latency_json(&self) -> Json {
+        let h = &self.recovery_hist;
+        Json::obj([
+            ("events", h.total().to_json()),
+            ("p50", h.quantile(0.5).to_json()),
+            ("p99", h.quantile(0.99).to_json()),
+            ("max", h.max_value().to_json()),
+            ("histogram", h.to_json()),
+        ])
+    }
+
+    /// Membership answer for the `membership` query.
+    pub fn membership_json(&self, node: Option<usize>) -> Result<Json, String> {
+        match node {
+            None => Ok(self.proto.membership_summary(&self.graph, &self.states)),
+            Some(i) if i < self.graph.n() => {
+                Ok(self
+                    .proto
+                    .membership(&self.graph, &self.states, Node(i as u32)))
+            }
+            Some(i) => Err(format!("node {i} out of range (n = {})", self.graph.n())),
+        }
+    }
+
+    /// Census answer for the `census` query.
+    pub fn census_json(&self) -> Json {
+        self.proto.census(&self.graph, &self.states)
+    }
+
+    /// Tear down into `(graph, states, clock_rounds)` for snapshotting.
+    pub fn into_parts(self) -> (Graph, Vec<P::State>, usize) {
+        (self.graph, self.states, self.clock_rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::SimClock;
+    use selfstab_core::Smm;
+    use selfstab_engine::Protocol;
+    use selfstab_graph::{generators, Ids};
+
+    fn svc(n: usize) -> (Graph, Smm) {
+        (generators::path(n), Smm::paper(Ids::identity(n)))
+    }
+
+    #[test]
+    fn bootstrap_then_mutations_stay_legitimate() {
+        let (g, smm) = svc(8);
+        let clock = SimClock::new();
+        let mut s = OverlayService::new(g, &smm, InitialState::Default, 0);
+        let boot = s.stabilize(&clock, &mut ());
+        assert!(boot.converged);
+        assert!(boot.recovery_rounds <= 9, "Theorem 1: n + 1 rounds for SMM");
+
+        s.enqueue(Mutation::EdgeDown { a: 3, b: 4 });
+        s.enqueue(Mutation::EdgeUp { a: 0, b: 7 });
+        let recs = s.drain(&clock, &mut ());
+        assert_eq!(recs.len(), 2);
+        for rec in recs {
+            let rec = rec.unwrap();
+            assert!(rec.converged);
+            assert!(rec.recovery_rounds <= rec.perturbed + 1);
+            assert!(s.proto().is_legitimate(s.graph(), s.states()));
+        }
+        assert_eq!(s.events_applied(), 2);
+        assert_eq!(s.recovery_hist().total(), 2);
+    }
+
+    #[test]
+    fn node_leave_and_rejoin_round_trip() {
+        let (g, smm) = svc(6);
+        let clock = SimClock::new();
+        let mut s = OverlayService::new(g, &smm, InitialState::Default, 0);
+        s.stabilize(&clock, &mut ());
+
+        s.enqueue(Mutation::NodeLeave { v: 2 });
+        let rec = s.drain(&clock, &mut ()).pop().unwrap().unwrap();
+        assert!(rec.converged);
+        assert_eq!(s.graph().degree(selfstab_graph::Node(2)), 0);
+        assert!(s.proto().is_legitimate(s.graph(), s.states()));
+
+        s.enqueue(Mutation::NodeJoin {
+            v: 2,
+            attach: vec![1, 3],
+        });
+        let rec = s.drain(&clock, &mut ()).pop().unwrap().unwrap();
+        assert!(rec.converged);
+        assert!(s
+            .graph()
+            .has_edge(selfstab_graph::Node(2), selfstab_graph::Node(3)));
+        assert!(s.proto().is_legitimate(s.graph(), s.states()));
+    }
+
+    #[test]
+    fn invalid_mutations_report_errors_and_perturb_nothing() {
+        let (g, smm) = svc(4);
+        let clock = SimClock::new();
+        let mut s = OverlayService::new(g, &smm, InitialState::Default, 0);
+        s.stabilize(&clock, &mut ());
+        let before = s.clock_rounds();
+
+        s.enqueue(Mutation::EdgeUp { a: 0, b: 1 }); // already up on a path
+        s.enqueue(Mutation::EdgeDown { a: 0, b: 3 }); // never up
+        s.enqueue(Mutation::EdgeUp { a: 0, b: 9 }); // out of range
+        s.enqueue(Mutation::EdgeUp { a: 2, b: 2 }); // self-loop
+        for rec in s.drain(&clock, &mut ()) {
+            rec.unwrap_err();
+        }
+        assert_eq!(s.clock_rounds(), before, "failed events run no rounds");
+        assert_eq!(s.events_applied(), 0);
+        assert!(s.is_converged());
+    }
+
+    #[test]
+    fn budget_cap_carries_dirty_work_forward() {
+        let (g, smm) = svc(10);
+        let clock = SimClock::new();
+        // budget 1: a single round per event, far below what a fresh path
+        // needs — the dirty set must carry across events until it drains.
+        let mut s = OverlayService::new(g, &smm, InitialState::Default, 1);
+        s.stabilize(&clock, &mut ()); // bootstrap always gets the full budget
+        assert!(s.is_converged());
+
+        s.enqueue(Mutation::EdgeDown { a: 4, b: 5 });
+        let rec = s.drain(&clock, &mut ()).pop().unwrap().unwrap();
+        assert!(rec.recovery_rounds <= 1, "budget caps per-event rounds");
+        // One round may or may not finish the repair; settle() must always
+        // drain the carried-over dirty set to a legitimate fixpoint.
+        s.settle(&clock, &mut ());
+        assert!(s.is_converged());
+        assert!(s.proto().is_legitimate(s.graph(), s.states()));
+    }
+
+    #[test]
+    fn status_and_latency_json_shapes() {
+        let (g, smm) = svc(5);
+        let clock = SimClock::new();
+        let mut s = OverlayService::new(g, &smm, InitialState::Default, 0);
+        s.stabilize(&clock, &mut ());
+        s.enqueue(Mutation::EdgeDown { a: 1, b: 2 });
+        s.drain(&clock, &mut ()).pop().unwrap().unwrap();
+
+        let status = s.status_json();
+        assert_eq!(status.get("protocol").and_then(Json::as_str), Some("smm"));
+        assert_eq!(status.get("converged").and_then(Json::as_bool), Some(true));
+        assert_eq!(status.get("legitimate").and_then(Json::as_bool), Some(true));
+        assert_eq!(status.get("events").and_then(Json::as_u64), Some(1));
+
+        let lat = s.latency_json();
+        assert_eq!(lat.get("events").and_then(Json::as_u64), Some(1));
+        assert!(lat.get("p50").and_then(Json::as_u64).is_some());
+        assert!(lat.get("p99").and_then(Json::as_u64).is_some());
+
+        let m = s.membership_json(Some(0)).unwrap();
+        assert_eq!(m.get("node").and_then(Json::as_u64), Some(0));
+        s.membership_json(Some(99)).unwrap_err();
+    }
+}

@@ -1,0 +1,75 @@
+//! SIGINT → shutdown latch, with no dependency on a signals crate.
+//!
+//! The whole workspace forbids unsafe code except this one seam: the POSIX
+//! `signal(2)` registration is an FFI call, and the handler itself may only
+//! touch async-signal-safe state — here a single relaxed store into a
+//! process-wide [`AtomicBool`] that [`crate::env::ShutdownFlag::is_set`]
+//! polls from the serve loop. Nothing else (no allocation, no locks, no
+//! I/O) happens in signal context.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install_sigint`] was called.
+/// Always `false` if the handler was never installed.
+pub fn sigint_received() -> bool {
+    SIGINT_RECEIVED.load(Ordering::Relaxed)
+}
+
+/// Reset the latch (test support; a daemon installs once and exits).
+pub fn reset_sigint() {
+    SIGINT_RECEIVED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+
+    unsafe extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: c_int) {
+        super::SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        // SAFETY: registering an async-signal-safe handler (a single atomic
+        // store) for SIGINT; `signal` is specified for exactly this use.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Install the SIGINT handler (idempotent; no-op on non-Unix targets).
+/// After this, Ctrl-C sets the process-wide latch instead of killing the
+/// process, letting the serve loop drain, snapshot, and exit cleanly.
+pub fn install_sigint() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_resets() {
+        // Cannot raise a real SIGINT safely in-process here; assert the
+        // latch plumbing (install is exercised end-to-end by the daemon).
+        reset_sigint();
+        assert!(!sigint_received());
+        install_sigint();
+        assert!(!sigint_received());
+    }
+}

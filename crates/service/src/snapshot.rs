@@ -1,0 +1,229 @@
+//! Durable service snapshots: the live graph + the wire-encoded global
+//! state + the round clock, as one JSON document.
+//!
+//! A snapshot of a converged service is a *legitimate* configuration, so a
+//! daemon restarted from one re-stabilizes in zero rounds — that is the
+//! self-stabilization story applied to process restarts, and the
+//! snapshot-reload test pins it. The per-node states ride as hex-encoded
+//! [`WireState`] bytes (the same encoding beacon frames use), keeping the
+//! document protocol-agnostic.
+
+use selfstab_engine::protocol::WireState;
+use selfstab_graph::{Graph, Node};
+use selfstab_json::{Json, ToJson};
+
+/// The format tag written into (and required of) every snapshot document.
+pub const FORMAT: &str = "selfstab-snapshot/v1";
+
+/// Render a snapshot document.
+pub fn write_snapshot<S: WireState>(
+    protocol: &str,
+    graph: &Graph,
+    states: &[S],
+    clock_rounds: usize,
+) -> String {
+    let mut bytes = Vec::new();
+    for s in states {
+        s.encode(&mut bytes);
+    }
+    let edges: Vec<Json> = graph
+        .nodes()
+        .flat_map(|u| {
+            graph
+                .neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Json::Array(vec![u.index().to_json(), v.index().to_json()]))
+        })
+        .collect();
+    Json::obj([
+        ("format", FORMAT.to_json()),
+        ("protocol", protocol.to_json()),
+        ("n", graph.n().to_json()),
+        ("clock_rounds", clock_rounds.to_json()),
+        ("edges", Json::Array(edges)),
+        ("states", hex(&bytes).to_json()),
+    ])
+    .to_string()
+}
+
+/// A parsed (but not yet state-decoded) snapshot.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Protocol name the snapshot was taken under.
+    pub protocol: String,
+    /// Node count.
+    pub n: usize,
+    /// Absolute round clock at snapshot time.
+    pub clock_rounds: usize,
+    /// Undirected edge list.
+    pub edges: Vec<(usize, usize)>,
+    state_bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Parse a snapshot document.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let v = Json::parse(text.trim()).map_err(|e| e.to_string())?;
+        let format = v
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or("missing `format`")?;
+        if format != FORMAT {
+            return Err(format!("unsupported snapshot format '{format}'"));
+        }
+        let protocol = v
+            .get("protocol")
+            .and_then(Json::as_str)
+            .ok_or("missing `protocol`")?
+            .to_string();
+        let n = v.get("n").and_then(Json::as_u64).ok_or("missing `n`")? as usize;
+        let clock_rounds = v
+            .get("clock_rounds")
+            .and_then(Json::as_u64)
+            .ok_or("missing `clock_rounds`")? as usize;
+        let mut edges = Vec::new();
+        for e in v
+            .get("edges")
+            .and_then(Json::as_array)
+            .ok_or("missing `edges` array")?
+        {
+            let pair = e.as_array().ok_or("edge is not a pair")?;
+            let get = |i: usize| -> Result<usize, String> {
+                pair.get(i)
+                    .and_then(Json::as_u64)
+                    .map(|x| x as usize)
+                    .ok_or_else(|| "edge endpoint is not an index".to_string())
+            };
+            if pair.len() != 2 {
+                return Err("edge is not a pair".into());
+            }
+            let (a, b) = (get(0)?, get(1)?);
+            if a >= n || b >= n || a == b {
+                return Err(format!("invalid edge {a}-{b} (n = {n})"));
+            }
+            edges.push((a, b));
+        }
+        let state_bytes = unhex(
+            v.get("states")
+                .and_then(Json::as_str)
+                .ok_or("missing `states` hex string")?,
+        )?;
+        Ok(Snapshot {
+            protocol,
+            n,
+            clock_rounds,
+            edges,
+            state_bytes,
+        })
+    }
+
+    /// Rebuild the graph.
+    pub fn graph(&self) -> Graph {
+        let mut g = Graph::empty(self.n);
+        for &(a, b) in &self.edges {
+            g.add_edge(Node(a as u32), Node(b as u32));
+        }
+        g
+    }
+
+    /// Decode the per-node states; errors if the byte stream does not hold
+    /// exactly `n` values.
+    pub fn decode_states<S: WireState>(&self) -> Result<Vec<S>, String> {
+        let mut states = Vec::with_capacity(self.n);
+        let mut rest: &[u8] = &self.state_bytes;
+        for i in 0..self.n {
+            let (s, used) = S::decode_prefix(rest).map_err(|e| format!("state {i}: {e}"))?;
+            states.push(s);
+            rest = &rest[used..];
+        }
+        if !rest.is_empty() {
+            return Err(format!("{} trailing state bytes", rest.len()));
+        }
+        Ok(states)
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn unhex(text: &str) -> Result<Vec<u8>, String> {
+    let raw = text.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return Err("odd-length hex string".into());
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => Err(format!("invalid hex byte {other:#04x}")),
+        }
+    };
+    raw.chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_core::Pointer;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn snapshot_round_trips_graph_and_states() {
+        let g = generators::cycle(5);
+        let states: Vec<Pointer> = vec![
+            Pointer(Some(Node(1))),
+            Pointer(Some(Node(0))),
+            Pointer(None),
+            Pointer(Some(Node(4))),
+            Pointer(Some(Node(3))),
+        ];
+        let doc = write_snapshot("smm", &g, &states, 17);
+        let snap = Snapshot::parse(&doc).unwrap();
+        assert_eq!(snap.protocol, "smm");
+        assert_eq!(snap.n, 5);
+        assert_eq!(snap.clock_rounds, 17);
+        let g2 = snap.graph();
+        assert_eq!(g2.m(), g.m());
+        for u in g.nodes() {
+            assert_eq!(g2.neighbors(u), g.neighbors(u));
+        }
+        assert_eq!(snap.decode_states::<Pointer>().unwrap(), states);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let g = generators::path(3);
+        let states = vec![false, true, false];
+        let doc = write_snapshot("smi", &g, &states, 0);
+        Snapshot::parse(&doc.replace("selfstab-snapshot/v1", "v0")).unwrap_err();
+        Snapshot::parse("{}").unwrap_err();
+        Snapshot::parse("not json").unwrap_err();
+        // Truncated state bytes: n bools need n bytes.
+        let snap = Snapshot::parse(&doc).unwrap();
+        assert_eq!(snap.decode_states::<bool>().unwrap(), states);
+        let bad = doc.replace(&hex(&[0u8, 1, 0]), "00");
+        Snapshot::parse(&bad)
+            .unwrap()
+            .decode_states::<bool>()
+            .unwrap_err();
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(unhex(&hex(&bytes)).unwrap(), bytes);
+        unhex("0").unwrap_err();
+        unhex("zz").unwrap_err();
+    }
+}

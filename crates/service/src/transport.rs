@@ -1,0 +1,295 @@
+//! The swappable I/O backend: where request lines come from and where
+//! response lines go.
+//!
+//! [`SimTransport`] is the deterministic backend — a scripted sequence of
+//! request lines with captured replies, used by proptests and the CI
+//! smoke. [`UdsTransport`] is the real backend — a non-blocking Unix
+//! domain socket listener with one reader thread per client, multiplexed
+//! into a single event queue the serve loop polls. Both present the same
+//! [`Transport`] surface, so the daemon loop is byte-for-byte identical
+//! under test and in production.
+
+use std::collections::VecDeque;
+
+/// One poll of the transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Polled {
+    /// A client sent a request line.
+    Request {
+        /// Opaque client id (stable per connection).
+        client: u64,
+        /// The raw request line (no trailing newline).
+        line: String,
+    },
+    /// Nothing to do right now.
+    Idle,
+    /// The transport has no clients and will never produce another
+    /// request (scripted input exhausted, or listener torn down).
+    Closed,
+}
+
+/// A source of request lines and sink of response lines.
+pub trait Transport {
+    /// Poll for the next request without blocking (beyond a short internal
+    /// timeout for the socket backend).
+    fn poll(&mut self) -> Polled;
+
+    /// Send one response line to `client`. Errors are swallowed — a client
+    /// that disconnected mid-request simply misses its reply.
+    fn reply(&mut self, client: u64, line: &str);
+}
+
+/// The deterministic scripted backend: feed lines in, collect replies.
+#[derive(Debug, Default)]
+pub struct SimTransport {
+    script: VecDeque<String>,
+    replies: Vec<String>,
+}
+
+impl SimTransport {
+    /// A transport that will deliver `lines` in order (blank lines are
+    /// skipped, matching the line-delimited wire format), then report
+    /// [`Polled::Closed`].
+    pub fn scripted(lines: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        SimTransport {
+            script: lines
+                .into_iter()
+                .map(Into::into)
+                .filter(|l| !l.trim().is_empty())
+                .collect(),
+            replies: Vec::new(),
+        }
+    }
+
+    /// The captured response lines, in send order.
+    pub fn replies(&self) -> &[String] {
+        &self.replies
+    }
+}
+
+impl Transport for SimTransport {
+    fn poll(&mut self) -> Polled {
+        match self.script.pop_front() {
+            Some(line) => Polled::Request { client: 0, line },
+            None => Polled::Closed,
+        }
+    }
+
+    fn reply(&mut self, _client: u64, line: &str) {
+        self.replies.push(line.to_string());
+    }
+}
+
+#[cfg(unix)]
+pub use uds::{uds_client_session, UdsTransport};
+
+#[cfg(unix)]
+mod uds {
+    use super::{Polled, Transport};
+    use std::collections::HashMap;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::Shutdown;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::Duration;
+
+    enum Event {
+        Connected(u64, UnixStream),
+        Line(u64, String),
+        Disconnected(u64),
+    }
+
+    /// The Unix-domain-socket backend: an acceptor thread plus one reader
+    /// thread per client, all funneled into a single event queue. Writes
+    /// go directly to the client stream from the serve loop's thread.
+    pub struct UdsTransport {
+        events: Receiver<Event>,
+        writers: HashMap<u64, UnixStream>,
+        stop: Arc<AtomicBool>,
+        threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    }
+
+    impl UdsTransport {
+        /// Bind `path` (removing a stale socket file first) and start
+        /// accepting clients.
+        pub fn bind(path: &Path) -> std::io::Result<UdsTransport> {
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            let (tx, events) = mpsc::channel();
+            let stop = Arc::new(AtomicBool::new(false));
+            let threads = Arc::new(Mutex::new(Vec::new()));
+            let acceptor = spawn_acceptor(listener, tx, stop.clone(), threads.clone());
+            threads.lock().expect("threads lock").push(acceptor);
+            Ok(UdsTransport {
+                events,
+                writers: HashMap::new(),
+                stop,
+                threads,
+            })
+        }
+
+        /// Stop accepting, sever every client (which unblocks and ends the
+        /// reader threads), and join all transport threads.
+        pub fn shutdown(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            for (_, stream) in self.writers.drain() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.threads.lock().expect("threads lock"));
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    impl Drop for UdsTransport {
+        fn drop(&mut self) {
+            self.shutdown();
+        }
+    }
+
+    fn spawn_acceptor(
+        listener: UnixListener,
+        tx: Sender<Event>,
+        stop: Arc<AtomicBool>,
+        threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    ) -> JoinHandle<()> {
+        std::thread::spawn(move || {
+            let mut next_id = 1u64;
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        let id = next_id;
+                        next_id += 1;
+                        if let Ok(write_half) = stream.try_clone() {
+                            if tx.send(Event::Connected(id, write_half)).is_err() {
+                                return;
+                            }
+                            let reader = spawn_reader(id, stream, tx.clone());
+                            threads.lock().expect("threads lock").push(reader);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+    }
+
+    fn spawn_reader(id: u64, stream: UnixStream, tx: Sender<Event>) -> JoinHandle<()> {
+        std::thread::spawn(move || {
+            let _ = stream.set_nonblocking(false);
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) if l.trim().is_empty() => continue,
+                    Ok(l) => {
+                        if tx.send(Event::Line(id, l)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(Event::Disconnected(id));
+        })
+    }
+
+    impl Transport for UdsTransport {
+        fn poll(&mut self) -> Polled {
+            loop {
+                match self.events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(Event::Connected(id, stream)) => {
+                        self.writers.insert(id, stream);
+                    }
+                    Ok(Event::Line(id, line)) => return Polled::Request { client: id, line },
+                    Ok(Event::Disconnected(id)) => {
+                        self.writers.remove(&id);
+                    }
+                    Err(RecvTimeoutError::Timeout) => return Polled::Idle,
+                    Err(RecvTimeoutError::Disconnected) => return Polled::Closed,
+                }
+            }
+        }
+
+        fn reply(&mut self, client: u64, line: &str) {
+            if let Some(stream) = self.writers.get_mut(&client) {
+                let ok = stream
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .and_then(|()| stream.flush())
+                    .is_ok();
+                if !ok {
+                    self.writers.remove(&client);
+                }
+            }
+        }
+    }
+
+    /// A one-shot scripted client session over a Unix socket: connect,
+    /// send each line, and hand every response line to `on_reply` (one
+    /// call per request, same order). The CLI `client` command and the CI
+    /// end-to-end smoke are this function.
+    pub fn uds_client_session(
+        path: &Path,
+        lines: &[String],
+        mut on_reply: impl FnMut(&str),
+    ) -> std::io::Result<()> {
+        let stream = UnixStream::connect(path)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            let mut reply = String::new();
+            if reader.read_line(&mut reply)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed before replying",
+                ));
+            }
+            on_reply(reply.trim_end_matches('\n'));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_transport_feeds_script_then_closes() {
+        let mut t = SimTransport::scripted(["a", "", "b"]);
+        assert_eq!(
+            t.poll(),
+            Polled::Request {
+                client: 0,
+                line: "a".into()
+            }
+        );
+        t.reply(0, "ra");
+        assert_eq!(
+            t.poll(),
+            Polled::Request {
+                client: 0,
+                line: "b".into()
+            }
+        );
+        t.reply(0, "rb");
+        assert_eq!(t.poll(), Polled::Closed);
+        assert_eq!(t.replies(), ["ra", "rb"]);
+    }
+}
