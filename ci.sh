@@ -155,6 +155,27 @@ echo "$SERVE_OUT" | grep -F "legitimate=true" >/dev/null \
 grep -F '"format":"selfstab-snapshot/v1"' "$PROFILE_DIR/service-snap.json" >/dev/null \
     || { echo "shutdown should flush a versioned snapshot" >&2; exit 1; }
 
+echo "==> service smoke (sharded drain: same script at --shards 4 must pin the same census)"
+# The sharded backend is state- and round-identical to the serial drain by
+# the consistency suite; this smoke pins it end to end through the CLI —
+# identical deterministic census, clean client-shutdown exit.
+SHARDED_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smm --topology cycle --n 6 --shards 4 \
+    --script "$PROFILE_DIR/service-script.jsonl")" \
+    || { echo "sharded service sim session should exit 0" >&2; exit 1; }
+echo "$SHARDED_OUT" | grep -F "drain=sharded(4)" >/dev/null \
+    || { echo "serve --shards 4 should report the sharded drain" >&2; exit 1; }
+echo "$SHARDED_OUT" | grep -F '"M":4,"A0":2,"A1":0,"PA":0,"PM":0,"PP":0,"DANGLING":0,"matched_pairs":2' >/dev/null \
+    || { echo "sharded census must match the serial drain's pinned counts" >&2; exit 1; }
+echo "$SHARDED_OUT" | grep -F "session: outcome=client-shutdown" >/dev/null \
+    || { echo "sharded service should exit via client shutdown" >&2; exit 1; }
+echo "$SHARDED_OUT" | grep -F "legitimate=true" >/dev/null \
+    || { echo "sharded service must settle legitimate before exit" >&2; exit 1; }
+
+echo "==> UDS teardown regression (pending-connection shutdown must not deadlock)"
+cargo test --release -q -p selfstab-service --test uds_teardown \
+    || { echo "UDS teardown regression suite failed" >&2; exit 1; }
+
 echo "==> service smoke (UDS backend: daemon + scripted client over a real socket)"
 SERVICE_SOCK="$PROFILE_DIR/service.sock"
 cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \

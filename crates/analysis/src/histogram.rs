@@ -77,12 +77,13 @@ impl Histogram {
     }
 
     /// Empirical cumulative distribution at `value` (fraction of samples
-    /// `<= value`); NaN when empty.
+    /// `<= value`); NaN when empty. The bound saturates, so
+    /// `cdf(usize::MAX)` is exact instead of panicking on `value + 1`.
     pub fn cdf(&self, value: usize) -> f64 {
         if self.total == 0 {
             return f64::NAN;
         }
-        let below: u64 = self.counts.iter().take(value + 1).sum();
+        let below: u64 = self.counts.iter().take(value.saturating_add(1)).sum();
         below as f64 / self.total as f64
     }
 
@@ -139,6 +140,14 @@ mod tests {
         assert_eq!(h.cdf(3), 1.0);
         assert_eq!(h.cdf(100), 1.0);
         assert!(Histogram::new().cdf(1).is_nan());
+    }
+
+    #[test]
+    fn cdf_at_usize_max_saturates_instead_of_overflowing() {
+        let h = Histogram::of([0, 1, 2, 3]);
+        assert_eq!(h.cdf(usize::MAX), 1.0);
+        assert_eq!(h.cdf(usize::MAX - 1), 1.0);
+        assert!(Histogram::new().cdf(usize::MAX).is_nan());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [--metrics] [e1 e2 … e22 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e23 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
@@ -15,7 +15,7 @@ use selfstab_bench::experiments::{
     e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample, e06_baseline,
     e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality, e13_coloring, e14_anonymous,
     e15_bfs_tree, e16_contention, e17_observability, e18_runtime_scaling, e19_active_schedule,
-    e20_chaos, e21_shard_skew, e22_service, Report,
+    e20_chaos, e21_shard_skew, e22_service, e23_sharded_service, Report,
 };
 use std::io::Write;
 
@@ -121,6 +121,11 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
             if q { 100 } else { 1_000 },
             if q { 50 } else { 200 },
         ),
+        "e23" => e23_sharded_service::run(
+            if q { 2_000 } else { 100_000 },
+            &[2, 4, 8],
+            if q { 1 } else { 2 },
+        ),
         _ => return None,
     })
 }
@@ -146,6 +151,7 @@ fn main() {
         ids.push("e20".to_string());
         ids.push("e21".to_string());
         ids.push("e22".to_string());
+        ids.push("e23".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -170,7 +176,7 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e22 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e23 or all)");
                 std::process::exit(2);
             }
         }

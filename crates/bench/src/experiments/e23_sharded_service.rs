@@ -1,0 +1,392 @@
+//! E23 (extension) — sharded vs serial re-convergence inside the resident
+//! service: per-event recovery wall-clock on *large* perturbations.
+//!
+//! PR 8 gave [`OverlayService`] a pluggable convergence backend: the same
+//! event drain can run through the serial step loop or through the sharded
+//! [`RuntimeExecutor`](selfstab_runtime::RuntimeExecutor)
+//! (`serve --shards N`), seeded with exactly the
+//! perturbed closed neighborhoods. The consistency proptests prove the two
+//! backends are state- and round-identical; this experiment measures when
+//! the sharded drain actually *pays*. Three recovery shapes span the range:
+//!
+//! * **cold start** (SMM and SMI, arbitrary random states on the unit-disk
+//!   graph): every node is perturbed and repair runs tens of rounds — the
+//!   E18-shaped workload, where per-wave setup amortizes across rounds;
+//! * **star hub churn** (SMM and SMI): the hub leaves and rejoins,
+//!   perturbing every closed neighborhood at once — maximal frontier
+//!   *width*, but repair completes in 1–2 rounds;
+//! * **local repair contrast** (unit-disk blackout for SMM, unit-disk edge
+//!   toggle for SMI): each event perturbs a bounded region — the paper's
+//!   locality means the serial loop finishes in microseconds.
+//!
+//! (The SMI-on-a-path domino from E22 is deliberately absent: an
+//! increasing-ID path bootstraps in ~n rounds, and 10⁵ barrier-paced
+//! runtime rounds measure the §7 per-round overhead — E18's column —
+//! not the event drain this experiment is about.)
+//!
+//! Every cell asserts the oracle from the ISSUE: identical per-event
+//! recovery rounds and identical final states across all backends, with
+//! zero silent fallbacks to serial.
+
+use super::e18_runtime_scaling::geometric_radius;
+use super::Report;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_analysis::Table;
+use selfstab_core::{Smi, Smm};
+use selfstab_engine::protocol::InitialState;
+use selfstab_graph::{generators, Graph, Ids, Node};
+use selfstab_service::{Backend, Mutation, OverlayProtocol, OverlayService, SimClock};
+use std::time::Instant;
+
+/// Hub leave + rejoin-with-all-leaves, repeated. Perturbs all n closed
+/// neighborhoods per event.
+fn star_churn_script(n: usize, cycles: usize) -> Vec<Mutation> {
+    let mut script = Vec::new();
+    for _ in 0..cycles {
+        script.push(Mutation::NodeLeave { v: 0 });
+        script.push(Mutation::NodeJoin {
+            v: 0,
+            attach: (1..n).collect(),
+        });
+    }
+    script
+}
+
+/// A scatter blackout: greedily pick `k` pairwise non-adjacent nodes, then
+/// crash them all and rejoin each with its original neighbor list. Pairwise
+/// non-adjacency means no rejoin ever references a still-absent node, so
+/// every mutation in the script is valid regardless of drain order.
+fn blackout_script(g: &Graph, k: usize, cycles: usize) -> Vec<Mutation> {
+    let mut chosen: Vec<Node> = Vec::new();
+    let mut blocked = vec![false; g.n()];
+    for v in g.nodes() {
+        if chosen.len() == k {
+            break;
+        }
+        if blocked[v.index()] {
+            continue;
+        }
+        chosen.push(v);
+        blocked[v.index()] = true;
+        for &w in g.neighbors(v) {
+            blocked[w.index()] = true;
+        }
+    }
+    let mut script = Vec::new();
+    for _ in 0..cycles {
+        for &v in &chosen {
+            script.push(Mutation::NodeLeave { v: v.index() });
+        }
+        for &v in &chosen {
+            script.push(Mutation::NodeJoin {
+                v: v.index(),
+                attach: g.neighbors(v).iter().map(|w| w.index()).collect(),
+            });
+        }
+    }
+    script
+}
+
+/// Toggle one fixed edge of the graph: a minimal, strictly local event
+/// (the converged structure repairs within a bounded neighborhood).
+fn edge_toggle_script(g: &Graph, cycles: usize) -> Vec<Mutation> {
+    let a = Node(0);
+    let b = g.neighbors(a)[0];
+    let (a, b) = (a.index(), b.index());
+    let mut script = Vec::new();
+    for _ in 0..cycles {
+        script.push(Mutation::EdgeDown { a, b });
+        script.push(Mutation::EdgeUp { a, b });
+    }
+    script
+}
+
+struct CellOutcome {
+    /// Per-event recovery rounds, in drain order.
+    rounds: Vec<usize>,
+    /// Final converged states.
+    states_key: String,
+    perturbed_sum: usize,
+    fallbacks: u64,
+    elapsed_ms: f64,
+}
+
+/// Drive one backend through the scripted event stream and time the drain
+/// (ingest + seeded re-convergence), excluding bootstrap.
+fn run_backend<P: OverlayProtocol>(
+    proto: &P,
+    g: &Graph,
+    script: &[Mutation],
+    backend: Backend,
+) -> CellOutcome {
+    let clock = SimClock::new();
+    let mut svc =
+        OverlayService::new(g.clone(), proto, InitialState::Default, 0).with_backend(backend);
+    svc.stabilize(&clock, &mut ());
+    assert!(svc.is_converged(), "bootstrap must converge");
+
+    let mut rounds = Vec::with_capacity(script.len());
+    let mut perturbed_sum = 0usize;
+    let start = Instant::now();
+    for mutation in script {
+        svc.enqueue(mutation.clone());
+        for r in svc.drain(&clock, &mut ()) {
+            let rec = r.expect("scripted mutations are valid");
+            assert!(rec.converged, "per-event recovery within budget");
+            rounds.push(rec.recovery_rounds);
+            perturbed_sum += rec.perturbed;
+        }
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        proto.is_legitimate(svc.graph(), svc.states()),
+        "service is legitimate after the event stream"
+    );
+    CellOutcome {
+        rounds,
+        states_key: format!("{:?}", svc.states()),
+        perturbed_sum,
+        fallbacks: svc.backend_fallbacks(),
+        elapsed_ms,
+    }
+}
+
+/// Cold-start recovery: time `stabilize()` from the same arbitrary random
+/// states on every backend. One "event" whose perturbed set is all of V and
+/// whose repair runs tens of rounds — the shape where per-wave setup can
+/// amortize.
+fn bootstrap_cell<P: OverlayProtocol>(
+    table: &mut Table,
+    proto: &P,
+    g: &Graph,
+    shard_counts: &[usize],
+) {
+    let run_boot = |backend: Backend| {
+        let clock = SimClock::new();
+        let init = InitialState::Random { seed: 0xe23 };
+        let mut svc = OverlayService::new(g.clone(), proto, init, 0).with_backend(backend);
+        let start = Instant::now();
+        let rounds = svc.stabilize(&clock, &mut ()).recovery_rounds;
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(svc.is_converged(), "cold start must converge");
+        assert_eq!(svc.backend_fallbacks(), 0, "no silent serial fallback");
+        (rounds, format!("{:?}", svc.states()), elapsed_ms)
+    };
+    let (serial_rounds, serial_states, serial_ms) = run_boot(Backend::Serial);
+    let mut sharded_ms = Vec::new();
+    for &shards in shard_counts {
+        let (rounds, states, ms) = run_boot(Backend::Sharded {
+            shards,
+            channel_cap: None,
+        });
+        assert_eq!(rounds, serial_rounds, "cold start rounds diverged");
+        assert_eq!(states, serial_states, "cold start states diverged");
+        sharded_ms.push(ms);
+    }
+    let best = sharded_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut row = vec![
+        proto.name().to_string(),
+        "cold start".to_string(),
+        format!("{}", g.n()),
+        "1".to_string(),
+        format!("{}", g.n()),
+        format!("{serial_rounds}"),
+        format!("{serial_ms:.2}"),
+    ];
+    for ms in &sharded_ms {
+        row.push(format!("{ms:.2}"));
+    }
+    row.push(format!("{:.2}x", serial_ms / best));
+    table.row_strings(row);
+}
+
+fn cell<P: OverlayProtocol>(
+    table: &mut Table,
+    proto: &P,
+    scenario: &str,
+    g: &Graph,
+    script: &[Mutation],
+    shard_counts: &[usize],
+) {
+    let events = script.len();
+    let serial = run_backend(proto, g, script, Backend::Serial);
+    let mut sharded_ms = Vec::new();
+    for &shards in shard_counts {
+        let out = run_backend(
+            proto,
+            g,
+            script,
+            Backend::Sharded {
+                shards,
+                channel_cap: None,
+            },
+        );
+        // The E23 oracle: the sharded drain is round-identical per event
+        // and lands in the identical final configuration, with no silent
+        // serial fallback hiding a runtime failure.
+        assert_eq!(
+            out.rounds, serial.rounds,
+            "{scenario}/{shards}: per-event recovery rounds diverged"
+        );
+        assert_eq!(
+            out.states_key, serial.states_key,
+            "{scenario}/{shards}: final states diverged"
+        );
+        assert_eq!(out.fallbacks, 0, "{scenario}/{shards}: fell back to serial");
+        sharded_ms.push(out.elapsed_ms);
+    }
+    let best = sharded_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut row = vec![
+        proto.name().to_string(),
+        scenario.to_string(),
+        format!("{}", g.n()),
+        format!("{events}"),
+        format!("{:.0}", serial.perturbed_sum as f64 / events as f64),
+        format!("{}", serial.rounds.iter().sum::<usize>()),
+        format!("{:.2}", serial.elapsed_ms / events as f64),
+    ];
+    for ms in &sharded_ms {
+        row.push(format!("{:.2}", ms / events as f64));
+    }
+    row.push(format!("{:.2}x", serial.elapsed_ms / best));
+    table.row_strings(row);
+}
+
+/// Run E23: serial vs sharded drain wall-clock across the three event
+/// shapes, at `n` nodes with `cycles` churn cycles per scenario.
+pub fn run(n: usize, shard_counts: &[usize], cycles: usize) -> Report {
+    let mut header = vec![
+        "protocol".to_string(),
+        "scenario".to_string(),
+        "n".to_string(),
+        "events".to_string(),
+        "mean perturbed".to_string(),
+        "rounds".to_string(),
+        "serial ms/ev".to_string(),
+    ];
+    for &s in shard_counts {
+        header.push(format!("{s}-shard ms/ev"));
+    }
+    header.push("best speedup".to_string());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let smm = Smm::paper(Ids::identity(n));
+    let smi = Smi::new(Ids::identity(n));
+
+    let disk = generators::random_geometric_connected(
+        n,
+        geometric_radius(n),
+        &mut StdRng::seed_from_u64(0xe23),
+    );
+    bootstrap_cell(&mut table, &smm, &disk, shard_counts);
+    bootstrap_cell(&mut table, &smi, &disk, shard_counts);
+
+    let star = generators::star(n);
+    let churn = star_churn_script(n, cycles);
+    cell(
+        &mut table,
+        &smm,
+        "star hub churn",
+        &star,
+        &churn,
+        shard_counts,
+    );
+    cell(
+        &mut table,
+        &smi,
+        "star hub churn",
+        &star,
+        &churn,
+        shard_counts,
+    );
+
+    let k = (n / 100).max(4);
+    cell(
+        &mut table,
+        &smm,
+        "unit-disk blackout",
+        &disk,
+        &blackout_script(&disk, k, cycles),
+        shard_counts,
+    );
+
+    cell(
+        &mut table,
+        &smi,
+        "unit-disk edge toggle",
+        &disk,
+        &edge_toggle_script(&disk, cycles),
+        shard_counts,
+    );
+
+    let body = format!(
+        "Serial vs sharded event drain inside the resident service, same seeded\n\
+         active-set semantics on both sides (the consistency suite proves them\n\
+         state- and round-identical; every cell here re-asserts per-event round\n\
+         equality and final-state equality before timing is reported). `mean\n\
+         perturbed` is the active-set seed size per event; `rounds` sums per-event\n\
+         recovery rounds (identical across backends by assertion). The honest\n\
+         reading: at 10\u{2075} nodes the serial drain wins every shape measured\n\
+         here, and the sharded column decomposes into two fixed costs the\n\
+         serial loop never pays. Per-*wave* setup (partition/state clones,\n\
+         channel allocation, scoped worker spawn \u{2014} and, on the cold-start\n\
+         rows only, the one-time partition build itself, which the churn\n\
+         scenarios pay in the untimed warm-up) dominates short repairs: star\n\
+         churn perturbs all n closed neighborhoods but Theorem 1/2 locality\n\
+         repairs it in 1\u{2013}2 rounds, far too few to amortize, and the\n\
+         microsecond-scale local events are pure overhead. Per-*round*\n\
+         barrier pacing (E18's \u{a7}7 column, ~15 ms/round at this scale)\n\
+         dominates long repairs: the serial active-set loop pays per round\n\
+         only for the frontier that is still moving, while every runtime\n\
+         round is a full cross-shard barrier \u{2014} so even SMM's 59-round\n\
+         cold start, the widest and longest shape here and the closest row\n\
+         to parity, stops short of break-even (and SMI's 11-round cold\n\
+         start has too few rounds to bury the partition build). The sizing\n\
+         guide for `selfstab serve` today is\n\
+         therefore: keep the serial default. `--shards` is\n\
+         correctness-proven capacity (identical states and rounds, by\n\
+         construction and by proptest) whose payoff needs the ROADMAP's next\n\
+         step \u{2014} a persistent worker pool with frontier-aware barriers, so\n\
+         waves stop re-paying setup and quiet shards stop re-paying the\n\
+         barrier \u{2014} or guards expensive enough that evaluation, not\n\
+         coordination, is the bill.\n\n{}",
+        table.to_markdown()
+    );
+    Report {
+        id: "E23",
+        title: "Extension: sharded vs serial re-convergence in the resident service",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e23_runs_and_asserts_backend_equivalence() {
+        let r = super::run(300, &[2, 4], 1);
+        assert!(r.body.contains("best speedup"), "{}", r.body);
+        // Cold-start and star-churn rows for both protocols, one contrast
+        // row each.
+        assert_eq!(r.body.matches("| cold start |").count(), 2, "{}", r.body);
+        assert_eq!(
+            r.body.matches("| star hub churn |").count(),
+            2,
+            "{}",
+            r.body
+        );
+        assert_eq!(
+            r.body.matches("| unit-disk blackout |").count(),
+            1,
+            "{}",
+            r.body
+        );
+        assert_eq!(
+            r.body.matches("| unit-disk edge toggle |").count(),
+            1,
+            "{}",
+            r.body
+        );
+    }
+}

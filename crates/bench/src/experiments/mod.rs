@@ -21,6 +21,7 @@ pub mod e19_active_schedule;
 pub mod e20_chaos;
 pub mod e21_shard_skew;
 pub mod e22_service;
+pub mod e23_sharded_service;
 
 /// An experiment's rendered report section.
 pub struct Report {

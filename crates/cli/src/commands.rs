@@ -93,6 +93,7 @@ USAGE:
                   (--script <file> | --socket <path>)
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--budget <rounds>] [--metrics]
+                  [--shards <K>] [--channel-cap <frames>]
                   [--snapshot-out <file>] [--profile-out <file>]
                   resident overlay-maintenance daemon: stabilizes the
                   protocol, then ingests mutation events (edge-up/down,
@@ -107,7 +108,12 @@ USAGE:
                   --snapshot-out always captures a legitimate configuration.
                   --metrics appends the per-event recovery table (rounds and
                   moves per mutation); --profile-out writes the JSONL spine
-                  with per-event records in the meta line.
+                  with per-event records in the meta line. --shards K runs
+                  each event's re-convergence drain through the sharded
+                  mailbox runtime (K worker threads, state- and
+                  round-identical to the serial drain; --channel-cap bounds
+                  each cross-shard channel) — pays off on large perturbed
+                  regions, e.g. hub departures on dense graphs.
   selfstab client --socket <path> (--script <file> | --send <line>)
                   scripted client for a --socket daemon; prints one reply
                   line per request.
@@ -140,7 +146,7 @@ pub(crate) fn build_topology(name: &str, n: usize, rng: &mut StdRng) -> Result<G
 
 /// Parse `--shards` / `--channel-cap` into `(shards, channel capacity)`;
 /// `None` means "run on the in-process executor".
-fn parse_shards(args: &Args) -> Result<Option<(usize, usize)>, String> {
+pub(crate) fn parse_shards(args: &Args) -> Result<Option<(usize, usize)>, String> {
     let Some(raw) = args.get("shards") else {
         if args.get("channel-cap").is_some() {
             return Err("--channel-cap requires --shards".into());

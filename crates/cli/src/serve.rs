@@ -10,7 +10,7 @@
 //! run the *same* `selfstab_service::serve` loop body.
 
 use crate::args::Args;
-use crate::commands::{build_ids, build_topology};
+use crate::commands::{build_ids, build_topology, parse_shards};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_core::{Smi, Smm};
@@ -19,8 +19,8 @@ use selfstab_engine::protocol::{InitialState, WireState};
 use selfstab_graph::Graph;
 use selfstab_json::{Json, ToJson};
 use selfstab_service::{
-    serve as serve_loop, OverlayProtocol, OverlayService, ServeSummary, ShutdownFlag, SimClock,
-    SimTransport,
+    serve as serve_loop, Backend, OverlayProtocol, OverlayService, ServeSummary, ShutdownFlag,
+    SimClock, SimTransport,
 };
 
 /// `selfstab serve`: run the resident service against a scripted sim
@@ -57,8 +57,19 @@ where
     let socket = args.get("socket");
     let (topology, n, m) = (args.str_or("topology", "path").to_string(), g.n(), g.m());
 
+    let backend = match parse_shards(args)? {
+        Some((shards, cap)) => Backend::Sharded {
+            shards,
+            channel_cap: Some(cap),
+        },
+        None => Backend::Serial,
+    };
+    let drain = match backend {
+        Backend::Serial => "serial".to_string(),
+        Backend::Sharded { shards, .. } => format!("sharded({shards})"),
+    };
     let mut jsonl = args.get("profile-out").map(|_| JsonlEventLog::new());
-    let mut svc = OverlayService::new(g, proto, init, budget);
+    let mut svc = OverlayService::new(g, proto, init, budget).with_backend(backend);
     let mut report = Vec::new();
 
     let summary = match (script, socket) {
@@ -68,7 +79,7 @@ where
             let clock = SimClock::new();
             let boot = svc.stabilize(&clock, &mut jsonl.as_mut());
             report.push(format!(
-                "service: protocol={} topology={topology} n={n} m={m} backend=sim",
+                "service: protocol={} topology={topology} n={n} m={m} backend=sim drain={drain}",
                 proto.name()
             ));
             report.push(format!(
@@ -88,9 +99,15 @@ where
             report.extend(transport.replies().iter().cloned());
             summary
         }
-        (None, Some(path)) => {
-            serve_socket(&mut svc, proto, path, &mut jsonl, &mut report, &topology)?
-        }
+        (None, Some(path)) => serve_socket(
+            &mut svc,
+            proto,
+            path,
+            &mut jsonl,
+            &mut report,
+            &topology,
+            &drain,
+        )?,
         _ => return Err("serve needs exactly one backend: --script FILE or --socket PATH".into()),
     };
 
@@ -131,6 +148,7 @@ where
 }
 
 #[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
 fn serve_socket<P>(
     svc: &mut OverlayService<'_, P>,
     proto: &P,
@@ -138,6 +156,7 @@ fn serve_socket<P>(
     jsonl: &mut Option<JsonlEventLog>,
     report: &mut Vec<String>,
     topology: &str,
+    drain: &str,
 ) -> Result<ServeSummary, String>
 where
     P: OverlayProtocol,
@@ -150,7 +169,7 @@ where
     let boot = svc.stabilize(&clock, &mut jsonl.as_mut());
     let (boot_rounds, boot_moves) = (boot.recovery_rounds, boot.moves);
     report.push(format!(
-        "service: protocol={} topology={topology} n={n} m={m} backend=uds socket={path}",
+        "service: protocol={} topology={topology} n={n} m={m} backend=uds socket={path} drain={drain}",
         proto.name(),
     ));
     report.push(format!(
@@ -167,12 +186,14 @@ where
         20_000,
         &mut jsonl.as_mut(),
     );
+    // shutdown() severs queued and live clients, joins the acceptor and
+    // every reader, and removes the socket file.
     transport.shutdown();
-    let _ = std::fs::remove_file(path);
     Ok(summary)
 }
 
 #[cfg(not(unix))]
+#[allow(clippy::too_many_arguments)]
 fn serve_socket<P>(
     _svc: &mut OverlayService<'_, P>,
     _proto: &P,
@@ -180,6 +201,7 @@ fn serve_socket<P>(
     _jsonl: &mut Option<JsonlEventLog>,
     _report: &mut Vec<String>,
     _topology: &str,
+    _drain: &str,
 ) -> Result<ServeSummary, String>
 where
     P: OverlayProtocol,

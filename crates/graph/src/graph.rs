@@ -197,6 +197,64 @@ impl Graph {
         }
     }
 
+    /// Remove every edge incident to `v` in one pass; returns the former
+    /// neighbors (sorted). Observably equivalent to `remove_edge(v, w)` per
+    /// neighbor, but linear in the degrees touched instead of quadratic in
+    /// `deg(v)` — the difference between O(n) and O(n²) when a hub leaves.
+    pub fn isolate(&mut self, v: Node) -> Vec<Node> {
+        assert!(v.index() < self.n(), "node out of range");
+        let dropped = std::mem::take(&mut self.adj[v.index()]);
+        for &w in &dropped {
+            let pos = self.adj[w.index()]
+                .binary_search(&v)
+                .expect("adjacency lists out of sync");
+            self.adj[w.index()].remove(pos);
+        }
+        self.m -= dropped.len();
+        dropped
+    }
+
+    /// Add edges `{v, w}` for every `w` in `ws`, skipping pairs already
+    /// linked; returns the endpoints actually attached (sorted, deduplicated).
+    /// Observably equivalent to `add_edge(v, w)` per entry, but merges `v`'s
+    /// adjacency list once instead of re-inserting into it per edge.
+    pub fn attach(&mut self, v: Node, ws: &[Node]) -> Vec<Node> {
+        assert!(v.index() < self.n(), "node out of range");
+        let mut added: Vec<Node> = Vec::with_capacity(ws.len());
+        for &w in ws {
+            assert_ne!(w, v, "self-loops are not allowed");
+            assert!(w.index() < self.n(), "node out of range");
+            if !self.has_edge(v, w) {
+                added.push(w);
+            }
+        }
+        added.sort_unstable();
+        added.dedup();
+        for &w in &added {
+            let pos = self.adj[w.index()]
+                .binary_search(&v)
+                .expect_err("adjacency lists out of sync");
+            self.adj[w.index()].insert(pos, v);
+        }
+        let old = std::mem::take(&mut self.adj[v.index()]);
+        let mut merged = Vec::with_capacity(old.len() + added.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < added.len() {
+            if old[i] < added[j] {
+                merged.push(old[i]);
+                i += 1;
+            } else {
+                merged.push(added[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&old[i..]);
+        merged.extend_from_slice(&added[j..]);
+        self.adj[v.index()] = merged;
+        self.m += added.len();
+        added
+    }
+
     /// All edges, each reported once with `a < b`, in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
@@ -313,6 +371,44 @@ mod tests {
     fn self_loop_panics() {
         let mut g = Graph::empty(2);
         g.add_edge(Node(1), Node(1));
+    }
+
+    #[test]
+    fn isolate_matches_per_edge_removal() {
+        let mut batch = Graph::from_edges(6, [(0, 1), (0, 2), (0, 4), (2, 3), (4, 5)]);
+        let mut serial = batch.clone();
+        let dropped = batch.isolate(Node(0));
+        assert_eq!(dropped, vec![Node(1), Node(2), Node(4)]);
+        for &w in &dropped {
+            assert!(serial.remove_edge(Node(0), w));
+        }
+        assert_eq!(batch, serial);
+        assert_eq!(batch.degree(Node(0)), 0);
+        assert_eq!(batch.m(), 2);
+        assert!(batch.isolate(Node(0)).is_empty(), "already isolated");
+    }
+
+    #[test]
+    fn attach_matches_per_edge_addition() {
+        let mut batch = Graph::from_edges(6, [(2, 3), (4, 5)]);
+        let mut serial = batch.clone();
+        // Duplicates and already-present edges are skipped, not errors.
+        let ws = [Node(4), Node(1), Node(2), Node(1)];
+        let added = batch.attach(Node(3), &ws);
+        assert_eq!(added, vec![Node(1), Node(4)]);
+        for &w in &ws {
+            serial.add_edge(Node(3), w);
+        }
+        assert_eq!(batch, serial);
+        assert_eq!(batch.neighbors(Node(3)), &[Node(1), Node(2), Node(4)]);
+        assert_eq!(batch.m(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn attach_self_loop_panics() {
+        let mut g = Graph::empty(3);
+        g.attach(Node(1), &[Node(0), Node(1)]);
     }
 
     #[test]

@@ -192,6 +192,22 @@ where
     channel_cap: usize,
     schedule: Schedule,
     chaos: Option<FaultPlan>,
+    active_seed: Option<Vec<Node>>,
+}
+
+/// A [`Run`] plus the dirty frontier left behind when the round limit cut
+/// the execution short — what a resident caller needs to carry recovery
+/// work across waves (see [`RuntimeExecutor::run_resident`]).
+pub struct ResidentRun<S> {
+    /// The run result, identical to [`RuntimeExecutor::run_observed`]'s.
+    pub run: Run<S>,
+    /// Nodes whose closed neighborhoods were dirtied by the last applied
+    /// round but never re-evaluated: empty when the run stabilized; under
+    /// [`Schedule::Active`] exactly the serial active-set worklist at the
+    /// cut (sorted, deduplicated); under [`Schedule::Full`] conservatively
+    /// every node. Re-seeding the next wave with this set resumes the
+    /// execution as if the limit had never fired.
+    pub frontier: Vec<Node>,
 }
 
 /// Everything a worker thread needs to run its shard.
@@ -243,6 +259,9 @@ struct WorkerOut<S> {
     rounds: usize,
     outcome: Outcome,
     journal: Vec<RoundJournal<S>>,
+    /// Owned share of the dirty frontier at a `RoundLimit` exit (empty on
+    /// stabilization).
+    frontier: Vec<Node>,
 }
 
 impl<'a, P: Protocol> RuntimeExecutor<'a, P>
@@ -256,13 +275,30 @@ where
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn new(graph: &'a Graph, proto: &'a P, shards: usize) -> Self {
+        Self::from_partition(graph, proto, Partition::coarsened(graph, shards))
+    }
+
+    /// New executor over a precomputed shard assignment, skipping the
+    /// O(n+m) coarsening run entirely — the resident paths reuse one
+    /// partition across many waves (see [`RuntimeExecutor::with_partition`]
+    /// for why that is sound under edge churn).
+    ///
+    /// # Panics
+    /// Panics if the partition was built for a different node count.
+    pub fn from_partition(graph: &'a Graph, proto: &'a P, partition: Partition) -> Self {
+        assert_eq!(
+            partition.shard_of.len(),
+            graph.n(),
+            "partition covers a different node set"
+        );
         RuntimeExecutor {
             graph,
             proto,
-            partition: Partition::coarsened(graph, shards),
+            partition,
             channel_cap: DEFAULT_CHANNEL_CAP,
             schedule: Schedule::default(),
             chaos: None,
+            active_seed: None,
         }
     }
 
@@ -281,6 +317,22 @@ where
     /// identical; only evaluations and wire traffic differ.
     pub fn with_schedule(mut self, schedule: Schedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Start the [`Schedule::Active`] worklist from `seed` instead of the
+    /// full node set.
+    ///
+    /// Soundness contract (the engine's active-schedule invariant): `seed`
+    /// must contain every node that could be privileged in the initial
+    /// configuration — e.g. the perturbed closed neighborhoods of a
+    /// previously stabilized state, or the frontier a prior round-limited
+    /// run reported (see [`ResidentRun::frontier`]). Nodes outside the
+    /// seed's closure are never evaluated, so an unsound seed can yield a
+    /// false `Stabilized`. Ignored under [`Schedule::Full`], which always
+    /// sweeps every node.
+    pub fn with_active_seed(mut self, seed: Vec<Node>) -> Self {
+        self.active_seed = Some(seed);
         self
     }
 
@@ -405,6 +457,19 @@ where
         max_rounds: usize,
         obs: &mut O,
     ) -> Result<Run<P::State>, RuntimeError> {
+        Ok(self.run_resident(init, max_rounds, obs)?.run)
+    }
+
+    /// Like [`RuntimeExecutor::run_observed`], but also report the dirty
+    /// frontier a `RoundLimit` exit left behind, so a resident caller can
+    /// seed the next wave (via [`RuntimeExecutor::with_active_seed`]) and
+    /// resume exactly where the budget cut the execution.
+    pub fn run_resident<O: Observer<P::State>>(
+        &self,
+        init: InitialState<P::State>,
+        max_rounds: usize,
+        obs: &mut O,
+    ) -> Result<ResidentRun<P::State>, RuntimeError> {
         // Beacon round tags are u32; rounds never exceed max_rounds, so
         // checking the limit once makes every later cast exact.
         if u32::try_from(max_rounds).is_err() {
@@ -442,6 +507,7 @@ where
         let journal_enabled = O::ENABLED;
         let schedule = self.schedule;
         let fault = self.chaos.as_ref();
+        let seed = self.active_seed.as_deref();
 
         let results: Vec<Result<WorkerOut<P::State>, RuntimeError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = plans
@@ -466,6 +532,7 @@ where
                                 accum,
                                 max_rounds,
                                 schedule,
+                                seed,
                                 journal_enabled,
                                 fault,
                             },
@@ -529,12 +596,23 @@ where
             replay_journals(obs, &initial, &final_states, &outcome, rounds, &outs);
         }
 
-        Ok(Run {
-            final_states,
-            rounds,
-            moves_per_rule,
-            outcome,
-            trace: None,
+        // Owned frontiers are disjoint across shards; concatenate and sort
+        // to recover the serial worklist's canonical node order.
+        let mut frontier: Vec<Node> = outs
+            .iter()
+            .flat_map(|o| o.frontier.iter().copied())
+            .collect();
+        frontier.sort_unstable();
+
+        Ok(ResidentRun {
+            run: Run {
+                final_states,
+                rounds,
+                moves_per_rule,
+                outcome,
+                trace: None,
+            },
+            frontier,
         })
     }
 }
@@ -551,6 +629,7 @@ struct ShardCtx<'scope, P: Protocol> {
     accum: &'scope [AtomicU64; 2],
     max_rounds: usize,
     schedule: Schedule,
+    seed: Option<&'scope [Node]>,
     journal_enabled: bool,
     fault: Option<&'scope FaultPlan>,
 }
@@ -635,6 +714,7 @@ where
         accum,
         max_rounds,
         schedule,
+        seed,
         journal_enabled,
         fault,
     } = ctx;
@@ -662,9 +742,23 @@ where
     // Active-mode worklists (ping-pong pair), plus a per-round moved mask
     // driving delta-beacon suppression. The sets span all n nodes: marking
     // a ghost is how a received beacon dirties its owned neighbors, and
-    // evaluation filters through `owned_mask`.
-    let mut active = (schedule == Schedule::Active)
-        .then(|| (ActiveSet::full(n), ActiveSet::empty(n), vec![false; n]));
+    // evaluation filters through `owned_mask`. Every worker starts from
+    // the same seed (full set by default), so the union of the per-worker
+    // worklists equals the serial worklist in every round.
+    let mut active = (schedule == Schedule::Active).then(|| {
+        let cur = match seed {
+            Some(seed) => {
+                let mut cur = ActiveSet::empty(n);
+                for &v in seed {
+                    cur.insert(v);
+                }
+                cur.seal();
+                cur
+            }
+            None => ActiveSet::full(n),
+        };
+        (cur, ActiveSet::empty(n), vec![false; n])
+    });
     let mut moved_list: Vec<Node> = Vec::new();
 
     let mut moves_per_rule = vec![0u64; proto.rule_names().len()];
@@ -863,6 +957,26 @@ where
         }
     };
 
+    // On a RoundLimit cut, `cur` is the worklist whose (unapplied) moves
+    // the limit vetoed — exactly what the next wave must re-evaluate. Only
+    // owned entries are reported: ghost markings reappear on their owning
+    // shard, so the union over workers is the serial worklist with no node
+    // lost or double-counted. The full schedule has no worklist; report
+    // every owned node as a conservative frontier.
+    let frontier: Vec<Node> = if outcome == Outcome::RoundLimit {
+        match active.as_ref() {
+            Some((cur, _, _)) => cur
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|v| owned_mask[v.index()])
+                .collect(),
+            None => plan.owned.clone(),
+        }
+    } else {
+        Vec::new()
+    };
+
     Ok(WorkerOut {
         shard,
         owned_final: plan
@@ -874,6 +988,7 @@ where
         rounds: round,
         outcome,
         journal,
+        frontier,
     })
 }
 

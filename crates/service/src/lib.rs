@@ -44,7 +44,7 @@ pub use daemon::{serve, ServeOutcome, ServeSummary};
 pub use env::{Clock, RealClock, ShutdownFlag, SimClock};
 pub use overlay::OverlayProtocol;
 pub use proto::{Mutation, QueryKind, Request};
-pub use service::{EventRecord, OverlayService};
+pub use service::{Backend, EventRecord, OverlayService};
 pub use snapshot::Snapshot;
 pub use transport::{Polled, SimTransport, Transport};
 

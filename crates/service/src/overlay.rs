@@ -8,12 +8,16 @@
 
 use selfstab_core::smm::types::{NodeType, TypeCensus};
 use selfstab_core::{Pointer, Smi, Smm};
-use selfstab_engine::protocol::Protocol;
+use selfstab_engine::protocol::{Protocol, WireState};
 use selfstab_graph::{Graph, Node};
 use selfstab_json::{Json, ToJson};
 
 /// A [`Protocol`] that can answer the service's query vocabulary.
-pub trait OverlayProtocol: Protocol {
+///
+/// The state must be [`WireState`]-encodable so any overlay protocol can
+/// run under the service's sharded drain backend (beacon frames cross
+/// shard boundaries); both paper protocols already are.
+pub trait OverlayProtocol: Protocol<State: WireState> {
     /// Short protocol name for status lines (`"smm"`, `"smi"`).
     fn name(&self) -> &'static str;
 

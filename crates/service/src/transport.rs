@@ -90,8 +90,8 @@ mod uds {
     use std::io::{BufRead, BufReader, Write};
     use std::net::Shutdown;
     use std::os::unix::net::{UnixListener, UnixStream};
-    use std::path::Path;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
     use std::sync::{mpsc, Arc, Mutex};
     use std::thread::JoinHandle;
@@ -106,45 +106,109 @@ mod uds {
     /// The Unix-domain-socket backend: an acceptor thread plus one reader
     /// thread per client, all funneled into a single event queue. Writes
     /// go directly to the client stream from the serve loop's thread.
+    ///
+    /// Teardown protocol (see [`UdsTransport::shutdown`]): stop flag →
+    /// join acceptor → sever queued-but-unpolled connections → sever live
+    /// writers → join every reader → remove the socket file. Each step
+    /// makes the next one finite: once the acceptor is joined no new
+    /// client can appear, and once every stream is severed every blocked
+    /// reader observes EOF.
     pub struct UdsTransport {
         events: Receiver<Event>,
         writers: HashMap<u64, UnixStream>,
         stop: Arc<AtomicBool>,
-        threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        acceptor: Option<JoinHandle<()>>,
+        readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        accept_failures: Arc<AtomicU64>,
+        path: PathBuf,
     }
 
     impl UdsTransport {
         /// Bind `path` (removing a stale socket file first) and start
-        /// accepting clients.
+        /// accepting clients. The socket file is removed again on
+        /// [`UdsTransport::shutdown`], so a clean exit leaves no stale
+        /// path on disk.
         pub fn bind(path: &Path) -> std::io::Result<UdsTransport> {
             let _ = std::fs::remove_file(path);
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             let (tx, events) = mpsc::channel();
             let stop = Arc::new(AtomicBool::new(false));
-            let threads = Arc::new(Mutex::new(Vec::new()));
-            let acceptor = spawn_acceptor(listener, tx, stop.clone(), threads.clone());
-            threads.lock().expect("threads lock").push(acceptor);
+            let readers = Arc::new(Mutex::new(Vec::new()));
+            let accept_failures = Arc::new(AtomicU64::new(0));
+            let acceptor = spawn_acceptor(
+                listener,
+                tx,
+                stop.clone(),
+                readers.clone(),
+                accept_failures.clone(),
+            );
             Ok(UdsTransport {
                 events,
                 writers: HashMap::new(),
                 stop,
-                threads,
+                acceptor: Some(acceptor),
+                readers,
+                accept_failures,
+                path: path.to_path_buf(),
             })
         }
 
+        /// Clients dropped because `try_clone` on their accepted stream
+        /// failed (each was closed outright rather than left half-open).
+        pub fn accept_failures(&self) -> u64 {
+            self.accept_failures.load(Ordering::Relaxed)
+        }
+
         /// Stop accepting, sever every client (which unblocks and ends the
-        /// reader threads), and join all transport threads.
-        pub fn shutdown(&mut self) {
+        /// reader threads), join all transport threads, and remove the
+        /// socket file. Returns the number of threads joined. Idempotent:
+        /// a second call (e.g. from `Drop`) is a no-op returning 0.
+        ///
+        /// Ordering matters:
+        /// 1. joining the acceptor *first* freezes both the event queue
+        ///    and the reader-handle list — no `Connected` event or
+        ///    `JoinHandle` can be pushed after this point, which is what
+        ///    makes steps 2 and 4 exhaustive;
+        /// 2. draining `events` severs clients whose `Connected` event the
+        ///    serve loop never polled — they are not in `writers`, and
+        ///    without this their readers would block on a live stream
+        ///    forever (the pre-fix shutdown hang);
+        /// 3. severing `writers` unblocks every reader the loop did know
+        ///    about;
+        /// 4. the handle list is drained under the lock until it stays
+        ///    empty, so a reader pushed concurrently with an earlier take
+        ///    cannot leak unjoined.
+        pub fn shutdown(&mut self) -> usize {
             self.stop.store(true, Ordering::SeqCst);
+            let mut joined = 0usize;
+            if let Some(acceptor) = self.acceptor.take() {
+                let _ = acceptor.join();
+                joined += 1;
+            }
+            for event in self.events.try_iter() {
+                if let Event::Connected(_, stream) = event {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
             for (_, stream) in self.writers.drain() {
                 let _ = stream.shutdown(Shutdown::Both);
             }
-            let handles: Vec<JoinHandle<()>> =
-                std::mem::take(&mut *self.threads.lock().expect("threads lock"));
-            for h in handles {
-                let _ = h.join();
+            loop {
+                let handles: Vec<JoinHandle<()>> =
+                    std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+                if handles.is_empty() {
+                    break;
+                }
+                for h in handles {
+                    let _ = h.join();
+                    joined += 1;
+                }
             }
+            if joined > 0 {
+                let _ = std::fs::remove_file(&self.path);
+            }
+            joined
         }
     }
 
@@ -158,7 +222,8 @@ mod uds {
         listener: UnixListener,
         tx: Sender<Event>,
         stop: Arc<AtomicBool>,
-        threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+        accept_failures: Arc<AtomicU64>,
     ) -> JoinHandle<()> {
         std::thread::spawn(move || {
             let mut next_id = 1u64;
@@ -167,12 +232,22 @@ mod uds {
                     Ok((stream, _addr)) => {
                         let id = next_id;
                         next_id += 1;
-                        if let Ok(write_half) = stream.try_clone() {
-                            if tx.send(Event::Connected(id, write_half)).is_err() {
-                                return;
+                        match stream.try_clone() {
+                            Ok(write_half) => {
+                                if tx.send(Event::Connected(id, write_half)).is_err() {
+                                    return;
+                                }
+                                let reader = spawn_reader(id, stream, tx.clone());
+                                readers.lock().expect("readers lock").push(reader);
                             }
-                            let reader = spawn_reader(id, stream, tx.clone());
-                            threads.lock().expect("threads lock").push(reader);
+                            Err(e) => {
+                                // No write half means no reply path; close
+                                // the connection outright so the peer sees
+                                // EOF instead of hanging on a dead socket.
+                                let _ = stream.shutdown(Shutdown::Both);
+                                accept_failures.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("uds: dropped client {id}: try_clone failed: {e}");
+                            }
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -180,8 +180,12 @@ mod uds {
 
         let summary = serve(&mut svc, &mut transport, &clock, &shutdown, 1_000, &mut ());
         let replies = client.join().expect("client thread");
-        transport.shutdown();
-        let _ = std::fs::remove_file(&path);
+        let joined = transport.shutdown();
+        assert!(
+            joined >= 2,
+            "acceptor + client reader joined (got {joined})"
+        );
+        assert!(!path.exists(), "shutdown removes the socket file");
 
         assert_eq!(summary.outcome, ServeOutcome::ClientShutdown);
         assert_eq!(replies.len(), 4);
