@@ -79,6 +79,37 @@ cargo run --release -p selfstab-bench --bin harness -- --quick e20 \
     | grep -F "E20 completed" >/dev/null \
     || { echo "E20 quick sweep failed" >&2; exit 1; }
 
+echo "==> adversary smoke (byz containment reported; asym links still converge)"
+# Two oscillating Byzantine nodes on C24: the run must report containment
+# on the honest subgraph — here the adversary perturbs honest ex-partners
+# at radius 1 (SMM's mutual-pointer handshake stops anything further).
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 24 --shards 4 --seed 7 --max-rounds 200 \
+    --chaos byz=3+11,strat=oscillate,until=20 \
+    | grep -F "radius: 1" >/dev/null \
+    || { echo "byz run should report containment radius 1" >&2; exit 1; }
+# Per-direction link failures at 30%: senders keep re-signaling until a
+# hash round lets the frame through, so SMI still stabilizes legitimately.
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smi \
+    --topology grid --n 100 --shards 2 --seed 3 --chaos asym=0.3 \
+    --max-rounds 400 --format json \
+    | grep -F '"legitimate": true' >/dev/null \
+    || { echo "SMI should converge under asym=0.3" >&2; exit 1; }
+# The beacon simulator shares the fate hashing (and rejects byz=).
+cargo run --release -p selfstab-cli --bin selfstab-cli -- sim --protocol smm \
+    --topology grid --n 16 --seed 9 --chaos drop=0.15,asym=0.1 \
+    | grep -F "quiesced: true" >/dev/null \
+    || { echo "sim --chaos should quiesce under fate-hashed drops" >&2; exit 1; }
+if cargo run --release -p selfstab-cli --bin selfstab-cli -- sim --protocol smm \
+    --topology grid --n 16 --chaos byz=3 >/dev/null 2>&1; then
+    echo "sim --chaos must reject byz=" >&2; exit 1
+fi
+
+echo "==> harness --quick e24 (Byzantine containment gate: SMM radius bounded, SMI wave grows)"
+cargo run --release -p selfstab-bench --bin harness -- --quick e24 \
+    | grep -F "E24 completed" >/dev/null \
+    || { echo "E24 quick sweep failed" >&2; exit 1; }
+
 echo "==> profiling + analyze smoke (record an artifact, report on it, reject a truncated one)"
 # A profiled 4-shard run on C4 records a JSONL artifact next to the Chrome
 # trace; analyze must exit 0 on it, name a straggler shard, and pass the
@@ -103,6 +134,17 @@ if cargo run --release -p selfstab-cli --bin selfstab-cli -- \
     analyze "$PROFILE_DIR/truncated.jsonl" >/dev/null 2>&1; then
     echo "analyze should reject a truncated artifact" >&2; exit 1
 fi
+# A byz-chaos recording must surface the adversary in the recovery
+# timeline: per-round byz_rewrites counts read back from the artifact.
+cargo run --release -p selfstab-cli --bin selfstab-cli -- run --protocol smm \
+    --topology cycle --n 24 --shards 4 --seed 7 --max-rounds 200 \
+    --chaos byz=3+11,strat=oscillate,until=20 \
+    --profile --profile-out "$PROFILE_DIR/byz.jsonl" >/dev/null \
+    || { echo "profiled byz run should exit 0" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/byz.jsonl" \
+    | grep -F "byz_rewrites=" >/dev/null \
+    || { echo "analyze should show byz rewrites in the recovery timeline" >&2; exit 1; }
 
 echo "==> harness --quick e21 (shard-skew profiling gate: every round must carry a profile)"
 cargo run --release -p selfstab-bench --bin harness -- --quick e21 \

@@ -21,10 +21,12 @@
 use crate::mobility::RandomWaypoint;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use selfstab_engine::adversary::AsymPlan;
 use selfstab_engine::obs::{BeaconCounters, Observer, RoundStats};
 use selfstab_engine::protocol::{InitialState, Protocol, View};
 use selfstab_engine::sync::Outcome;
 use selfstab_graph::{Graph, Node};
+use selfstab_runtime::{FaultPlan, FrameFate};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -263,6 +265,12 @@ pub struct BeaconSim<'a, P: Protocol> {
     per_node_moves: Vec<u64>,
     last_arrival: Vec<Micros>,
     collisions: u64,
+    // Seeded fault plan shared with the sharded runtime: per-delivery
+    // frame fates (drop / duplicate / delay / corrupt) and per-direction
+    // asymmetric link failures, hashed on (seed, period, src, dst) — the
+    // same fate a `run --shards --chaos` execution would draw.
+    fault: Option<FaultPlan>,
+    asym: Option<AsymPlan>,
     // Per-beacon-period counters, drained into a `RoundStats` at each
     // period boundary by `run_observed`. Kept up to date even when no
     // observer is attached (plain `u64` adds; the hook calls themselves are
@@ -322,6 +330,8 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
             per_node_moves: vec![0; n],
             last_arrival: vec![Micros::MAX; n],
             collisions: 0,
+            fault: None,
+            asym: None,
             period_moves_per_rule: vec![0; proto.rule_names().len()],
             period_changes: 0,
             period_evaluations: 0,
@@ -356,6 +366,21 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         };
         self.seq += 1;
         self.events.push(Reverse((at, self.seq, slot)));
+    }
+
+    /// Attach a seeded fault plan: the same per-frame fate hashing (and
+    /// per-direction asymmetric link failures) the sharded runtime's chaos
+    /// layer uses, keyed on the beacon period instead of the round. Widens
+    /// the neighbor timeout like `with_loss` so fate-dropped beacons read
+    /// as losses, not link failures. Byzantine rewrites are an
+    /// executor-level concept and are not interpreted here.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        if plan.drop > 0.0 || plan.corrupt > 0.0 || plan.asym > 0.0 || plan.delay_p > 0.0 {
+            self.config.timeout = self.config.timeout.max(5 * self.config.beacon_interval);
+        }
+        self.asym = plan.asym_plan();
+        self.fault = Some(plan);
+        self
     }
 
     /// Edit a link of a static topology mid-run (models an abrupt radio
@@ -438,20 +463,51 @@ impl<'a, P: Protocol> BeaconSim<'a, P> {
         // Broadcast the (possibly updated) state to everyone in range.
         let receivers = self.topology.receivers(me);
         self.beacons_sent += 1;
+        let period = (self.now / self.config.beacon_interval) as usize;
         for dst in receivers {
             if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
                 self.losses += 1;
                 self.period_losses += 1;
                 continue;
             }
-            self.schedule(
-                self.now + self.config.delay,
-                EventKind::Deliver {
-                    dst,
-                    src: me,
-                    state: self.states[me.index()].clone(),
-                },
-            );
+            // Asymmetric link failure: this direction of the radio link is
+            // down for the whole beacon period (the reverse direction draws
+            // its own fate).
+            if let Some(a) = &self.asym {
+                if !a.link_up(period, me, dst) {
+                    self.losses += 1;
+                    self.period_losses += 1;
+                    continue;
+                }
+            }
+            let mut at = self.now + self.config.delay;
+            let mut copies = 1u32;
+            if let Some(f) = &self.fault {
+                match f.fate(period, me, dst.index()) {
+                    FrameFate::Deliver => {}
+                    // A corrupted frame fails its checksum at the receiver
+                    // and is discarded — indistinguishable from a loss.
+                    FrameFate::Drop | FrameFate::Corrupt => {
+                        self.losses += 1;
+                        self.period_losses += 1;
+                        continue;
+                    }
+                    FrameFate::Delay => {
+                        at += f.delay_rounds as Micros * self.config.beacon_interval;
+                    }
+                    FrameFate::Duplicate => copies = 2,
+                }
+            }
+            for _ in 0..copies {
+                self.schedule(
+                    at,
+                    EventKind::Deliver {
+                        dst,
+                        src: me,
+                        state: self.states[me.index()].clone(),
+                    },
+                );
+            }
         }
         let jitter = if self.config.jitter == 0 {
             0i64
@@ -879,6 +935,33 @@ mod loss_tests {
         .run(8, 3_600_000 * MS);
         assert!(report.quiesced);
         assert!(report.losses > 0, "the channel must actually drop beacons");
+        let m = Smm::matched_edges(&g, &report.final_states);
+        assert!(is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn smm_stabilizes_under_chaos_fault_plan() {
+        // Seeded smoke: the runtime's fate-hashed fault plan (drops +
+        // asymmetric link failures) drives the beacon channel, and the
+        // protocol still reaches a maximal matching.
+        let g = generators::grid(4, 4);
+        let smm = Smm::paper(Ids::identity(16));
+        let cfg = BeaconConfig {
+            seed: 7,
+            ..BeaconConfig::default()
+        };
+        let plan = selfstab_runtime::FaultPlan::parse_spec("drop=0.15,asym=0.1", 0xc4a05)
+            .expect("valid chaos spec");
+        let report = BeaconSim::new(
+            &smm,
+            Topology::Static(g.clone()),
+            InitialState::Random { seed: 4 },
+            cfg,
+        )
+        .with_chaos(plan)
+        .run(8, 3_600_000 * MS);
+        assert!(report.quiesced);
+        assert!(report.losses > 0, "the fault plan must drop beacons");
         let m = Smm::matched_edges(&g, &report.final_states);
         assert!(is_maximal_matching(&g, &m));
     }

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [--metrics] [e1 e2 … e23 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e24 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
@@ -15,7 +15,7 @@ use selfstab_bench::experiments::{
     e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample, e06_baseline,
     e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality, e13_coloring, e14_anonymous,
     e15_bfs_tree, e16_contention, e17_observability, e18_runtime_scaling, e19_active_schedule,
-    e20_chaos, e21_shard_skew, e22_service, e23_sharded_service, Report,
+    e20_chaos, e21_shard_skew, e22_service, e23_sharded_service, e24_byzantine, Report,
 };
 use std::io::Write;
 
@@ -126,6 +126,12 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
             &[2, 4, 8],
             if q { 1 } else { 2 },
         ),
+        "e24" => e24_byzantine::run(
+            if q { &[400] } else { &[10_000, 100_000] },
+            if q { &[1, 4] } else { &[1, 4, 16] },
+            if q { 16 } else { 48 },
+            if q { &[8, 24] } else { &[8, 32, 128] },
+        ),
         _ => return None,
     })
 }
@@ -152,6 +158,7 @@ fn main() {
         ids.push("e21".to_string());
         ids.push("e22".to_string());
         ids.push("e23".to_string());
+        ids.push("e24".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -176,7 +183,7 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e23 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e24 or all)");
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,298 @@
+//! E24 (extension) — Byzantine containment: compromised nodes × rewrite
+//! strategy × topology, measuring how far adversarial damage reaches.
+//!
+//! Each cell stabilizes the protocol cleanly, then marks a seeded set of
+//! nodes Byzantine (`FaultPlan::with_byz`): every round the chaos layer
+//! rewrites their state into an adversarial but well-formed value while
+//! the honest nodes keep running the protocol on the sharded runtime. At
+//! the end of the attack window the final configuration is judged on the
+//! *honest* subgraph (`graph::predicates`): which honest nodes violate
+//! the protocol's predicate, and the containment radius — the maximum BFS
+//! distance from the compromised set to any perturbed honest node.
+//!
+//! The headline is the asymmetry the two predicates force: SMM's matched
+//! edge is *mutual* (i points at j and j points back), so an adversary
+//! can capture a neighbor and dangle that neighbor's former partner, but
+//! the damage stops there — radius ≈ 2 regardless of attack length. SMI's
+//! independence predicate has no such handshake: an oscillating member at
+//! the top of an ID gradient re-decides its neighbor, which re-decides the
+//! next, and the perturbation wave travels one hop per round — radius
+//! grows with the attack window (unbounded containment).
+
+use super::e18_runtime_scaling::geometric_radius;
+use super::Report;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_analysis::Table;
+use selfstab_core::smm::{Pointer, Smm};
+use selfstab_core::Smi;
+use selfstab_engine::active::Schedule;
+use selfstab_engine::adversary::ByzStrategy;
+use selfstab_engine::protocol::{InitialState, Protocol, WireState};
+use selfstab_engine::sync::SyncExecutor;
+use selfstab_graph::{generators, Graph, Ids, Node};
+use selfstab_runtime::{FaultPlan, RuntimeExecutor};
+
+const SHARDS: usize = 4;
+
+/// Containment of one adversarial run, judged on the honest subgraph.
+struct Cell {
+    perturbed: usize,
+    radius: usize,
+    honest_legitimate: bool,
+}
+
+/// Deterministic compromised set: `k` nodes spread from the high-ID end
+/// (on a path this puts one at the MIS anchor, the cascade-prone spot).
+fn byz_nodes(n: usize, k: usize) -> Vec<Node> {
+    (0..k).map(|i| Node((n - 1 - i * n / k) as u32)).collect()
+}
+
+/// Run `window` rounds from `init` under a hot Byzantine adversary and
+/// measure the containment of the configuration at the cut.
+fn attack_from<P: Protocol>(
+    g: &Graph,
+    proto: &P,
+    init: InitialState<P::State>,
+    byz: &[Node],
+    strategy: ByzStrategy,
+    seed: u64,
+    window: usize,
+) -> Cell
+where
+    P::State: WireState,
+{
+    let plan = FaultPlan::new(seed).with_byz(byz.to_vec(), strategy);
+    // No `until`: the adversary stays hot, so the run cannot stabilize and
+    // is cut at exactly `window` rounds — the configuration under attack.
+    let run = RuntimeExecutor::new(g, proto, SHARDS)
+        .with_chaos(plan)
+        .run(init, window)
+        .expect("adversarial run failed");
+    let mut mask = vec![false; g.n()];
+    for b in byz {
+        mask[b.index()] = true;
+    }
+    let c = proto
+        .containment(g, &run.final_states, &mask)
+        .expect("protocol must define containment");
+    Cell {
+        perturbed: c.perturbed.len(),
+        radius: c.radius,
+        honest_legitimate: c.honest_legitimate(),
+    }
+}
+
+/// Stabilize cleanly from a random init: the legitimate fixpoint every
+/// sweep cell attacks (computed once per graph × protocol).
+fn clean_fixpoint<P: Protocol>(g: &Graph, proto: &P) -> Vec<P::State> {
+    let clean = SyncExecutor::new(g, proto)
+        .with_schedule(Schedule::Active)
+        .run(InitialState::Random { seed: 24 }, 6 * g.n() + 16);
+    assert!(clean.stabilized(), "clean run must stabilize (n={})", g.n());
+    clean.final_states
+}
+
+fn radius_str(c: &Cell) -> String {
+    if c.radius == usize::MAX {
+        "∞".into()
+    } else {
+        format!("{}", c.radius)
+    }
+}
+
+/// Run E24: byz-count × strategy × topology sweep, then the attack-window
+/// growth probe that separates the two predicates.
+pub fn run(
+    sizes: &[usize],
+    byz_counts: &[usize],
+    window: usize,
+    probe_windows: &[usize],
+) -> Report {
+    let strategies = [
+        ByzStrategy::RandomPointer,
+        ByzStrategy::MimicNeighbor,
+        ByzStrategy::Oscillate,
+    ];
+    let mut table = Table::new(&[
+        "n",
+        "topology",
+        "byz",
+        "strategy",
+        "SMM perturbed",
+        "SMM radius",
+        "SMM honest-legit",
+        "SMI perturbed",
+        "SMI radius",
+        "SMI honest-legit",
+    ]);
+    let mut smm_radius_max = 0usize;
+    for &n in sizes {
+        let disk = generators::random_geometric_connected(
+            n,
+            geometric_radius(n),
+            &mut StdRng::seed_from_u64(0xe24),
+        );
+        let path = generators::path(n);
+        for (topology, g) in [("unit-disk", &disk), ("path", &path)] {
+            let smm = Smm::paper(Ids::identity(g.n()));
+            let smi = Smi::new(Ids::identity(g.n()));
+            let smm_clean = clean_fixpoint(g, &smm);
+            let smi_clean = clean_fixpoint(g, &smi);
+            for &k in byz_counts {
+                let byz = byz_nodes(g.n(), k);
+                for strategy in strategies {
+                    let m = attack_from(
+                        g,
+                        &smm,
+                        InitialState::Explicit(smm_clean.clone()),
+                        &byz,
+                        strategy,
+                        0xe24,
+                        window,
+                    );
+                    let i = attack_from(
+                        g,
+                        &smi,
+                        InitialState::Explicit(smi_clean.clone()),
+                        &byz,
+                        strategy,
+                        0xe24,
+                        window,
+                    );
+                    assert!(
+                        m.radius != usize::MAX,
+                        "SMM perturbation must be attributable to the byz set \
+                         ({topology}, n={n}, byz={k}, {strategy:?})"
+                    );
+                    smm_radius_max = smm_radius_max.max(m.radius);
+                    table.row_strings(vec![
+                        format!("{n}"),
+                        topology.into(),
+                        format!("{k}"),
+                        strategy.name().into(),
+                        format!("{}", m.perturbed),
+                        radius_str(&m),
+                        format!("{}", m.honest_legitimate),
+                        format!("{}", i.perturbed),
+                        radius_str(&i),
+                        format!("{}", i.honest_legitimate),
+                    ]);
+                }
+            }
+        }
+    }
+    // SMM's mutual-pointer predicate is the containment mechanism: a
+    // captured neighbor plus its dangled ex-partner is radius 2, and the
+    // handshake stops anything further. Assert the headline.
+    assert!(
+        smm_radius_max <= 3,
+        "SMM containment radius must stay local, got {smm_radius_max}"
+    );
+
+    // Attack-window growth probe: one oscillating Byzantine node at the
+    // high-ID end of a path, starting from the *strict-alternation*
+    // fixpoints — zero slack, so the wave's reach is the dynamics' reach.
+    // (A random-init fixpoint has slack patterns like `…●○○●…` that
+    // absorb SMI's wave at an instance-dependent distance.)
+    let probe_n = sizes[0];
+    let g = generators::path(probe_n);
+    let byz = vec![Node((probe_n - 1) as u32)];
+    // SMI: member iff same parity as the top node — a maximal independent
+    // set. SMM: mutual pairs from the top (n-1↔n-2, n-3↔n-4, …; node 0
+    // stays null when n is odd) — a maximal matching.
+    let mis_init: Vec<bool> = (0..probe_n)
+        .map(|i| (probe_n - 1 - i).is_multiple_of(2))
+        .collect();
+    let mut smm_init: Vec<Pointer> = vec![Pointer::NULL; probe_n];
+    let mut hi = probe_n;
+    while hi >= 2 {
+        smm_init[hi - 1] = Pointer(Some(Node((hi - 2) as u32)));
+        smm_init[hi - 2] = Pointer(Some(Node((hi - 1) as u32)));
+        hi -= 2;
+    }
+    let smm = Smm::paper(Ids::identity(probe_n));
+    let smi = Smi::new(Ids::identity(probe_n));
+    assert!(smm.is_legitimate(&g, &smm_init) && smi.is_legitimate(&g, &mis_init));
+    // Oscillate draws each parity's state independently, so for a small
+    // local state space the two can coincide (a static — and therefore
+    // no-op — adversary). Pick a plan seed whose oscillation pair
+    // actually differs for the probe node under both protocols.
+    let flaps = |seed: u64| {
+        use selfstab_engine::adversary::ByzPlan;
+        let bp = ByzPlan::new(byz.clone(), ByzStrategy::Oscillate, seed);
+        bp.state_for(&smi, &g, byz[0], 0, &mis_init) != bp.state_for(&smi, &g, byz[0], 1, &mis_init)
+            && bp.state_for(&smm, &g, byz[0], 0, &smm_init)
+                != bp.state_for(&smm, &g, byz[0], 1, &smm_init)
+    };
+    let probe_seed = (0u64..256)
+        .find(|&s| flaps(s))
+        .expect("some seed oscillates the probe node");
+    let mut probe = Table::new(&["window", "SMM radius", "SMI radius"]);
+    let mut smi_first = None;
+    let mut smi_last = 0usize;
+    for &w in probe_windows {
+        let m = attack_from(
+            &g,
+            &smm,
+            InitialState::Explicit(smm_init.clone()),
+            &byz,
+            ByzStrategy::Oscillate,
+            probe_seed,
+            w,
+        );
+        let i = attack_from(
+            &g,
+            &smi,
+            InitialState::Explicit(mis_init.clone()),
+            &byz,
+            ByzStrategy::Oscillate,
+            probe_seed,
+            w,
+        );
+        smi_first.get_or_insert(i.radius);
+        smi_last = i.radius;
+        probe.row_strings(vec![format!("{w}"), radius_str(&m), radius_str(&i)]);
+    }
+    assert!(
+        smi_last > smi_first.unwrap_or(0),
+        "SMI perturbation radius must grow with the attack window"
+    );
+
+    let body = format!(
+        "Each cell: stabilize cleanly (serial, random init), then rewrite the\n\
+         states of a seeded `byz` node set every round for {window} rounds on the\n\
+         sharded runtime ({SHARDS} shards, active schedule) and judge the cut\n\
+         configuration on the honest subgraph. `perturbed` counts honest nodes\n\
+         violating the protocol predicate restricted to honest nodes; `radius`\n\
+         is the max BFS distance from the compromised set to a perturbed node.\n\n{}\n\n\
+         SMM's containment radius stayed ≤ {smm_radius_max} in every cell: the matched-edge\n\
+         predicate is a mutual handshake, so an adversary captures at most its\n\
+         own neighbors (radius 1) and dangles their ex-partners (radius 2) —\n\
+         asserted ≤ 3 above. SMI's independence predicate has no handshake, and\n\
+         the attack-window probe (one oscillating Byzantine node at the top of\n\
+         a path's ID gradient, n={probe_n}, started from the zero-slack\n\
+         strict-alternation fixpoints) shows the difference directly:\n\n{}\n\n\
+         SMI's perturbation wave moves ≈ one hop per round — its containment\n\
+         radius is bounded only by the attack length (Masuzawa–Tixeuil-style\n\
+         unbounded contamination), while SMM's never leaves the 2-neighborhood.",
+        table.to_markdown(),
+        probe.to_markdown(),
+    );
+    Report {
+        id: "E24",
+        title: "Extension: Byzantine containment — compromised nodes, rewrite strategies, containment radius",
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e24_smm_contained_smi_not() {
+        // run() asserts SMM radius ≤ 3 in every cell and SMI radius growth
+        // on the path probe; surviving a small sweep is the test.
+        let r = super::run(&[300], &[1, 4], 16, &[8, 24]);
+        assert!(r.body.contains("SMM radius"), "{}", r.body);
+    }
+}

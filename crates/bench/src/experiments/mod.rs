@@ -22,6 +22,7 @@ pub mod e20_chaos;
 pub mod e21_shard_skew;
 pub mod e22_service;
 pub mod e23_sharded_service;
+pub mod e24_byzantine;
 
 /// An experiment's rendered report section.
 pub struct Report {

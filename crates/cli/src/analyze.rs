@@ -143,6 +143,8 @@ fn fault_events(r: &RoundData) -> Vec<String> {
             "frames_delayed",
             "frames_corrupted",
             "restarts",
+            "byz_rewrites",
+            "asym_links_down",
         ] {
             if let Some(v) = rt.get(key).and_then(Json::as_u64) {
                 if v > 0 {

@@ -32,13 +32,15 @@ USAGE:
                   [--crash-at <round>:<frac>]       (serial executors only)
                   [--schedule full|active]
                   [--shards <K> [--channel-cap <M>]]
-                  [--chaos drop=P,dup=P,delay=K,corrupt=P[,delayp=P][,until=R]]
+                  [--chaos drop=P,dup=P,delay=K,corrupt=P[,delayp=P][,until=R]
+                          [,byz=ID+ID+…[,strat=random|mimic|oscillate]][,asym=P]]
                   [--crash-shard S@R[,S@R…]]       (chaos flags require --shards)
                   [--churn-every <N> [--churn-events <K>] [--churn-epochs <E>]]
                   [--propose min-id|max-id|first|clockwise|hashed]   (smm only)
   selfstab sim    --protocol smm|smi|coloring --topology <name> --n <N>
                   [--jitter <frac>] [--loss <prob>] [--mobility <speed>]
                   [--seconds <N>] [--seed <u64>] [--metrics]
+                  [--chaos drop=P,dup=P,delay=K,corrupt=P[,delayp=P][,asym=P]]
 
   --metrics appends a per-round convergence table (for SMM: the Fig. 2
   node-type census and the matched-pair count |M|); --trace-out writes a
@@ -55,7 +57,12 @@ USAGE:
   injects a seeded fault plan at the shard channel boundary: beacon frames
   are dropped, duplicated, delayed K rounds, or bit-corrupted (detected
   and skipped by the wire layer; receivers fall back to the last cached
-  beacon). --crash-shard kills worker S entering round R and respawns it
+  beacon). byz= marks nodes Byzantine: each hot round their state is
+  rewritten into an adversarial but well-formed value (strat= picks the
+  rewrite strategy; runs with byz nodes also report honest-core
+  containment). asym= makes each link direction fail independently with
+  probability P, so a link can pass u→v while dropping v→u.
+  --crash-shard kills worker S entering round R and respawns it
   from arbitrary states. --churn-every applies connectivity-preserving
   link churn every N rounds on any executor; legitimacy is then judged on
   the final, mutated topology. All chaos is deterministic given --seed.
@@ -64,7 +71,10 @@ USAGE:
   defaulting to the --trace-out stem with a .jsonl extension, else
   selfstab-profile.jsonl. --crash-at <round>:<frac> re-randomizes a seeded
   ⌈frac·n⌉-node subset entering the given round on the serial executor —
-  the non-sharded mirror of --crash-shard.
+  the non-sharded mirror of --crash-shard. `sim --chaos` accepts the same
+  spec grammar and applies the same fate hashing to beacon deliveries per
+  beacon period (byz= is rejected there: state rewrites need the
+  round-synchronous executors).
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
   selfstab analyze <artifact.jsonl>   offline report over a --profile
                   artifact: per-phase critical path, shard skew (straggler
@@ -252,6 +262,7 @@ struct RunReport {
     shards: Option<usize>,
     chaos: Option<String>,
     churn: Option<Json>,
+    containment: Option<Json>,
 }
 
 impl ToJson for RunReport {
@@ -276,6 +287,9 @@ impl ToJson for RunReport {
         }
         if let Some(c) = &self.churn {
             fields.push(("churn".to_string(), c.clone()));
+        }
+        if let Some(c) = &self.containment {
+            fields.push(("containment".to_string(), c.clone()));
         }
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.clone()));
@@ -513,6 +527,18 @@ where
             s
         });
     let fault_recovery = metrics.as_ref().and_then(|m| m.recovery_rounds());
+    // Byzantine containment: with compromised nodes in the plan, judge the
+    // final states on the *honest* subgraph and report how far from the
+    // compromised set the damage reaches (see graph::predicates).
+    let containment = chaos.as_ref().filter(|p| !p.byz.is_empty()).and_then(|p| {
+        let mut mask = vec![false; final_graph.n()];
+        for b in &p.byz {
+            if b.index() < mask.len() {
+                mask[b.index()] = true;
+            }
+        }
+        proto.containment(final_graph, &run.final_states, &mask)
+    });
     match args.str_or("format", "text") {
         "text" => {
             let mut out = format!(
@@ -547,6 +573,18 @@ where
             if let Some(r) = fault_recovery {
                 out.push_str(&format!(
                     "\nrecovery: stabilized {r} rounds after the last injected fault"
+                ));
+            }
+            if let Some(c) = &containment {
+                let radius = if c.radius == usize::MAX {
+                    "unbounded".to_string()
+                } else {
+                    c.radius.to_string()
+                };
+                out.push_str(&format!(
+                    "\ncontainment: honest core legitimate: {}; perturbed honest nodes: {}; radius: {radius}",
+                    c.honest_legitimate(),
+                    c.perturbed.len(),
                 ));
             }
             if let Some(m) = &metrics {
@@ -607,6 +645,26 @@ where
                 shards: shards.map(|(k, _)| k),
                 chaos: chaos_note,
                 churn: churn_json,
+                containment: containment.as_ref().map(|c| {
+                    Json::Object(vec![
+                        (
+                            "honest_core_legitimate".to_string(),
+                            c.honest_legitimate().to_json(),
+                        ),
+                        (
+                            "perturbed_honest".to_string(),
+                            Json::Array(c.perturbed.iter().map(|v| v.index().to_json()).collect()),
+                        ),
+                        (
+                            "radius".to_string(),
+                            if c.radius == usize::MAX {
+                                Json::Null
+                            } else {
+                                c.radius.to_json()
+                            },
+                        ),
+                    ])
+                }),
             };
             Ok(report.to_json().to_string_pretty())
         }
@@ -720,6 +778,24 @@ pub fn sim(args: &Args) -> Result<String, String> {
     if loss > 0.0 {
         config = config.with_loss(loss);
     }
+    // Same spec grammar and fate hashing as `run --chaos`, applied per
+    // beacon period. Byzantine rewrites need the round-synchronous
+    // executors (`run --shards`) and are rejected here.
+    let chaos = match args.get("chaos") {
+        Some(s) => {
+            let plan = FaultPlan::parse_spec(s, seed ^ 0xfa17)
+                .map_err(|e| format!("flag --chaos: {e}"))?;
+            if !plan.byz.is_empty() {
+                return Err(
+                    "flag --chaos: byz= needs round-synchronous state rewrites; \
+                     use `run --shards N --chaos byz=…` instead of `sim`"
+                        .into(),
+                );
+            }
+            Some(plan)
+        }
+        None => None,
+    };
     let (topology, static_graph) = if mobility > 0.0 {
         let model = selfstab_adhoc::mobility::RandomWaypoint::new(
             n,
@@ -768,7 +844,10 @@ pub fn sim(args: &Args) -> Result<String, String> {
     macro_rules! simulate {
         ($proto:expr, $label:expr) => {{
             let proto = $proto;
-            let sim = BeaconSim::new(&proto, topology, InitialState::Default, config);
+            let mut sim = BeaconSim::new(&proto, topology, InitialState::Default, config);
+            if let Some(plan) = chaos {
+                sim = sim.with_chaos(plan);
+            }
             let mut metrics = want_metrics.then(MetricsCollector::new);
             let r = sim.run_observed(quiet, horizon, &mut metrics.as_mut());
             let check_graph = static_graph.unwrap_or_else(|| r.final_graph.clone());
@@ -1492,6 +1571,44 @@ mod tests {
         .unwrap();
         assert!(out.contains("quiesced: true"));
         assert!(out.contains("legitimate: true"));
+    }
+
+    #[test]
+    fn sim_chaos_spec_drives_beacon_losses() {
+        let out = sim(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+            "--seed",
+            "9",
+            "--chaos",
+            "drop=0.15,asym=0.1",
+        ]))
+        .unwrap();
+        assert!(out.contains("quiesced: true"), "{out}");
+        assert!(out.contains("legitimate: true"), "{out}");
+        let losses: u64 = out
+            .split("losses ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(losses > 0, "fate hashing must drop beacons: {out}");
+        let err = sim(&args(&[
+            "--protocol",
+            "smm",
+            "--topology",
+            "grid",
+            "--n",
+            "16",
+            "--chaos",
+            "byz=3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("byz="), "{err}");
     }
 
     #[test]

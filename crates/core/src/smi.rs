@@ -139,6 +139,17 @@ impl Protocol for Smi {
     fn is_legitimate(&self, graph: &Graph, states: &[bool]) -> bool {
         is_maximal_independent_set(graph, states)
     }
+
+    fn containment(
+        &self,
+        graph: &Graph,
+        states: &[bool],
+        byz: &[bool],
+    ) -> Option<selfstab_graph::predicates::Containment> {
+        Some(selfstab_graph::predicates::mis_containment(
+            graph, states, byz,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -321,6 +321,18 @@ impl Protocol for Smm {
             .nodes()
             .all(|v| is_matched[v.index()] || states[v.index()].is_null())
     }
+
+    fn containment(
+        &self,
+        graph: &Graph,
+        states: &[Pointer],
+        byz: &[bool],
+    ) -> Option<selfstab_graph::predicates::Containment> {
+        let pointers: Vec<Option<Node>> = states.iter().map(|p| p.0).collect();
+        Some(selfstab_graph::predicates::matching_containment(
+            graph, &pointers, byz,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod adversary;
 pub mod central;
 pub mod chaos;
 pub mod compose;
@@ -45,6 +46,7 @@ pub mod sync;
 pub(crate) mod testutil;
 
 pub use active::{ActiveSet, Schedule};
+pub use adversary::{AsymPlan, ByzPlan, ByzStrategy, Perception};
 pub use chaos::{ChaosRun, ChurnFeed, ChurnSchedule};
 pub use obs::{Observer, RoundStats, RuntimeCounters};
 pub use protocol::{InitialState, Move, Protocol, View, WireError, WireState};

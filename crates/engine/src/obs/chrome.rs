@@ -165,6 +165,8 @@ impl<S> Observer<S> for ChromeTraceWriter {
                             ("delayed", rt.frames_delayed.to_json()),
                             ("corrupted", rt.frames_corrupted.to_json()),
                             ("restarts", rt.restarts.to_json()),
+                            ("byz_rewrites", rt.byz_rewrites.to_json()),
+                            ("asym_links_down", rt.asym_links_down.to_json()),
                         ]),
                     ),
                 ]));

@@ -120,6 +120,8 @@ impl<S: ToJson> Observer<S> for JsonlEventLog {
                     ("frames_delayed", rt.frames_delayed.to_json()),
                     ("frames_corrupted", rt.frames_corrupted.to_json()),
                     ("restarts", rt.restarts.to_json()),
+                    ("byz_rewrites", rt.byz_rewrites.to_json()),
+                    ("asym_links_down", rt.asym_links_down.to_json()),
                 ]),
             ));
         }

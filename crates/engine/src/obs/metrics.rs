@@ -162,6 +162,13 @@ impl<S> MetricsCollector<S> {
             .rounds
             .iter()
             .any(|r| r.runtime.as_ref().is_some_and(|rt| rt.faults() > 0));
+        // Adversary columns likewise appear only when a Byzantine rewrite
+        // or a downed link direction was actually recorded.
+        let has_adv = self.rounds.iter().any(|r| {
+            r.runtime
+                .as_ref()
+                .is_some_and(|rt| rt.byz_rewrites > 0 || rt.asym_links_down > 0)
+        });
         // Skew columns only make sense with more than one lane: a serial
         // (single-lane) profile renders the legacy table unchanged.
         let has_skew = self
@@ -181,6 +188,9 @@ impl<S> MetricsCollector<S> {
         if has_chaos {
             out.push_str(" dropped | duped | delayed | corrupted | restarts |");
         }
+        if has_adv {
+            out.push_str(" byz rewrites | links down |");
+        }
         if has_skew {
             out.push_str(" max lane µs | skew | straggler | barrier share |");
         }
@@ -188,6 +198,7 @@ impl<S> MetricsCollector<S> {
         let extra = if has_beacon { 3 } else { 0 }
             + if has_runtime { 4 } else { 0 }
             + if has_chaos { 5 } else { 0 }
+            + if has_adv { 2 } else { 0 }
             + if has_skew { 4 } else { 0 };
         out.push_str(&"|---".repeat(4 + self.gauge_names.len() + extra));
         out.push_str("|\n");
@@ -234,6 +245,10 @@ impl<S> MetricsCollector<S> {
                     rt.frames_corrupted,
                     rt.restarts
                 ));
+            }
+            if has_adv {
+                let rt = r.runtime.clone().unwrap_or_default();
+                out.push_str(&format!(" {} | {} |", rt.byz_rewrites, rt.asym_links_down));
             }
             if has_skew {
                 match &r.profile {
@@ -328,6 +343,8 @@ fn runtime_json(rt: &RuntimeCounters) -> Json {
         ("frames_delayed", rt.frames_delayed.to_json()),
         ("frames_corrupted", rt.frames_corrupted.to_json()),
         ("restarts", rt.restarts.to_json()),
+        ("byz_rewrites", rt.byz_rewrites.to_json()),
+        ("asym_links_down", rt.asym_links_down.to_json()),
     ])
 }
 

@@ -96,18 +96,28 @@ pub struct RuntimeCounters {
     /// Shard workers that crashed and restarted with arbitrary rehydrated
     /// state this round (chaos injection only).
     pub restarts: u64,
+    /// Byzantine state rewrites applied this round (one per compromised
+    /// node per hot round; see `selfstab_engine::adversary::ByzPlan`).
+    pub byz_rewrites: u64,
+    /// Directed links whose inbound delivery was down this round under the
+    /// asymmetric-link model (each leaves a stale perceived state; see
+    /// `selfstab_engine::adversary::AsymPlan`).
+    pub asym_links_down: u64,
 }
 
 impl RuntimeCounters {
     /// Total chaos-injected fault events this round: dropped + duplicated +
-    /// delayed + corrupted frames plus worker restarts. Zero for every round
-    /// of a run with no chaos plan.
+    /// delayed + corrupted frames, worker restarts, Byzantine rewrites, and
+    /// downed link directions. Zero for every round of a run with no chaos
+    /// plan.
     pub fn faults(&self) -> u64 {
         self.frames_dropped
             + self.frames_duped
             + self.frames_delayed
             + self.frames_corrupted
             + self.restarts
+            + self.byz_rewrites
+            + self.asym_links_down
     }
 }
 

@@ -19,6 +19,12 @@ pub struct View<'a, S> {
     node: Node,
     neighbors: &'a [Node],
     states: &'a [S],
+    /// Perceived neighbor states, aligned with `neighbors` — present only
+    /// under the asymmetric-link fault model, where what a node last
+    /// *heard* from a neighbor can lag the neighbor's true state (see
+    /// [`crate::adversary::Perception`]). `own()` always reads the true
+    /// state: a node cannot be stale about itself.
+    overlay: Option<&'a [S]>,
 }
 
 impl<'a, S> View<'a, S> {
@@ -29,6 +35,25 @@ impl<'a, S> View<'a, S> {
             node,
             neighbors,
             states,
+            overlay: None,
+        }
+    }
+
+    /// Build a view whose neighbor reads come from `overlay` (one perceived
+    /// state per entry of `neighbors`, same order) instead of the global
+    /// vector. Used by the asymmetric-link fault model.
+    pub fn with_overlay(
+        node: Node,
+        neighbors: &'a [Node],
+        states: &'a [S],
+        overlay: &'a [S],
+    ) -> Self {
+        debug_assert_eq!(overlay.len(), neighbors.len());
+        View {
+            node,
+            neighbors,
+            states,
+            overlay: Some(overlay),
         }
     }
 
@@ -60,12 +85,22 @@ impl<'a, S> View<'a, S> {
     /// neighbor (e.g. a dangling pointer after a link failure).
     #[inline]
     pub fn neighbor_state(&self, v: Node) -> Option<&'a S> {
-        self.is_neighbor(v).then(|| &self.states[v.index()])
+        let j = self.neighbors.binary_search(&v).ok()?;
+        Some(match self.overlay {
+            Some(overlay) => &overlay[j],
+            None => &self.states[v.index()],
+        })
     }
 
     /// Iterate over `(neighbor, state)` pairs in index order.
     pub fn neighbor_states(&self) -> impl Iterator<Item = (Node, &'a S)> + '_ {
-        self.neighbors.iter().map(|&v| (v, &self.states[v.index()]))
+        self.neighbors.iter().enumerate().map(move |(j, &v)| {
+            let s = match self.overlay {
+                Some(overlay) => &overlay[j],
+                None => &self.states[v.index()],
+            };
+            (v, s)
+        })
     }
 }
 
@@ -113,6 +148,20 @@ pub trait Protocol: Sync {
     /// 13 of the paper). Default: any fixpoint is accepted.
     fn is_legitimate(&self, _graph: &Graph, _states: &[Self::State]) -> bool {
         true
+    }
+
+    /// Containment of a global state against a Byzantine node mask: which
+    /// *honest* nodes violate the protocol's target predicate restricted
+    /// to the honest subgraph, and how far the damage reaches from the
+    /// compromised set (see [`selfstab_graph::predicates::Containment`]).
+    /// Default: `None` — the protocol defines no containment semantics.
+    fn containment(
+        &self,
+        _graph: &Graph,
+        _states: &[Self::State],
+        _byz: &[bool],
+    ) -> Option<selfstab_graph::predicates::Containment> {
+        None
     }
 }
 
@@ -311,6 +360,21 @@ mod tests {
         assert_eq!(v.neighbor_state(Node(1)), None);
         let pairs: Vec<_> = v.neighbor_states().collect();
         assert_eq!(pairs, vec![(Node(0), &10), (Node(2), &30)]);
+    }
+
+    #[test]
+    fn overlay_view_reads_perceived_neighbor_states() {
+        let g = generators::path(3);
+        let states = vec![10u8, 20, 30];
+        // Node 1 perceives stale values for both neighbors.
+        let perceived = vec![11u8, 31];
+        let v = View::with_overlay(Node(1), g.neighbors(Node(1)), &states, &perceived);
+        assert_eq!(*v.own(), 20, "own state is never stale");
+        assert_eq!(v.neighbor_state(Node(0)), Some(&11));
+        assert_eq!(v.neighbor_state(Node(2)), Some(&31));
+        assert_eq!(v.neighbor_state(Node(1)), None);
+        let pairs: Vec<_> = v.neighbor_states().collect();
+        assert_eq!(pairs, vec![(Node(0), &11), (Node(2), &31)]);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! rather than merely time out).
 
 use crate::active::{ActiveSet, Schedule};
+use crate::adversary::{AsymPlan, ByzPlan, Perception};
 use crate::faults::CrashAt;
 use crate::obs::{Observer, Phase, PhaseSpans, RoundProfile, RoundStats, ShardProfile};
 use crate::protocol::{InitialState, Move, Protocol, View};
@@ -75,6 +76,8 @@ pub struct SyncExecutor<'a, P: Protocol> {
     detect_cycles: bool,
     schedule: Schedule,
     crash: Option<CrashAt>,
+    byz: Option<ByzPlan>,
+    asym: Option<AsymPlan>,
 }
 
 impl<'a, P: Protocol> SyncExecutor<'a, P> {
@@ -89,6 +92,8 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
             detect_cycles: false,
             schedule: Schedule::default(),
             crash: None,
+            byz: None,
+            asym: None,
         }
     }
 
@@ -108,6 +113,25 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
     /// against each other at 1 shard.
     pub fn with_crash(mut self, crash: CrashAt) -> Self {
         self.crash = Some(crash);
+        self
+    }
+
+    /// Attach a Byzantine adversary ([`ByzPlan`]): each hot round, after
+    /// the honest moves are applied, every compromised node's state is
+    /// overwritten with the plan's adversarial pick — exactly the sharded
+    /// runtime's semantics, so the serial ≡ runtime equivalence oracle
+    /// extends to adversarial runs.
+    pub fn with_adversary(mut self, byz: ByzPlan) -> Self {
+        self.byz = Some(byz);
+        self
+    }
+
+    /// Attach an asymmetric-link model ([`AsymPlan`]): evaluation runs on
+    /// what each node last *heard* from each neighbor (a [`Perception`]
+    /// overlay), with per-direction per-round fate hashing — again
+    /// mirroring the sharded runtime exactly.
+    pub fn with_asym(mut self, asym: AsymPlan) -> Self {
+        self.asym = Some(asym);
         self
     }
 
@@ -190,6 +214,12 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
         let n = states.len();
         let mut active =
             (self.schedule == Schedule::Active).then(|| (ActiveSet::full(n), ActiveSet::empty(n)));
+        // Perception rows for the asymmetric-link model: what each node
+        // last heard from each neighbor, seeded from the boot states.
+        let mut perception = self.asym.as_ref().map(|_| {
+            let tracked: Vec<Node> = self.graph.nodes().collect();
+            Perception::new(self.graph, &tracked, &states)
+        });
 
         let mut round = 0usize;
         loop {
@@ -198,12 +228,21 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
             // so a quiesced pre-crash configuration cannot report
             // `Stabilized` before the fault actually fires.
             let crash_pending = self.crash.as_ref().is_some_and(|c| round <= c.round);
+            // A hot Byzantine adversary rewrites states every round, and a
+            // hot asymmetric-link plan makes the round transition depend on
+            // the round number: both keep the run alive and invalidate
+            // cycle-detection history exactly like a pending crash.
+            let byz_hot = self.byz.as_ref().is_some_and(|b| b.hot(round));
+            let asym_live = self.asym.as_ref().is_some_and(|a| a.hot(round));
+            let asym_sweep = self.asym.as_ref().is_some_and(|a| a.sweep(round));
             if let Some(seen) = seen.as_mut() {
-                if crash_pending {
+                if crash_pending || byz_hot || asym_live {
                     // The crash mutates state outside the transition
                     // function: a repeat before it is a keep-alive round,
                     // not an oscillation, and history crossing the crash
                     // proves nothing. Detection restarts after it fires.
+                    // (Same argument for adversarial rewrites and
+                    // round-dependent link fates.)
                     seen.clear();
                 }
                 if let Some(&first_seen) = seen.get(&states) {
@@ -247,15 +286,53 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 }
             }
 
+            // Deliver this round's inbound beacons under the asymmetric-link
+            // model: up directions copy the sender's current state, down
+            // directions keep the last heard value.
+            if asym_live {
+                if let (Some(plan), Some(per)) = (self.asym.as_ref(), perception.as_mut()) {
+                    per.refresh(self.graph, plan, round, &states);
+                }
+            }
+
             let guard_timer = O::ENABLED.then(std::time::Instant::now);
-            let (moves, evaluated) = match active.as_ref() {
-                Some((cur, _)) => (self.privileged_moves_among(&states, cur.nodes()), cur.len()),
-                None => (self.privileged_moves(&states), n),
+            let (moves, evaluated) = if asym_live {
+                // Evaluate everyone on their *perceived* neighbor states
+                // (worklist pruning is unsound while links fail — see
+                // `AsymPlan::sweep`).
+                let per = perception.as_ref().expect("asym plan implies perception");
+                let moves = self
+                    .graph
+                    .nodes()
+                    .filter_map(|v| {
+                        let pos = per.position(v).expect("serial tracks every node");
+                        let view =
+                            View::with_overlay(v, self.graph.neighbors(v), &states, per.row(pos));
+                        self.proto.step(view).map(|m| (v, m))
+                    })
+                    .collect();
+                (moves, n)
+            } else if asym_sweep {
+                // Catch-up round after the window closes: true views, but a
+                // full sweep — perception may have just caught up, changing
+                // views without any neighbor moving.
+                (self.privileged_moves(&states), n)
+            } else {
+                match active.as_ref() {
+                    Some((cur, _)) => {
+                        (self.privileged_moves_among(&states, cur.nodes()), cur.len())
+                    }
+                    None => (self.privileged_moves(&states), n),
+                }
             };
             let guard_nanos = guard_timer
                 .map(|t| t.elapsed().as_nanos() as u64)
                 .unwrap_or(0);
-            if moves.is_empty() && !crash_pending {
+            // A lagging perception can still surface moves once the missed
+            // beacons land, and a hot adversary will keep rewriting states:
+            // neither may report stabilization yet.
+            let asym_keep = asym_live && perception.as_ref().is_some_and(|p| p.lagging());
+            if moves.is_empty() && !crash_pending && !byz_hot && !asym_keep {
                 if O::ENABLED {
                     obs.on_finish(&Outcome::Stabilized, &states);
                 }
@@ -291,6 +368,16 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                 hook_nanos += t0.elapsed().as_nanos() as u64;
             }
             let privileged = moves.len();
+            // Byzantine writes are computed from the round's *pre-apply*
+            // snapshot (the states every node evaluated on) and applied
+            // after the honest moves — "as if the node moved". The sharded
+            // runtime does exactly the same, owner-side.
+            let byz_writes = if byz_hot {
+                let plan = self.byz.as_ref().expect("byz_hot implies a plan");
+                plan.writes_for(self.proto, self.graph, round, &states)
+            } else {
+                Vec::new()
+            };
             let apply_timer = O::ENABLED.then(std::time::Instant::now);
             let mut move_hook_nanos = 0u64;
             for (v, m) in moves {
@@ -307,6 +394,21 @@ impl<'a, P: Protocol> SyncExecutor<'a, P> {
                     let t0 = std::time::Instant::now();
                     obs.on_move(v, rule, &states[v.index()]);
                     move_hook_nanos += t0.elapsed().as_nanos() as u64;
+                }
+            }
+            for (b, s) in byz_writes {
+                // A rewrite that matches the node's current state is a
+                // no-op: nothing changed, nobody's view did either. (The
+                // runtime's delta beacons would suppress it; skipping here
+                // keeps the two executors' worklists identical.)
+                if states[b.index()] == s {
+                    continue;
+                }
+                states[b.index()] = s;
+                if let Some((_, next)) = active.as_mut() {
+                    // The rewrite changes b's guards and its neighbors':
+                    // the whole closed neighborhood re-enters evaluation.
+                    next.insert_closed(self.graph, b);
                 }
             }
             if let Some((cur, next)) = active.as_mut() {

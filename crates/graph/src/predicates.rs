@@ -101,6 +101,139 @@ pub fn membership(n: usize, set: impl IntoIterator<Item = Node>) -> Vec<bool> {
     v
 }
 
+/// How far Byzantine damage spread into the honest part of the graph.
+///
+/// Built by [`matching_containment`] / [`mis_containment`]: `perturbed` is
+/// the set of *honest* nodes whose state violates the protocol's legitimacy
+/// predicate restricted to the honest subgraph, and `radius` is the largest
+/// BFS distance from the Byzantine set to any of them. A protocol
+/// *contains* the adversary when the radius stays bounded by a small
+/// constant independent of `n` — the Manne et al. argument for maximal
+/// matching's mutual-pointer predicate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Containment {
+    /// Honest nodes violating the honest-restricted legitimacy predicate,
+    /// ascending.
+    pub perturbed: Vec<Node>,
+    /// Max BFS distance from the Byzantine set to a perturbed honest node:
+    /// `0` when nothing is perturbed; [`usize::MAX`] when some perturbed
+    /// node is unreachable from every Byzantine node (damage that cannot be
+    /// attributed to the adversary — with an empty Byzantine set, any
+    /// perturbation reports this).
+    pub radius: usize,
+}
+
+impl Containment {
+    /// Whether the honest subgraph satisfies the restricted predicate.
+    pub fn honest_legitimate(&self) -> bool {
+        self.perturbed.is_empty()
+    }
+
+    fn from_perturbed(g: &Graph, byz: &[bool], perturbed: Vec<Node>) -> Containment {
+        let dist = byz_distances(g, byz);
+        let radius = perturbed.iter().map(|v| dist[v.index()]).max().unwrap_or(0);
+        Containment { perturbed, radius }
+    }
+}
+
+/// Multi-source BFS distance from the Byzantine set (`byz` indexed by
+/// node); [`usize::MAX`] for nodes unreachable from every source.
+pub fn byz_distances(g: &Graph, byz: &[bool]) -> Vec<usize> {
+    assert_eq!(byz.len(), g.n());
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    for v in g.nodes() {
+        if byz[v.index()] {
+            dist[v.index()] = 0;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[v.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Honest nodes violating the maximal-matching legitimacy predicate
+/// restricted to the honest subgraph, given the protocol's pointer states.
+///
+/// An honest `v` is perturbed when:
+/// * it points at a non-neighbor, a Byzantine node (captured by the
+///   adversary), or an honest neighbor that does not point back; or
+/// * it is null while some honest neighbor is also null (the honest
+///   matching is not maximal) or points at it (an unanswered proposal).
+pub fn matching_perturbed(g: &Graph, pointers: &[Option<Node>], byz: &[bool]) -> Vec<Node> {
+    assert_eq!(pointers.len(), g.n());
+    assert_eq!(byz.len(), g.n());
+    let mut out = Vec::new();
+    for v in g.nodes() {
+        if byz[v.index()] {
+            continue;
+        }
+        let bad = match pointers[v.index()] {
+            Some(w) => !g.has_edge(v, w) || byz[w.index()] || pointers[w.index()] != Some(v),
+            None => g.neighbors(v).iter().any(|&w| {
+                !byz[w.index()] && (pointers[w.index()].is_none() || pointers[w.index()] == Some(v))
+            }),
+        };
+        if bad {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Honest nodes violating the maximal-independent-set legitimacy predicate
+/// restricted to the honest subgraph.
+///
+/// An honest `v` is perturbed when:
+/// * it is in the set together with an honest neighbor (independence broken
+///   in the honest core); or
+/// * it is out of the set with no neighbor at all claiming membership —
+///   undominated. (A Byzantine neighbor's claimed membership counts: the
+///   honest node acted correctly on what it heard; the damage shows up when
+///   the adversary flips the claim and the neighborhood flaps.)
+pub fn mis_perturbed(g: &Graph, in_set: &[bool], byz: &[bool]) -> Vec<Node> {
+    assert_eq!(in_set.len(), g.n());
+    assert_eq!(byz.len(), g.n());
+    let mut out = Vec::new();
+    for v in g.nodes() {
+        if byz[v.index()] {
+            continue;
+        }
+        let bad = if in_set[v.index()] {
+            g.neighbors(v)
+                .iter()
+                .any(|&w| !byz[w.index()] && in_set[w.index()])
+        } else {
+            !g.neighbors(v).iter().any(|&w| in_set[w.index()])
+        };
+        if bad {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Containment measurement for a maximal-matching state vector: the
+/// honest-restricted violations of [`matching_perturbed`] plus their max
+/// BFS distance from the Byzantine set.
+pub fn matching_containment(g: &Graph, pointers: &[Option<Node>], byz: &[bool]) -> Containment {
+    Containment::from_perturbed(g, byz, matching_perturbed(g, pointers, byz))
+}
+
+/// Containment measurement for a maximal-independent-set state vector: the
+/// honest-restricted violations of [`mis_perturbed`] plus their max BFS
+/// distance from the Byzantine set.
+pub fn mis_containment(g: &Graph, in_set: &[bool], byz: &[bool]) -> Containment {
+    Containment::from_perturbed(g, byz, mis_perturbed(g, in_set, byz))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +309,79 @@ mod tests {
         let g = generators::path(4);
         let sat = saturated_nodes(&g, &[e(1, 2)]);
         assert_eq!(sat, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn byz_distances_multi_source() {
+        let g = generators::path(6); // 0-1-2-3-4-5
+        let byz = membership(6, [Node(0), Node(5)]);
+        assert_eq!(byz_distances(&g, &byz), vec![0, 1, 2, 2, 1, 0]);
+        let none = membership(6, []);
+        assert!(byz_distances(&g, &none).iter().all(|&d| d == usize::MAX));
+    }
+
+    #[test]
+    fn matching_containment_flags_captured_and_dangling() {
+        let g = generators::path(5); // 0-1-2-3-4, byz = 2
+        let byz = membership(5, [Node(2)]);
+        // 0↔1 mutually matched; 3 captured (points at byz 2); 4 null with
+        // null honest neighbor? 3 is not null, so 4 is legitimate-null.
+        let ptrs = vec![Some(Node(1)), Some(Node(0)), None, Some(Node(2)), None];
+        let c = matching_containment(&g, &ptrs, &byz);
+        assert_eq!(c.perturbed, vec![Node(3)]);
+        assert_eq!(c.radius, 1, "capture is adjacent to the adversary");
+        assert!(!c.honest_legitimate());
+        // Fully repaired honest core: 3↔4 matched.
+        let fixed = vec![
+            Some(Node(1)),
+            Some(Node(0)),
+            None,
+            Some(Node(4)),
+            Some(Node(3)),
+        ];
+        let c = matching_containment(&g, &fixed, &byz);
+        assert!(c.honest_legitimate());
+        assert_eq!(c.radius, 0);
+        // Dangling pointer far from the adversary: 4 points at 3, 3 null.
+        let dangling = vec![Some(Node(1)), Some(Node(0)), None, None, Some(Node(3))];
+        let c = matching_containment(&g, &dangling, &byz);
+        assert_eq!(c.perturbed, vec![Node(3), Node(4)], "proposal unanswered");
+        assert_eq!(c.radius, 2);
+    }
+
+    #[test]
+    fn matching_containment_null_null_is_not_maximal() {
+        let g = generators::path(4); // 0-1-2-3, no byz
+        let byz = membership(4, []);
+        let ptrs = vec![Some(Node(1)), Some(Node(0)), None, None];
+        let c = matching_containment(&g, &ptrs, &byz);
+        assert_eq!(c.perturbed, vec![Node(2), Node(3)]);
+        assert_eq!(
+            c.radius,
+            usize::MAX,
+            "no adversary to attribute the damage to"
+        );
+    }
+
+    #[test]
+    fn mis_containment_independence_and_domination() {
+        let g = generators::path(5); // 0-1-2-3-4, byz = 2
+        let byz = membership(5, [Node(2)]);
+        // Star: byz hub claims membership, honest leaves legitimately out.
+        let star = generators::star(5);
+        let hub = membership(5, [Node(0)]);
+        let in_set = vec![true, false, false, false, false];
+        let c = mis_containment(&star, &in_set, &hub);
+        assert!(c.honest_legitimate(), "byz claim dominates the leaves");
+        // Byz hub flips out of the set: every leaf loses its dominator.
+        let flipped = vec![false, false, false, false, false];
+        let c = mis_containment(&star, &flipped, &hub);
+        assert_eq!(c.perturbed.len(), 4);
+        assert_eq!(c.radius, 1);
+        // Honest-honest independence violation at distance 2.
+        let clash = vec![true, true, false, false, true];
+        let c = mis_containment(&g, &clash, &byz);
+        assert_eq!(c.perturbed, vec![Node(0), Node(1)]);
+        assert_eq!(c.radius, 2);
     }
 }

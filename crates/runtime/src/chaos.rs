@@ -28,6 +28,7 @@
 //! is still scheduled. See `DESIGN.md` §9.
 
 use selfstab_engine::active::Schedule;
+use selfstab_engine::adversary::{AsymPlan, ByzPlan, ByzStrategy};
 use selfstab_engine::chaos::{ChaosRun, ChurnSchedule};
 use selfstab_engine::obs::Observer;
 use selfstab_engine::protocol::{InitialState, Protocol, WireState};
@@ -81,6 +82,60 @@ impl CrashSpec {
     }
 }
 
+/// A rejected chaos spec: what was wrong and where.
+///
+/// [`FaultPlan::parse_spec`] is strict — duplicate keys and unknown keys are
+/// hard errors rather than last-write-wins or silently ignored, so a typo'd
+/// benchmark spec fails loudly instead of measuring the wrong adversary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string was empty.
+    Empty,
+    /// An item was not of the form `key=value`.
+    BadItem(String),
+    /// The same key appeared twice.
+    DuplicateKey(String),
+    /// The key is not one this parser knows.
+    UnknownKey(String),
+    /// The value could not be parsed for its key.
+    BadValue {
+        /// The key whose value was rejected.
+        key: String,
+        /// The offending value text.
+        value: String,
+    },
+    /// The items parsed individually but the plan is semantically invalid
+    /// (probability bands, cross-key requirements).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Empty => {
+                write!(f, "empty chaos spec (try e.g. drop=0.1,dup=0.02,delay=2)")
+            }
+            SpecError::BadItem(item) => {
+                write!(f, "bad chaos spec item '{item}' (expected key=value)")
+            }
+            SpecError::DuplicateKey(key) => {
+                write!(f, "duplicate chaos key '{key}' (each key may appear once)")
+            }
+            SpecError::UnknownKey(key) => write!(
+                f,
+                "unknown chaos key '{key}' \
+                 (expected drop|dup|delay|delayp|corrupt|until|byz|strat|asym)"
+            ),
+            SpecError::BadValue { key, value } => {
+                write!(f, "bad chaos value '{value}' for '{key}'")
+            }
+            SpecError::Invalid(reason) => write!(f, "invalid chaos spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// A deterministic, seeded description of the faults to inject into a run.
 ///
 /// Probabilities are per-frame; `drop + dup + delay_p + corrupt` must not
@@ -99,10 +154,22 @@ pub struct FaultPlan {
     /// Per-frame probability of [`FrameFate::Corrupt`].
     pub corrupt: f64,
     /// Frame chaos applies only while `round <= until`; `None` means the
-    /// whole run. (Crashes fire at their own rounds regardless.)
+    /// whole run. (Crashes fire at their own rounds regardless.) The
+    /// Byzantine and asymmetric-link adversaries share this window.
     pub until: Option<usize>,
     /// Scheduled worker crash-restarts.
     pub crashes: Vec<CrashSpec>,
+    /// Byzantine nodes (sorted, deduplicated): each hot round their states
+    /// are rewritten with [`ByzStrategy`]-chosen adversarial values, which
+    /// then ride the normal beacon machinery to every reader. See
+    /// [`selfstab_engine::adversary::ByzPlan`].
+    pub byz: Vec<Node>,
+    /// How Byzantine nodes pick their advertised states.
+    pub byz_strategy: ByzStrategy,
+    /// Per-*direction*, per-round link-down probability: a link can pass
+    /// `u → v` while dropping `v → u`. See
+    /// [`selfstab_engine::adversary::AsymPlan`].
+    pub asym: f64,
     /// Seed mixed into every per-frame fate hash and every restart RNG.
     pub seed: u64,
     /// Added to relative rounds before hashing — composition hook for
@@ -122,6 +189,9 @@ impl FaultPlan {
             corrupt: 0.0,
             until: None,
             crashes: Vec::new(),
+            byz: Vec::new(),
+            byz_strategy: ByzStrategy::RandomPointer,
+            asym: 0.0,
             seed,
             round_offset: 0,
         }
@@ -164,6 +234,53 @@ impl FaultPlan {
         self
     }
 
+    /// Mark `nodes` as Byzantine with the given state-rewriting strategy.
+    pub fn with_byz(mut self, mut nodes: Vec<Node>, strategy: ByzStrategy) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.byz = nodes;
+        self.byz_strategy = strategy;
+        self
+    }
+
+    /// Set the per-direction, per-round link-down probability.
+    pub fn with_asym(mut self, p: f64) -> Self {
+        self.asym = p;
+        self
+    }
+
+    /// The Byzantine sub-plan, on the plan's clock and window, or `None`
+    /// when no node is compromised.
+    pub fn byz_plan(&self) -> Option<ByzPlan> {
+        if self.byz.is_empty() {
+            return None;
+        }
+        let mut p = ByzPlan::new(self.byz.clone(), self.byz_strategy, self.seed)
+            .with_round_offset(self.round_offset);
+        if let Some(u) = self.until {
+            p = p.with_until(u);
+        }
+        Some(p)
+    }
+
+    /// The asymmetric-link sub-plan, on the plan's clock and window, or
+    /// `None` when `asym == 0`.
+    pub fn asym_plan(&self) -> Option<AsymPlan> {
+        if self.asym <= 0.0 {
+            return None;
+        }
+        let mut p = AsymPlan::new(self.asym, self.seed).with_round_offset(self.round_offset);
+        if let Some(u) = self.until {
+            p = p.with_until(u);
+        }
+        Some(p)
+    }
+
+    /// Whether the plan carries a Byzantine or asymmetric-link adversary.
+    pub fn has_adversary(&self) -> bool {
+        !self.byz.is_empty() || self.asym > 0.0
+    }
+
     /// Shift the plan's round clock: a driver running the plan in segments
     /// (e.g. mid-run churn, which rebuilds the executor per epoch) passes
     /// the segment's starting absolute round so hashes, `until`, and crash
@@ -175,51 +292,75 @@ impl FaultPlan {
 
     /// Parse the CLI spec `key=value[,key=value...]` with keys `drop`,
     /// `dup`, `delay` (rounds; enables delaying with probability 0.1 unless
-    /// `delayp` overrides it), `delayp`, `corrupt`, `until`.
-    pub fn parse_spec(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    /// `delayp` overrides it), `delayp`, `corrupt`, `until`,
+    /// `byz` (`+`-separated node ids, e.g. `byz=3+17+42`),
+    /// `strat` (`random|mimic|oscillate`; requires `byz`), and `asym`
+    /// (per-direction link-down probability).
+    ///
+    /// Strict: duplicate keys and unknown keys are [`SpecError`]s, never
+    /// last-write-wins or silently ignored.
+    pub fn parse_spec(spec: &str, seed: u64) -> Result<FaultPlan, SpecError> {
         let mut plan = FaultPlan::new(seed);
         let mut delay_p_explicit = false;
+        let mut strat: Option<ByzStrategy> = None;
         if spec.trim().is_empty() {
-            return Err("empty chaos spec (try e.g. drop=0.1,dup=0.02,delay=2)".into());
+            return Err(SpecError::Empty);
         }
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',') {
             let (key, value) = part
                 .split_once('=')
-                .ok_or_else(|| format!("bad chaos spec item '{part}' (expected key=value)"))?;
-            let fprob = || {
-                value
-                    .parse::<f64>()
-                    .map_err(|_| format!("bad chaos probability '{value}' for '{key}'"))
+                .ok_or_else(|| SpecError::BadItem(part.to_string()))?;
+            let key = key.trim();
+            if seen.contains(&key) {
+                return Err(SpecError::DuplicateKey(key.to_string()));
+            }
+            seen.push(key);
+            let bad = || SpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
             };
-            match key.trim() {
+            let fprob = || value.parse::<f64>().map_err(|_| bad());
+            match key {
                 "drop" => plan.drop = fprob()?,
                 "dup" => plan.dup = fprob()?,
                 "corrupt" => plan.corrupt = fprob()?,
+                "asym" => plan.asym = fprob()?,
                 "delayp" => {
                     plan.delay_p = fprob()?;
                     delay_p_explicit = true;
                 }
                 "delay" => {
-                    plan.delay_rounds = value
-                        .parse::<usize>()
-                        .map_err(|_| format!("bad chaos delay '{value}' (expected rounds)"))?;
+                    plan.delay_rounds = value.parse::<usize>().map_err(|_| bad())?;
                 }
                 "until" => {
-                    plan.until = Some(value.parse::<usize>().map_err(|_| {
-                        format!("bad chaos until '{value}' (expected a round number)")
-                    })?);
+                    plan.until = Some(value.parse::<usize>().map_err(|_| bad())?);
                 }
-                other => {
-                    return Err(format!(
-                        "unknown chaos key '{other}' (expected drop|dup|delay|delayp|corrupt|until)"
-                    ))
+                "byz" => {
+                    let mut nodes = Vec::new();
+                    for id in value.split('+') {
+                        nodes.push(Node(id.trim().parse::<u32>().map_err(|_| bad())?));
+                    }
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    plan.byz = nodes;
                 }
+                "strat" => strat = Some(ByzStrategy::parse(value.trim()).map_err(|_| bad())?),
+                other => return Err(SpecError::UnknownKey(other.to_string())),
             }
+        }
+        if let Some(s) = strat {
+            if plan.byz.is_empty() {
+                return Err(SpecError::Invalid(
+                    "strat=... requires byz=ID+ID+... (no Byzantine nodes named)".into(),
+                ));
+            }
+            plan.byz_strategy = s;
         }
         if plan.delay_rounds > 0 && !delay_p_explicit {
             plan.delay_p = 0.1;
         }
-        plan.check_probabilities()?;
+        plan.check_probabilities().map_err(SpecError::Invalid)?;
         Ok(plan)
     }
 
@@ -244,6 +385,14 @@ impl FaultPlan {
         }
         if self.delay_p > 0.0 && self.delay_rounds == 0 {
             return Err("chaos delayp > 0 requires delay=K rounds (K >= 1)".into());
+        }
+        // Per-direction, drawn independently of the frame-fate bands, so it
+        // is bounded alone rather than summed into them.
+        if !self.asym.is_finite() || !(0.0..=1.0).contains(&self.asym) {
+            return Err(format!(
+                "chaos probability asym={} is not in [0, 1]",
+                self.asym
+            ));
         }
         Ok(())
     }
@@ -443,17 +592,100 @@ mod tests {
     }
 
     #[test]
+    fn parse_spec_adversarial_keys() {
+        let p = FaultPlan::parse_spec("byz=17+3+17,strat=mimic,asym=0.2,until=30", 9)
+            .expect("valid spec");
+        assert_eq!(p.byz, vec![Node(3), Node(17)], "sorted and deduplicated");
+        assert_eq!(p.byz_strategy, ByzStrategy::MimicNeighbor);
+        assert_eq!(p.asym, 0.2);
+        assert!(p.has_adversary());
+        let byz = p.byz_plan().expect("byz sub-plan");
+        assert_eq!(byz.nodes, vec![Node(3), Node(17)]);
+        assert_eq!(byz.until, Some(30));
+        let asym = p.asym_plan().expect("asym sub-plan");
+        assert_eq!((asym.p, asym.until), (0.2, Some(30)));
+
+        let q = FaultPlan::parse_spec("byz=4", 9).expect("strategy defaults to random");
+        assert_eq!(q.byz_strategy, ByzStrategy::RandomPointer);
+        assert!(q.asym_plan().is_none(), "asym=0 means no sub-plan");
+        assert!(!FaultPlan::new(0).has_adversary());
+    }
+
+    #[test]
     fn parse_spec_rejects_malformed() {
-        assert!(FaultPlan::parse_spec("", 0).is_err());
-        assert!(FaultPlan::parse_spec("drop", 0).is_err());
-        assert!(FaultPlan::parse_spec("drop=x", 0).is_err());
-        assert!(FaultPlan::parse_spec("warp=0.1", 0).is_err());
-        assert!(FaultPlan::parse_spec("drop=1.5", 0).is_err());
-        assert!(FaultPlan::parse_spec("drop=0.6,dup=0.6", 0).is_err());
+        assert_eq!(FaultPlan::parse_spec("", 0), Err(SpecError::Empty));
+        assert_eq!(
+            FaultPlan::parse_spec("drop", 0),
+            Err(SpecError::BadItem("drop".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse_spec("drop=x", 0),
+            Err(SpecError::BadValue {
+                key: "drop".into(),
+                value: "x".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse_spec("warp=0.1", 0),
+            Err(SpecError::UnknownKey("warp".into()))
+        );
+        assert!(matches!(
+            FaultPlan::parse_spec("drop=1.5", 0),
+            Err(SpecError::Invalid(_))
+        ));
+        assert!(matches!(
+            FaultPlan::parse_spec("drop=0.6,dup=0.6", 0),
+            Err(SpecError::Invalid(_))
+        ));
         assert!(
-            FaultPlan::parse_spec("delayp=0.1", 0).is_err(),
+            matches!(
+                FaultPlan::parse_spec("delayp=0.1", 0),
+                Err(SpecError::Invalid(_))
+            ),
             "delayp without delay rounds"
         );
+    }
+
+    #[test]
+    fn parse_spec_rejects_duplicate_keys() {
+        // Last-write-wins would silently measure drop=0.3; reject instead.
+        assert_eq!(
+            FaultPlan::parse_spec("drop=0.1,drop=0.3", 0),
+            Err(SpecError::DuplicateKey("drop".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse_spec("byz=1,asym=0.1,byz=2", 0),
+            Err(SpecError::DuplicateKey("byz".into()))
+        );
+    }
+
+    #[test]
+    fn parse_spec_rejects_bad_adversarial_values() {
+        assert_eq!(
+            FaultPlan::parse_spec("byz=1+x", 0),
+            Err(SpecError::BadValue {
+                key: "byz".into(),
+                value: "1+x".into()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse_spec("byz=1,strat=chaotic", 0),
+            Err(SpecError::BadValue {
+                key: "strat".into(),
+                value: "chaotic".into()
+            })
+        );
+        assert!(
+            matches!(
+                FaultPlan::parse_spec("strat=mimic", 0),
+                Err(SpecError::Invalid(_))
+            ),
+            "strat without byz"
+        );
+        assert!(matches!(
+            FaultPlan::parse_spec("asym=1.5", 0),
+            Err(SpecError::Invalid(_))
+        ));
     }
 
     #[test]

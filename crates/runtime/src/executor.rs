@@ -63,6 +63,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_core::partition::Partition;
 use selfstab_engine::active::{ActiveSet, Schedule};
+use selfstab_engine::adversary::{AsymPlan, ByzPlan, Perception};
 use selfstab_engine::obs::{
     Observer, Phase, PhaseSpans, RoundProfile, RoundStats, RuntimeCounters, ShardProfile,
 };
@@ -238,6 +239,11 @@ struct RoundJournal<S> {
     duped: u64,
     delayed: u64,
     corrupted: u64,
+    /// Byzantine rewrites this worker's owned nodes took this round,
+    /// applied *after* `moves` (replay applies them in the same order).
+    byz: Vec<(Node, S)>,
+    /// Inbound directions the asymmetric-link model held down this round.
+    asym_down: u64,
     /// The rehydrated owned states, when this worker crash-restarted at the
     /// top of this round (replay applies them before the round's moves).
     restart: Option<Vec<(Node, S)>>,
@@ -483,6 +489,15 @@ where
             if let Some(c) = fault.crashes.iter().find(|c| c.shard >= k) {
                 return Err(RuntimeError::InvalidPlan {
                     reason: format!("crash shard {} out of range (shards = {k})", c.shard),
+                });
+            }
+            if let Some(b) = fault.byz.iter().find(|b| b.index() >= self.graph.n()) {
+                return Err(RuntimeError::InvalidPlan {
+                    reason: format!(
+                        "byzantine node {} out of range (n = {})",
+                        b.0,
+                        self.graph.n()
+                    ),
                 });
             }
         }
@@ -735,6 +750,18 @@ where
         delayed: Vec::new(),
         lagging: false,
     });
+    // Adversarial sub-plans. Hashes are keyed on node identity and the
+    // round — never on shards — so every worker takes the same decisions
+    // the serial executor would.
+    let byz: Option<ByzPlan> = fault.and_then(|f| f.byz_plan());
+    let asym: Option<AsymPlan> = fault.and_then(|f| f.asym_plan());
+    // Perceived-neighbor-state rows for this worker's owned nodes. The
+    // neighbor entries read during refresh are owned states or ghosts,
+    // which (absent frame chaos) equal the serial executor's states at
+    // every round start — so the perceived views match serially too.
+    let mut perception: Option<Perception<P::State>> = asym
+        .as_ref()
+        .map(|_| Perception::new(graph, &plan.owned, &states));
     let mut owned_mask = vec![false; n];
     for &v in &plan.owned {
         owned_mask[v.index()] = true;
@@ -834,27 +861,58 @@ where
             }
         }
 
+        let byz_hot = byz.as_ref().is_some_and(|b| b.hot(round));
+        let asym_live = asym.as_ref().is_some_and(|a| a.hot(round));
+        let asym_sweep = asym.as_ref().is_some_and(|a| a.sweep(round));
+        // Deliver this round's inbound beacons under the asymmetric-link
+        // model (after any crash rehydration, mirroring the serial order).
+        let mut asym_down = 0u64;
+        if asym_live {
+            if let (Some(a), Some(per)) = (asym.as_ref(), perception.as_mut()) {
+                asym_down = per.refresh(graph, a, round, &states);
+            }
+        }
+
         let mut evaluated = 0usize;
         let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
-        span(spans.as_mut(), Phase::Compute, || match active.as_ref() {
-            Some((cur, _, _)) => {
-                for &v in cur.nodes() {
-                    if !owned_mask[v.index()] {
-                        continue;
-                    }
-                    evaluated += 1;
-                    let view = View::new(v, graph.neighbors(v), &states);
+        span(spans.as_mut(), Phase::Compute, || {
+            if asym_live {
+                // Evaluate every owned node on its *perceived* neighbor
+                // states (worklist pruning is unsound while links fail —
+                // see `AsymPlan::sweep`).
+                let per = perception.as_ref().expect("asym plan implies perception");
+                evaluated = plan.owned.len();
+                for (pos, &v) in plan.owned.iter().enumerate() {
+                    let view = View::with_overlay(v, graph.neighbors(v), &states, per.row(pos));
                     if let Some(m) = proto.step(view) {
                         moves.push((v, m));
                     }
                 }
+                return;
             }
-            None => {
-                evaluated = plan.owned.len();
-                for &v in &plan.owned {
-                    let view = View::new(v, graph.neighbors(v), &states);
-                    if let Some(m) = proto.step(view) {
-                        moves.push((v, m));
+            match active.as_ref() {
+                // Catch-up round after the asym window closes: true views,
+                // but a full owned sweep — perception may have just caught
+                // up, changing views without any neighbor moving.
+                Some((cur, _, _)) if !asym_sweep => {
+                    for &v in cur.nodes() {
+                        if !owned_mask[v.index()] {
+                            continue;
+                        }
+                        evaluated += 1;
+                        let view = View::new(v, graph.neighbors(v), &states);
+                        if let Some(m) = proto.step(view) {
+                            moves.push((v, m));
+                        }
+                    }
+                }
+                _ => {
+                    evaluated = plan.owned.len();
+                    for &v in &plan.owned {
+                        let view = View::new(v, graph.neighbors(v), &states);
+                        if let Some(m) = proto.step(view) {
+                            moves.push((v, m));
+                        }
                     }
                 }
             }
@@ -865,10 +923,19 @@ where
         // known-stale (lost frames awaiting re-broadcast), a delayed frame
         // is still buffered, or a crash is still scheduled. Otherwise the
         // run could report `Stabilized` from views the faults made stale.
-        let signal = match (fault, chaos.as_ref()) {
-            (Some(f), Some(ch)) => ch.lagging || !ch.delayed.is_empty() || f.crash_pending(round),
-            _ => false,
-        };
+        // A hot Byzantine adversary will keep rewriting states, and a
+        // lagging perception can still surface moves once missed beacons
+        // land: both also keep the run alive (the serial executor's
+        // `byz_hot` / `asym_keep` terms in its stabilization check).
+        let asym_keep = asym_live && perception.as_ref().is_some_and(|p| p.lagging());
+        let signal = byz_hot
+            || asym_keep
+            || match (fault, chaos.as_ref()) {
+                (Some(f), Some(ch)) => {
+                    ch.lagging || !ch.delayed.is_empty() || f.crash_pending(round)
+                }
+                _ => false,
+            };
         let slot = &accum[round % 2];
         slot.fetch_add(moves.len() as u64 + u64::from(signal), Ordering::SeqCst);
         span(spans.as_mut(), Phase::BarrierWait, || barrier.wait()).map_err(|_| abort(shard))?;
@@ -887,6 +954,23 @@ where
             break Outcome::RoundLimit;
         }
 
+        // Byzantine writes for this worker's owned compromised nodes,
+        // computed from the round's *pre-apply* snapshot (the states every
+        // node evaluated on) and applied after the honest moves — "as if
+        // the node moved". Keyed on (seed, round, node) only, and a node's
+        // neighbors are owned states or ghosts equal to the serial
+        // executor's, so every shard count produces the serial writes.
+        let byz_writes: Vec<(Node, P::State)> = if byz_hot {
+            let bp = byz.as_ref().expect("byz_hot implies a plan");
+            plan.owned
+                .iter()
+                .filter(|&&v| bp.is_byz(v))
+                .map(|&b| (b, bp.state_for(proto, graph, b, round, &states)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut round_moves = journal_enabled.then(|| vec![0u64; moves_per_rule.len()]);
         let mut journal_moves = journal_enabled.then(Vec::new);
         for (v, m) in moves {
@@ -902,6 +986,35 @@ where
                 next.insert_closed(graph, v);
                 moved[v.index()] = true;
                 moved_list.push(v);
+            }
+        }
+        // A rewrite matching the node's current state is a no-op on both
+        // executors (the serial one skips it too, keeping the worklists
+        // identical); only state-changing rewrites apply and journal.
+        let mut byz_applied: Vec<(Node, P::State)> = Vec::new();
+        for (b, s) in byz_writes {
+            if states[b.index()] == s {
+                continue;
+            }
+            // The rewrite changes b's guards and its neighbors': the whole
+            // closed neighborhood re-enters evaluation. Receivers dirty on
+            // beacon arrival, so invalidate b's acked entries to force the
+            // beacon out — the value alone can't drive the send, because a
+            // rewrite may land back on the value the receivers' ghosts
+            // already hold (honest move reverted within the same round).
+            states[b.index()] = s.clone();
+            if let Some((_, next, _)) = active.as_mut() {
+                next.insert_closed(graph, b);
+            }
+            if let Some(ch) = chaos.as_mut() {
+                for (si, (_, nodes)) in plan.sends.iter().enumerate() {
+                    if let Ok(j) = nodes.binary_search(&b) {
+                        ch.acked[si][j] = None;
+                    }
+                }
+            }
+            if journal_enabled {
+                byz_applied.push((b, s));
             }
         }
         round += 1;
@@ -949,6 +1062,8 @@ where
                 duped: xch.duped,
                 delayed: xch.delayed,
                 corrupted: xch.corrupted,
+                byz: byz_applied,
+                asym_down,
                 restart: pending_restart,
                 spans: spans.unwrap_or_default(),
                 inbox_max_depth: xch.inbox_max_depth,
@@ -1324,6 +1439,13 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             states[v.index()] = next.clone();
             obs.on_move(v, rule, &states[v.index()]);
         }
+        // Byzantine rewrites land after the honest moves (the workers'
+        // apply order); they are not moves, so no on_move hook fires.
+        for out in outs {
+            for (b, s) in &out.journal[r].byz {
+                states[b.index()] = s.clone();
+            }
+        }
         let mut moves_per_rule = vec![0u64; n_rules];
         let mut evaluated = 0usize;
         let mut runtime = RuntimeCounters {
@@ -1350,6 +1472,8 @@ fn replay_journals<S: Clone + PartialEq + std::fmt::Debug, O: Observer<S>>(
             runtime.frames_delayed += j.delayed;
             runtime.frames_corrupted += j.corrupted;
             runtime.restarts += u64::from(j.restart.is_some());
+            runtime.byz_rewrites += j.byz.len() as u64;
+            runtime.asym_links_down += j.asym_down;
             duration = duration.max(j.duration_micros);
             profile.shards.push(ShardProfile {
                 shard: out.shard,

@@ -23,6 +23,7 @@ use selfstab::core::hsu_huang::HsuHuang;
 use selfstab::core::smm::Smm;
 use selfstab::core::Smi;
 use selfstab::engine::active::Schedule;
+use selfstab::engine::adversary::ByzStrategy;
 use selfstab::engine::faults::CrashAt;
 use selfstab::engine::obs::{
     ChromeTraceWriter, JsonlEventLog, MetricsCollector, Observer, RoundStats,
@@ -335,6 +336,214 @@ proptest! {
                     shards
                 );
             }
+        }
+    }
+}
+
+/// Adversarial cross-check: serial (both schedules) vs the runtime at every
+/// shard count, under the same derived Byzantine/asym sub-plans, comparing
+/// rounds, outcome, per-rule moves, final states, per-round states, and
+/// evaluation counts.
+fn check_adversarial<P: Protocol>(
+    g: &Graph,
+    proto: &P,
+    fault: &FaultPlan,
+    init: InitialState<P::State>,
+    max_rounds: usize,
+) -> TestCaseResult
+where
+    P::State: WireState,
+{
+    let serial = |schedule| {
+        let mut exec = SyncExecutor::new(g, proto).with_schedule(schedule);
+        if let Some(b) = fault.byz_plan() {
+            exec = exec.with_adversary(b);
+        }
+        if let Some(a) = fault.asym_plan() {
+            exec = exec.with_asym(a);
+        }
+        let mut trace = Trace::new();
+        let run = exec.run_observed(init.clone(), max_rounds, &mut trace);
+        (run, trace)
+    };
+    let (reference, full_trace) = serial(Schedule::Full);
+    let (active, active_trace) = serial(Schedule::Active);
+    assert_same_run("adversarial serial active vs full", &reference, &active)?;
+    prop_assert_eq!(
+        &full_trace.states,
+        &active_trace.states,
+        "adversarial serial per-round states"
+    );
+
+    for shards in SHARD_COUNTS {
+        for schedule in [Schedule::Full, Schedule::Active] {
+            let mut rt_trace = Trace::new();
+            let rt = RuntimeExecutor::new(g, proto, shards)
+                .with_schedule(schedule)
+                .with_chaos(fault.clone())
+                .run_observed(init.clone(), max_rounds, &mut rt_trace)
+                .expect("adversarial sharded run failed");
+            let label = format!("adversarial runtime {schedule} shards={shards}");
+            assert_same_run(&label, &reference, &rt)?;
+            prop_assert_eq!(&full_trace.states, &rt_trace.states, "states: {}", &label);
+            let serial_eval = match schedule {
+                Schedule::Full => &full_trace.evaluated,
+                Schedule::Active => &active_trace.evaluated,
+            };
+            prop_assert_eq!(&rt_trace.evaluated, serial_eval, "evaluated: {}", &label);
+        }
+    }
+    Ok(())
+}
+
+/// Tentpole acceptance: serial ≡ runtime at 1/2/4/8 shards under a live
+/// Byzantine plan, for every strategy, on SMM and SMI. The adversary runs
+/// hot through `until` and the honest protocol must then recover — the run
+/// crosses both phases, so the equality covers rewrite rounds, the frozen
+/// adversary, and the recovery tail.
+#[test]
+fn byzantine_adversary_serial_matches_runtime() {
+    let g = generators::erdos_renyi_connected(26, 0.25, &mut StdRng::seed_from_u64(2409));
+    let byz_nodes = vec![selfstab::graph::Node(3), selfstab::graph::Node(17)];
+    let max_rounds = 6 * g.n() + 8;
+    for strat in [
+        ByzStrategy::RandomPointer,
+        ByzStrategy::MimicNeighbor,
+        ByzStrategy::Oscillate,
+    ] {
+        let fault = FaultPlan::new(911)
+            .with_byz(byz_nodes.clone(), strat)
+            .with_until(12);
+        let smm = Smm::paper(Ids::identity(g.n()));
+        check_adversarial(
+            &g,
+            &smm,
+            &fault,
+            InitialState::Random { seed: 4 },
+            max_rounds,
+        )
+        .unwrap_or_else(|e| panic!("smm byz {}: {e}", strat.name()));
+        let smi = Smi::new(Ids::identity(g.n()));
+        check_adversarial(
+            &g,
+            &smi,
+            &fault,
+            InitialState::Random { seed: 4 },
+            max_rounds,
+        )
+        .unwrap_or_else(|e| panic!("smi byz {}: {e}", strat.name()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole acceptance (proptest form): random graph, random Byzantine
+    /// set, random strategy and window — serial ≡ runtime at every shard
+    /// count.
+    #[test]
+    fn byzantine_plans_preserve_equivalence(
+        n in 6usize..28,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+        byz_a in 0usize..28,
+        byz_b in 0usize..28,
+        strat_ix in 0usize..3,
+        until in 4usize..16,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        let strat = [
+            ByzStrategy::RandomPointer,
+            ByzStrategy::MimicNeighbor,
+            ByzStrategy::Oscillate,
+        ][strat_ix];
+        let nodes = vec![
+            selfstab::graph::Node((byz_a % n) as u32),
+            selfstab::graph::Node((byz_b % n) as u32),
+        ];
+        let fault = FaultPlan::new(state_seed ^ 0xb12a)
+            .with_byz(nodes, strat)
+            .with_until(until);
+        let max_rounds = 6 * g.n() + 8;
+        check_adversarial(
+            &g,
+            &Smm::paper(Ids::identity(g.n())),
+            &fault,
+            InitialState::Random { seed: state_seed },
+            max_rounds,
+        )?;
+    }
+
+    /// Asymmetric links: per-direction fate hashing is shard-agnostic, so
+    /// serial ≡ runtime holds for lossy windows too.
+    #[test]
+    fn asym_plans_preserve_equivalence(
+        n in 6usize..28,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+        p_tenths in 1u32..9,
+        until in 4usize..16,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        let fault = FaultPlan::new(state_seed ^ 0xa5e7)
+            .with_asym(f64::from(p_tenths) / 10.0)
+            .with_until(until);
+        let max_rounds = 6 * g.n() + 8;
+        check_adversarial(
+            &g,
+            &Smm::paper(Ids::identity(g.n())),
+            &fault,
+            InitialState::Random { seed: state_seed },
+            max_rounds,
+        )?;
+        check_adversarial(
+            &g,
+            &Smi::new(Ids::identity(g.n())),
+            &fault,
+            InitialState::Random { seed: state_seed },
+            max_rounds,
+        )?;
+    }
+
+    /// Satellite: `asym=0` and an empty Byzantine set must leave the
+    /// byte-identity of the clean equivalence suite intact — a no-op plan
+    /// reproduces the plan-free run exactly, per-round states included.
+    #[test]
+    fn noop_adversarial_plan_is_byte_identical(
+        n in 4usize..32,
+        graph_seed in 0u64..1_000_000,
+        state_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::erdos_renyi_connected(n, 0.25, &mut StdRng::seed_from_u64(graph_seed));
+        let smm = Smm::paper(Ids::identity(g.n()));
+        let max_rounds = 4 * g.n() + 8;
+        let init = InitialState::Random { seed: state_seed };
+        let fault = FaultPlan::new(1234)
+            .with_byz(Vec::new(), ByzStrategy::RandomPointer)
+            .with_asym(0.0);
+        prop_assert!(!fault.has_adversary());
+        prop_assert!(fault.byz_plan().is_none());
+        prop_assert!(fault.asym_plan().is_none());
+
+        let mut clean_trace = Trace::new();
+        let clean = SyncExecutor::new(&g, &smm)
+            .run_observed(init.clone(), max_rounds, &mut clean_trace);
+        for shards in SHARD_COUNTS {
+            let mut rt_trace = Trace::new();
+            let rt = RuntimeExecutor::new(&g, &smm, shards)
+                .with_chaos(fault.clone())
+                .run_observed(init.clone(), max_rounds, &mut rt_trace)
+                .expect("noop-plan run failed");
+            prop_assert_eq!(clean.rounds, rt.rounds, "rounds: shards={}", shards);
+            prop_assert_eq!(&clean.outcome, &rt.outcome, "outcome: shards={}", shards);
+            prop_assert_eq!(
+                &clean.final_states, &rt.final_states,
+                "final states: shards={}", shards
+            );
+            prop_assert_eq!(
+                &clean_trace.states, &rt_trace.states,
+                "per-round states: shards={}", shards
+            );
         }
     }
 }
