@@ -238,4 +238,92 @@ wait "$SERVE_PID" || { echo "service daemon should exit 0 after client shutdown"
 grep -F "session: outcome=client-shutdown" "$PROFILE_DIR/service-uds.out" >/dev/null \
     || { echo "daemon report should record the client shutdown" >&2; exit 1; }
 
+echo "==> telemetry smoke (live daemon: TCP scrape + UDS query agree; background snapshot resumes in 0 rounds)"
+TEL_SOCK="$PROFILE_DIR/telemetry.sock"
+TEL_SNAP="$PROFILE_DIR/telemetry-snap.json"
+cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smm --topology cycle --n 6 --socket "$TEL_SOCK" \
+    --telemetry-addr 127.0.0.1:0 --snapshot-every 1 --snapshot-out "$TEL_SNAP" \
+    > "$PROFILE_DIR/telemetry-daemon.out" 2>&1 &
+TEL_PID=$!
+TEL_ADDR=""
+for _ in $(seq 1 100); do
+    TEL_ADDR="$(grep -oE 'telemetry: listening on [0-9.]+:[0-9]+' \
+        "$PROFILE_DIR/telemetry-daemon.out" 2>/dev/null | awk '{print $4}')" || true
+    [ -n "$TEL_ADDR" ] && [ -S "$TEL_SOCK" ] && break
+    sleep 0.1
+done
+[ -n "$TEL_ADDR" ] || { kill "$TEL_PID" 2>/dev/null; echo "daemon never announced its telemetry address" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$TEL_SOCK" --send '{"op":"mutate","kind":"edge-down","a":0,"b":1}' >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "telemetry smoke mutation should exit 0" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$TEL_SOCK" --send '{"op":"mutate","kind":"edge-up","a":0,"b":1}' >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "telemetry smoke mutation should exit 0" >&2; exit 1; }
+SCRAPE="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- client --scrape "$TEL_ADDR")" \
+    || { kill "$TEL_PID" 2>/dev/null; echo "client --scrape should exit 0 against a live daemon" >&2; exit 1; }
+echo "$SCRAPE" | grep -F "# TYPE selfstab_events_total counter" >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "scrape must be Prometheus text exposition" >&2; exit 1; }
+echo "$SCRAPE" | grep -F "selfstab_events_total 2" >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "scrape should count the 2 applied events" >&2; exit 1; }
+if echo "$SCRAPE" | grep -F "NaN" >/dev/null; then
+    kill "$TEL_PID" 2>/dev/null; echo "exposition must never emit NaN" >&2; exit 1
+fi
+cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$TEL_SOCK" --send '{"op":"query","what":"telemetry"}' \
+    | grep -F '"events":2' >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "UDS telemetry query must agree with the scrape" >&2; exit 1; }
+cargo run --release -p selfstab-cli --bin selfstab-cli -- client \
+    --socket "$TEL_SOCK" --send '{"op":"shutdown"}' >/dev/null \
+    || { kill "$TEL_PID" 2>/dev/null; echo "telemetry smoke shutdown should exit 0" >&2; exit 1; }
+wait "$TEL_PID" || { echo "telemetry daemon should exit 0 after client shutdown" >&2; exit 1; }
+grep -F "telemetry: events=2" "$PROFILE_DIR/telemetry-daemon.out" >/dev/null \
+    || { echo "daemon report should carry the telemetry summary" >&2; exit 1; }
+# The background scheduler wrote snapshots while the daemon ran; a resumed
+# daemon must boot from the file in 0 rounds (legitimate snapshot).
+grep -F '"format":"selfstab-snapshot/v1"' "$TEL_SNAP" >/dev/null \
+    || { echo "background scheduler should write a versioned snapshot" >&2; exit 1; }
+grep -F "snapshots: written=" "$PROFILE_DIR/telemetry-daemon.out" >/dev/null \
+    || { echo "daemon report should count background snapshots" >&2; exit 1; }
+cat > "$PROFILE_DIR/resume-script.jsonl" <<'EOF'
+{"op":"query","what":"status","tag":"resumed"}
+{"op":"shutdown"}
+EOF
+RESUME_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smm --resume "$TEL_SNAP" --script "$PROFILE_DIR/resume-script.jsonl")" \
+    || { echo "serve --resume should exit 0 on the background snapshot" >&2; exit 1; }
+echo "$RESUME_OUT" | grep -F "resume: protocol=smm" >/dev/null \
+    || { echo "resumed daemon should report its snapshot provenance" >&2; exit 1; }
+echo "$RESUME_OUT" | grep -F "bootstrap: rounds=0" >/dev/null \
+    || { echo "a legitimate snapshot must reload in 0 rounds" >&2; exit 1; }
+if cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smi --resume "$TEL_SNAP" --script "$PROFILE_DIR/resume-script.jsonl" >/dev/null 2>&1; then
+    echo "resume must reject a protocol mismatch" >&2; exit 1
+fi
+
+echo "==> analyze --window smoke (service artifact: rolling tables, bound gate, exit codes)"
+cargo run --release -p selfstab-cli --bin selfstab-cli -- serve \
+    --protocol smm --topology cycle --n 6 --script "$PROFILE_DIR/service-script.jsonl" \
+    --profile-out "$PROFILE_DIR/service-profile.jsonl" >/dev/null \
+    || { echo "profiled service session should exit 0" >&2; exit 1; }
+WINDOW_OUT="$(cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/service-profile.jsonl" --window 2)" \
+    || { echo "analyze --window should exit 0 on a clean service artifact" >&2; exit 1; }
+echo "$WINDOW_OUT" | grep -F "rolling recovery latency (window 2 event(s))" >/dev/null \
+    || { echo "analyze --window should render the rolling table" >&2; exit 1; }
+echo "$WINDOW_OUT" | grep -F "PASS per-event recovery" >/dev/null \
+    || { echo "analyze should gate the per-event n+2 recovery bound" >&2; exit 1; }
+# --window 0 is a usage error (exit 2), and an artifact claiming a recovery
+# beyond n+2 must gate with exit 1.
+if cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/service-profile.jsonl" --window 0 >/dev/null 2>&1; then
+    echo "analyze --window 0 must be rejected" >&2; exit 1
+fi
+sed -E 's/"recovery_rounds":[0-9]+/"recovery_rounds":99/' \
+    "$PROFILE_DIR/service-profile.jsonl" > "$PROFILE_DIR/service-corrupt.jsonl"
+if cargo run --release -p selfstab-cli --bin selfstab-cli -- \
+    analyze "$PROFILE_DIR/service-corrupt.jsonl" >/dev/null 2>&1; then
+    echo "analyze must exit 1 when per-event recovery exceeds n+2" >&2; exit 1
+fi
+
 echo "ci.sh: all gates passed"

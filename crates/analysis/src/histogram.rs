@@ -105,6 +105,19 @@ impl Histogram {
         self.max_value()
     }
 
+    /// Fold every sample of `other` into `self`. Counts and totals add
+    /// with saturation, so merging pathological histograms degrades to a
+    /// pinned count instead of wrapping.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
     /// A compact sparkline-ish text rendering, e.g. `0:3 1:10 2:4`.
     pub fn render(&self) -> String {
         self.counts
@@ -162,6 +175,63 @@ mod tests {
         assert_eq!(Histogram::new().quantile(0.5), None);
         let single = Histogram::of([7]);
         assert_eq!(single.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn merge_folds_counts_and_totals() {
+        let mut a = Histogram::of([1, 2, 2]);
+        let b = Histogram::of([2, 5]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.count(2), 3);
+        assert_eq!(a.count(5), 1);
+        assert_eq!(a.max_value(), Some(5));
+        // Merging an empty histogram is a no-op; merging into an empty
+        // histogram is a copy.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&b);
+        assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = Histogram::new();
+        for _ in 0..3 {
+            a.add(0);
+        }
+        let mut near_max = Histogram::new();
+        near_max.add(0);
+        // Repeated self-merge doubling overflows u64 at the 64th merge;
+        // saturation pins the count instead of wrapping, and further
+        // merges keep it pinned.
+        for _ in 0..64 {
+            let snapshot = near_max.clone();
+            near_max.merge(&snapshot);
+        }
+        near_max.merge(&a);
+        assert_eq!(near_max.count(0), u64::MAX);
+        assert_eq!(near_max.total(), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is None, even out-of-range qs.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.quantile(1.0), None);
+        assert_eq!(empty.quantile(f64::NAN), None);
+        // Single-bucket histogram: every quantile is that bucket.
+        let single = Histogram::of([4, 4, 4]);
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(single.quantile(q), Some(4), "q={q}");
+        }
+        // Out-of-range q clamps rather than panicking or skipping buckets.
+        let h = Histogram::of([1, 2, 2, 5]);
+        assert_eq!(h.quantile(-0.5), Some(1));
+        assert_eq!(h.quantile(1.5), Some(5));
     }
 
     #[test]

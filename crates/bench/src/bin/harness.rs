@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! harness [--quick] [--metrics] [e1 e2 … e24 | all]
+//! harness [--quick] [--metrics] [e1 e2 … e25 | all]
 //! ```
 //!
 //! `--quick` shrinks the sweep (used by CI-style smoke runs); the default
@@ -15,7 +15,8 @@ use selfstab_bench::experiments::{
     e01_smm_rounds, e02_smi_rounds, e03_transitions, e04_growth, e05_counterexample, e06_baseline,
     e07_faults, e08_adhoc, e09_mobility, e10_exhaustive, e11_quality, e13_coloring, e14_anonymous,
     e15_bfs_tree, e16_contention, e17_observability, e18_runtime_scaling, e19_active_schedule,
-    e20_chaos, e21_shard_skew, e22_service, e23_sharded_service, e24_byzantine, Report,
+    e20_chaos, e21_shard_skew, e22_service, e23_sharded_service, e24_byzantine, e25_telemetry,
+    Report,
 };
 use std::io::Write;
 
@@ -132,6 +133,10 @@ fn run_experiment(id: &str, cfg: &Config) -> Option<Report> {
             if q { 16 } else { 48 },
             if q { &[8, 24] } else { &[8, 32, 128] },
         ),
+        "e25" => e25_telemetry::run(
+            if q { &[2_000] } else { &[10_000, 100_000] },
+            if q { 100 } else { 1_000 },
+        ),
         _ => return None,
     })
 }
@@ -159,6 +164,7 @@ fn main() {
         ids.push("e22".to_string());
         ids.push("e23".to_string());
         ids.push("e24".to_string());
+        ids.push("e25".to_string());
     }
     let cfg = Config { quick };
     let stdout = std::io::stdout();
@@ -183,7 +189,7 @@ fn main() {
                 .unwrap();
             }
             None => {
-                eprintln!("unknown experiment id: {id} (expected e1..e24 or all)");
+                eprintln!("unknown experiment id: {id} (expected e1..e25 or all)");
                 std::process::exit(2);
             }
         }

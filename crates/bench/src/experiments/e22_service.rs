@@ -41,7 +41,7 @@ fn topology(name: &str, n: usize) -> Graph {
 /// Draw the next valid mutation against the live graph: mostly edge
 /// toggles, with an occasional node crash and rejoin — the ad-hoc churn
 /// model from the paper's motivation.
-fn next_mutation(g: &Graph, rng: &mut StdRng) -> Mutation {
+pub(crate) fn next_mutation(g: &Graph, rng: &mut StdRng) -> Mutation {
     let n = g.n();
     match rng.random_range(0..10u32) {
         8 => Mutation::NodeLeave {

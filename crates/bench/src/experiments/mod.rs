@@ -23,6 +23,7 @@ pub mod e21_shard_skew;
 pub mod e22_service;
 pub mod e23_sharded_service;
 pub mod e24_byzantine;
+pub mod e25_telemetry;
 
 /// An experiment's rendered report section.
 pub struct Report {

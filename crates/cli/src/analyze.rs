@@ -10,7 +10,7 @@
 //! gate CI.
 
 use crate::args::Args;
-use selfstab_analysis::SkewAccumulator;
+use selfstab_analysis::{Histogram, SkewAccumulator};
 use selfstab_bench::observatory::BenchArtifact;
 use selfstab_engine::obs::PHASES;
 use selfstab_json::Json;
@@ -173,6 +173,285 @@ fn fault_events(r: &RoundData) -> Vec<String> {
     events
 }
 
+/// A resident-service artifact (`serve --profile-out`) is a JSONL stream
+/// whose meta line carries `mode: "service"` — it has per-*event* records
+/// and a telemetry track instead of per-round states, and no `finish`
+/// line (a daemon has no scripted end). Detect it before the batch-run
+/// parser, whose truncation check would otherwise reject it.
+fn sniff_service(text: &str) -> bool {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .is_some_and(|l| {
+            Json::parse(l).ok().is_some_and(|j| {
+                j.get("event").and_then(Json::as_str) == Some("meta")
+                    && j.get("mode").and_then(Json::as_str) == Some("service")
+            })
+        })
+}
+
+/// One row of the service analysis: an event record, drawn from the
+/// telemetry track when present (has drain latency and queue depth) or
+/// the meta `service_events` spine otherwise.
+struct ServiceRow {
+    seq: u64,
+    kind: String,
+    recovery_rounds: u64,
+    moves: u64,
+    perturbed: u64,
+    drain_micros: Option<u64>,
+    queue_depth: Option<u64>,
+    converged: bool,
+}
+
+impl ServiceRow {
+    fn parse(j: &Json) -> ServiceRow {
+        let get = |k: &str| j.get(k).and_then(Json::as_u64);
+        ServiceRow {
+            seq: get("seq").unwrap_or(0),
+            kind: j
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            recovery_rounds: get("recovery_rounds").unwrap_or(0),
+            moves: get("moves").unwrap_or(0),
+            perturbed: get("perturbed").unwrap_or(0),
+            drain_micros: get("drain_micros"),
+            queue_depth: get("queue_depth"),
+            converged: j.get("converged").and_then(Json::as_bool).unwrap_or(false),
+        }
+    }
+}
+
+/// `selfstab analyze` on a `serve --profile-out` artifact: event-stream
+/// summary, rolling `--window N` recovery/drain tables (per-window
+/// [`Histogram`]s folded into a cumulative one via `merge`), per-client
+/// fairness, and the per-event Theorem 1/2 recovery bound as the CI gate.
+fn analyze_service(path: &str, text: &str, args: &Args) -> Result<(String, bool), String> {
+    let window: usize = match args.get("window") {
+        Some(w) => {
+            let v: usize = w
+                .parse()
+                .map_err(|_| format!("--window '{w}' is not an integer"))?;
+            if v == 0 {
+                return Err("--window must be a positive number of events".into());
+            }
+            v
+        }
+        None => 0,
+    };
+
+    let mut protocol = None;
+    let mut topology = None;
+    let (mut n, mut m) = (None, None);
+    let mut spine: Vec<Json> = Vec::new();
+    let mut track: Vec<ServiceRow> = Vec::new();
+    let mut dropped = 0u64;
+    let mut track_format = None;
+    let mut clients: Vec<(u64, u64)> = Vec::new();
+    for (i, line) in text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+    {
+        let event = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("meta") => {
+                protocol = event
+                    .get("protocol")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                topology = event
+                    .get("topology")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                n = event.get("n").and_then(Json::as_u64);
+                m = event.get("m").and_then(Json::as_u64);
+                spine = event
+                    .get("service_events")
+                    .and_then(Json::as_array)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default();
+                dropped = event
+                    .get("telemetry_dropped")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                track_format = event
+                    .get("telemetry_format")
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                clients = event
+                    .get("telemetry_clients")
+                    .and_then(Json::as_array)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(|c| {
+                                Some((
+                                    c.get("client").and_then(Json::as_u64)?,
+                                    c.get("requests").and_then(Json::as_u64)?,
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+            }
+            Some("service-telemetry") => track.push(ServiceRow::parse(&event)),
+            // Observer round/move lines may interleave; they carry no
+            // per-event semantics here.
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "service artifact {path}\nprotocol {} on {}",
+        protocol.as_deref().unwrap_or("(unknown)"),
+        topology.as_deref().unwrap_or("(unknown topology)"),
+    ));
+    if let (Some(n), Some(m)) = (n, m) {
+        out.push_str(&format!(" (n={n}, m={m})"));
+    }
+    if let Some(fmt) = &track_format {
+        out.push_str(&format!("\ntelemetry track: {fmt}, {} row(s)", track.len()));
+        if dropped > 0 {
+            out.push_str(&format!(" ({dropped} oldest dropped at the ring cap)"));
+        }
+    }
+    out.push('\n');
+
+    // Rows: the telemetry track when recorded, else the event spine
+    // (skipping the seq-0 bootstrap, which is not an ingested event).
+    let rows: Vec<ServiceRow> = if track.is_empty() {
+        spine
+            .iter()
+            .map(ServiceRow::parse)
+            .filter(|r| r.seq > 0)
+            .collect()
+    } else {
+        track
+    };
+    if rows.is_empty() {
+        out.push_str("no service events recorded\n");
+        return Ok((out, true));
+    }
+
+    let total_moves: u64 = rows.iter().map(|r| r.moves).sum();
+    let settled = rows.iter().filter(|r| r.converged).count();
+    let mut kinds: Vec<(String, usize)> = Vec::new();
+    for r in &rows {
+        match kinds.iter_mut().find(|(k, _)| *k == r.kind) {
+            Some((_, c)) => *c += 1,
+            None => kinds.push((r.kind.clone(), 1)),
+        }
+    }
+    let kinds = kinds
+        .iter()
+        .map(|(k, c)| format!("{k}×{c}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    out.push_str(&format!(
+        "events: {} ({} converged at event end; {kinds}), total moves {total_moves}\n",
+        rows.len(),
+        settled,
+    ));
+
+    // Rolling windows: chunk the event stream, histogram each chunk, and
+    // fold the chunks into a cumulative histogram with `merge` — the
+    // cumulative line must therefore agree with a whole-run histogram.
+    let chunk = if window == 0 { rows.len() } else { window };
+    out.push_str(&format!(
+        "\nrolling recovery latency (window {chunk} event(s))\n"
+    ));
+    out.push_str("| window | events | p50 | p99 | max | moves | mean drain µs | max queue |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    let mut cumulative = Histogram::new();
+    for (w, rows) in rows.chunks(chunk).enumerate() {
+        let hist = Histogram::of(rows.iter().map(|r| r.recovery_rounds as usize));
+        let moves: u64 = rows.iter().map(|r| r.moves).sum();
+        let drains: Vec<u64> = rows.iter().filter_map(|r| r.drain_micros).collect();
+        let drain = if drains.is_empty() {
+            "—".to_string()
+        } else {
+            format!(
+                "{:.1}",
+                drains.iter().sum::<u64>() as f64 / drains.len() as f64
+            )
+        };
+        let queue = rows
+            .iter()
+            .filter_map(|r| r.queue_depth)
+            .max()
+            .map_or_else(|| "—".to_string(), |q| q.to_string());
+        out.push_str(&format!(
+            "| {w} | {} | {} | {} | {} | {moves} | {drain} | {queue} |\n",
+            hist.total(),
+            hist.quantile(0.5).unwrap_or(0),
+            hist.quantile(0.99).unwrap_or(0),
+            hist.max_value().unwrap_or(0),
+        ));
+        cumulative.merge(&hist);
+    }
+    out.push_str(&format!(
+        "cumulative: {} event(s), p50 {} p99 {} max {}\n",
+        cumulative.total(),
+        cumulative.quantile(0.5).unwrap_or(0),
+        cumulative.quantile(0.99).unwrap_or(0),
+        cumulative.max_value().unwrap_or(0),
+    ));
+
+    // Per-client fairness: how the ingest load spread over connections.
+    if !clients.is_empty() {
+        let total: u64 = clients.iter().map(|(_, r)| r).sum();
+        out.push_str("\nclient fairness\n| client | requests | share |\n|---|---|---|\n");
+        for (client, requests) in &clients {
+            let share = if total > 0 {
+                100.0 * *requests as f64 / total as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!("| {client} | {requests} | {share:.1}% |\n"));
+        }
+    }
+
+    // The gate: every per-event recovery must sit within the Theorem 1/2
+    // budget n+2 (bootstrap and settle always get the full budget, so a
+    // larger value can only come from a corrupted or inconsistent
+    // artifact).
+    let mut violations = Vec::new();
+    out.push_str("\nbound checks\n");
+    if let Some(n) = n {
+        let bound = n + 2;
+        let worst = rows.iter().map(|r| r.recovery_rounds).max().unwrap_or(0);
+        if worst <= bound {
+            out.push_str(&format!(
+                "  PASS per-event recovery max {worst} ≤ n+2 = {bound} (Theorems 1–2)\n"
+            ));
+        } else {
+            violations.push(format!(
+                "event recovery {worst} rounds exceeds the n+2 = {bound} budget"
+            ));
+        }
+        if let Some(r) = rows.iter().find(|r| r.perturbed > n) {
+            violations.push(format!(
+                "event seq {} perturbed {} nodes on an n = {n} graph",
+                r.seq, r.perturbed
+            ));
+        }
+    } else {
+        out.push_str("  SKIP recovery bound (meta lacks n)\n");
+    }
+    for v in &violations {
+        out.push_str(&format!("  FAIL {v}\n"));
+    }
+    if !violations.is_empty() {
+        out.push_str(&format!(
+            "\n{} bound violation(s) — artifact is inconsistent with the paper\n",
+            violations.len(),
+        ));
+    }
+    Ok((out, violations.is_empty()))
+}
+
 /// Render a `selfstab bench` observatory artifact: header, stabilization
 /// check, and the wire/shard-skew table — per-lane totals re-fed through
 /// [`SkewAccumulator`], the same aggregation the JSONL path uses live.
@@ -278,6 +557,11 @@ pub fn analyze(positional: Option<&str>, args: &Args) -> Result<(String, bool), 
     if BenchArtifact::sniff(&text) {
         let artifact = BenchArtifact::parse(&text).map_err(|e| format!("'{path}': {e}"))?;
         return Ok(analyze_bench(&path, &artifact));
+    }
+    // Resident-service artifacts have no finish line; route them to the
+    // event-stream analyzer before the batch parser's truncation check.
+    if sniff_service(&text) {
+        return analyze_service(&path, &text, args).map_err(|e| format!("'{path}': {e}"));
     }
     let art = parse_artifact(&text).map_err(|e| format!("'{path}': {e}"))?;
     let mut out = String::new();
@@ -556,6 +840,74 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(!ok, "{report}");
         assert!(report.contains("|M| decreased from 1 to 0"), "{report}");
+    }
+
+    fn service_artifact(recovery: u64) -> String {
+        let mut text = concat!(
+            "{\"event\":\"meta\",\"mode\":\"service\",\"protocol\":\"SMM\",",
+            "\"topology\":\"path\",\"n\":8,\"m\":7,",
+            "\"telemetry_format\":\"service-telemetry/v1\",\"telemetry_dropped\":0,",
+            "\"telemetry_clients\":[{\"client\":1,\"requests\":3},{\"client\":2,\"requests\":1}],",
+            "\"service_events\":[]}\n",
+        )
+        .to_string();
+        for seq in 1..=4u64 {
+            text.push_str(&format!(
+                concat!(
+                    "{{\"event\":\"service-telemetry\",\"seq\":{seq},\"t_micros\":{t},",
+                    "\"kind\":\"edge-down\",\"recovery_rounds\":{r},\"moves\":2,",
+                    "\"perturbed\":4,\"drain_micros\":120,\"queue_depth\":0,",
+                    "\"backend\":\"serial\",\"converged\":true}}\n",
+                ),
+                seq = seq,
+                t = seq * 100,
+                r = if seq == 4 { recovery } else { 2 },
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn service_artifact_renders_windows_and_passes_bounds() {
+        let path = write_tmp("service-ok", &service_artifact(3));
+        let args = Args::parse(&["--window".into(), "2".into()]).unwrap();
+        let (report, ok) = analyze(Some(path.to_str().unwrap()), &args).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(ok, "{report}");
+        assert!(report.contains("service artifact"), "{report}");
+        assert!(
+            report.contains("telemetry track: service-telemetry/v1"),
+            "{report}"
+        );
+        assert!(
+            report.contains("rolling recovery latency (window 2 event(s))"),
+            "{report}"
+        );
+        assert!(
+            report.contains("| 1 | 2 |"),
+            "two windows of two events: {report}"
+        );
+        assert!(report.contains("cumulative: 4 event(s)"), "{report}");
+        assert!(
+            report.contains("| 1 | 3 | 75.0% |"),
+            "fairness table: {report}"
+        );
+        assert!(report.contains("PASS per-event recovery max 3"), "{report}");
+    }
+
+    #[test]
+    fn service_artifact_recovery_over_budget_fails_and_window_zero_errors() {
+        // n = 8 → budget n+2 = 10; an event claiming 13 recovery rounds is
+        // inconsistent with the paper's theorems.
+        let path = write_tmp("service-bad", &service_artifact(13));
+        let (report, ok) = analyze(Some(path.to_str().unwrap()), &args_empty()).unwrap();
+        assert!(!ok, "{report}");
+        assert!(report.contains("FAIL event recovery 13"), "{report}");
+
+        let args = Args::parse(&["--window".into(), "0".into()]).unwrap();
+        let err = analyze(Some(path.to_str().unwrap()), &args).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("--window must be a positive"), "{err}");
     }
 
     #[test]

@@ -76,12 +76,17 @@ USAGE:
   beacon period (byz= is rejected there: state rewrites need the
   round-synchronous executors).
   selfstab verify --protocol smm|smi|coloring --max-n <N<=5>
-  selfstab analyze <artifact.jsonl>   offline report over a --profile
+  selfstab analyze <artifact.jsonl> [--window <events>]
+                  offline report over a --profile
                   artifact: per-phase critical path, shard skew (straggler
                   lane), backpressure hot channels, chaos recovery timeline,
                   and paper bound checks (SMM rounds ≤ n+1, monotone |M|,
                   moves vs. the Manne et al. O(m) yardstick). Exits 1 on a
-                  bound violation, 2 on an unreadable artifact.
+                  bound violation, 2 on an unreadable artifact. A
+                  `serve --profile-out` artifact is detected by its meta
+                  line and analyzed as an event stream instead: rolling
+                  recovery-latency/drain tables every --window events,
+                  per-client fairness, and the per-event n+2 recovery gate.
   selfstab bench  [--quick] [--out <file>] [--pr <id>] [--n <N>] [--reps <R>]
                   [--compare <old.json> [<new.json>]] [--rel-threshold <frac>]
                   standing performance observatory: runs the pinned matrix
@@ -104,7 +109,9 @@ USAGE:
                   [--ids identity|reversed|random] [--init default|random]
                   [--seed <u64>] [--budget <rounds>] [--metrics]
                   [--shards <K>] [--channel-cap <frames>]
-                  [--snapshot-out <file>] [--profile-out <file>]
+                  [--snapshot-out <file>] [--snapshot-every <N|Ns|Nms>]
+                  [--resume <snapshot.json>] [--profile-out <file>]
+                  [--telemetry-addr <host:port>]
                   resident overlay-maintenance daemon: stabilizes the
                   protocol, then ingests mutation events (edge-up/down,
                   node-join/leave) and answers queries (membership, census,
@@ -118,15 +125,29 @@ USAGE:
                   --snapshot-out always captures a legitimate configuration.
                   --metrics appends the per-event recovery table (rounds and
                   moves per mutation); --profile-out writes the JSONL spine
-                  with per-event records in the meta line. --shards K runs
+                  with per-event records in the meta line plus the rolling
+                  service-telemetry/v1 track (one line per drained event).
+                  --telemetry-addr binds a std-only TCP listener serving
+                  the live registry in Prometheus text exposition (the
+                  same numbers as the {\"op\":\"query\",\"what\":\"telemetry\"}
+                  wire query); the bound address is printed to stderr at
+                  startup. --snapshot-every writes selfstab-snapshot/v1
+                  documents in the background (bare N = every N events,
+                  Ns/Nms = on the service clock; requires --snapshot-out;
+                  tmp+rename, so a crash never truncates the last good
+                  snapshot); --resume boots from such a document instead
+                  of generating a topology — a legitimate snapshot
+                  re-stabilizes in 0 rounds. --shards K runs
                   each event's re-convergence drain through the sharded
                   mailbox runtime (K worker threads, state- and
                   round-identical to the serial drain; --channel-cap bounds
                   each cross-shard channel) — pays off on large perturbed
                   regions, e.g. hub departures on dense graphs.
-  selfstab client --socket <path> (--script <file> | --send <line>)
+  selfstab client (--socket <path> (--script <file> | --send <line>)
+                  | --scrape <host:port>)
                   scripted client for a --socket daemon; prints one reply
-                  line per request.
+                  line per request. --scrape instead fetches one Prometheus
+                  exposition from a daemon's --telemetry-addr listener.
 
 topologies: path cycle star complete grid binary-tree hypercube
             unit-disk gnp tree petersen";

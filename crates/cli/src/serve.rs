@@ -18,10 +18,13 @@ use selfstab_engine::obs::JsonlEventLog;
 use selfstab_engine::protocol::{InitialState, WireState};
 use selfstab_graph::Graph;
 use selfstab_json::{Json, ToJson};
+use selfstab_service::telemetry::TRACK_FORMAT;
 use selfstab_service::{
-    serve as serve_loop, Backend, OverlayProtocol, OverlayService, ServeSummary, ShutdownFlag,
-    SimClock, SimTransport,
+    serve_with as serve_loop, Backend, OverlayProtocol, OverlayService, ScrapeServer, ServeHooks,
+    ServeSummary, ShutdownFlag, SimClock, SimTransport, Snapshot, SnapshotCadence,
+    SnapshotScheduler, Telemetry,
 };
+use std::sync::Arc;
 
 /// `selfstab serve`: run the resident service against a scripted sim
 /// session or a Unix-socket listener.
@@ -30,32 +33,70 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let n: usize = args.parse_or("n", 16)?;
     let seed: u64 = args.parse_or("seed", 0)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let g = build_topology(args.str_or("topology", "path"), n, &mut rng)?;
+    // --resume replaces the generated topology and initial state with a
+    // snapshot document; the protocol on the command line must match the
+    // one that wrote it.
+    let resume = match args.get("resume") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--resume {path}: {e}"))?;
+            let snap = Snapshot::parse(&text).map_err(|e| format!("--resume {path}: {e}"))?;
+            if snap.protocol != protocol {
+                return Err(format!(
+                    "--resume snapshot was written by protocol '{}', not '{protocol}'",
+                    snap.protocol
+                ));
+            }
+            Some(snap)
+        }
+        None => None,
+    };
+    let g = match &resume {
+        Some(snap) => snap.graph(),
+        None => build_topology(args.str_or("topology", "path"), n, &mut rng)?,
+    };
     let n = g.n();
     let ids = build_ids(args.str_or("ids", "identity"), n, &mut rng)?;
     match protocol {
-        "smm" => serve_with(&Smm::paper(ids), g, args, seed),
-        "smi" => serve_with(&Smi::new(ids), g, args, seed),
+        "smm" => serve_with(&Smm::paper(ids), g, args, seed, resume),
+        "smi" => serve_with(&Smi::new(ids), g, args, seed, resume),
         other => Err(format!(
             "unknown protocol '{other}' (serve supports smm|smi)"
         )),
     }
 }
 
-fn serve_with<P>(proto: &P, g: Graph, args: &Args, seed: u64) -> Result<String, String>
+fn serve_with<P>(
+    proto: &P,
+    g: Graph,
+    args: &Args,
+    seed: u64,
+    resume: Option<Snapshot>,
+) -> Result<String, String>
 where
     P: OverlayProtocol,
     P::State: WireState + ToJson,
 {
-    let init = match args.str_or("init", "default") {
-        "default" => InitialState::Default,
-        "random" => InitialState::Random { seed },
-        other => return Err(format!("unknown init '{other}'")),
+    let init = match &resume {
+        Some(snap) => InitialState::Explicit(
+            snap.decode_states::<P::State>()
+                .map_err(|e| format!("--resume: {e}"))?,
+        ),
+        None => match args.str_or("init", "default") {
+            "default" => InitialState::Default,
+            "random" => InitialState::Random { seed },
+            other => return Err(format!("unknown init '{other}'")),
+        },
     };
     let budget: usize = args.parse_or("budget", 0)?;
     let script = args.get("script");
     let socket = args.get("socket");
-    let (topology, n, m) = (args.str_or("topology", "path").to_string(), g.n(), g.m());
+    let topology = if resume.is_some() {
+        "resumed".to_string()
+    } else {
+        args.str_or("topology", "path").to_string()
+    };
+    let (n, m) = (g.n(), g.m());
 
     let backend = match parse_shards(args)? {
         Some((shards, cap)) => Backend::Sharded {
@@ -69,8 +110,51 @@ where
         Backend::Sharded { shards, .. } => format!("sharded({shards})"),
     };
     let mut jsonl = args.get("profile-out").map(|_| JsonlEventLog::new());
+
+    // The registry exists whenever anything consumes it: a scrape listener
+    // (--telemetry-addr) or the profile artifact's telemetry track
+    // (--profile-out). With neither, the drain path stays unobserved and
+    // clock-free.
+    let telemetry = (args.get("telemetry-addr").is_some() || jsonl.is_some())
+        .then(|| Arc::new(Telemetry::new()));
+    let scrape = match args.get("telemetry-addr") {
+        Some(addr) => {
+            let registry = telemetry.clone().expect("registry exists for scrape");
+            let srv = ScrapeServer::bind(addr, registry)
+                .map_err(|e| format!("--telemetry-addr {addr}: {e}"))?;
+            // To stderr immediately (not the end-of-run report), so a
+            // supervisor or CI smoke can start scraping a live daemon.
+            eprintln!("telemetry: listening on {}", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    let snapshot_every = args.get("snapshot-every");
+    let mut scheduler = match snapshot_every {
+        Some(spec) => {
+            let cadence = SnapshotCadence::parse(spec)?;
+            let path = args
+                .get("snapshot-out")
+                .ok_or("--snapshot-every requires --snapshot-out PATH")?;
+            Some(SnapshotScheduler::to_file(cadence, path))
+        }
+        None => None,
+    };
+
     let mut svc = OverlayService::new(g, proto, init, budget).with_backend(backend);
+    if let Some(registry) = &telemetry {
+        svc = svc.with_telemetry(registry.clone());
+    }
+    if let Some(snap) = &resume {
+        svc = svc.with_clock_rounds(snap.clock_rounds);
+    }
     let mut report = Vec::new();
+    if let Some(snap) = &resume {
+        report.push(format!(
+            "resume: protocol={} n={} clock_rounds={}",
+            snap.protocol, snap.n, snap.clock_rounds
+        ));
+    }
 
     let summary = match (script, socket) {
         (Some(path), None) => {
@@ -95,6 +179,10 @@ where
                 &shutdown,
                 1_000,
                 &mut jsonl.as_mut(),
+                ServeHooks {
+                    telemetry: telemetry.clone(),
+                    snapshots: scheduler.as_mut(),
+                },
             );
             report.extend(transport.replies().iter().cloned());
             summary
@@ -107,11 +195,31 @@ where
             &mut report,
             &topology,
             &drain,
+            ServeHooks {
+                telemetry: telemetry.clone(),
+                snapshots: scheduler.as_mut(),
+            },
         )?,
         _ => return Err("serve needs exactly one backend: --script FILE or --socket PATH".into()),
     };
 
     render_outcome(&mut report, &svc, &summary, args);
+
+    if let Some(registry) = &telemetry {
+        report.push(format!(
+            "telemetry: events={} scrapes={} snapshots={}",
+            registry.events_total(),
+            registry.scrapes_total(),
+            registry.snapshots_total()
+        ));
+    }
+    if let (Some(sched), Some(spec)) = (&scheduler, snapshot_every) {
+        report.push(format!(
+            "snapshots: written={} every={spec}",
+            sched.written()
+        ));
+    }
+    drop(scrape); // stop the scrape listener before the final report
 
     if let Some(path) = args.get("snapshot-out") {
         let doc = selfstab_service::snapshot::write_snapshot(
@@ -124,7 +232,7 @@ where
         report.push(format!("snapshot: {path}"));
     }
     if let (Some(path), Some(log)) = (args.get("profile-out"), jsonl.as_mut()) {
-        log.push_meta([
+        let mut meta = vec![
             ("mode".to_string(), "service".to_json()),
             ("protocol".to_string(), proto.name().to_json()),
             ("topology".to_string(), topology.to_json()),
@@ -139,7 +247,36 @@ where
                 "service_events".to_string(),
                 Json::Array(svc.records().iter().map(|r| r.to_json()).collect()),
             ),
-        ]);
+        ];
+        if let Some(registry) = &telemetry {
+            // The rolling telemetry track rides inside the same artifact:
+            // one `service-telemetry` event line per drained event, plus
+            // provenance fields in the meta line for `analyze --window`.
+            let (rows, dropped) = registry.take_track();
+            for row in rows {
+                if let Json::Object(fields) = row {
+                    log.push_event("service-telemetry", fields);
+                }
+            }
+            meta.push(("telemetry_format".to_string(), TRACK_FORMAT.to_json()));
+            meta.push(("telemetry_dropped".to_string(), dropped.to_json()));
+            meta.push((
+                "telemetry_clients".to_string(),
+                Json::Array(
+                    registry
+                        .client_requests()
+                        .into_iter()
+                        .map(|(client, requests)| {
+                            Json::obj([
+                                ("client", client.to_json()),
+                                ("requests", requests.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        log.push_meta(meta);
         log.write_to(path)
             .map_err(|e| format!("--profile-out {path}: {e}"))?;
         report.push(format!("profile: {path}"));
@@ -157,6 +294,7 @@ fn serve_socket<P>(
     report: &mut Vec<String>,
     topology: &str,
     drain: &str,
+    hooks: ServeHooks<'_>,
 ) -> Result<ServeSummary, String>
 where
     P: OverlayProtocol,
@@ -185,6 +323,7 @@ where
         &shutdown,
         20_000,
         &mut jsonl.as_mut(),
+        hooks,
     );
     // shutdown() severs queued and live clients, joins the acceptor and
     // every reader, and removes the socket file.
@@ -202,6 +341,7 @@ fn serve_socket<P>(
     _report: &mut Vec<String>,
     _topology: &str,
     _drain: &str,
+    _hooks: ServeHooks<'_>,
 ) -> Result<ServeSummary, String>
 where
     P: OverlayProtocol,
@@ -265,8 +405,15 @@ fn render_outcome<P: OverlayProtocol>(
 
 /// `selfstab client`: a scripted session against a running `--socket`
 /// daemon. Sends each line of `--script FILE` (or the single `--send`
-/// line) and prints one reply line per request.
+/// line) and prints one reply line per request. With `--scrape HOST:PORT`
+/// instead, fetches one Prometheus exposition from a daemon's
+/// `--telemetry-addr` listener and prints the body.
 pub fn client(args: &Args) -> Result<String, String> {
+    if let Some(addr) = args.get("scrape") {
+        return selfstab_service::scrape_once(addr)
+            .map(|body| body.trim_end().to_string())
+            .map_err(|e| format!("--scrape {addr}: {e}"));
+    }
     #[cfg(unix)]
     {
         let socket = args.required("socket")?;

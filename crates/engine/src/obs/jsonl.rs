@@ -36,6 +36,16 @@ impl JsonlEventLog {
         self.lines.insert(0, Json::Object(obj).to_string());
     }
 
+    /// Append a custom event line tagged `event: kind`. Non-executor
+    /// producers (e.g. the resident service's telemetry track) use this to
+    /// interleave their own records with the observer-emitted ones; offline
+    /// consumers that don't know `kind` skip the line.
+    pub fn push_event(&mut self, kind: &str, fields: impl IntoIterator<Item = (String, Json)>) {
+        let mut obj = vec![("event".to_string(), kind.to_json())];
+        obj.extend(fields);
+        self.lines.push(Json::Object(obj).to_string());
+    }
+
     /// The buffered lines, in emission order.
     pub fn lines(&self) -> &[String] {
         &self.lines

@@ -36,11 +36,13 @@ pub mod chrome;
 pub mod jsonl;
 pub mod metrics;
 pub mod profile;
+pub mod window;
 
 pub use chrome::ChromeTraceWriter;
 pub use jsonl::{trace_from_jsonl, JsonlEventLog};
 pub use metrics::{profile_json, Gauge, MetricsCollector, RoundRecord};
 pub use profile::{Phase, PhaseSpans, RoundProfile, ShardProfile, PHASES};
+pub use window::{RateWindow, RollingWindow};
 
 /// Beacon-layer counters for one observation period, reported only by the
 /// `selfstab-adhoc` beacon simulator (`None` in [`RoundStats::beacon`] for

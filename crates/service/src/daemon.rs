@@ -12,6 +12,8 @@
 //! or the sharded runtime behind `serve --shards`), and the loop body is
 //! identical either way.
 
+use std::sync::Arc;
+
 use selfstab_engine::obs::Observer;
 use selfstab_json::{Json, ToJson};
 
@@ -19,6 +21,8 @@ use crate::env::{Clock, ShutdownFlag};
 use crate::overlay::OverlayProtocol;
 use crate::proto::{Mutation, QueryKind, Request};
 use crate::service::{EventRecord, OverlayService};
+use crate::snapshot::SnapshotScheduler;
+use crate::telemetry::Telemetry;
 use crate::transport::{Polled, Transport};
 
 /// Why the serve loop exited.
@@ -78,7 +82,56 @@ fn mutate_response(record: &EventRecord, tag: Option<&str>) -> Json {
     )
 }
 
-/// Run the service against a transport until shutdown.
+/// Optional live instrumentation threaded through [`serve_with`]: a
+/// telemetry registry (shared with the scrape listener) and a background
+/// snapshot scheduler. The default — both absent — is the plain [`serve`]
+/// loop, which touches neither the clock nor any registry outside the
+/// event drains themselves.
+#[derive(Default)]
+pub struct ServeHooks<'h> {
+    /// Registry to heartbeat and record requests into.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Scheduler to tick every loop iteration.
+    pub snapshots: Option<&'h mut SnapshotScheduler>,
+}
+
+impl ServeHooks<'_> {
+    fn active(&self) -> bool {
+        self.telemetry.is_some() || self.snapshots.is_some()
+    }
+
+    /// Refresh gauges and tick the snapshot scheduler. Runs once per loop
+    /// iteration, and only when some hook is configured.
+    fn tick<P: OverlayProtocol, T: Transport>(
+        &mut self,
+        svc: &mut OverlayService<'_, P>,
+        transport: &T,
+        clock: &dyn Clock,
+    ) {
+        if !self.active() {
+            return;
+        }
+        let accept_failures = transport.accept_failures();
+        svc.note_accept_failures(accept_failures);
+        if let Some(t) = &self.telemetry {
+            t.heartbeat(clock.now_micros());
+            t.observe_service(
+                svc.pending_len(),
+                svc.graph().n(),
+                svc.graph().m(),
+                svc.is_converged(),
+                accept_failures,
+            );
+        }
+        if let Some(scheduler) = self.snapshots.as_deref_mut() {
+            if let Err(e) = scheduler.tick(svc, clock, self.telemetry.as_deref()) {
+                eprintln!("service: background snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+/// Run the service against a transport until shutdown (no live hooks).
 ///
 /// Per request line: parse → dispatch → exactly one response line.
 /// Mutations are enqueued and drained immediately (so the response carries
@@ -99,6 +152,35 @@ where
     T: Transport,
     O: Observer<P::State>,
 {
+    serve_with(
+        svc,
+        transport,
+        clock,
+        shutdown,
+        idle_sleep_micros,
+        obs,
+        ServeHooks::default(),
+    )
+}
+
+/// [`serve`] with live hooks: telemetry gauges refresh and the snapshot
+/// scheduler ticks once per loop iteration, every request is attributed
+/// to its client in the registry, and the `telemetry` query answers from
+/// the same registry a TCP scrape reads.
+pub fn serve_with<P, T, O>(
+    svc: &mut OverlayService<'_, P>,
+    transport: &mut T,
+    clock: &dyn Clock,
+    shutdown: &ShutdownFlag,
+    idle_sleep_micros: u64,
+    obs: &mut O,
+    mut hooks: ServeHooks<'_>,
+) -> ServeSummary
+where
+    P: OverlayProtocol,
+    T: Transport,
+    O: Observer<P::State>,
+{
     let mut summary = ServeSummary {
         requests: 0,
         mutations: 0,
@@ -112,7 +194,9 @@ where
             summary.outcome = ServeOutcome::SignalShutdown;
             break;
         }
-        let (client, line) = match transport.poll() {
+        let polled = transport.poll();
+        hooks.tick(svc, transport, clock);
+        let (client, line) = match polled {
             Polled::Request { client, line } => (client, line),
             Polled::Idle => {
                 clock.sleep_micros(idle_sleep_micros);
@@ -124,6 +208,9 @@ where
             }
         };
         summary.requests += 1;
+        if let Some(t) = &hooks.telemetry {
+            t.record_request(client);
+        }
         let request = match Request::parse(&line) {
             Ok(r) => r,
             Err(e) => {
@@ -134,6 +221,9 @@ where
         };
         match request {
             Request::Mutate { mutation, tag } => {
+                if let Some(t) = &hooks.telemetry {
+                    t.record_ingest(clock.now_micros());
+                }
                 let response =
                     apply_mutation(svc, mutation, clock, obs, &mut summary, tag.as_deref());
                 transport.reply(client, &response.to_string());
@@ -143,6 +233,9 @@ where
                     count_drained(&r, &mut summary);
                 }
                 summary.queries += 1;
+                if let Some(t) = &hooks.telemetry {
+                    t.record_query();
+                }
                 let response = match answer(svc, &query) {
                     Ok(fields) => crate::proto::resp_ok(fields, tag.as_deref()),
                     Err(e) => {
@@ -171,6 +264,7 @@ where
         count_drained(&r, &mut summary);
     }
     svc.settle(clock, obs);
+    hooks.tick(svc, transport, clock);
     summary
 }
 
@@ -211,6 +305,7 @@ fn answer<P: OverlayProtocol>(
         QueryKind::Census => svc.census_json(),
         QueryKind::Status => svc.status_json(),
         QueryKind::Latency => svc.latency_json(),
+        QueryKind::Telemetry => svc.telemetry_json()?,
     };
     match body {
         Json::Object(fields) => Ok(fields),

@@ -23,7 +23,13 @@
 //!   re-convergence, per-event recovery metrics.
 //! - [`daemon`] — the environment-generic serve loop.
 //! - [`snapshot`] — durable state: a restarted daemon resumes from a
-//!   legitimate configuration and re-stabilizes in zero rounds.
+//!   legitimate configuration and re-stabilizes in zero rounds; the
+//!   [`snapshot::SnapshotScheduler`] writes such snapshots in the
+//!   background on the service clock.
+//! - [`telemetry`] — the live registry: counters, gauges, rolling-window
+//!   quantiles, shared between the serve loop and every export path.
+//! - [`scrape`] — the std-only TCP listener rendering the registry in
+//!   Prometheus text exposition format.
 //!
 //! `unsafe` is denied crate-wide except the single FFI seam in [`signal`]
 //! (POSIX `signal(2)` registration for graceful Ctrl-C).
@@ -35,17 +41,21 @@ pub mod daemon;
 pub mod env;
 pub mod overlay;
 pub mod proto;
+pub mod scrape;
 pub mod service;
 pub mod signal;
 pub mod snapshot;
+pub mod telemetry;
 pub mod transport;
 
-pub use daemon::{serve, ServeOutcome, ServeSummary};
+pub use daemon::{serve, serve_with, ServeHooks, ServeOutcome, ServeSummary};
 pub use env::{Clock, RealClock, ShutdownFlag, SimClock};
 pub use overlay::OverlayProtocol;
 pub use proto::{Mutation, QueryKind, Request};
+pub use scrape::{scrape_once, ScrapeServer};
 pub use service::{Backend, EventRecord, OverlayService};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SnapshotCadence, SnapshotScheduler};
+pub use telemetry::{Telemetry, TelemetryObserver};
 pub use transport::{Polled, SimTransport, Transport};
 
 #[cfg(unix)]

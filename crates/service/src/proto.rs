@@ -15,6 +15,7 @@
 //! {"op":"query","what":"census"}
 //! {"op":"query","what":"status"}
 //! {"op":"query","what":"latency"}
+//! {"op":"query","what":"telemetry"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -95,6 +96,8 @@ pub enum QueryKind {
     Status,
     /// The per-event re-stabilization latency histogram.
     Latency,
+    /// The live telemetry registry (same values as a Prometheus scrape).
+    Telemetry,
 }
 
 impl QueryKind {
@@ -105,6 +108,7 @@ impl QueryKind {
             QueryKind::Census => "census",
             QueryKind::Status => "status",
             QueryKind::Latency => "latency",
+            QueryKind::Telemetry => "telemetry",
         }
     }
 }
@@ -214,6 +218,7 @@ impl Request {
                     "census" => QueryKind::Census,
                     "status" => QueryKind::Status,
                     "latency" => QueryKind::Latency,
+                    "telemetry" => QueryKind::Telemetry,
                     other => return Err(format!("unknown query '{other}'")),
                 };
                 Ok(Request::Query { query, tag })
@@ -318,6 +323,10 @@ mod tests {
             },
             Request::Query {
                 query: QueryKind::Status,
+                tag: None,
+            },
+            Request::Query {
+                query: QueryKind::Telemetry,
                 tag: None,
             },
             Request::Shutdown { tag: None },

@@ -16,6 +16,7 @@
 //! (proptests, CI) and under the Unix-socket daemon.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use selfstab_analysis::Histogram;
 use selfstab_core::partition::Partition;
@@ -30,6 +31,7 @@ use selfstab_runtime::{converge_wave, RuntimeError};
 use crate::env::Clock;
 use crate::overlay::OverlayProtocol;
 use crate::proto::Mutation;
+use crate::telemetry::Telemetry;
 
 /// Which engine runs each event's re-convergence drain.
 ///
@@ -137,6 +139,12 @@ pub struct OverlayService<'a, P: OverlayProtocol> {
     churned_links: usize,
     repartitions: u64,
     backend_fallbacks: u64,
+    /// Live telemetry registry; `None` keeps the drain path clock-free
+    /// (the registry is the only reason `apply_one` would read the clock).
+    telemetry: Option<Arc<Telemetry>>,
+    /// Transport accept failures, noted by the daemon loop so the
+    /// `status` query surfaces silent client drops.
+    accept_failures: u64,
 }
 
 impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
@@ -169,6 +177,8 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
             churned_links: 0,
             repartitions: 0,
             backend_fallbacks: 0,
+            telemetry: None,
+            accept_failures: 0,
         }
     }
 
@@ -182,6 +192,40 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
         }
         self.backend = backend;
         self
+    }
+
+    /// Attach a live telemetry registry. Only with a registry attached
+    /// does the drain path read the clock (to time backend latency); the
+    /// unobserved path stays clock-free.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Resume the round clock from a snapshot (`serve --resume`): the
+    /// absolute round counter continues where the snapshotted service
+    /// stopped instead of restarting at zero.
+    pub fn with_clock_rounds(mut self, clock_rounds: usize) -> Self {
+        self.clock_rounds = clock_rounds;
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The `telemetry` query body; errors when no registry is attached.
+    pub fn telemetry_json(&self) -> Result<Json, String> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.to_json())
+            .ok_or_else(|| "telemetry is not enabled on this service".to_string())
+    }
+
+    /// Note the transport's accept-failure count (surfaced by `status`).
+    pub fn note_accept_failures(&mut self, count: u64) {
+        self.accept_failures = count;
     }
 
     /// The convergence backend in use.
@@ -283,6 +327,9 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
                     // a clone of the states), so the serial loop can redo
                     // the drain from the same seeded worklist.
                     self.backend_fallbacks += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.record_backend_fallback();
+                    }
                     eprintln!("service: sharded drain failed ({e}); falling back to serial");
                 }
             }
@@ -348,6 +395,9 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
             self.partition = Some(Partition::coarsened(&self.graph, shards));
             self.churned_links = 0;
             self.repartitions += 1;
+            if let Some(t) = &self.telemetry {
+                t.record_repartition();
+            }
         }
     }
 
@@ -362,7 +412,12 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
         let mut moves_total = 0u64;
         let mut moves: Vec<(Node, selfstab_engine::protocol::Move<P::State>)> = Vec::new();
         while rounds < budget && !self.cur.is_empty() {
-            let started = clock.now_micros();
+            // Clock reads are observation, and observation must be free
+            // when disabled: `started` only ever feeds `duration_micros`
+            // in the observed branch below, so the unobserved path takes
+            // no clock at all (pinned by the `telemetry` equivalence
+            // tests — a counting clock reads zero here).
+            let started = if O::ENABLED { clock.now_micros() } else { 0 };
             let evaluated = self.cur.len();
             moves.clear();
             for &v in self.cur.nodes() {
@@ -524,7 +579,15 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
         clock: &dyn Clock,
         obs: &mut O,
     ) -> Result<EventRecord, String> {
-        let touched = self.apply_topology(mutation)?;
+        let touched = match self.apply_topology(mutation) {
+            Ok(touched) => touched,
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.record_mutation_error();
+                }
+                return Err(e);
+            }
+        };
         self.churned_links += touched.len();
         // Seed the perturbed region: the closed neighborhoods (in the
         // *mutated* graph) of every endpoint of every changed link. Any
@@ -544,6 +607,10 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
         let perturbed = self.cur.len();
         self.seq += 1;
         self.events_applied += 1;
+        // The only clock reads on the drain path happen here, and only
+        // when a telemetry registry is attached — unobserved drains stay
+        // clock-free (see the `telemetry` equivalence tests).
+        let drain_started = self.telemetry.as_ref().map(|_| clock.now_micros());
         let (rounds, moves) = self.converge(self.budget(), clock, obs);
         let record = EventRecord {
             seq: self.seq,
@@ -557,6 +624,16 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
         };
         self.recovery_hist.add(rounds);
         self.records.push(record.clone());
+        if let (Some(telemetry), Some(started)) = (self.telemetry.clone(), drain_started) {
+            let now = clock.now_micros();
+            telemetry.record_event(
+                &record,
+                self.backend.name(),
+                now.saturating_sub(started),
+                now,
+                self.pending.len(),
+            );
+        }
         Ok(record)
     }
 
@@ -586,6 +663,10 @@ impl<'a, P: OverlayProtocol> OverlayService<'a, P> {
                 self.proto
                     .is_legitimate(&self.graph, &self.states)
                     .to_json(),
+            ),
+            (
+                "accept_failures".to_string(),
+                self.accept_failures.to_json(),
             ),
         ];
         if let Backend::Sharded { shards, .. } = self.backend {

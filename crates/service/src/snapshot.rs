@@ -144,6 +144,156 @@ impl Snapshot {
     }
 }
 
+/// How often the background scheduler snapshots: every `k` applied events
+/// or every `d` of service-clock time. Parsed from `--snapshot-every`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotCadence {
+    /// Snapshot once `k` further events have been applied.
+    Events(u64),
+    /// Snapshot once `d` microseconds of service-clock time have passed.
+    Micros(u64),
+}
+
+impl SnapshotCadence {
+    /// Parse a cadence spec: a bare integer means events (`"250"`), an
+    /// integer with a `s`/`ms` suffix means service-clock time (`"30s"`,
+    /// `"500ms"`). Zero is rejected in every unit.
+    pub fn parse(spec: &str) -> Result<SnapshotCadence, String> {
+        let spec = spec.trim();
+        let (digits, scale) = if let Some(d) = spec.strip_suffix("ms") {
+            (d, Some(1_000u64))
+        } else if let Some(d) = spec.strip_suffix('s') {
+            (d, Some(1_000_000u64))
+        } else {
+            (spec, None)
+        };
+        let value: u64 = digits
+            .parse()
+            .map_err(|_| format!("invalid snapshot cadence '{spec}' (want N, Ns, or Nms)"))?;
+        if value == 0 {
+            return Err("snapshot cadence must be positive".into());
+        }
+        Ok(match scale {
+            None => SnapshotCadence::Events(value),
+            Some(s) => SnapshotCadence::Micros(
+                value
+                    .checked_mul(s)
+                    .ok_or_else(|| format!("snapshot cadence '{spec}' overflows"))?,
+            ),
+        })
+    }
+}
+
+/// Where the scheduler writes: a file path (production; tmp + rename so a
+/// crash mid-write never truncates the previous snapshot) or an in-memory
+/// list (deterministic tests).
+enum SnapshotSink {
+    File(std::path::PathBuf),
+    Memory(Vec<String>),
+}
+
+/// The background snapshot scheduler: driven by the serve loop on the
+/// service's [`Clock`](crate::env::Clock), so under the sim environment
+/// snapshot timing is a pure function of the event/advance script — the
+/// determinism the scheduler proptests rely on.
+pub struct SnapshotScheduler {
+    cadence: SnapshotCadence,
+    sink: SnapshotSink,
+    last_events: u64,
+    last_at_micros: u64,
+    written: u64,
+}
+
+impl SnapshotScheduler {
+    /// A scheduler writing snapshot documents to `path`.
+    pub fn to_file(cadence: SnapshotCadence, path: impl Into<std::path::PathBuf>) -> Self {
+        SnapshotScheduler {
+            cadence,
+            sink: SnapshotSink::File(path.into()),
+            last_events: 0,
+            last_at_micros: 0,
+            written: 0,
+        }
+    }
+
+    /// A scheduler buffering snapshot documents in memory (tests).
+    pub fn in_memory(cadence: SnapshotCadence) -> Self {
+        SnapshotScheduler {
+            cadence,
+            sink: SnapshotSink::Memory(Vec::new()),
+            last_events: 0,
+            last_at_micros: 0,
+            written: 0,
+        }
+    }
+
+    /// Snapshots written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The buffered documents (memory sink only; empty for the file sink).
+    pub fn documents(&self) -> &[String] {
+        match &self.sink {
+            SnapshotSink::Memory(docs) => docs,
+            SnapshotSink::File(_) => &[],
+        }
+    }
+
+    /// One scheduler tick: check due-ness against the cadence, write a
+    /// snapshot if due, and refresh the telemetry snapshot gauges. The
+    /// serve loop calls this every iteration; a tick that isn't due costs
+    /// one clock read and two integer compares (and the loop only ticks a
+    /// scheduler that was configured — the unobserved path never gets
+    /// here). Returns whether a snapshot was written.
+    pub fn tick<P: crate::overlay::OverlayProtocol>(
+        &mut self,
+        svc: &crate::service::OverlayService<'_, P>,
+        clock: &dyn crate::env::Clock,
+        telemetry: Option<&crate::telemetry::Telemetry>,
+    ) -> Result<bool, String> {
+        let now = clock.now_micros();
+        let due = match self.cadence {
+            SnapshotCadence::Events(k) => {
+                svc.events_applied().saturating_sub(self.last_events) >= k
+            }
+            SnapshotCadence::Micros(d) => now.saturating_sub(self.last_at_micros) >= d,
+        };
+        if !due {
+            return Ok(false);
+        }
+        let doc = write_snapshot(
+            svc.proto().name(),
+            svc.graph(),
+            svc.states(),
+            svc.clock_rounds(),
+        );
+        let bytes = doc.len() as u64;
+        match &mut self.sink {
+            SnapshotSink::Memory(docs) => docs.push(doc),
+            SnapshotSink::File(path) => {
+                // tmp + rename: the previous snapshot survives any crash
+                // mid-write, so a resume always sees a complete document.
+                let tmp = path.with_extension("tmp");
+                std::fs::write(&tmp, &doc)
+                    .map_err(|e| format!("snapshot write {}: {e}", tmp.display()))?;
+                std::fs::rename(&tmp, &path)
+                    .map_err(|e| format!("snapshot rename {}: {e}", path.display()))?;
+            }
+        }
+        self.last_events = svc.events_applied();
+        self.last_at_micros = now;
+        self.written += 1;
+        if let Some(t) = telemetry {
+            // Under SimClock render+write advances no virtual time, so the
+            // duration gauge is deterministically 0 in tests and a real
+            // measurement under the daemon's monotonic clock.
+            t.record_snapshot(now, clock.now_micros().saturating_sub(now), bytes);
+        }
+        Ok(true)
+    }
+}
+
 fn hex(bytes: &[u8]) -> String {
     const DIGITS: &[u8; 16] = b"0123456789abcdef";
     let mut out = String::with_capacity(bytes.len() * 2);

@@ -37,6 +37,14 @@ pub trait Transport {
     /// Send one response line to `client`. Errors are swallowed — a client
     /// that disconnected mid-request simply misses its reply.
     fn reply(&mut self, client: u64, line: &str);
+
+    /// Clients silently dropped by the transport before the serve loop
+    /// ever saw them (0 for backends that cannot drop). The daemon polls
+    /// this into the `status` response and the telemetry registry, so the
+    /// failure mode is visible instead of silent.
+    fn accept_failures(&self) -> u64 {
+        0
+    }
 }
 
 /// The deterministic scripted backend: feed lines in, collect replies.
@@ -293,6 +301,10 @@ mod uds {
                     Err(RecvTimeoutError::Disconnected) => return Polled::Closed,
                 }
             }
+        }
+
+        fn accept_failures(&self) -> u64 {
+            UdsTransport::accept_failures(self)
         }
 
         fn reply(&mut self, client: u64, line: &str) {

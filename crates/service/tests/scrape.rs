@@ -1,0 +1,196 @@
+//! Concurrent scrape-under-churn: N UDS clients mutate the overlay while
+//! a Prometheus scraper polls the TCP endpoint. The scraped
+//! `selfstab_events_total` series must be monotone non-decreasing, a
+//! quiescent scrape must agree with the `telemetry` UDS query, and the
+//! whole stack (serve loop, UDS transport, scrape listener) must tear
+//! down under a watchdog deadline — no thread may hang.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use selfstab_core::Smm;
+use selfstab_engine::protocol::InitialState;
+use selfstab_engine::Protocol;
+use selfstab_graph::{generators, Ids};
+use selfstab_json::Json;
+use selfstab_service::{
+    scrape_once, serve_with, uds_client_session, OverlayService, RealClock, ScrapeServer,
+    ServeHooks, ServeOutcome, ShutdownFlag, Telemetry, UdsTransport,
+};
+
+fn socket_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "selfstab-scrape-{}-{name}.sock",
+        std::process::id()
+    ));
+    p
+}
+
+/// Parse `selfstab_events_total N` out of an exposition body.
+fn events_total(body: &str) -> u64 {
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("selfstab_events_total ") {
+            return rest.trim().parse::<f64>().expect("numeric sample") as u64;
+        }
+    }
+    panic!("selfstab_events_total missing from scrape body:\n{body}");
+}
+
+#[test]
+fn scrape_under_churn_is_monotone_and_tears_down() {
+    let n = 32;
+    let path = socket_path("churn");
+    let smm = Smm::paper(Ids::identity(n));
+    let clock = RealClock::new();
+    let registry = Arc::new(Telemetry::new());
+    let mut svc = OverlayService::new(generators::path(n), &smm, InitialState::Default, 0)
+        .with_telemetry(registry.clone());
+    svc.stabilize(&clock, &mut ());
+
+    let scraper_srv = ScrapeServer::bind("127.0.0.1:0", registry.clone()).expect("bind scrape");
+    let scrape_addr = scraper_srv.addr().to_string();
+    let mut transport = UdsTransport::bind(&path).expect("bind uds");
+    let shutdown = ShutdownFlag::new();
+
+    // Scraper: poll the TCP endpoint while churn is in flight, recording
+    // the events_total series. Transient connect errors (listener queue
+    // full) are skipped; the body itself must always parse.
+    let scraper = {
+        let addr = scrape_addr.clone();
+        std::thread::spawn(move || {
+            let mut series = Vec::new();
+            for _ in 0..60 {
+                if let Ok(body) = scrape_once(&addr) {
+                    assert!(!body.contains("NaN"), "exposition must not emit NaN");
+                    series.push(events_total(&body));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            series
+        })
+    };
+
+    // Coordinator: run 3 mutating clients to completion, then check
+    // quiescent scrape/UDS-query agreement, then ask the daemon to exit.
+    let coordinator = {
+        let client_path = path.clone();
+        let addr = scrape_addr.clone();
+        std::thread::spawn(move || {
+            let churners: Vec<_> = (0..3)
+                .map(|i| {
+                    let p = client_path.clone();
+                    std::thread::spawn(move || {
+                        // Each client owns a distinct path edge, so every
+                        // toggle is valid regardless of interleaving.
+                        let (a, b) = (9 * i + 2, 9 * i + 3);
+                        let lines: Vec<String> = (0..20)
+                            .map(|t| {
+                                let kind = if t % 2 == 0 { "edge-down" } else { "edge-up" };
+                                format!(r#"{{"op":"mutate","kind":"{kind}","a":{a},"b":{b}}}"#)
+                            })
+                            .collect();
+                        let mut oks = 0usize;
+                        uds_client_session(&p, &lines, |r| {
+                            let reply = Json::parse(r).expect("reply json");
+                            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+                            oks += 1;
+                        })
+                        .expect("churn session");
+                        oks
+                    })
+                })
+                .collect();
+            let mut applied = 0usize;
+            for c in churners {
+                applied += c.join().expect("churn client");
+            }
+
+            // Quiescent: no client is mutating, so the TCP scrape and the
+            // UDS `telemetry` query must report the same events count.
+            let scraped = events_total(&scrape_once(&addr).expect("quiescent scrape"));
+            let mut queried = None;
+            uds_client_session(
+                &client_path,
+                &[r#"{"op":"query","what":"telemetry"}"#.to_string()],
+                |r| {
+                    let reply = Json::parse(r).expect("telemetry json");
+                    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+                    queried = reply.get("events").and_then(Json::as_u64);
+                },
+            )
+            .expect("telemetry query session");
+
+            uds_client_session(&client_path, &[r#"{"op":"shutdown"}"#.to_string()], |_| {})
+                .expect("shutdown session");
+            (applied, scraped, queried.expect("events field"))
+        })
+    };
+
+    let summary = serve_with(
+        &mut svc,
+        &mut transport,
+        &clock,
+        &shutdown,
+        1_000,
+        &mut (),
+        ServeHooks {
+            telemetry: Some(registry.clone()),
+            snapshots: None,
+        },
+    );
+    let (applied, scraped, queried) = coordinator.join().expect("coordinator");
+    let series = scraper.join().expect("scraper");
+
+    assert_eq!(summary.outcome, ServeOutcome::ClientShutdown);
+    assert_eq!(applied, 60, "every churn mutation got an ok reply");
+    assert_eq!(scraped, queried, "scrape and UDS query agree at quiescence");
+    assert_eq!(scraped, 60, "one event per applied mutation");
+    assert!(
+        series.windows(2).all(|w| w[0] <= w[1]),
+        "events_total must be monotone under churn: {series:?}"
+    );
+    assert!(registry.scrapes_total() as usize > series.len());
+    assert!(svc.is_converged());
+    assert!(svc.proto().is_legitimate(svc.graph(), svc.states()));
+
+    // Teardown under a watchdog: UDS transport and scrape listener must
+    // both come down without hanging.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let started = Instant::now();
+        let joined = transport.shutdown();
+        let mut srv = scraper_srv;
+        srv.shutdown();
+        tx.send((joined, started.elapsed()))
+            .expect("report teardown");
+    });
+    let (joined, took) = rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("teardown deadlocked past the watchdog deadline");
+    assert!(joined >= 2, "acceptor + readers joined (got {joined})");
+    assert!(!path.exists(), "socket file removed on shutdown");
+    assert!(took < Duration::from_secs(20));
+}
+
+#[test]
+fn scrape_endpoint_serves_repeatedly_and_shuts_down() {
+    let registry = Arc::new(Telemetry::new());
+    registry.heartbeat(5_000);
+    let mut srv = ScrapeServer::bind("127.0.0.1:0", registry.clone()).expect("bind");
+    let addr = srv.addr().to_string();
+    for i in 1..=5u64 {
+        let body = scrape_once(&addr).expect("scrape");
+        assert!(body.starts_with("# HELP"));
+        assert!(body.contains(&format!("selfstab_scrapes_total {i}")));
+    }
+    srv.shutdown();
+    assert!(
+        scrape_once(&addr).is_err(),
+        "listener must stop accepting after shutdown"
+    );
+}
